@@ -1,0 +1,107 @@
+// Command flodb is a small interactive CLI over a FloDB store:
+//
+//	flodb -db /tmp/db put <key> <value>
+//	flodb -db /tmp/db get <key>
+//	flodb -db /tmp/db del <key>
+//	flodb -db /tmp/db scan <low> <high>
+//	flodb -db /tmp/db fill <n>        load n sequential keys
+//	flodb -db /tmp/db stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flodb"
+	"flodb/internal/keys"
+)
+
+func main() {
+	dir := flag.String("db", "", "database directory (required)")
+	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
+	flag.Parse()
+	if *dir == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | fill n | stats}")
+		os.Exit(2)
+	}
+	db, err := flodb.Open(*dir, &flodb.Options{MemoryBytes: *mem})
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		if err := db.Close(); err != nil {
+			fail(err)
+		}
+	}()
+
+	args := flag.Args()
+	switch args[0] {
+	case "put":
+		need(args, 3)
+		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	case "get":
+		need(args, 2)
+		v, ok, err := db.Get([]byte(args[1]))
+		if err != nil {
+			fail(err)
+		}
+		if !ok {
+			fmt.Println("(not found)")
+		} else {
+			fmt.Printf("%s\n", v)
+		}
+	case "del":
+		need(args, 2)
+		if err := db.Delete([]byte(args[1])); err != nil {
+			fail(err)
+		}
+		fmt.Println("ok")
+	case "scan":
+		need(args, 3)
+		pairs, err := db.Scan([]byte(args[1]), []byte(args[2]))
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range pairs {
+			fmt.Printf("%s = %s\n", p.Key, p.Value)
+		}
+		fmt.Printf("(%d pairs)\n", len(pairs))
+	case "fill":
+		need(args, 2)
+		var n uint64
+		if _, err := fmt.Sscanf(args[1], "%d", &n); err != nil {
+			fail(err)
+		}
+		for i := uint64(0); i < n; i++ {
+			if err := db.Put(keys.EncodeUint64(i), keys.EncodeUint64(i)); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Printf("filled %d keys\n", n)
+	case "stats":
+		s := db.Stats()
+		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d\n", s.Puts, s.Gets, s.Deletes, s.Scans)
+		fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", s.MembufferHits, s.MemtableWrites)
+		fmt.Printf("scan-restarts=%d fallback-scans=%d flushes=%d compactions=%d\n",
+			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)
+	default:
+		fmt.Fprintf(os.Stderr, "flodb: unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		fmt.Fprintf(os.Stderr, "flodb: %s takes %d argument(s)\n", args[0], n-1)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "flodb: %v\n", err)
+	os.Exit(1)
+}

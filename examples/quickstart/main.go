@@ -1,0 +1,73 @@
+// Quickstart: the complete FloDB public API in one runnable program —
+// open, put, get, delete, scan, stats, close, reopen (recovery).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"flodb"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "flodb-quickstart")
+	os.RemoveAll(dir)
+
+	db, err := flodb.Open(dir, nil) // nil options = paper-style defaults
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Point writes and reads.
+	if err := db.Put([]byte("city:lausanne"), []byte("EPFL")); err != nil {
+		log.Fatal(err)
+	}
+	db.Put([]byte("city:belgrade"), []byte("EuroSys 2017"))
+	db.Put([]byte("city:zurich"), []byte("ETH"))
+
+	v, found, err := db.Get([]byte("city:lausanne"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get city:lausanne -> %q (found=%v)\n", v, found)
+
+	// Overwrites are in place: the freshest value always wins.
+	db.Put([]byte("city:lausanne"), []byte("EPFL, updated"))
+	v, _, _ = db.Get([]byte("city:lausanne"))
+	fmt.Printf("after overwrite  -> %q\n", v)
+
+	// Deletes are tombstones; the key disappears from reads and scans.
+	db.Delete([]byte("city:zurich"))
+	if _, found, _ := db.Get([]byte("city:zurich")); !found {
+		fmt.Println("city:zurich deleted")
+	}
+
+	// Range scans return a consistent snapshot in key order.
+	pairs, err := db.Scan([]byte("city:"), []byte("city:\xff"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scan city:*")
+	for _, p := range pairs {
+		fmt.Printf("  %s = %s\n", p.Key, p.Value)
+	}
+
+	st := db.Stats()
+	fmt.Printf("stats: puts=%d gets=%d scans=%d membuffer-hits=%d\n",
+		st.Puts, st.Gets, st.Scans, st.MembufferHits)
+
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reopen: everything survives across restarts.
+	db2, err := flodb.Open(dir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db2.Close()
+	v, found, _ = db2.Get([]byte("city:belgrade"))
+	fmt.Printf("after reopen: city:belgrade -> %q (found=%v)\n", v, found)
+}

@@ -1,0 +1,127 @@
+// Package flodb is a persistent key-value store with a two-level memory
+// component, implementing the design of "FloDB: Unlocking Memory in
+// Persistent Key-Value Stores" (Balmau, Guerraoui, Trigonakis, Zablotchi —
+// EuroSys 2017).
+//
+// A FloDB store layers a small concurrent hash table (the Membuffer) above
+// a large concurrent skiplist (the Memtable) above a leveled on-disk LSM
+// tree. Updates complete in the hash table in constant time regardless of
+// how much memory the store is given; background threads continuously
+// drain them into the skiplist using batched multi-inserts; the skiplist
+// flushes to disk without a sorting step. Reads check the levels in
+// freshness order. Scans are serializable (master scans linearizable) and
+// run concurrently with updates.
+//
+// Quick start:
+//
+//	db, err := flodb.Open("/tmp/mydb", nil)
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	db.Put([]byte("k"), []byte("v"))
+//	v, found, err := db.Get([]byte("k"))
+//	pairs, err := db.Scan([]byte("a"), []byte("z"))
+package flodb
+
+import (
+	"flodb/internal/core"
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// Pair is a key-value pair returned by Scan.
+type Pair = kv.Pair
+
+// Stats is a snapshot of store operation counters.
+type Stats = kv.Stats
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = core.ErrClosed
+
+// Options tune a store. The zero value (or nil) gives the defaults the
+// paper's evaluation uses, scaled for a development machine.
+type Options struct {
+	// MemoryBytes is the total memory-component budget, split 1/4
+	// Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
+	MemoryBytes int64
+	// MembufferFraction overrides the Membuffer's share (0 < f < 1).
+	MembufferFraction float64
+	// PartitionBits is ℓ: the Membuffer has 2^ℓ partitions selected by
+	// the most significant key bits (§4.3). Default 6.
+	PartitionBits uint
+	// DrainThreads is the number of background draining threads. Default 2.
+	DrainThreads int
+	// RestartThreshold bounds scan restarts before the fallback scan
+	// blocks writers. Default 3.
+	RestartThreshold int
+	// DisableWAL turns off commit logging: faster writes, no crash
+	// durability for the memory component.
+	DisableWAL bool
+	// SyncWAL fsyncs the commit log on every update.
+	SyncWAL bool
+}
+
+// DB is a FloDB store. All methods are safe for concurrent use; Close must
+// not race with other operations.
+type DB struct {
+	inner *core.DB
+}
+
+// Open opens (creating if needed) a store in dir. opts may be nil.
+func Open(dir string, opts *Options) (*DB, error) {
+	cfg := core.Config{Dir: dir}
+	if opts != nil {
+		cfg.MemoryBytes = opts.MemoryBytes
+		cfg.MembufferFraction = opts.MembufferFraction
+		cfg.PartitionBits = opts.PartitionBits
+		cfg.DrainThreads = opts.DrainThreads
+		cfg.RestartThreshold = opts.RestartThreshold
+		cfg.DisableWAL = opts.DisableWAL
+		cfg.SyncWAL = opts.SyncWAL
+	}
+	inner, err := core.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Put inserts or overwrites key with value. The slices are copied; the
+// caller may reuse them.
+func (db *DB) Put(key, value []byte) error {
+	return db.inner.Put(keys.Clone(key), keys.Clone(value))
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (db *DB) Delete(key []byte) error {
+	return db.inner.Delete(keys.Clone(key))
+}
+
+// Get returns the current value of key. found is false if the key is
+// absent or deleted. The returned slice is a copy.
+func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
+	v, ok, err := db.inner.Get(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return keys.Clone(v), true, nil
+}
+
+// Scan returns all pairs with low <= key < high in key order. Nil bounds
+// are open. The returned view is a consistent snapshot: point-in-time
+// semantics as defined in §2.1 of the paper.
+func (db *DB) Scan(low, high []byte) ([]Pair, error) {
+	return db.inner.Scan(low, high)
+}
+
+// Close flushes the memory component to disk and releases all resources.
+// It must not run concurrently with other operations.
+func (db *DB) Close() error { return db.inner.Close() }
+
+// Stats returns a snapshot of operation counters.
+func (db *DB) Stats() Stats { return db.inner.Stats() }
+
+var (
+	_ kv.Store         = (*DB)(nil)
+	_ kv.StatsProvider = (*DB)(nil)
+)

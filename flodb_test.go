@@ -1,0 +1,166 @@
+package flodb_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"flodb"
+	"flodb/internal/keys"
+)
+
+func openPublic(t *testing.T, opts *flodb.Options) *flodb.DB {
+	t.Helper()
+	db, err := flodb.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := openPublic(t, nil)
+	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := db.Get([]byte("k"))
+	if err != nil || !found || string(v) != "v" {
+		t.Fatalf("Get = %q %v %v", v, found, err)
+	}
+	if err := db.Delete([]byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := db.Get([]byte("k")); found {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestPublicAPIClonesInputs(t *testing.T) {
+	// The public API must copy key and value, so callers can reuse
+	// buffers — the core retains slices.
+	db := openPublic(t, nil)
+	key := []byte("mutable-key")
+	val := []byte("mutable-val")
+	db.Put(key, val)
+	key[0], val[0] = 'X', 'X'
+	v, found, _ := db.Get([]byte("mutable-key"))
+	if !found || string(v) != "mutable-val" {
+		t.Fatalf("input aliasing leaked into the store: %q %v", v, found)
+	}
+}
+
+func TestPublicAPIClonesOutputs(t *testing.T) {
+	db := openPublic(t, nil)
+	db.Put([]byte("k"), []byte("value"))
+	v, _, _ := db.Get([]byte("k"))
+	v[0] = 'X'
+	v2, _, _ := db.Get([]byte("k"))
+	if !bytes.Equal(v2, []byte("value")) {
+		t.Fatal("mutating a returned value corrupted the store")
+	}
+}
+
+func TestPublicAPIScan(t *testing.T) {
+	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20})
+	for i := 0; i < 100; i++ {
+		db.Put(keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
+	}
+	pairs, err := db.Scan(keys.EncodeUint64(20), keys.EncodeUint64(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("scan returned %d", len(pairs))
+	}
+	for i, p := range pairs {
+		if keys.DecodeUint64(p.Key) != uint64(20+i) {
+			t.Fatalf("pair %d key %x", i, p.Key)
+		}
+	}
+}
+
+func TestPublicAPIOptions(t *testing.T) {
+	db := openPublic(t, &flodb.Options{
+		MemoryBytes:       2 << 20,
+		MembufferFraction: 0.5,
+		PartitionBits:     4,
+		DrainThreads:      1,
+		RestartThreshold:  5,
+		DisableWAL:        true,
+	})
+	for i := 0; i < 1000; i++ {
+		if err := db.Put(keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.Puts != 1000 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicAPIPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := flodb.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		db.Put(keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i)))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := flodb.Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < 500; i += 37 {
+		v, found, err := db2.Get(keys.EncodeUint64(uint64(i)))
+		if err != nil || !found || keys.DecodeUint64(v) != uint64(i) {
+			t.Fatalf("key %d after reopen: %v %v %v", i, v, found, err)
+		}
+	}
+}
+
+func TestPublicAPIConcurrent(t *testing.T) {
+	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20, DisableWAL: true})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := keys.EncodeUint64(uint64(w*2000+i) * 0x9e3779b97f4a7c15)
+				if err := db.Put(k, keys.EncodeUint64(uint64(i))); err != nil {
+					panic(err)
+				}
+				if _, _, err := db.Get(k); err != nil {
+					panic(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	pairs, err := db.Scan(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 8000 {
+		t.Fatalf("scan found %d of 8000 keys", len(pairs))
+	}
+}
+
+func TestErrClosedExported(t *testing.T) {
+	db, err := flodb.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := db.Put([]byte("k"), []byte("v")); err != flodb.ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

@@ -1,0 +1,466 @@
+package baseline
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flodb/internal/diskenv"
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/storage"
+	"flodb/internal/wal"
+)
+
+// MemKind selects the memtable structure (§2.3: sorted vs unsorted).
+type MemKind int
+
+const (
+	// MemSkiplist is the default sorted memtable.
+	MemSkiplist MemKind = iota
+	// MemHash is RocksDB's hash-based memtable (Figs 3–4).
+	MemHash
+)
+
+// Config parameterizes a baseline store.
+type Config struct {
+	Dir string
+	// MemBytes is the memtable size that triggers a flush (the whole
+	// memory component — baselines have a single in-memory level).
+	MemBytes int64
+	// MemKind selects skiplist or hash memtable.
+	MemKind MemKind
+	// DisableWAL / SyncWAL as in FloDB.
+	DisableWAL bool
+	SyncWAL    bool
+	// PersistLimiter models a slower disk (shared with FloDB benches).
+	PersistLimiter *diskenv.Limiter
+	// Storage configures the shared disk component.
+	Storage storage.Options
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Dir == "" {
+		return fmt.Errorf("baseline: Config.Dir is required")
+	}
+	if c.MemBytes <= 0 {
+		c.MemBytes = 64 << 20
+	}
+	return nil
+}
+
+// memHandle pairs a memtable with its WAL generation.
+type memHandle struct {
+	mem    versionedMem
+	wal    *wal.Writer
+	walNum uint64
+}
+
+// base carries the machinery shared by the four variants: versioned
+// memtables, WAL handling, flush scheduling, snapshot reads and scans.
+// Locking POLICY lives in the variants; base only supplies mechanism.
+type base struct {
+	cfg   Config
+	store *storage.Store
+
+	// mu guards the handles and lastSeq. The variants ALSO use it as
+	// their "global mutex" where their design has one, which is exactly
+	// the contention the paper measures.
+	mu      sync.Mutex
+	mem     *memHandle
+	imm     *memHandle
+	immCond *sync.Cond // waits for imm to clear (writer stall, §2.3)
+	lastSeq uint64
+
+	flushCh  chan struct{}
+	closing  chan struct{}
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+	flushErr atomic.Pointer[error]
+
+	stats struct {
+		puts, gets, deletes, scans atomic.Uint64
+	}
+}
+
+func (b *base) init(cfg Config) error {
+	if err := cfg.fillDefaults(); err != nil {
+		return err
+	}
+	b.cfg = cfg
+	store, err := storage.Open(cfg.Dir, cfg.Storage)
+	if err != nil {
+		return err
+	}
+	b.store = store
+	b.lastSeq = store.LastSeq()
+	b.immCond = sync.NewCond(&b.mu)
+	b.flushCh = make(chan struct{}, 1)
+	b.closing = make(chan struct{})
+
+	if err := b.recoverWALs(); err != nil {
+		store.Close()
+		return err
+	}
+	h, err := b.newMemHandle()
+	if err != nil {
+		store.Close()
+		return err
+	}
+	b.mem = h
+	if !cfg.DisableWAL {
+		if err := store.SetLogNum(h.walNum, b.lastSeq); err != nil {
+			store.Close()
+			return err
+		}
+	}
+	b.wg.Add(1)
+	go b.flushLoop()
+	return nil
+}
+
+func (b *base) newVersionedMem() versionedMem {
+	if b.cfg.MemKind == MemHash {
+		return newHashMem()
+	}
+	return newSkipMem()
+}
+
+func (b *base) newMemHandle() (*memHandle, error) {
+	h := &memHandle{mem: b.newVersionedMem()}
+	if b.cfg.DisableWAL {
+		return h, nil
+	}
+	h.walNum = b.store.NewFileNum()
+	w, err := wal.Create(storage.WALFileName(b.cfg.Dir, h.walNum), wal.Options{SyncEvery: b.cfg.SyncWAL})
+	if err != nil {
+		return nil, err
+	}
+	h.wal = w
+	return h, nil
+}
+
+func (b *base) recoverWALs() error {
+	if b.cfg.DisableWAL {
+		return nil
+	}
+	logNum := b.store.LogNum()
+	entries, err := os.ReadDir(b.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var segs []uint64
+	for _, ent := range entries {
+		kind, num := storage.ParseFileName(ent.Name())
+		if kind == storage.KindWAL && num >= logNum {
+			segs = append(segs, num)
+		}
+	}
+	for i := 0; i < len(segs); i++ { // insertion-sort: few segments
+		for j := i; j > 0 && segs[j] < segs[j-1]; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	for _, num := range segs {
+		mem := b.newVersionedMem()
+		err := wal.ReplayAll(storage.WALFileName(b.cfg.Dir, num), func(rec []byte) error {
+			kind, key, value, err := kv.DecodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			b.lastSeq++
+			mem.Insert(keys.Clone(key), b.lastSeq, kind, keys.Clone(value))
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("baseline: replay wal %d: %w", num, err)
+		}
+		if mem.Len() > 0 {
+			if _, err := b.store.Flush(mem.NewIterator(), num+1, b.lastSeq); err != nil {
+				return err
+			}
+		}
+		os.Remove(storage.WALFileName(b.cfg.Dir, num))
+	}
+	return nil
+}
+
+// --- Write-side mechanism -----------------------------------------------------
+
+// insertLocked assigns a sequence number and inserts into the current
+// memtable, logging first. Caller holds mu; the actual memtable insert
+// happens under mu (used by the LevelDB write leader).
+func (b *base) insertLocked(kind keys.Kind, key, value []byte) error {
+	if err := b.logRecord(b.mem, kind, key, value); err != nil {
+		return err
+	}
+	b.lastSeq++
+	b.mem.mem.Insert(key, b.lastSeq, kind, value)
+	b.maybeScheduleFlushLocked()
+	return nil
+}
+
+// beginConcurrentInsert allocates a sequence number and returns the target
+// handle under mu; the caller inserts outside the lock (HyperLevelDB /
+// RocksDB / cLSM styles). waitRoomLocked must have been honored.
+func (b *base) beginConcurrentInsertLocked() (*memHandle, uint64) {
+	b.lastSeq++
+	return b.mem, b.lastSeq
+}
+
+func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) error {
+	if h.wal == nil {
+		return nil
+	}
+	return h.wal.Append(kv.EncodeRecord(kind, key, value))
+}
+
+// waitRoomLocked blocks (on mu) while the memtable is full and the
+// previous one is still flushing — the writer delay of §2.3.
+func (b *base) waitRoomLocked() error {
+	for b.mem.mem.ApproxBytes() >= b.cfg.MemBytes && b.imm != nil {
+		if err := b.loadFlushErr(); err != nil {
+			return err
+		}
+		b.immCond.Wait()
+	}
+	if b.mem.mem.ApproxBytes() >= b.cfg.MemBytes && b.imm == nil {
+		return b.switchMemLocked()
+	}
+	return nil
+}
+
+// switchMemLocked seals the current memtable and installs a fresh one.
+func (b *base) switchMemLocked() error {
+	h, err := b.newMemHandle()
+	if err != nil {
+		return err
+	}
+	b.imm = b.mem
+	b.mem = h
+	select {
+	case b.flushCh <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+func (b *base) maybeScheduleFlushLocked() {
+	if b.mem.mem.ApproxBytes() >= b.cfg.MemBytes && b.imm == nil {
+		// Ignore the error here; the next write surfaces it.
+		_ = b.switchMemLocked()
+	}
+}
+
+func (b *base) flushLoop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.closing:
+			return
+		case <-b.flushCh:
+		}
+		b.mu.Lock()
+		imm := b.imm
+		b.mu.Unlock()
+		if imm == nil {
+			continue
+		}
+		if err := b.flushHandle(imm); err != nil {
+			b.setFlushErr(err)
+			return
+		}
+		b.mu.Lock()
+		b.imm = nil
+		b.immCond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// flushHandle persists one sealed memtable. For the hash memtable,
+// NewIterator performs the full sort (§2.3) — while it runs, writers that
+// fill the new memtable stall in waitRoomLocked, reproducing Fig 4.
+func (b *base) flushHandle(h *memHandle) error {
+	b.cfg.PersistLimiter.Acquire(h.mem.ApproxBytes())
+	b.mu.Lock()
+	newLog := b.mem.walNum
+	lastSeq := b.lastSeq
+	b.mu.Unlock()
+	if b.cfg.DisableWAL {
+		newLog = b.store.NewFileNum()
+	}
+	if _, err := b.store.Flush(h.mem.NewIterator(), newLog, lastSeq); err != nil {
+		return err
+	}
+	if h.wal != nil {
+		h.wal.Close()
+		os.Remove(storage.WALFileName(b.cfg.Dir, h.walNum))
+	}
+	return nil
+}
+
+func (b *base) loadFlushErr() error {
+	if p := b.flushErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (b *base) setFlushErr(err error) {
+	if err != nil {
+		b.flushErr.CompareAndSwap(nil, &err)
+		b.mu.Lock()
+		b.immCond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// --- Read-side mechanism -------------------------------------------------------
+
+// snapshotLocked captures the read view under mu.
+func (b *base) snapshotLocked() (mem, imm *memHandle, snap uint64) {
+	return b.mem, b.imm, b.lastSeq
+}
+
+// getFrom resolves a read against a captured view.
+func (b *base) getFrom(mem, imm *memHandle, snap uint64, key []byte) ([]byte, bool, error) {
+	if v, _, kind, ok := mem.mem.Get(key, snap); ok {
+		if kind == keys.KindDelete {
+			return nil, false, nil
+		}
+		return v, true, nil
+	}
+	if imm != nil {
+		if v, _, kind, ok := imm.mem.Get(key, snap); ok {
+			if kind == keys.KindDelete {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	v, _, kind, ok, err := b.store.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok || kind == keys.KindDelete {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// scanFrom produces a consistent snapshot scan at snap. Multi-versioning
+// makes this conflict-free: versions newer than snap are simply skipped —
+// the approach whose memory cost §3.2 criticizes, but which needs no
+// restarts.
+func (b *base) scanFrom(mem, imm *memHandle, snap uint64, low, high []byte) ([]kv.Pair, error) {
+	its := []storage.InternalIterator{mem.mem.NewIterator()}
+	if imm != nil {
+		its = append(its, imm.mem.NewIterator())
+	}
+	dit, release, err := b.store.NewIterator()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	its = append(its, dit)
+	m := storage.NewMergingIterator(its...)
+
+	var out []kv.Pair
+	var lastKey []byte
+	haveLast := false
+	for m.Seek(low); m.Valid(); m.Next() {
+		k := m.Key()
+		if high != nil && keys.Compare(k, high) >= 0 {
+			break
+		}
+		if m.Seq() > snap {
+			continue // newer than the snapshot: invisible
+		}
+		if haveLast && keys.Equal(lastKey, k) {
+			continue
+		}
+		lastKey = append(lastKey[:0], k...)
+		haveLast = true
+		if m.Kind() == keys.KindDelete {
+			continue
+		}
+		out = append(out, kv.Pair{Key: keys.Clone(k), Value: keys.Clone(m.Value())})
+	}
+	if err := m.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// closeCommon shuts down the flush loop and persists what remains.
+func (b *base) closeCommon() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	close(b.closing)
+	b.wg.Wait()
+
+	firstErr := b.loadFlushErr()
+	if firstErr == nil {
+		if b.imm != nil {
+			if err := b.flushHandle(b.imm); err != nil {
+				firstErr = err
+			}
+			b.imm = nil
+		}
+		if b.mem.mem.Len() > 0 && firstErr == nil {
+			newLog := b.mem.walNum + 1
+			if b.cfg.DisableWAL {
+				newLog = b.store.NewFileNum()
+			}
+			if _, err := b.store.Flush(b.mem.mem.NewIterator(), newLog, b.lastSeq); err != nil {
+				firstErr = err
+			} else if b.mem.wal != nil {
+				os.Remove(storage.WALFileName(b.cfg.Dir, b.mem.walNum))
+			}
+		}
+	}
+	if b.mem.wal != nil {
+		if err := b.mem.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := b.store.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// WaitDiskQuiesce blocks until the pending flush and all compactions
+// settle (experiment setup, §5.2).
+func (b *base) WaitDiskQuiesce() {
+	for {
+		b.mu.Lock()
+		busy := b.imm != nil
+		b.mu.Unlock()
+		if !busy {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.store.WaitForCompactions()
+}
+
+// Stats reports shared counters.
+func (b *base) Stats() kv.Stats {
+	s := kv.Stats{
+		Puts:    b.stats.puts.Load(),
+		Gets:    b.stats.gets.Load(),
+		Deletes: b.stats.deletes.Load(),
+		Scans:   b.stats.scans.Load(),
+	}
+	m := b.store.Metrics()
+	s.Flushes = m.Flushes
+	s.Compactions = m.Compactions
+	return s
+}
+
+// ErrClosedBaseline is returned by operations on a closed baseline store.
+var ErrClosedBaseline = fmt.Errorf("baseline: store closed")

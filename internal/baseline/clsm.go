@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// CLSM models the cLSM algorithm as integrated into RocksDB
+// ("RocksDB/cLSM" in the paper's figures). Per §2.2/§6: "cLSM replaces the
+// global mutex lock with a global reader-writer lock and uses a concurrent
+// memory component. Thus, operations can proceed in parallel, but need to
+// block at the start and end of each concurrent compaction", and it
+// removes "any blocking synchronization from the read-only path".
+//
+//   - Gets and Scans: lock-free view capture (atomic pointer + atomic
+//     sequence counter), no global lock at all.
+//   - Puts: take the read side of the global RWMutex; proceed in parallel.
+//   - Memtable switch (start of a memory-to-disk compaction): takes the
+//     write side, blocking all writers — the bottleneck the paper notes
+//     ("system scalability is still impaired by the use of global
+//     shared-exclusive locks to coordinate between updates and background
+//     disk writes").
+type CLSM struct {
+	base
+	rw sync.RWMutex
+	// view is the lock-free read snapshot, replaced under rw's write side.
+	view atomic.Pointer[clsmView]
+	// seq is allocated atomically (no lock on the write path beyond rw's
+	// read side).
+	seq atomic.Uint64
+}
+
+type clsmView struct {
+	mem *memHandle
+	imm *memHandle
+}
+
+// NewCLSM opens a RocksDB/cLSM-style store.
+func NewCLSM(cfg Config) (*CLSM, error) {
+	if cfg.Storage.CompactionThreads == 0 {
+		cfg.Storage.CompactionThreads = 3
+	}
+	db := &CLSM{}
+	if err := db.init(cfg); err != nil {
+		return nil, err
+	}
+	db.seq.Store(db.lastSeq)
+	db.view.Store(&clsmView{mem: db.mem})
+	return db, nil
+}
+
+func (db *CLSM) write(kind keys.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	for {
+		db.rw.RLock()
+		v := db.view.Load()
+		if v.mem.mem.ApproxBytes() >= db.cfg.MemBytes {
+			db.rw.RUnlock()
+			if err := db.switchOrWait(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := db.logRecord(v.mem, kind, key, value); err != nil {
+			db.rw.RUnlock()
+			return err
+		}
+		seq := db.seq.Add(1)
+		v.mem.mem.Insert(key, seq, kind, value)
+		db.rw.RUnlock()
+		return nil
+	}
+}
+
+// switchOrWait seals the full memtable under the write lock (blocking all
+// writers — cLSM's coordination point with background disk writes), or
+// waits for the in-flight flush when one is already running.
+func (db *CLSM) switchOrWait() error {
+	db.rw.Lock()
+	defer db.rw.Unlock()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	if db.mem.mem.ApproxBytes() < db.cfg.MemBytes {
+		return nil // another writer already switched
+	}
+	for db.imm != nil {
+		db.immCond.Wait()
+		if err := db.loadFlushErr(); err != nil {
+			return err
+		}
+	}
+	db.lastSeq = db.seq.Load() // publish for the flush edit
+	if err := db.switchMemLocked(); err != nil {
+		return err
+	}
+	db.view.Store(&clsmView{mem: db.mem, imm: db.imm})
+	return nil
+}
+
+// Put proceeds under the read side of the global RW lock.
+func (db *CLSM) Put(key, value []byte) error {
+	db.stats.puts.Add(1)
+	return db.write(keys.KindSet, key, value)
+}
+
+// Delete writes a tombstone version.
+func (db *CLSM) Delete(key []byte) error {
+	db.stats.deletes.Add(1)
+	return db.write(keys.KindDelete, key, nil)
+}
+
+// Get is lock-free: atomic view capture, atomic snapshot sequence.
+func (db *CLSM) Get(key []byte) ([]byte, bool, error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosedBaseline
+	}
+	db.stats.gets.Add(1)
+	v := db.view.Load()
+	snap := db.seq.Load()
+	val, ok, err := db.getFrom(v.mem, v.imm, snap, key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return keys.Clone(val), true, nil
+}
+
+// Scan is lock-free on the read path, snapshot-consistent via seq.
+func (db *CLSM) Scan(low, high []byte) ([]kv.Pair, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.scans.Add(1)
+	v := db.view.Load()
+	snap := db.seq.Load()
+	return db.scanFrom(v.mem, v.imm, snap, low, high)
+}
+
+// Close flushes and shuts down.
+func (db *CLSM) Close() error {
+	db.mu.Lock()
+	db.lastSeq = db.seq.Load()
+	db.mu.Unlock()
+	return db.closeCommon()
+}
+
+var _ kv.Store = (*CLSM)(nil)

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// HyperLevelDB models HyperDex's LevelDB fork (§2.2, §6): it "replaces
+// LevelDB's sequential memory component with a concurrent one, which
+// allows writers to apply their updates in parallel", but "writers still
+// need to acquire a global mutex lock at the start and end of each
+// operation" to order updates through version numbers. That residual
+// global lock is its scalability ceiling in Figs 9–13.
+type HyperLevelDB struct {
+	base
+}
+
+// NewHyperLevelDB opens a HyperLevelDB-style store.
+func NewHyperLevelDB(cfg Config) (*HyperLevelDB, error) {
+	if cfg.Storage.CompactionThreads == 0 {
+		cfg.Storage.CompactionThreads = 1
+	}
+	db := &HyperLevelDB{}
+	if err := db.init(cfg); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *HyperLevelDB) write(kind keys.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	// Critical section #1: room check, version-number (seq) allocation,
+	// commit-log append.
+	db.mu.Lock()
+	if err := db.waitRoomLocked(); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	if err := db.logRecord(db.mem, kind, key, value); err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	h, seq := db.beginConcurrentInsertLocked()
+	db.mu.Unlock()
+
+	// The insert itself proceeds in parallel with other writers.
+	h.mem.Insert(key, seq, kind, value)
+
+	// Critical section #2: post-insert bookkeeping (size trigger).
+	db.mu.Lock()
+	db.maybeScheduleFlushLocked()
+	db.mu.Unlock()
+	return nil
+}
+
+// Put inserts concurrently between two global critical sections.
+func (db *HyperLevelDB) Put(key, value []byte) error {
+	db.stats.puts.Add(1)
+	return db.write(keys.KindSet, key, value)
+}
+
+// Delete writes a tombstone version.
+func (db *HyperLevelDB) Delete(key []byte) error {
+	db.stats.deletes.Add(1)
+	return db.write(keys.KindDelete, key, nil)
+}
+
+// Get retains LevelDB's read-side critical sections.
+func (db *HyperLevelDB) Get(key []byte) ([]byte, bool, error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosedBaseline
+	}
+	db.stats.gets.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	v, ok, err := db.getFrom(mem, imm, snap, key)
+	db.mu.Lock()
+	db.mu.Unlock()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return keys.Clone(v), true, nil
+}
+
+// Scan produces a snapshot scan ("HyperLevelDB's efficient compaction"
+// keeps its file count low, which is why it does well in Fig 13 — that
+// property comes from the shared disk component here).
+func (db *HyperLevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.scans.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	pairs, err := db.scanFrom(mem, imm, snap, low, high)
+	db.mu.Lock()
+	db.mu.Unlock()
+	return pairs, err
+}
+
+// Close flushes and shuts down.
+func (db *HyperLevelDB) Close() error { return db.closeCommon() }
+
+var _ kv.Store = (*HyperLevelDB)(nil)

@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// LevelDB models Google's LevelDB concurrency design (§2.2):
+//
+//   - Writers do not touch the memtable themselves: they "deposit their
+//     intended writes in a concurrent queue; the writes in this queue are
+//     applied to the key-value store one by one by a single thread" — the
+//     write leader, which combines queued updates per mutex acquisition
+//     (flat combining [28]).
+//   - Readers "take a global lock during each operation so as to access or
+//     update metadata": one critical section at the start and one at the
+//     end of every Get and Scan.
+//   - Compaction is single-threaded.
+type LevelDB struct {
+	base
+	writeCh  chan *writeReq
+	writerWg chanWaiter
+}
+
+type writeReq struct {
+	kind  keys.Kind
+	key   []byte
+	value []byte
+	done  chan error
+}
+
+// chanWaiter is a tiny one-goroutine waitgroup (avoids embedding another
+// sync.WaitGroup next to base.wg).
+type chanWaiter struct{ ch chan struct{} }
+
+func (w *chanWaiter) start() { w.ch = make(chan struct{}) }
+func (w *chanWaiter) done()  { close(w.ch) }
+func (w *chanWaiter) wait()  { <-w.ch }
+
+// writeLeaderBatch bounds how many queued writes one leader pass applies.
+const writeLeaderBatch = 128
+
+// NewLevelDB opens a LevelDB-style store.
+func NewLevelDB(cfg Config) (*LevelDB, error) {
+	if cfg.Storage.CompactionThreads == 0 {
+		cfg.Storage.CompactionThreads = 1
+	}
+	db := &LevelDB{writeCh: make(chan *writeReq, 4096)}
+	if err := db.init(cfg); err != nil {
+		return nil, err
+	}
+	db.writerWg.start()
+	go db.writeLeader()
+	return db, nil
+}
+
+// writeLeader drains the queue, applying writes sequentially under the
+// global mutex — the single-writer bottleneck of Fig 9.
+func (db *LevelDB) writeLeader() {
+	defer db.writerWg.done()
+	var batch []*writeReq
+	for {
+		select {
+		case <-db.closing:
+			// Serve stragglers so Put never hangs on shutdown.
+			for {
+				select {
+				case req := <-db.writeCh:
+					req.done <- ErrClosedBaseline
+				default:
+					return
+				}
+			}
+		case req := <-db.writeCh:
+			batch = append(batch[:0], req)
+			// Combine whatever else is queued right now.
+		drain:
+			for len(batch) < writeLeaderBatch {
+				select {
+				case r := <-db.writeCh:
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			db.mu.Lock()
+			for _, r := range batch {
+				err := db.waitRoomLocked()
+				if err == nil {
+					err = db.insertLocked(r.kind, r.key, r.value)
+				}
+				r.done <- err
+			}
+			db.mu.Unlock()
+		}
+	}
+}
+
+func (db *LevelDB) write(kind keys.Kind, key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	req := &writeReq{kind: kind, key: key, value: value, done: make(chan error, 1)}
+	select {
+	case db.writeCh <- req:
+	case <-db.closing:
+		return ErrClosedBaseline
+	}
+	return <-req.done
+}
+
+// Put queues the update for the write leader.
+func (db *LevelDB) Put(key, value []byte) error {
+	db.stats.puts.Add(1)
+	return db.write(keys.KindSet, key, value)
+}
+
+// Delete queues a tombstone.
+func (db *LevelDB) Delete(key []byte) error {
+	db.stats.deletes.Add(1)
+	return db.write(keys.KindDelete, key, nil)
+}
+
+// Get takes the global mutex at the start (to capture the view) and again
+// at the end (LevelDB releases its memtable/version references under the
+// lock) — the read-side critical sections of §2.2.
+func (db *LevelDB) Get(key []byte) ([]byte, bool, error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosedBaseline
+	}
+	db.stats.gets.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	v, ok, err := db.getFrom(mem, imm, snap, key)
+	db.mu.Lock() // the "end" critical section: unref metadata
+	db.mu.Unlock()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return keys.Clone(v), true, nil
+}
+
+// Scan produces a snapshot scan with the same two critical sections.
+func (db *LevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.scans.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	pairs, err := db.scanFrom(mem, imm, snap, low, high)
+	db.mu.Lock()
+	db.mu.Unlock()
+	return pairs, err
+}
+
+// Close shuts down the leader and flushes.
+func (db *LevelDB) Close() error {
+	if db.closed.Load() {
+		return nil
+	}
+	err := db.closeCommon() // closes db.closing, stopping the leader
+	db.writerWg.wait()
+	return err
+}
+
+var _ kv.Store = (*LevelDB)(nil)

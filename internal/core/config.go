@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"flodb/internal/diskenv"
+	"flodb/internal/membuffer"
+	"flodb/internal/storage"
+)
+
+// Config parameterizes a FloDB instance. The defaults mirror the paper's
+// experimental setup scaled to a development machine: the memory budget is
+// split 1/4 Membuffer : 3/4 Memtable (§5.1), keys of ~8 B and values of
+// ~256 B size the hash table, and scans fall back after a bounded number
+// of restarts (§4.4).
+type Config struct {
+	// Dir is the database directory.
+	Dir string
+
+	// MemoryBytes is the total memory-component budget (Membuffer +
+	// Memtable). Default 64 MiB.
+	MemoryBytes int64
+	// MembufferFraction is the share of MemoryBytes given to the
+	// Membuffer. Default 0.25 (the paper's empirically chosen 1:4 split).
+	MembufferFraction float64
+	// PartitionBits is ℓ, the number of most-significant key bits that
+	// select a Membuffer partition (§4.3). Default 6 (64 partitions).
+	PartitionBits uint
+	// EntryBytesHint approximates key+value size for bucket sizing.
+	// Default 264 (the paper's 8 B keys + 256 B values).
+	EntryBytesHint int
+
+	// DrainThreads is the number of background draining threads (§4.2).
+	// Default 2.
+	DrainThreads int
+	// DrainBatch is the number of entries claimed per partition visit and
+	// inserted with one multi-insert. Default 64.
+	DrainBatch int
+	// SimpleInsertDrain makes drains use one skiplist insert per entry
+	// instead of multi-insert — the "HT, simple insert SL" ablation of
+	// Fig 17.
+	SimpleInsertDrain bool
+	// DisableMembuffer removes the top level entirely — the "No HT"
+	// ablation of Fig 17 (a classic single-level LSM memory component).
+	DisableMembuffer bool
+
+	// RestartThreshold is the number of scan restarts tolerated before
+	// the fallback scan blocks writers (Algorithm 3). Default 3.
+	RestartThreshold int
+	// MaxPiggybackChain bounds the master→piggyback reuse chain to avoid
+	// scans running with arbitrarily stale sequence numbers (§4.4).
+	// Default 8.
+	MaxPiggybackChain int
+
+	// DisableWAL skips commit logging (the paper's benchmarks, like
+	// LevelDB's defaults, run without synchronous logging; the WAL is on
+	// by default here and fsync is opt-in via SyncWAL).
+	DisableWAL bool
+	// SyncWAL fsyncs the log on every update.
+	SyncWAL bool
+
+	// DropPersist discards immutable Memtables instead of flushing them —
+	// the memory-component-only mode of Fig 17. Implies no recovery of
+	// dropped data; WAL is forced off.
+	DropPersist bool
+	// PersistLimiter, when non-nil, rate-limits flush bytes to model a
+	// slower disk (Fig 9's persistence-throughput line).
+	PersistLimiter *diskenv.Limiter
+	// FlushFault injects errors into the persist path (tests).
+	FlushFault *diskenv.FaultPoint
+
+	// Storage configures the disk component.
+	Storage storage.Options
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Dir == "" && !c.DropPersist {
+		return fmt.Errorf("core: Config.Dir is required")
+	}
+	if c.MemoryBytes <= 0 {
+		c.MemoryBytes = 64 << 20
+	}
+	if c.MembufferFraction <= 0 || c.MembufferFraction >= 1 {
+		c.MembufferFraction = 0.25
+	}
+	if c.PartitionBits == 0 {
+		c.PartitionBits = 6
+	}
+	if c.PartitionBits > 16 {
+		c.PartitionBits = 16
+	}
+	if c.EntryBytesHint <= 0 {
+		c.EntryBytesHint = 264
+	}
+	if c.DrainThreads <= 0 {
+		c.DrainThreads = 2
+	}
+	if c.DrainBatch <= 0 {
+		c.DrainBatch = 64
+	}
+	if c.RestartThreshold <= 0 {
+		c.RestartThreshold = 3
+	}
+	if c.MaxPiggybackChain <= 0 {
+		c.MaxPiggybackChain = 8
+	}
+	if c.DropPersist {
+		c.DisableWAL = true
+	}
+	return nil
+}
+
+// membufferBytes returns the Membuffer budget.
+func (c *Config) membufferBytes() int64 {
+	return int64(float64(c.MemoryBytes) * c.MembufferFraction)
+}
+
+// memtableTargetBytes returns the Memtable size that triggers persisting.
+func (c *Config) memtableTargetBytes() int64 {
+	return c.MemoryBytes - c.membufferBytes()
+}
+
+// newMembuffer builds a Membuffer per the config.
+func (c *Config) newMembuffer() *membuffer.Buffer {
+	return membuffer.New(membuffer.ConfigForBytes(c.membufferBytes(), c.EntryBytesHint, c.PartitionBits))
+}

@@ -1,0 +1,371 @@
+// Package core implements FloDB: the two-level memory component of §3–§4
+// on top of the disk component in internal/storage.
+//
+// Memory layout (Figure 1):
+//
+//	Membuffer  — small concurrent hash table (internal/membuffer), absorbs
+//	             updates in O(1); partitioned by key MSBs.
+//	Memtable   — large concurrent skiplist (internal/skiplist) with
+//	             sequence numbers and in-place updates; directly flushable.
+//	Disk       — leveled sstables (internal/storage).
+//
+// Data flows downward: background draining threads move Membuffer entries
+// into the Memtable with multi-inserts; the persisting thread flushes full
+// Memtables to L0. Component switches use RCU (internal/rcu): install the
+// new component, wait a grace period so no in-flight operation still
+// writes the old one, then hand the old component to its consumer —
+// exactly the never-blocking switch of §4.2.
+//
+// # The active pair
+//
+// The active Membuffer and Memtable are published as ONE atomic pointer to
+// a generation pair. An operation loads the pair once inside an RCU read
+// section and uses both components from it. This single-pointer design is
+// what makes WAL truncation sound: an update is logged to the WAL segment
+// of the pair's Memtable and lands in that same pair's Membuffer or
+// Memtable, so when table W reaches disk — persist switches the pair and
+// fully drains the old Membuffer into the sealed Memtable first — every
+// update in WAL generations ≤ W is on disk and those segments can go.
+//
+// The paper's Get invariant (upper levels hold fresher data) is preserved
+// by two rules with paper counterparts: within a pair the Membuffer always
+// holds the newest version of any key present in it (in-place updates,
+// §3.2), and while an immutable Membuffer exists writers may not take the
+// direct-to-Memtable path — pauseWriters sends them to help drain instead
+// (Algorithm 2 lines 12–16).
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/membuffer"
+	"flodb/internal/rcu"
+	"flodb/internal/skiplist"
+	"flodb/internal/storage"
+	"flodb/internal/wal"
+)
+
+// generation is the atomically-published active pair. mbf is nil when the
+// Membuffer is disabled (the Fig 17 "No HT" ablation).
+type generation struct {
+	mbf *membuffer.Buffer
+	mtb *memtable
+}
+
+// DB is a FloDB instance.
+type DB struct {
+	cfg Config
+
+	store *storage.Store // nil iff cfg.DropPersist
+
+	// seq is the global sequence number ("obtained via an atomic
+	// increment operation", §4.2).
+	seq atomic.Uint64
+
+	// gen is the active (Membuffer, Memtable) pair; immMbf/immMtb are the
+	// immutable components of Algorithm 2's Get order.
+	gen    atomic.Pointer[generation]
+	immMbf atomic.Pointer[membuffer.Buffer]
+	immMtb atomic.Pointer[memtable]
+
+	// domain covers every operation that loads gen and writes through it;
+	// switches synchronize on it.
+	domain *rcu.Domain
+
+	// pauseWriters blocks the direct-to-Memtable write path while an
+	// immutable Membuffer drains; writers help instead (Algorithm 2).
+	pauseWriters atomic.Bool
+	// pauseDraining halts background drainers (Algorithm 3 line 4).
+	pauseDraining atomic.Bool
+
+	// drainMu serializes the switch+drain critical flows (persist seals
+	// and master scans).
+	drainMu sync.Mutex
+	// fullDrain publishes an in-progress full drain so writers and
+	// drainers can help (Put's helpDrain, Algorithm 2 line 14).
+	fullDrain atomic.Pointer[drainTask]
+
+	// scanState publishes the active scan for piggybacking (§4.4).
+	scanState atomic.Pointer[scanState]
+
+	persistCh chan struct{}
+	// persistErr records the first background persist failure; surfaced
+	// on subsequent writes and Close.
+	persistErr atomic.Pointer[error]
+
+	// handles recycles RCU reader handles across operations.
+	handles *sync.Pool
+
+	closing chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	stats statCounters
+}
+
+type statCounters struct {
+	puts, gets, deletes, scans    atomic.Uint64
+	scanRestarts, fallbackScans   atomic.Uint64
+	membufferHits, memtableWrites atomic.Uint64
+	drainedEntries, drainBatches  atomic.Uint64
+	persists                      atomic.Uint64
+	masterScans, piggybackScans   atomic.Uint64
+	helpDrains                    atomic.Uint64
+}
+
+// Open creates or opens a FloDB store.
+func Open(cfg Config) (*DB, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	db := &DB{
+		cfg:       cfg,
+		domain:    rcu.NewDomain(),
+		persistCh: make(chan struct{}, 1),
+		closing:   make(chan struct{}),
+	}
+	db.handles = &sync.Pool{New: func() any { return db.domain.Reader() }}
+
+	if !cfg.DropPersist {
+		store, err := storage.Open(cfg.Dir, cfg.Storage)
+		if err != nil {
+			return nil, err
+		}
+		db.store = store
+		db.seq.Store(store.LastSeq())
+		if err := db.recoverWALs(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+
+	mt, err := db.newMemtable()
+	if err != nil {
+		if db.store != nil {
+			db.store.Close()
+		}
+		return nil, err
+	}
+	g := &generation{mtb: mt}
+	if !cfg.DisableMembuffer {
+		g.mbf = cfg.newMembuffer()
+	}
+	db.gen.Store(g)
+	if db.store != nil && !cfg.DisableWAL {
+		if err := db.store.SetLogNum(mt.walNum, db.seq.Load()); err != nil {
+			db.store.Close()
+			return nil, err
+		}
+	}
+
+	if !cfg.DisableMembuffer {
+		for i := 0; i < cfg.DrainThreads; i++ {
+			db.wg.Add(1)
+			go db.drainLoop()
+		}
+	}
+	db.wg.Add(1)
+	go db.persistLoop()
+	return db, nil
+}
+
+// newMemtable allocates a fresh memtable with its WAL segment.
+func (db *DB) newMemtable() (*memtable, error) {
+	m := &memtable{list: skiplist.New()}
+	if db.cfg.DisableWAL || db.store == nil {
+		return m, nil
+	}
+	m.walNum = db.store.NewFileNum()
+	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{SyncEvery: db.cfg.SyncWAL})
+	if err != nil {
+		return nil, err
+	}
+	m.wal = w
+	return m, nil
+}
+
+// recoverWALs replays WAL segments >= the manifest's log number, flushing
+// each recovered memtable to L0 (LevelDB's recovery shape).
+func (db *DB) recoverWALs() error {
+	if db.cfg.DisableWAL {
+		return nil
+	}
+	logNum := db.store.LogNum()
+	entries, err := os.ReadDir(db.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	var segs []uint64
+	for _, ent := range entries {
+		kind, num := storage.ParseFileName(ent.Name())
+		if kind == storage.KindWAL && num >= logNum {
+			segs = append(segs, num)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	for _, num := range segs {
+		list := skiplist.New()
+		err := wal.ReplayAll(storage.WALFileName(db.cfg.Dir, num), func(rec []byte) error {
+			kind, key, value, err := kv.DecodeRecord(rec)
+			if err != nil {
+				return err
+			}
+			e := &skiplist.Entry{
+				Value:     keys.Clone(value),
+				Seq:       db.seq.Add(1),
+				Tombstone: kind == keys.KindDelete,
+			}
+			list.Insert(keys.Clone(key), e)
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: replay wal %d: %w", num, err)
+		}
+		if !list.Empty() {
+			m := &memtable{list: list, walNum: num}
+			if _, err := db.store.Flush(newMemtableIter(m), num+1, db.seq.Load()); err != nil {
+				return fmt.Errorf("core: flush recovered wal %d: %w", num, err)
+			}
+		}
+		os.Remove(storage.WALFileName(db.cfg.Dir, num))
+	}
+	return nil
+}
+
+// Close drains and flushes the memory component, then shuts down.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	close(db.closing)
+	select {
+	case db.persistCh <- struct{}{}:
+	default:
+	}
+	db.wg.Wait()
+
+	firstErr := db.loadPersistErr()
+
+	g := db.gen.Load()
+	if db.store != nil && firstErr == nil {
+		// Final persist: drain the membuffer into the memtable and flush.
+		if g.mbf != nil {
+			g.mbf.Freeze()
+			db.domain.Synchronize()
+			db.drainBufferInto(g.mbf, g.mtb, 0)
+		}
+		if !g.mtb.list.Empty() {
+			newLog := g.mtb.walNum + 1
+			if db.cfg.DisableWAL {
+				newLog = db.store.NewFileNum()
+			}
+			if _, err := db.store.Flush(newMemtableIter(g.mtb), newLog, db.seq.Load()); err != nil {
+				firstErr = err
+			} else if !db.cfg.DisableWAL {
+				os.Remove(storage.WALFileName(db.cfg.Dir, g.mtb.walNum))
+			}
+		}
+	}
+	if err := g.mtb.closeWAL(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if db.store != nil {
+		if err := db.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (db *DB) loadPersistErr() error {
+	if p := db.persistErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (db *DB) setPersistErr(err error) {
+	if err == nil {
+		return
+	}
+	db.persistErr.CompareAndSwap(nil, &err)
+}
+
+// Stats returns a snapshot of operation counters.
+func (db *DB) Stats() kv.Stats {
+	s := kv.Stats{
+		Puts:           db.stats.puts.Load(),
+		Gets:           db.stats.gets.Load(),
+		Deletes:        db.stats.deletes.Load(),
+		Scans:          db.stats.scans.Load(),
+		ScanRestarts:   db.stats.scanRestarts.Load(),
+		FallbackScans:  db.stats.fallbackScans.Load(),
+		MembufferHits:  db.stats.membufferHits.Load(),
+		MemtableWrites: db.stats.memtableWrites.Load(),
+	}
+	if db.store != nil {
+		m := db.store.Metrics()
+		s.Flushes = m.Flushes
+		s.Compactions = m.Compactions
+	}
+	return s
+}
+
+// InternalStats exposes FloDB-specific counters for the harness and the
+// Fig 17 ablation (the "proportion of direct Membuffer updates").
+type InternalStats struct {
+	DrainedEntries     uint64
+	DrainBatches       uint64
+	Persists           uint64
+	MasterScans        uint64
+	PiggybackScans     uint64
+	HelpDrains         uint64
+	MembufferLen       int
+	MemtableBytes      int64
+	MembufferOccupancy float64
+}
+
+// Internal returns FloDB-internal counters.
+func (db *DB) Internal() InternalStats {
+	s := InternalStats{
+		DrainedEntries: db.stats.drainedEntries.Load(),
+		DrainBatches:   db.stats.drainBatches.Load(),
+		Persists:       db.stats.persists.Load(),
+		MasterScans:    db.stats.masterScans.Load(),
+		PiggybackScans: db.stats.piggybackScans.Load(),
+		HelpDrains:     db.stats.helpDrains.Load(),
+	}
+	g := db.gen.Load()
+	if g.mbf != nil {
+		s.MembufferLen = g.mbf.Len()
+		s.MembufferOccupancy = g.mbf.Occupancy()
+	}
+	s.MemtableBytes = g.mtb.approxBytes()
+	return s
+}
+
+// Store exposes the disk component (diagnostics; nil in DropPersist mode).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// WaitDiskQuiesce blocks until pending persists and compactions settle —
+// the "wait until draining to disk and compactions have completed" step
+// of the paper's experiment setup (§5.2).
+func (db *DB) WaitDiskQuiesce() {
+	for db.needsPersist() || db.immMtb.Load() != nil {
+		db.signalPersist()
+		time.Sleep(time.Millisecond)
+	}
+	if db.store != nil {
+		db.store.WaitForCompactions()
+	}
+}
+
+// Seq returns the current global sequence number (diagnostics).
+func (db *DB) Seq() uint64 { return db.seq.Load() }

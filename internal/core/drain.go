@@ -1,0 +1,159 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"flodb/internal/membuffer"
+	"flodb/internal/skiplist"
+)
+
+// drainTask is a published full drain of an immutable Membuffer into a
+// specific memtable. Writers blocked by pauseWriters and background
+// drainers help by claiming batches from src until it is empty — the
+// paper's helpDrain (Algorithm 2 line 14). Helping "ensures that the drain
+// completes even if the scanner thread is slow" (§4.4).
+type drainTask struct {
+	src *membuffer.Buffer
+	dst *memtable
+}
+
+// drainLoop is a background draining thread (§4.2): a continuously ongoing
+// process keeping Membuffer occupancy low, so writes complete in the fast
+// level. Each round claims up to DrainBatch entries from one partition —
+// a skiplist "neighborhood" (§4.3) — and moves them with one multi-insert.
+func (db *DB) drainLoop() {
+	defer db.wg.Done()
+	h := db.domain.Reader()
+	idle := 0
+	for {
+		select {
+		case <-db.closing:
+			return
+		default:
+		}
+		if db.pauseDraining.Load() {
+			// A master scan is preparing; stay out of the Memtable so the
+			// scan's drain-then-sequence step stays cheap (Algorithm 3).
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		if t := db.fullDrain.Load(); t != nil {
+			db.helpDrain(t)
+			continue
+		}
+
+		g := db.gen.Load()
+		if g.mbf == nil {
+			return
+		}
+		// Backpressure: when the Memtable is far over target, stop feeding
+		// it — the bounded Membuffer then rejects writers into the stalled
+		// slow path until the persister catches up.
+		if g.mtb.approxBytes() > 2*db.cfg.memtableTargetBytes() {
+			db.signalPersist()
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		h.Enter()
+		g = db.gen.Load()
+		if g.mbf == nil {
+			h.Exit()
+			return
+		}
+		part := g.mbf.NextPartition()
+		batch := g.mbf.DrainPartition(part, db.cfg.DrainBatch)
+		if len(batch) > 0 {
+			db.insertDrained(g.mtb, batch)
+			g.mbf.Release(batch)
+			db.stats.drainBatches.Add(1)
+			db.stats.drainedEntries.Add(uint64(len(batch)))
+		}
+		h.Exit()
+
+		if len(batch) == 0 {
+			idle++
+			if idle > g.mbf.Partitions() {
+				// Whole buffer looked empty: back off instead of spinning.
+				time.Sleep(50 * time.Microsecond)
+				idle = 0
+			}
+		} else {
+			idle = 0
+			if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+				db.signalPersist()
+			}
+		}
+	}
+}
+
+// insertDrained moves claimed entries into dst, assigning each a fresh
+// sequence number. Multi-insert is the default (Figure 6 step 2 with the
+// Algorithm 1 batch optimization); SimpleInsertDrain is the Fig 17
+// ablation.
+func (db *DB) insertDrained(dst *memtable, batch []membuffer.Drained) {
+	if db.cfg.SimpleInsertDrain {
+		for i := range batch {
+			d := &batch[i]
+			dst.list.Insert(d.Key, &skiplist.Entry{
+				Value:     d.Value,
+				Seq:       db.seq.Add(1),
+				Tombstone: d.Tombstone,
+			})
+		}
+		return
+	}
+	kvs := make([]skiplist.KV, len(batch))
+	for i := range batch {
+		d := &batch[i]
+		kvs[i] = skiplist.KV{
+			Key: d.Key,
+			Entry: &skiplist.Entry{
+				Value:     d.Value,
+				Seq:       db.seq.Add(1),
+				Tombstone: d.Tombstone,
+			},
+		}
+	}
+	dst.list.MultiInsert(kvs)
+}
+
+// helpDrain claims one batch from the published full drain and applies it.
+// Returns true if it did work.
+func (db *DB) helpDrain(t *drainTask) bool {
+	// Partition claims spread helpers across the buffer.
+	part := t.src.NextPartition()
+	batch := t.src.DrainPartition(part, db.cfg.DrainBatch)
+	if len(batch) == 0 {
+		// The round-robin partition may be empty while others are not;
+		// sweep everything that remains.
+		batch = t.src.DrainAll()
+	}
+	if len(batch) == 0 {
+		runtime.Gosched()
+		return false
+	}
+	db.insertDrained(t.dst, batch)
+	t.src.Release(batch)
+	db.stats.drainedEntries.Add(uint64(len(batch)))
+	db.stats.drainBatches.Add(1)
+	return true
+}
+
+// drainBufferInto fully drains src into dst, publishing the task so other
+// threads help, and returns when src is empty. minSleep throttles the
+// completion poll (0 is fine: claimed entries are released quickly).
+func (db *DB) drainBufferInto(src *membuffer.Buffer, dst *memtable, minSleep time.Duration) {
+	t := &drainTask{src: src, dst: dst}
+	db.fullDrain.Store(t)
+	for {
+		db.helpDrain(t)
+		if src.Len() == 0 {
+			break
+		}
+		if minSleep > 0 {
+			time.Sleep(minSleep)
+		}
+	}
+	db.fullDrain.CompareAndSwap(t, nil)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/skiplist"
+	"flodb/internal/storage"
+	"flodb/internal/wal"
+)
+
+// memtable bundles the sorted in-memory level (§3.1's Memtable: a
+// concurrent skiplist with per-entry sequence numbers and in-place
+// updates) with the WAL segment that logs its generation.
+type memtable struct {
+	list   *skiplist.List
+	wal    *wal.Writer // nil when the WAL is disabled
+	walNum uint64
+}
+
+func (m *memtable) approxBytes() int64 {
+	return m.list.ApproxBytes()
+}
+
+// get returns the entry for key.
+func (m *memtable) get(key []byte) (*skiplist.Entry, bool) {
+	return m.list.Get(key)
+}
+
+// closeWAL flushes and closes the segment (nil-safe).
+func (m *memtable) closeWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Close()
+}
+
+// memtableIter adapts the skiplist iterator to storage.InternalIterator
+// for flushing and scanning. FloDB memtables hold unique user keys, so the
+// (key asc, seq desc) contract holds trivially.
+type memtableIter struct {
+	it *skiplist.Iterator
+}
+
+func newMemtableIter(m *memtable) *memtableIter {
+	return &memtableIter{it: m.list.NewIterator()}
+}
+
+func (a *memtableIter) SeekToFirst()    { a.it.SeekToFirst() }
+func (a *memtableIter) Seek(key []byte) { a.it.Seek(key) }
+func (a *memtableIter) Next()           { a.it.Next() }
+func (a *memtableIter) Valid() bool     { return a.it.Valid() }
+func (a *memtableIter) Key() []byte     { return a.it.Key() }
+func (a *memtableIter) Seq() uint64     { return a.it.Entry().Seq }
+func (a *memtableIter) Value() []byte   { return a.it.Entry().Value }
+func (a *memtableIter) Err() error      { return nil }
+
+// CreateSeq exposes the node's creation sequence for scan conflict
+// refinement (see skiplist.Entry.CreateSeq).
+func (a *memtableIter) CreateSeq() uint64 {
+	e := a.it.Entry()
+	if e.CreateSeq != 0 {
+		return e.CreateSeq
+	}
+	return e.Seq
+}
+func (a *memtableIter) Kind() keys.Kind {
+	if a.it.Entry().Tombstone {
+		return keys.KindDelete
+	}
+	return keys.KindSet
+}
+
+var _ storage.InternalIterator = (*memtableIter)(nil)

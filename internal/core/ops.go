@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"time"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/rcu"
+	"flodb/internal/skiplist"
+)
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("flodb: database closed")
+
+// tombstoneMarker is the special value FloDB writes for deletes (§3.2 "a
+// delete is done by inserting a special tombstone value"). It never leaves
+// the store: the public API reports deleted keys as absent.
+var tombstoneMarker = []byte(nil)
+
+// handle returns a pooled RCU reader handle; worker threads get an
+// uncontended slot without per-op allocation.
+func (db *DB) handle() *rcu.Handle {
+	return db.handles.Get().(*rcu.Handle)
+}
+
+func (db *DB) putHandle(h *rcu.Handle) {
+	db.handles.Put(h)
+}
+
+// Get implements Algorithm 2: search MBF, IMM_MBF, MTB, IMM_MTB, DISK in
+// order and return the first occurrence — the levels are checked in the
+// direction of data flow, so the first hit is the freshest.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	if db.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	db.stats.gets.Add(1)
+
+	g := db.gen.Load()
+	if g.mbf != nil {
+		if v, tomb, ok := g.mbf.Get(key); ok {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	if imm := db.immMbf.Load(); imm != nil {
+		if v, tomb, ok := imm.Get(key); ok {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	if e, ok := g.mtb.get(key); ok {
+		if e.Tombstone {
+			return nil, false, nil
+		}
+		return e.Value, true, nil
+	}
+	if imm := db.immMtb.Load(); imm != nil {
+		if e, ok := imm.get(key); ok {
+			if e.Tombstone {
+				return nil, false, nil
+			}
+			return e.Value, true, nil
+		}
+	}
+	if db.store == nil {
+		return nil, false, nil
+	}
+	v, _, kind, ok, err := db.store.Get(key)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok || kind == keys.KindDelete {
+		return nil, false, nil
+	}
+	return v, true, nil
+}
+
+// Put inserts or overwrites key. The key and value slices are retained;
+// the public flodb package clones at the API boundary.
+func (db *DB) Put(key, value []byte) error {
+	db.stats.puts.Add(1)
+	return db.update(key, value, false)
+}
+
+// Delete writes a tombstone for key (§3.2: "a Put with a special tombstone
+// value").
+func (db *DB) Delete(key []byte) error {
+	db.stats.deletes.Add(1)
+	return db.update(key, tombstoneMarker, true)
+}
+
+// update is Algorithm 2's Put. The fast path tries the Membuffer; if the
+// target bucket is full (or the buffer is disabled) the update goes
+// directly to the Memtable, first honoring pauseWriters (helping with the
+// drain) and Memtable backpressure.
+func (db *DB) update(key, value []byte, tombstone bool) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.loadPersistErr(); err != nil {
+		return err
+	}
+
+	kind := keys.KindSet
+	if tombstone {
+		kind = keys.KindDelete
+	}
+	var rec []byte // encoded lazily, only when a WAL exists
+
+	h := db.handle()
+	defer db.putHandle(h)
+
+	// --- Fast path: complete in the Membuffer (Algorithm 2 lines 10–11).
+	h.Enter()
+	g := db.gen.Load()
+	if g.mbf != nil {
+		if g.mtb.wal != nil {
+			rec = kv.EncodeRecord(kind, key, value)
+			if err := g.mtb.wal.Append(rec); err != nil {
+				h.Exit()
+				return err
+			}
+		}
+		if g.mbf.Add(key, value, tombstone) {
+			h.Exit()
+			db.stats.membufferHits.Add(1)
+			return nil
+		}
+		// Bucket full or buffer frozen: fall through to the Memtable. The
+		// record above is already logged; the Memtable path below logs to
+		// the then-current WAL again, which recovery tolerates (duplicate
+		// application of the same record is idempotent under last-writer-
+		// wins; see DESIGN.md §WAL).
+	}
+	h.Exit()
+
+	// --- Slow path: write to the Memtable (Algorithm 2 lines 12–20).
+	for spins := 0; ; spins++ {
+		// While a scan or persist drains the immutable Membuffer, writers
+		// must not update the Memtable; they help drain instead.
+		if db.pauseWriters.Load() {
+			if t := db.fullDrain.Load(); t != nil {
+				db.stats.helpDrains.Add(1)
+				db.helpDrain(t)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		// Backpressure: wait for the persisting thread when the active
+		// Memtable is full and the previous one is still being written
+		// ("typically a very short wait", §4.4), when the Memtable has
+		// overshot badly (the persister has not yet switched), and when
+		// L0 is overloaded.
+		g = db.gen.Load()
+		if over := g.mtb.approxBytes(); over > db.cfg.memtableTargetBytes() {
+			db.signalPersist()
+			if db.immMtb.Load() != nil || over > 2*db.cfg.memtableTargetBytes() {
+				db.backoff(spins)
+				continue
+			}
+		}
+		if db.store != nil && db.store.NeedsStall() {
+			db.store.MaybeScheduleCompaction()
+			db.backoff(spins)
+			continue
+		}
+
+		h.Enter()
+		if db.pauseWriters.Load() {
+			h.Exit()
+			continue
+		}
+		g = db.gen.Load()
+		if g.mtb.wal != nil {
+			if rec == nil {
+				rec = kv.EncodeRecord(kind, key, value)
+			}
+			if err := g.mtb.wal.Append(rec); err != nil {
+				h.Exit()
+				return err
+			}
+		}
+		seq := db.seq.Add(1)
+		g.mtb.list.Insert(key, &skiplist.Entry{Value: value, Seq: seq, Tombstone: tombstone})
+		h.Exit()
+		db.stats.memtableWrites.Add(1)
+		if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+			db.signalPersist()
+		}
+		return nil
+	}
+}
+
+// backoff yields, escalating to short sleeps so stalled writers don't
+// burn a core while the persister catches up.
+func (db *DB) backoff(spins int) {
+	if spins < 32 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(50 * time.Microsecond)
+}
+
+func (db *DB) signalPersist() {
+	select {
+	case db.persistCh <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"os"
+
+	"flodb/internal/storage"
+)
+
+// persistLoop is the dedicated persisting thread (§4.2): when the Memtable
+// is full it installs a fresh generation, fully drains the sealed
+// Membuffer into the sealed Memtable, and writes the sorted result to L0
+// — "little more than a direct copy of the component to disk" (§2.3).
+func (db *DB) persistLoop() {
+	defer db.wg.Done()
+	for {
+		select {
+		case <-db.closing:
+			return
+		case <-db.persistCh:
+		}
+		for db.needsPersist() {
+			if err := db.persistOnce(); err != nil {
+				db.setPersistErr(err)
+				return
+			}
+			select {
+			case <-db.closing:
+				return
+			default:
+			}
+		}
+	}
+}
+
+func (db *DB) needsPersist() bool {
+	return db.gen.Load().mtb.approxBytes() >= db.cfg.memtableTargetBytes()
+}
+
+// persistOnce runs one seal→drain→flush cycle.
+//
+// Switch protocol (see the package comment for why the pair is one
+// pointer):
+//
+//  1. Under drainMu (mutual exclusion with master scans), set pauseWriters
+//     so no writer starts a direct-to-Memtable insert against the new
+//     generation while the old Membuffer still holds fresher data.
+//  2. Install the new generation; freeze the old Membuffer.
+//  3. RCU-synchronize: every in-flight operation against the old pair has
+//     completed ("RCU is used first to make sure that all pending updates
+//     to the immutable Memtable have completed", §4.2).
+//  4. Fully drain the old Membuffer into the old (sealed) Memtable, with
+//     writers helping. This bounds WAL replay and keeps Get's freshness
+//     order intact.
+//  5. Release writers, flush the sealed Memtable to L0, advance the log
+//     number, delete the old WAL segment.
+func (db *DB) persistOnce() error {
+	db.drainMu.Lock()
+
+	old := db.gen.Load()
+	next, err := db.newMemtable()
+	if err != nil {
+		db.drainMu.Unlock()
+		return err
+	}
+	g := &generation{mtb: next}
+	if old.mbf != nil {
+		g.mbf = db.cfg.newMembuffer()
+	}
+
+	db.pauseWriters.Store(true)
+	db.pauseDraining.Store(true)
+	db.gen.Store(g)
+	if old.mbf != nil {
+		old.mbf.Freeze()
+		db.immMbf.Store(old.mbf)
+	}
+	db.immMtb.Store(old.mtb)
+	db.domain.Synchronize()
+
+	if old.mbf != nil {
+		db.drainBufferInto(old.mbf, old.mtb, 0)
+		db.immMbf.Store(nil)
+	}
+	db.pauseWriters.Store(false)
+	db.pauseDraining.Store(false)
+	db.drainMu.Unlock()
+
+	db.stats.persists.Add(1)
+
+	if db.store == nil {
+		// DropPersist (Fig 17): the sealed Memtable is simply discarded.
+		db.immMtb.Store(nil)
+		return nil
+	}
+
+	if err := db.cfg.FlushFault.Check(); err != nil {
+		return err
+	}
+	// Model the paper's bounded persistence throughput, if configured.
+	db.cfg.PersistLimiter.Acquire(old.mtb.approxBytes())
+
+	newLog := next.walNum
+	if db.cfg.DisableWAL {
+		newLog = db.store.NewFileNum()
+	}
+	if _, err := db.store.Flush(newMemtableIter(old.mtb), newLog, db.seq.Load()); err != nil {
+		return err
+	}
+	// The old Memtable's data is in tables; RCU ensures in-flight readers
+	// finish before the component is dropped (§4.2's second use of RCU —
+	// with Go's GC the drop is a pointer store, the grace period is what
+	// keeps the Get order sensible).
+	db.domain.Synchronize()
+	db.immMtb.Store(nil)
+	if err := old.mtb.closeWAL(); err != nil {
+		return err
+	}
+	if !db.cfg.DisableWAL {
+		os.Remove(storage.WALFileName(db.cfg.Dir, old.mtb.walNum))
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/storage"
+)
+
+// scanState publishes a running scan so concurrent scans piggyback on its
+// drain and sequence number instead of each re-draining the Membuffer
+// (§4.4 "Multithreaded scans").
+type scanState struct {
+	seq      uint64
+	seqReady chan struct{} // closed once seq is published
+	joins    atomic.Int32  // joined scans, bounded by MaxPiggybackChain
+	active   atomic.Int32  // scans still using the state
+}
+
+// Scan implements Algorithm 3. It returns all pairs with low <= key < high
+// (nil bounds are open). Master scans are linearizable with respect to
+// updates — the linearization point is the installation of the fresh
+// Membuffer; piggybacking scans are serializable (§4.4 "Correctness").
+func (db *DB) Scan(low, high []byte) ([]kv.Pair, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.stats.scans.Add(1)
+
+	restartCount := 0
+	for {
+		st := db.joinOrLeadScan()
+		pairs, conflict, err := db.scanWithSeq(low, high, st.seq)
+		db.releaseScanState(st)
+		if err != nil {
+			return nil, err
+		}
+		if !conflict {
+			return pairs, nil
+		}
+		// A key in range carried a sequence number newer than the scan's:
+		// its pre-scan value was overwritten in place and is gone, so the
+		// snapshot is unrecoverable — restart (Algorithm 3 lines 21–26).
+		restartCount++
+		db.stats.scanRestarts.Add(1)
+		if restartCount >= db.cfg.RestartThreshold {
+			return db.fallbackScan(low, high)
+		}
+	}
+}
+
+// joinOrLeadScan returns a scanState with a published sequence number,
+// either by piggybacking on a running scan or by becoming the master.
+func (db *DB) joinOrLeadScan() *scanState {
+	for {
+		if st := db.scanState.Load(); st != nil {
+			j := st.joins.Load()
+			if j < int32(db.cfg.MaxPiggybackChain) && st.joins.CompareAndSwap(j, j+1) {
+				st.active.Add(1)
+				<-st.seqReady
+				db.stats.piggybackScans.Add(1)
+				return st
+			}
+			// Chain is full: wait for the state to clear, then lead or
+			// join the successor ("we limit the length of these chains
+			// through a system parameter", §4.4).
+			runtime.Gosched()
+			continue
+		}
+		if st, ok := db.leadMasterScan(); ok {
+			return st
+		}
+	}
+}
+
+// leadMasterScan runs Algorithm 3 lines 4–14: pause draining and writers,
+// install a fresh Membuffer, wait the grace period, drain the old buffer
+// into the Memtable (helpers welcome), then take the scan sequence number.
+func (db *DB) leadMasterScan() (*scanState, bool) {
+	db.drainMu.Lock()
+	if db.scanState.Load() != nil {
+		// Raced with another would-be master; piggyback instead.
+		db.drainMu.Unlock()
+		return nil, false
+	}
+	st := &scanState{seqReady: make(chan struct{})}
+	st.active.Add(1)
+	st.joins.Add(1)
+	db.scanState.Store(st)
+
+	db.pauseDraining.Store(true) // line 4
+	db.pauseWriters.Store(true)  // line 5
+
+	old := db.gen.Load()
+	if old.mbf != nil {
+		db.gen.Store(&generation{mbf: db.cfg.newMembuffer(), mtb: old.mtb}) // lines 6–7
+		old.mbf.Freeze()
+		db.immMbf.Store(old.mbf)
+		db.domain.Synchronize()                 // lines 8–9: MemBufferRCUWait + MemTableRCUWait
+		db.drainBufferInto(old.mbf, old.mtb, 0) // line 10
+		db.immMbf.Store(nil)                    // line 11
+	} else {
+		db.domain.Synchronize()
+	}
+
+	st.seq = db.seq.Add(1) // line 12
+	close(st.seqReady)
+	db.pauseWriters.Store(false)  // line 13
+	db.pauseDraining.Store(false) // line 14
+	db.drainMu.Unlock()
+	db.stats.masterScans.Add(1)
+	return st, true
+}
+
+// releaseScanState drops a reference; the last one clears the slot so a
+// future scan becomes a fresh master rather than reusing an ever-staler
+// sequence number.
+func (db *DB) releaseScanState(st *scanState) {
+	if st.active.Add(-1) == 0 {
+		st.joins.Store(math.MaxInt32) // bar late joiners
+		db.scanState.CompareAndSwap(st, nil)
+	}
+}
+
+// scanWithSeq performs the actual range read (Algorithm 3 lines 15–30)
+// over Memtable, immutable Memtable and a pinned disk snapshot. It reports
+// conflict=true when any in-range entry carries seq > scanSeq.
+//
+// Component capture order matters: the active pair first, then the
+// immutable Memtable, then the disk snapshot. A concurrent persist moves
+// data strictly in that direction, so every entry is visible in at least
+// one captured component (possibly two, which the newest-first merge
+// dedups).
+func (db *DB) scanWithSeq(low, high []byte, scanSeq uint64) ([]kv.Pair, bool, error) {
+	g := db.gen.Load()
+	its := []storage.InternalIterator{newMemtableIter(g.mtb)}
+	if imm := db.immMtb.Load(); imm != nil && imm != g.mtb {
+		its = append(its, newMemtableIter(imm))
+	}
+	if db.store != nil {
+		dit, release, err := db.store.NewIterator()
+		if err != nil {
+			return nil, false, err
+		}
+		defer release()
+		its = append(its, dit)
+	}
+	m := storage.NewMergingIterator(its...)
+
+	var out []kv.Pair
+	var lastKey []byte
+	haveLast := false
+	for m.Seek(low); m.Valid(); m.Next() {
+		k := m.Key()
+		if high != nil && keys.Compare(k, high) >= 0 {
+			break
+		}
+		if m.Seq() > scanSeq {
+			// Refinement over Algorithm 3's blanket restart: if the node
+			// was CREATED after the scan's sequence point, no pre-snapshot
+			// value was destroyed — any version visible at the snapshot
+			// lives deeper in the merge order (immutable Memtable / disk)
+			// and will be yielded next. Only an in-place overwrite of a
+			// node that existed at the snapshot loses data and forces a
+			// restart.
+			if storage.CreateSeqOf(m) > scanSeq {
+				continue
+			}
+			return nil, true, nil // conflict: restart
+		}
+		if haveLast && keys.Equal(lastKey, k) {
+			continue // older version of an emitted key
+		}
+		lastKey = append(lastKey[:0], k...)
+		haveLast = true
+		if m.Kind() == keys.KindDelete {
+			continue
+		}
+		out = append(out, kv.Pair{Key: keys.Clone(k), Value: keys.Clone(m.Value())})
+	}
+	if err := m.Err(); err != nil {
+		return nil, false, err
+	}
+	return out, false, nil
+}
+
+// fallbackScan guarantees termination by blocking Memtable writers for its
+// whole duration (§4.4: "blocking writers from the Memtable until it
+// completes scanning"). With writers, drainers and persists excluded, no
+// in-range entry can acquire a newer sequence number, so the scan cannot
+// be invalidated.
+func (db *DB) fallbackScan(low, high []byte) ([]kv.Pair, error) {
+	db.stats.fallbackScans.Add(1)
+	db.drainMu.Lock()
+	db.pauseDraining.Store(true)
+	db.pauseWriters.Store(true)
+	defer func() {
+		db.pauseWriters.Store(false)
+		db.pauseDraining.Store(false)
+		db.drainMu.Unlock()
+	}()
+
+	old := db.gen.Load()
+	if old.mbf != nil {
+		db.gen.Store(&generation{mbf: db.cfg.newMembuffer(), mtb: old.mtb})
+		old.mbf.Freeze()
+		db.immMbf.Store(old.mbf)
+		db.domain.Synchronize()
+		db.drainBufferInto(old.mbf, old.mtb, 0)
+		db.immMbf.Store(nil)
+	} else {
+		db.domain.Synchronize()
+	}
+
+	seq := db.seq.Add(1)
+	pairs, conflict, err := db.scanWithSeq(low, high, seq)
+	if err != nil {
+		return nil, err
+	}
+	if conflict {
+		// Cannot happen while writers are blocked; guard anyway.
+		return nil, errFallbackConflict
+	}
+	return pairs, nil
+}
+
+var errFallbackConflict = errInternal("fallback scan observed a conflict")
+
+type errInternal string
+
+func (e errInternal) Error() string { return "flodb: internal: " + string(e) }

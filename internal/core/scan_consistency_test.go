@@ -1,0 +1,301 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flodb/internal/keys"
+)
+
+// TestScanSnapshotConsistency is the core serializability check: a writer
+// updates a group of keys to the same version counter in one burst; scans
+// must never observe two different counters for keys of one burst unless
+// the burst was concurrent with the scan's sequence point. We verify the
+// stronger monotonic property the paper's design gives: all values a scan
+// returns for the group were current at some single point (no value older
+// than another group member's by more than the in-flight burst).
+func TestScanSnapshotConsistency(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 1 << 20
+	db := openTestDB(t, cfg)
+
+	const groupSize = 16
+	groupKeys := make([][]byte, groupSize)
+	for i := range groupKeys {
+		// Spread across partitions so the group straddles membuffer areas.
+		groupKeys[i] = spreadKey(uint64(i))
+	}
+	// Scans need bounds covering all group keys: use the full range.
+	for _, k := range groupKeys {
+		db.Put(k, keys.EncodeUint64(0))
+	}
+
+	stop := make(chan struct{})
+	var version atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: bump the whole group to version v, then v+1, ...
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := version.Load() + 1
+			for _, k := range groupKeys {
+				if err := db.Put(k, keys.EncodeUint64(v)); err != nil {
+					panic(err)
+				}
+			}
+			version.Store(v) // burst complete
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	scans := 0
+	for time.Now().Before(deadline) {
+		before := version.Load()
+		pairs, err := db.Scan(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := version.Load()
+		got := map[uint64]int{}
+		found := 0
+		for _, p := range pairs {
+			for _, k := range groupKeys {
+				if keys.Equal(p.Key, k) {
+					got[keys.DecodeUint64(p.Value)]++
+					found++
+				}
+			}
+		}
+		if found != groupSize {
+			t.Fatalf("scan returned %d group keys, want %d", found, groupSize)
+		}
+		// A consistent snapshot can straddle at most the bursts in flight
+		// between before and after+1: observed versions must span at most
+		// [before, after+1] and contain at most 2 distinct values (one
+		// in-flight burst boundary).
+		for v := range got {
+			if v+1 < before || v > after+1 {
+				t.Fatalf("scan observed version %d outside window [%d, %d]", v, before, after+1)
+			}
+		}
+		if len(got) > 2 {
+			t.Fatalf("scan observed %d distinct versions %v — torn snapshot", len(got), got)
+		}
+		scans++
+	}
+	close(stop)
+	wg.Wait()
+	if scans == 0 {
+		t.Fatal("no scans completed")
+	}
+	t.Logf("completed %d scans, stats: %+v", scans, db.Stats())
+}
+
+func TestConcurrentScansPiggyback(t *testing.T) {
+	cfg := testConfig(t)
+	db := openTestDB(t, cfg)
+	for i := 0; i < 1000; i++ {
+		db.Put(spreadKey(uint64(i)), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := db.Scan(nil, nil); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := db.Internal()
+	if st.MasterScans == 0 {
+		t.Fatal("no master scans recorded")
+	}
+	if st.MasterScans+st.PiggybackScans < 160 {
+		t.Fatalf("scan accounting: %+v", st)
+	}
+	t.Logf("master=%d piggyback=%d", st.MasterScans, st.PiggybackScans)
+}
+
+func TestScanWhileWriteHeavy(t *testing.T) {
+	// The paper's 95/5 scan-write mix in miniature: heavy updates with
+	// concurrent scans. Scans must always return sorted, deduplicated,
+	// in-range results.
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 256 << 10
+	db := openTestDB(t, cfg)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				db.Put(spreadKey(i%4096), keys.EncodeUint64(i))
+			}
+		}(w)
+	}
+
+	for s := 0; s < 50; s++ {
+		pairs, err := db.Scan(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pairs); i++ {
+			if keys.Compare(pairs[i-1].Key, pairs[i].Key) >= 0 {
+				t.Fatal("scan results unsorted or duplicated")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := db.Stats()
+	t.Logf("restarts=%d fallbacks=%d scans=%d", st.ScanRestarts, st.FallbackScans, st.Scans)
+}
+
+func TestFallbackScanTriggers(t *testing.T) {
+	// With a restart threshold of 1 and constant writes, fallback scans
+	// must engage and still return correct results.
+	cfg := testConfig(t)
+	cfg.RestartThreshold = 1
+	cfg.MemoryBytes = 128 << 10
+	db := openTestDB(t, cfg)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			db.Put(spreadKey(i%512), keys.EncodeUint64(i))
+		}
+	}()
+	sawFallback := false
+	for s := 0; s < 100 && !sawFallback; s++ {
+		if _, err := db.Scan(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+		sawFallback = db.Stats().FallbackScans > 0
+	}
+	close(stop)
+	wg.Wait()
+	// Fallback may legitimately not trigger if no restart happened, but
+	// with threshold 1 and constant writes it overwhelmingly does; accept
+	// either, but verify the counters are coherent.
+	st := db.Stats()
+	if st.FallbackScans > st.Scans {
+		t.Fatalf("more fallbacks than scans: %+v", st)
+	}
+	t.Logf("restarts=%d fallbacks=%d", st.ScanRestarts, st.FallbackScans)
+}
+
+// TestScanSkipsPostSnapshotInserts pins the CreateSeq refinement: a key
+// INSERTED (not overwritten) after the scan's sequence point must not
+// force a restart — it simply is not part of the snapshot.
+func TestScanSkipsPostSnapshotInserts(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RestartThreshold = 1000000 // make any restart visible in stats
+	db := openTestDB(t, cfg)
+	for i := 0; i < 100; i++ {
+		db.Put(spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // insert brand-new keys only
+		defer wg.Done()
+		i := uint64(1 << 40)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			db.Put(spreadKey(i), []byte("new"))
+		}
+	}()
+	for s := 0; s < 50; s++ {
+		if _, err := db.Scan(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := db.Stats()
+	// Fresh inserts may still occasionally conflict via drain-time
+	// in-place rewrites of hot buckets; the overwhelming majority of
+	// scans must complete without restarting.
+	if st.ScanRestarts > st.Scans/2 {
+		t.Fatalf("insert-only writers caused %d restarts over %d scans", st.ScanRestarts, st.Scans)
+	}
+	t.Logf("restarts=%d scans=%d", st.ScanRestarts, st.Scans)
+}
+
+func TestScanDuringPersist(t *testing.T) {
+	// Scans racing persists must never lose keys: write a fixed key set,
+	// then scan repeatedly while persists are forced.
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 128 << 10
+	db := openTestDB(t, cfg)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		db.Put(spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn distinct keys to force persists
+		defer wg.Done()
+		i := uint64(n)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			db.Put(spreadKey(i), []byte("churn"))
+		}
+	}()
+	for s := 0; s < 30; s++ {
+		pairs, err := db.Scan(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		for _, p := range pairs {
+			if len(p.Value) == 8 && keys.DecodeUint64(p.Value) < n {
+				seen++
+			}
+		}
+		if seen != n {
+			t.Fatalf("scan %d lost keys: saw %d of %d", s, seen, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

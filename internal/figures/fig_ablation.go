@@ -1,0 +1,153 @@
+package figures
+
+import (
+	"fmt"
+
+	"flodb/internal/core"
+	"flodb/internal/harness"
+	"flodb/internal/workload"
+)
+
+// Fig17 — the Membuffer/multi-insert ablation (§5.5): write-only
+// throughput of three FloDB variants with persistence disabled
+// (immutable memtables dropped), across memory sizes:
+//
+//	"No HT"                — membuffer disabled (classic single-level LSM
+//	                         memory component): degrades as memory grows.
+//	"HT, simple insert SL" — two levels, per-entry drain inserts.
+//	"HT, multi-insert SL"  — two levels, batched multi-insert drains: best.
+//
+// The paper's column clusters are {1GB,1t} then {1,2,4,8GB}×8t (scaled
+// /1024 here); the boxed annotation — the proportion of updates completing
+// directly in the Membuffer — is reported as a note per cell.
+func Fig17(c Config) (*harness.Table, error) {
+	c.Defaults()
+	type cluster struct {
+		label   string
+		mem     int64
+		threads int
+	}
+	clusters := []cluster{
+		{"1GB,1t", 1 << 20, 1},
+		{"1GB,8t", 1 << 20, 8},
+		{"2GB,8t", 2 << 20, 8},
+		{"4GB,8t", 4 << 20, 8},
+		{"8GB,8t", 8 << 20, 8},
+	}
+	if c.Quick {
+		clusters = []cluster{{"1GB,1t", 1 << 20, 1}, {"1GB,8t", 1 << 20, 4}, {"8GB,8t", 8 << 20, 4}}
+	}
+	variants := []struct {
+		label  string
+		mutate func(*core.Config)
+	}{
+		{"HT, multi-insert SL", func(cfg *core.Config) {}},
+		{"HT, simple insert SL", func(cfg *core.Config) { cfg.SimpleInsertDrain = true }},
+		{"No HT", func(cfg *core.Config) { cfg.DisableMembuffer = true }},
+	}
+	cols := make([]string, len(clusters))
+	for i, cl := range clusters {
+		cols[i] = cl.label
+	}
+	rows := make([]string, len(variants))
+	for i, v := range variants {
+		rows[i] = v.label
+	}
+	tbl := harness.NewTable("Fig 17: Membuffer and multi-insert draining (persistence disabled)",
+		"memory size (paper scale), threads", "Mops/s", cols, rows)
+
+	for vi, v := range variants {
+		for ci, cl := range clusters {
+			cfg := core.Config{
+				DropPersist: true, // §5.5: "we disable the disk persisting"
+				MemoryBytes: cl.mem,
+			}
+			v.mutate(&cfg)
+			db, err := core.Open(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := harness.Run(db, harness.RunOptions{
+				Threads:  cl.threads,
+				Duration: c.Duration,
+				Mix:      workload.WriteOnly,
+				Keys:     c.Keys,
+			})
+			st := db.Stats()
+			db.Close()
+			tbl.Set(vi, ci, res.MopsPerSec())
+			total := st.MembufferHits + st.MemtableWrites
+			pct := 0.0
+			if total > 0 {
+				pct = 100 * float64(st.MembufferHits) / float64(total)
+			}
+			if vi == 0 { // annotate direct-Membuffer share on the full variant
+				tbl.AddNote("%s: %.0f%% of updates completed directly in the Membuffer", cl.label, pct)
+			}
+			c.logf("fig17 %s %s -> %.3f Mops/s (direct-HT %.0f%%)", v.label, cl.label, res.MopsPerSec(), pct)
+		}
+	}
+	return tbl, nil
+}
+
+// ScanStats reproduces the §5.2 claim that the fallback mechanism engages
+// on under 1% of scans: it sweeps scan ranges and memory sizes and reports
+// the fallback ratio.
+func ScanStats(c Config) (*harness.Table, error) {
+	c.Defaults()
+	ranges := []int{10, 100, 1000, 10000}
+	mems := []int64{128 << 10, 1 << 20, 4 << 20}
+	if c.Quick {
+		ranges = []int{10, 1000}
+		mems = []int64{128 << 10, 1 << 20}
+	}
+	cols := make([]string, len(ranges))
+	for i, r := range ranges {
+		cols[i] = fmt.Sprintf("%d keys", r)
+	}
+	rows := make([]string, len(mems))
+	for i, m := range mems {
+		rows[i] = harness.ByteSize(m * 1024)
+	}
+	tbl := harness.NewTable("Scan fallback ratio (§5.2: expected < 1%)",
+		"scan range", "fallback scans / scans (%)", cols, rows)
+	threads := 16
+	if c.Quick {
+		threads = 4
+	}
+	for mi, mem := range mems {
+		for ri, rng := range ranges {
+			dir, err := c.cellDir(fmt.Sprintf("scanstats-%d-%d", mi, ri))
+			if err != nil {
+				return nil, err
+			}
+			db, err := core.Open(core.Config{
+				Dir: dir, MemoryBytes: mem, DisableWAL: true, Storage: storageOpts(mem),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := initHalf(db, c.Keys, false); err != nil {
+				db.Close()
+				return nil, err
+			}
+			res := harness.Run(db, harness.RunOptions{
+				Threads:    threads,
+				Duration:   c.Duration,
+				Mix:        workload.ScanWrite,
+				Keys:       c.Keys,
+				ScanLength: rng,
+			})
+			st := db.Stats()
+			db.Close()
+			ratio := 0.0
+			if st.Scans > 0 {
+				ratio = 100 * float64(st.FallbackScans) / float64(st.Scans)
+			}
+			tbl.Set(mi, ri, ratio)
+			c.logf("scanstats mem=%s range=%d -> fallback %.3f%% (restarts %d / scans %d, ops %d)",
+				harness.ByteSize(mem), rng, ratio, st.ScanRestarts, st.Scans, res.Ops)
+		}
+	}
+	return tbl, nil
+}

@@ -1,0 +1,292 @@
+// Package figures regenerates every figure of the paper's evaluation
+// (§5, Figs 3–17 less the architecture diagrams). Each function produces a
+// harness.Table whose rows are the paper's series and whose columns are
+// the paper's x-axis, at a configurable scale.
+//
+// Scaling (see DESIGN.md §3): the paper's machine is a 20-core Xeon with
+// 256 GB RAM and a 300 GB dataset; sizes here default to 1/1024 of the
+// paper's (128 MB→128 KB … 192 GB→192 MB, 300 GB→~300 MB) so every ratio
+// that drives the results — memory:dataset, membuffer:memtable, hot-set:
+// memory — is preserved while cells run in seconds. Absolute Mops/s are
+// not comparable to the paper's hardware; the SHAPES (who wins, by what
+// factor, where the crossovers sit) are what EXPERIMENTS.md validates.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flodb/internal/baseline"
+	"flodb/internal/core"
+	"flodb/internal/diskenv"
+	"flodb/internal/harness"
+	"flodb/internal/kv"
+	"flodb/internal/storage"
+	"flodb/internal/workload"
+)
+
+// System identifies one of the paper's five evaluated stores.
+type System string
+
+// The five systems of §5.1.
+const (
+	SysFloDB System = "FloDB"
+	SysRocks System = "RocksDB"
+	SysCLSM  System = "RocksDB/cLSM"
+	SysHyper System = "HyperLevelDB"
+	SysLevel System = "LevelDB"
+)
+
+// AllSystems lists the systems in the paper's legend order.
+var AllSystems = []System{SysFloDB, SysRocks, SysCLSM, SysHyper, SysLevel}
+
+// Config scales an experiment run.
+type Config struct {
+	// ScratchDir hosts the store directories (one per cell).
+	ScratchDir string
+	// Duration per measured cell.
+	Duration time.Duration
+	// Keys is the dataset keyspace (paper: ~1.2 G keys for 300 GB).
+	Keys uint64
+	// MemBytes is the default memory-component size (paper: 128 MB).
+	MemBytes int64
+	// Threads is the thread sweep for the thread-scaling figures.
+	Threads []int
+	// DiskBytesPerSec, when > 0, rate-limits persists to model the
+	// paper's SSD bound (Fig 9's dashed line).
+	DiskBytesPerSec float64
+	// Quick trims sweeps for smoke runs.
+	Quick bool
+	// Out receives progress lines (nil silences them).
+	Out io.Writer
+}
+
+// Defaults fills unset fields with the scaled defaults.
+func (c *Config) Defaults() {
+	if c.ScratchDir == "" {
+		c.ScratchDir = filepath.Join(os.TempDir(), "flodb-bench")
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Keys == 0 {
+		c.Keys = 1 << 20 // ~290 MB of 277 B records ≈ 300 GB / 1024
+	}
+	if c.MemBytes == 0 {
+		c.MemBytes = 128 << 10 // 128 MB / 1024
+	}
+	if len(c.Threads) == 0 {
+		if c.Quick {
+			c.Threads = []int{1, 4, 16}
+		} else {
+			c.Threads = []int{1, 2, 4, 8, 16}
+		}
+	}
+	if c.Quick && c.Keys > 1<<18 {
+		c.Keys = 1 << 18
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format+"\n", args...)
+	}
+}
+
+func (c *Config) limiter() *diskenv.Limiter {
+	if c.DiskBytesPerSec > 0 {
+		return diskenv.NewLimiter(c.DiskBytesPerSec)
+	}
+	return nil
+}
+
+// storageOpts scales the disk component with the memory component so the
+// level geometry stays proportionate.
+func storageOpts(memBytes int64) storage.Options {
+	base := memBytes * 4
+	if base < 1<<20 {
+		base = 1 << 20
+	}
+	target := memBytes
+	if target < 256<<10 {
+		target = 256 << 10
+	}
+	return storage.Options{BaseLevelBytes: base, TargetFileSize: target}
+}
+
+// openSystem builds one of the five stores. Benchmarks run with the WAL
+// disabled, like the paper's db_bench-style loaders (no fsync per write).
+func openSystem(sys System, dir string, memBytes int64, lim *diskenv.Limiter) (kv.Store, error) {
+	switch sys {
+	case SysFloDB:
+		return core.Open(core.Config{
+			Dir:            dir,
+			MemoryBytes:    memBytes,
+			DisableWAL:     true,
+			PersistLimiter: lim,
+			Storage:        storageOpts(memBytes),
+		})
+	case SysRocks:
+		return baseline.NewRocksDB(baseline.Config{
+			Dir: dir, MemBytes: memBytes, DisableWAL: true,
+			PersistLimiter: lim, Storage: storageOpts(memBytes),
+		})
+	case SysCLSM:
+		return baseline.NewCLSM(baseline.Config{
+			Dir: dir, MemBytes: memBytes, DisableWAL: true,
+			PersistLimiter: lim, Storage: storageOpts(memBytes),
+		})
+	case SysHyper:
+		return baseline.NewHyperLevelDB(baseline.Config{
+			Dir: dir, MemBytes: memBytes, DisableWAL: true,
+			PersistLimiter: lim, Storage: storageOpts(memBytes),
+		})
+	case SysLevel:
+		return baseline.NewLevelDB(baseline.Config{
+			Dir: dir, MemBytes: memBytes, DisableWAL: true,
+			PersistLimiter: lim, Storage: storageOpts(memBytes),
+		})
+	default:
+		return nil, fmt.Errorf("figures: unknown system %q", sys)
+	}
+}
+
+// cellDir allocates a fresh store directory.
+func (c *Config) cellDir(name string) (string, error) {
+	dir := filepath.Join(c.ScratchDir, name)
+	if err := os.RemoveAll(dir); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// initHalf fills half the dataset (§5.2's mixed-workload initialization),
+// in spread (random-ish) or ascending key order.
+func initHalf(store kv.Store, keyCount uint64, sorted bool) error {
+	n := keyCount / 2
+	buf := make([]byte, workload.DefaultKeySize)
+	gen := workload.NewUniform(keyCount)
+	var fill func(i uint64) []byte
+	if sorted {
+		fill = func(i uint64) []byte { return workload.PutUint64(buf, i) }
+	} else {
+		fill = func(i uint64) []byte { return gen.KeyAt(i, buf) }
+	}
+	if err := harness.Fill(store, fill, n, workload.DefaultValueSize); err != nil {
+		return err
+	}
+	harness.Quiesce(store)
+	return nil
+}
+
+// systemsThreadSweep is the common engine for Figs 9–13: for each system,
+// optionally initialize once, then sweep thread counts measuring with the
+// given extractor.
+func (c *Config) systemsThreadSweep(
+	figName string,
+	tbl *harness.Table,
+	threads []int,
+	freshPerCell bool,
+	sorted bool,
+	initFill bool,
+	opts harness.RunOptions,
+	metric func(harness.Result) float64,
+) error {
+	for si, sys := range AllSystems {
+		var store kv.Store
+		var err error
+		if !freshPerCell {
+			dir, derr := c.cellDir(fmt.Sprintf("%s-%d", figName, si))
+			if derr != nil {
+				return derr
+			}
+			store, err = openSystem(sys, dir, c.MemBytes, c.limiter())
+			if err != nil {
+				return err
+			}
+			if initFill {
+				if err := initHalf(store, c.Keys, sorted); err != nil {
+					store.Close()
+					return err
+				}
+			}
+		}
+		for ti, th := range threads {
+			if freshPerCell {
+				dir, derr := c.cellDir(fmt.Sprintf("%s-%d-%d", figName, si, ti))
+				if derr != nil {
+					return derr
+				}
+				store, err = openSystem(sys, dir, c.MemBytes, c.limiter())
+				if err != nil {
+					return err
+				}
+				if initFill {
+					if err := initHalf(store, c.Keys, sorted); err != nil {
+						store.Close()
+						return err
+					}
+				}
+			}
+			ro := opts
+			ro.Threads = th
+			ro.Duration = c.Duration
+			ro.Keys = c.Keys
+			res := harness.Run(store, ro)
+			tbl.Set(si, ti, metric(res))
+			c.logf("%s %s threads=%d -> %.3f", figName, sys, th, metric(res))
+			if freshPerCell {
+				store.Close()
+			}
+		}
+		if !freshPerCell {
+			store.Close()
+		}
+	}
+	return nil
+}
+
+func threadCols(threads []int) []string {
+	cols := make([]string, len(threads))
+	for i, t := range threads {
+		cols[i] = fmt.Sprintf("%d", t)
+	}
+	return cols
+}
+
+func systemRows() []string {
+	rows := make([]string, len(AllSystems))
+	for i, s := range AllSystems {
+		rows[i] = string(s)
+	}
+	return rows
+}
+
+// memorySweepSizes returns the Fig 15/16 x-axis: the paper's
+// 128 MB..192 GB scaled by 1/1024.
+func (c *Config) memorySweepSizes() []int64 {
+	all := []int64{
+		128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20,
+		8 << 20, 16 << 20, 32 << 20, 64 << 20, 128 << 20, 192 << 20,
+	}
+	if c.Quick {
+		return []int64{128 << 10, 1 << 20, 8 << 20, 64 << 20}
+	}
+	return all
+}
+
+func sizeCols(sizes []int64) []string {
+	cols := make([]string, len(sizes))
+	for i, s := range sizes {
+		// Label with the PAPER's size (scale × 1024) so tables read like
+		// the figures.
+		cols[i] = harness.ByteSize(s * 1024)
+	}
+	return cols
+}

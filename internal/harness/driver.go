@@ -1,0 +1,266 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flodb/internal/kv"
+	"flodb/internal/workload"
+)
+
+// RunOptions configure one experiment cell (one point of one figure).
+type RunOptions struct {
+	// Threads is the number of concurrent worker goroutines ("each thread
+	// mapped to a different core whenever possible", §5.1 — goroutines
+	// here, as discussed in DESIGN.md).
+	Threads int
+	// Duration bounds the measured interval.
+	Duration time.Duration
+	// Mix is the operation distribution.
+	Mix workload.Mix
+	// Keys is the keyspace size; KeyGen overrides the default uniform
+	// generator when set (thread index passed for determinism).
+	Keys   uint64
+	KeyGen func(thread int) workload.KeyGen
+	// ValueSize is the value payload (default 256).
+	ValueSize int
+	// ScanLength is the expected number of keys per scan (default 100).
+	ScanLength int
+	// MeasureLatency enables per-op histograms (adds two clock reads per
+	// op; off for pure throughput numbers, as in db_bench).
+	MeasureLatency bool
+	// Seed makes runs repeatable.
+	Seed int64
+	// MaxOps optionally stops each thread after this many operations
+	// (burst mode, Fig 15).
+	MaxOps uint64
+	// OneWriter pins thread 0 to inserts and all others to gets (the
+	// one-writer-many-readers mix of Fig 12).
+	OneWriter bool
+}
+
+func (o *RunOptions) fillDefaults() {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = time.Second
+	}
+	if o.Keys == 0 {
+		o.Keys = 1 << 20
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = workload.DefaultValueSize
+	}
+	if o.ScanLength <= 0 {
+		o.ScanLength = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// Result aggregates one cell's measurements.
+type Result struct {
+	Ops          uint64
+	Reads        uint64
+	Writes       uint64
+	Scans        uint64
+	KeysAccessed uint64 // scans count each returned key (§5.2)
+	Elapsed      time.Duration
+	ReadLat      *Histogram
+	WriteLat     *Histogram
+	Errors       uint64
+}
+
+// MopsPerSec returns throughput in millions of operations per second.
+func (r Result) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+// MkeysPerSec returns key-throughput (Fig 13/14's metric: "for scans we
+// measure throughput as the number of keys accessed per second").
+func (r Result) MkeysPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.KeysAccessed) / r.Elapsed.Seconds() / 1e6
+}
+
+// WriteMopsPerSec returns write-only throughput.
+func (r Result) WriteMopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Writes) / r.Elapsed.Seconds() / 1e6
+}
+
+// ScanOpsPerSec returns scans per second.
+func (r Result) ScanOpsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Scans) / r.Elapsed.Seconds()
+}
+
+// Run drives store with opts and collects a Result. Each thread draws
+// operations from the mix and keys from its generator, continually, until
+// the duration elapses (§5.2: "threads concurrently performing operations
+// on the data store ... continually").
+func Run(store kv.Store, opts RunOptions) Result {
+	opts.fillDefaults()
+	res := Result{
+		ReadLat:  &Histogram{},
+		WriteLat: &Histogram{},
+	}
+	var (
+		stop     atomic.Bool
+		ops      atomic.Uint64
+		reads    atomic.Uint64
+		writes   atomic.Uint64
+		scans    atomic.Uint64
+		keysAcc  atomic.Uint64
+		errCount atomic.Uint64
+		wg       sync.WaitGroup
+	)
+
+	// Scan window width covering ~ScanLength keys of a uniformly spread
+	// keyspace.
+	scanWidth := uint64(float64(^uint64(0)) / float64(opts.Keys) * float64(opts.ScanLength))
+
+	start := time.Now()
+	for t := 0; t < opts.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(t)*7919))
+			var gen workload.KeyGen
+			if opts.KeyGen != nil {
+				gen = opts.KeyGen(t)
+			} else {
+				gen = workload.NewUniform(opts.Keys)
+			}
+			keyBuf := make([]byte, workload.DefaultKeySize)
+			highBuf := make([]byte, workload.DefaultKeySize)
+			var valBuf []byte
+			var myOps uint64
+			for !stop.Load() {
+				if opts.MaxOps > 0 && myOps >= opts.MaxOps {
+					break
+				}
+				myOps++
+				op := opts.Mix.Sample(rng)
+				if opts.OneWriter {
+					if t == 0 {
+						op = workload.OpInsert
+					} else {
+						op = workload.OpGet
+					}
+				}
+				key := gen.NextKey(rng, keyBuf)
+				var begin time.Time
+				if opts.MeasureLatency {
+					begin = time.Now()
+				}
+				switch op {
+				case workload.OpGet:
+					_, _, err := store.Get(key)
+					if err != nil {
+						errCount.Add(1)
+						continue
+					}
+					reads.Add(1)
+					keysAcc.Add(1)
+					if opts.MeasureLatency {
+						res.ReadLat.Record(time.Since(begin))
+					}
+				case workload.OpInsert:
+					valBuf = workload.Value(valBuf, opts.ValueSize, myOps)
+					if err := store.Put(key, valBuf); err != nil {
+						errCount.Add(1)
+						continue
+					}
+					writes.Add(1)
+					keysAcc.Add(1)
+					if opts.MeasureLatency {
+						res.WriteLat.Record(time.Since(begin))
+					}
+				case workload.OpDelete:
+					if err := store.Delete(key); err != nil {
+						errCount.Add(1)
+						continue
+					}
+					writes.Add(1)
+					keysAcc.Add(1)
+					if opts.MeasureLatency {
+						res.WriteLat.Record(time.Since(begin))
+					}
+				case workload.OpScan:
+					low := key
+					var hv uint64
+					for i := 0; i < 8; i++ {
+						hv = hv<<8 | uint64(low[i])
+					}
+					high := workload.PutUint64(highBuf, hv+scanWidth)
+					if hv+scanWidth < hv { // wrapped: open upper bound
+						high = nil
+					}
+					pairs, err := store.Scan(low, high)
+					if err != nil {
+						errCount.Add(1)
+						continue
+					}
+					scans.Add(1)
+					keysAcc.Add(uint64(len(pairs)))
+				}
+				ops.Add(1)
+			}
+		}(t)
+	}
+
+	timer := time.AfterFunc(opts.Duration, func() { stop.Store(true) })
+	wg.Wait()
+	timer.Stop()
+	res.Elapsed = time.Since(start)
+	res.Ops = ops.Load()
+	res.Reads = reads.Load()
+	res.Writes = writes.Load()
+	res.Scans = scans.Load()
+	res.KeysAccessed = keysAcc.Load()
+	res.Errors = errCount.Load()
+	return res
+}
+
+// Fill loads n keys into store (half-dataset random initialization of
+// §5.2 when used with a shuffled order; sorted when sequential).
+func Fill(store kv.Store, gen func(i uint64) []byte, n uint64, valueSize int) error {
+	var val []byte
+	for i := uint64(0); i < n; i++ {
+		val = workload.Value(val, valueSize, i)
+		if err := store.Put(gen(i), val); err != nil {
+			return fmt.Errorf("harness: fill at %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Quiescer is implemented by stores that can wait out background disk
+// work; the harness calls it between initialization and measurement
+// ("we wait until draining to disk and compactions have completed before
+// starting the experiment", §5.2).
+type Quiescer interface {
+	WaitDiskQuiesce()
+}
+
+// Quiesce waits for background work if the store supports it.
+func Quiesce(store kv.Store) {
+	if q, ok := store.(Quiescer); ok {
+		q.WaitDiskQuiesce()
+	}
+}

@@ -1,0 +1,240 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flodb/internal/kv"
+	"flodb/internal/workload"
+)
+
+// mapStore is a trivial in-memory kv.Store for driver tests.
+type mapStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
+
+func (s *mapStore) Put(k, v []byte) error {
+	s.mu.Lock()
+	s.m[string(k)] = append([]byte(nil), v...)
+	s.mu.Unlock()
+	return nil
+}
+func (s *mapStore) Delete(k []byte) error {
+	s.mu.Lock()
+	delete(s.m, string(k))
+	s.mu.Unlock()
+	return nil
+}
+func (s *mapStore) Get(k []byte) ([]byte, bool, error) {
+	s.mu.RLock()
+	v, ok := s.m[string(k)]
+	s.mu.RUnlock()
+	return v, ok, nil
+}
+func (s *mapStore) Scan(low, high []byte) ([]kv.Pair, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []kv.Pair
+	for k, v := range s.m {
+		if low != nil && k < string(low) {
+			continue
+		}
+		if high != nil && k >= string(high) {
+			continue
+		}
+		out = append(out, kv.Pair{Key: []byte(k), Value: v})
+	}
+	return out, nil
+}
+func (s *mapStore) Close() error { return nil }
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	med := h.Median()
+	if med < 300_000 || med > 800_000 {
+		t.Fatalf("median %dns, want ~500µs", med)
+	}
+	p99 := h.P99()
+	if p99 < 800_000 || p99 > 1_400_000 {
+		t.Fatalf("p99 %dns, want ~990µs", p99)
+	}
+	if p99 <= med {
+		t.Fatal("p99 <= median")
+	}
+	if h.Mean() <= 0 {
+		t.Fatal("mean not positive")
+	}
+	if !strings.Contains(h.String(), "n=1000") {
+		t.Fatal("String() malformed")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Median() != 0 || h.P99() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramMonotoneBuckets(t *testing.T) {
+	prev := int64(-1)
+	for i := 0; i < histBuckets; i++ {
+		m := bucketMid(i)
+		if m <= prev {
+			t.Fatalf("bucketMid not monotone at %d: %d <= %d", i, m, prev)
+		}
+		prev = m
+	}
+	// Recorded values must land in buckets whose mid is within 2x.
+	for _, ns := range []int64{1, 10, 1000, 123456, 1e9} {
+		b := bucketOf(ns)
+		mid := bucketMid(b)
+		if mid < ns/2 || mid > ns*2 {
+			t.Fatalf("bucket mid %d far from value %d", mid, ns)
+		}
+	}
+}
+
+func TestRunCountsOps(t *testing.T) {
+	s := newMapStore()
+	res := Run(s, RunOptions{
+		Threads:  4,
+		Duration: 100 * time.Millisecond,
+		Mix:      workload.Balanced,
+		Keys:     1024,
+	})
+	if res.Ops == 0 {
+		t.Fatal("no ops executed")
+	}
+	if res.Reads+res.Writes+res.Scans != res.Ops {
+		t.Fatalf("op accounting: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors: %d", res.Errors)
+	}
+	if res.MopsPerSec() <= 0 {
+		t.Fatal("throughput not positive")
+	}
+}
+
+func TestRunMaxOps(t *testing.T) {
+	s := newMapStore()
+	res := Run(s, RunOptions{
+		Threads:  2,
+		Duration: 10 * time.Second, // bounded by MaxOps, not time
+		Mix:      workload.WriteOnly,
+		Keys:     1024,
+		MaxOps:   100,
+	})
+	if res.Ops != 200 {
+		t.Fatalf("ops = %d, want exactly 2 threads x 100", res.Ops)
+	}
+	if res.Elapsed > 5*time.Second {
+		t.Fatal("MaxOps did not stop the run")
+	}
+}
+
+func TestRunOneWriter(t *testing.T) {
+	s := newMapStore()
+	res := Run(s, RunOptions{
+		Threads:   4,
+		Duration:  50 * time.Millisecond,
+		Mix:       workload.ReadOnly, // overridden by OneWriter
+		Keys:      256,
+		OneWriter: true,
+	})
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatalf("one-writer mix broken: %+v", res)
+	}
+}
+
+func TestRunLatencyMeasured(t *testing.T) {
+	s := newMapStore()
+	res := Run(s, RunOptions{
+		Threads:        2,
+		Duration:       50 * time.Millisecond,
+		Mix:            workload.Balanced,
+		Keys:           256,
+		MeasureLatency: true,
+	})
+	if res.ReadLat.Count() == 0 || res.WriteLat.Count() == 0 {
+		t.Fatal("latency histograms empty")
+	}
+}
+
+func TestRunScansCountKeys(t *testing.T) {
+	s := newMapStore()
+	if err := Fill(s, func(i uint64) []byte {
+		return workload.NewUniform(1024).KeyAt(i, make([]byte, 8))
+	}, 1024, 16); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(s, RunOptions{
+		Threads:    2,
+		Duration:   50 * time.Millisecond,
+		Mix:        workload.ScanWithPct(100),
+		Keys:       1024,
+		ScanLength: 10,
+	})
+	if res.Scans == 0 {
+		t.Fatal("no scans ran")
+	}
+	if res.KeysAccessed < res.Scans {
+		t.Fatalf("keys accessed %d < scans %d", res.KeysAccessed, res.Scans)
+	}
+	if res.MkeysPerSec() <= 0 || res.ScanOpsPerSec() <= 0 {
+		t.Fatal("scan throughput metrics broken")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Figure X", "threads", "Mops/s", []string{"1", "2"}, []string{"flodb", "rocksdb"})
+	tb.Set(0, 0, 1.5)
+	tb.Set(0, 1, 3.25)
+	tb.Set(1, 0, 0.5)
+	tb.Set(1, 1, 12345)
+	tb.AddNote("hello %d", 7)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure X", "flodb", "rocksdb", "1.500", "12345", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q in:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	tb.RenderCSV(&buf)
+	if !strings.Contains(buf.String(), "flodb,1.5,3.25") {
+		t.Fatalf("csv malformed:\n%s", buf.String())
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2 << 10:   "2KB",
+		128 << 20: "128MB",
+		192 << 30: "192GB",
+	}
+	for n, want := range cases {
+		if got := ByteSize(n); got != want {
+			t.Fatalf("ByteSize(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestQuiesceNoPanicOnPlainStore(t *testing.T) {
+	Quiesce(newMapStore()) // no Quiescer implementation: must be a no-op
+}

@@ -1,0 +1,114 @@
+// Package harness drives the paper's experiments: fixed-duration
+// multi-threaded open-loop drivers over any kv.Store, latency histograms,
+// and table/CSV reporting for every figure in §5.
+package harness
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of the log-linear latency histogram:
+// 4 sub-buckets per power of two from 1ns up to ~17s.
+const (
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+	// histBuckets caps at exponent 62 so bucket midpoints stay within
+	// int64 nanoseconds (~292 years — a safe latency ceiling).
+	histBuckets = (62-histSubBits)<<histSubBits + histSub + histSub
+)
+
+// Histogram is a concurrent log-linear latency histogram. Recording is a
+// single atomic increment; percentiles are approximate (bucket midpoint),
+// which is ample for the paper's normalized-latency figures (Figs 3–4).
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	v := uint64(ns)
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	sub := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	b := (exp-histSubBits)<<histSubBits + int(sub) + histSub
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketMid returns a representative nanosecond value for bucket i.
+func bucketMid(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	exp := (i-histSub)>>histSubBits + histSubBits
+	sub := (i - histSub) & (histSub - 1)
+	base := uint64(1) << uint(exp)
+	step := base >> histSubBits
+	return int64(base + uint64(sub)*step + step/2)
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	h.counts[bucketOf(d.Nanoseconds())].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Quantile returns the approximate q-quantile (0 < q <= 1) in
+// nanoseconds, or 0 when empty.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// Median returns the approximate 50th percentile in nanoseconds.
+func (h *Histogram) Median() int64 { return h.Quantile(0.5) }
+
+// P99 returns the approximate 99th percentile in nanoseconds.
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Mean returns the approximate mean in nanoseconds.
+func (h *Histogram) Mean() float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < histBuckets; i++ {
+		if c := h.counts[i].Load(); c > 0 {
+			sum += float64(c) * float64(bucketMid(i))
+		}
+	}
+	return sum / float64(total)
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d p50=%dns p99=%dns", h.Count(), h.Median(), h.P99())
+}

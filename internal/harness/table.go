@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one figure's data: series (rows) against an x-axis (columns),
+// rendered as aligned text (the paper's plots, in rows) or CSV.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Cols   []string
+	Rows   []string
+	Cells  [][]float64 // [row][col]
+	Notes  []string
+}
+
+// NewTable builds an empty table with the given axes.
+func NewTable(title, xlabel, ylabel string, cols, rows []string) *Table {
+	cells := make([][]float64, len(rows))
+	for i := range cells {
+		cells[i] = make([]float64, len(cols))
+	}
+	return &Table{Title: title, XLabel: xlabel, YLabel: ylabel, Cols: cols, Rows: rows, Cells: cells}
+}
+
+// Set stores a cell.
+func (t *Table) Set(row, col int, v float64) { t.Cells[row][col] = v }
+
+// AddNote appends a caption line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	if t.YLabel != "" {
+		fmt.Fprintf(w, "(%s vs %s)\n", t.YLabel, t.XLabel)
+	}
+	rowHdrW := len("series")
+	for _, r := range t.Rows {
+		if len(r) > rowHdrW {
+			rowHdrW = len(r)
+		}
+	}
+	colW := make([]int, len(t.Cols))
+	for j, c := range t.Cols {
+		colW[j] = len(c)
+		for i := range t.Rows {
+			if n := len(formatCell(t.Cells[i][j])); n > colW[j] {
+				colW[j] = n
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-*s", rowHdrW, "series")
+	for j, c := range t.Cols {
+		fmt.Fprintf(w, "  %*s", colW[j], c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", rowHdrW+sum(colW)+2*len(colW)))
+	for i, r := range t.Rows {
+		fmt.Fprintf(w, "%-*s", rowHdrW, r)
+		for j := range t.Cols {
+			fmt.Fprintf(w, "  %*s", colW[j], formatCell(t.Cells[i][j]))
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// RenderCSV writes the table as CSV (first column = series name).
+func (t *Table) RenderCSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", t.Title)
+	fmt.Fprintf(w, "series,%s\n", strings.Join(t.Cols, ","))
+	for i, r := range t.Rows {
+		fmt.Fprint(w, r)
+		for j := range t.Cols {
+			fmt.Fprintf(w, ",%g", t.Cells[i][j])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// ByteSize renders byte counts like the paper's axis labels (128MB, 2GB).
+func ByteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.4gGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.4gMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.4gKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

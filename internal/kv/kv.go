@@ -1,0 +1,109 @@
+// Package kv defines the store interface shared by FloDB and the four
+// baseline systems, plus the wire encoding of key-value mutations used in
+// write-ahead-log records.
+//
+// Having one interface is what lets the benchmark harness run the paper's
+// five systems (FloDB, LevelDB, HyperLevelDB, RocksDB, RocksDB/cLSM)
+// through identical drivers, as the paper's evaluation does.
+package kv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flodb/internal/keys"
+)
+
+// Pair is a key-value result returned by scans.
+type Pair struct {
+	Key   []byte
+	Value []byte
+}
+
+// Store is the user-facing key-value API from §2.1 of the paper: put, get,
+// remove, and range scans with point-in-time (serializable) semantics.
+type Store interface {
+	// Put inserts or overwrites key with value.
+	Put(key, value []byte) error
+	// Delete removes key (by writing a tombstone).
+	Delete(key []byte) error
+	// Get returns the freshest value for key. found is false if the key is
+	// absent or deleted.
+	Get(key []byte) (value []byte, found bool, err error)
+	// Scan returns all pairs with low <= key < high, in key order. The
+	// returned view is a consistent snapshot (serializable; master scans
+	// in FloDB are linearizable, §4.4).
+	Scan(low, high []byte) ([]Pair, error)
+	// Close flushes and releases resources.
+	Close() error
+}
+
+// Syncer is implemented by stores that can force all buffered state to
+// stable storage.
+type Syncer interface {
+	Sync() error
+}
+
+// Stats are point-in-time counters exposed by stores for the harness.
+type Stats struct {
+	Puts, Gets, Deletes, Scans uint64
+	ScanRestarts               uint64
+	FallbackScans              uint64
+	MembufferHits              uint64 // updates completed in the Membuffer
+	MemtableWrites             uint64 // updates that fell through to the Memtable
+	Flushes                    uint64
+	Compactions                uint64
+}
+
+// StatsProvider is implemented by stores that report Stats.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// --- WAL record encoding ----------------------------------------------------
+
+// ErrBadRecord reports a structurally invalid mutation record.
+var ErrBadRecord = errors.New("kv: bad record")
+
+// EncodeRecord serializes one mutation: kind, key, value.
+// Layout: kind(1) | klen(uvarint) | key | vlen(uvarint) | value.
+func EncodeRecord(kind keys.Kind, key, value []byte) []byte {
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(key)+len(value))
+	buf = append(buf, byte(kind))
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+// DecodeRecord parses a record produced by EncodeRecord. The returned
+// slices alias rec.
+func DecodeRecord(rec []byte) (kind keys.Kind, key, value []byte, err error) {
+	if len(rec) < 1 {
+		return 0, nil, nil, fmt.Errorf("%w: empty", ErrBadRecord)
+	}
+	kind = keys.Kind(rec[0])
+	if kind != keys.KindSet && kind != keys.KindDelete {
+		return 0, nil, nil, fmt.Errorf("%w: kind %d", ErrBadRecord, rec[0])
+	}
+	rest := rec[1:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < klen {
+		return 0, nil, nil, fmt.Errorf("%w: key length", ErrBadRecord)
+	}
+	rest = rest[n:]
+	key = rest[:klen]
+	rest = rest[klen:]
+	vlen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) < vlen {
+		return 0, nil, nil, fmt.Errorf("%w: value length", ErrBadRecord)
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) != vlen {
+		return 0, nil, nil, fmt.Errorf("%w: trailing bytes", ErrBadRecord)
+	}
+	value = rest[:vlen]
+	return kind, key, value, nil
+}

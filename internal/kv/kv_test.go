@@ -1,0 +1,64 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flodb/internal/keys"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	cases := []struct {
+		kind       keys.Kind
+		key, value []byte
+	}{
+		{keys.KindSet, []byte("k"), []byte("v")},
+		{keys.KindSet, []byte{}, []byte{}},
+		{keys.KindDelete, []byte("gone"), nil},
+		{keys.KindSet, bytes.Repeat([]byte("K"), 1000), bytes.Repeat([]byte("V"), 5000)},
+	}
+	for _, tc := range cases {
+		rec := EncodeRecord(tc.kind, tc.key, tc.value)
+		kind, key, value, err := DecodeRecord(rec)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", tc.kind, err)
+		}
+		if kind != tc.kind || !bytes.Equal(key, tc.key) || !bytes.Equal(value, tc.value) {
+			t.Fatalf("round trip mismatch: %v %q %q", kind, key, value)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{99},                                   // unknown kind
+		{byte(keys.KindSet)},                   // missing lengths
+		{byte(keys.KindSet), 0x05, 'a'},        // key shorter than declared
+		{byte(keys.KindSet), 0x01, 'a', 0x09},  // value shorter than declared
+		{byte(keys.KindSet), 0x00, 0x00, 0xff}, // trailing bytes
+		{byte(keys.KindSet), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // huge varint
+	}
+	for i, rec := range bad {
+		if _, _, _, err := DecodeRecord(rec); !errors.Is(err, ErrBadRecord) {
+			t.Errorf("case %d: expected ErrBadRecord, got %v", i, err)
+		}
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	err := quick.Check(func(key, value []byte, del bool) bool {
+		kind := keys.KindSet
+		if del {
+			kind = keys.KindDelete
+		}
+		k2, key2, val2, err := DecodeRecord(EncodeRecord(kind, key, value))
+		return err == nil && k2 == kind && bytes.Equal(key2, key) && bytes.Equal(val2, value)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,362 @@
+// Package membuffer implements FloDB's top in-memory level: a small, fast,
+// unsorted concurrent hash table in the style of CLHT (cache-line hash
+// table) that the paper uses as the Membuffer (§4.1).
+//
+// Structure:
+//
+//   - The table is an array of fixed-capacity buckets. A bucket holds a
+//     small number of slots (entries) and a lock; updates lock only their
+//     bucket, reads are lock-free (each slot is an atomic pointer to an
+//     immutable pair).
+//   - The bucket array is split into 2^ℓ contiguous *partitions*; the ℓ
+//     most significant bits of the key select the partition and the rest
+//     of the key hashes to a bucket inside it (§4.3). Keys that are close
+//     numerically land in the same partition, so a drained batch is a
+//     small skiplist "neighborhood" — the property that makes multi-insert
+//     path reuse effective (Fig 8).
+//   - There is no chaining and no resizing: when a bucket is full, Add
+//     fails and the caller (FloDB's Put) writes to the Memtable instead
+//     (Algorithm 2). This bounds both memory and tail latency.
+//
+// Draining protocol (Figure 6): a drainer marks a pair (claiming it against
+// other drainers), copies it to the memtable, then releases it. Marks live
+// on the immutable pair object, so an in-place update — which replaces the
+// slot's pair wholesale — silently invalidates the claim: Release only
+// clears the slot if it still holds the identical pair. An overwritten-
+// while-draining value therefore remains in the Membuffer, above the stale
+// copy the drainer pushed into the Memtable, preserving freshest-level-wins.
+package membuffer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flodb/internal/keys"
+)
+
+// DefaultSlotsPerBucket mirrors CLHT's cache-line budget: 3–4 entries per
+// bucket. Four keeps the failure ("bucket full") probability low at the
+// occupancies FloDB targets.
+const DefaultSlotsPerBucket = 4
+
+// pair is an immutable key/value snapshot stored in a slot. The drained
+// flag is the drain claim; it transitions false→true exactly once.
+type pair struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+	drained   atomic.Bool
+}
+
+type bucket struct {
+	mu    sync.Mutex
+	slots []atomic.Pointer[pair]
+}
+
+// Config sizes a Buffer.
+type Config struct {
+	// Buckets is the total bucket count; it is rounded up to a multiple of
+	// the partition count.
+	Buckets int
+	// SlotsPerBucket is the entry capacity of each bucket.
+	SlotsPerBucket int
+	// PartitionBits is ℓ: the table has 2^ℓ partitions keyed by the most
+	// significant key bits. 0 disables partitioning (one partition).
+	PartitionBits uint
+}
+
+// ConfigForBytes sizes a buffer to hold roughly capacityBytes of entries
+// of the given average size (key+value), at the default slot count.
+func ConfigForBytes(capacityBytes int64, avgEntryBytes int, partitionBits uint) Config {
+	if avgEntryBytes <= 0 {
+		avgEntryBytes = 64
+	}
+	entries := capacityBytes / int64(avgEntryBytes)
+	buckets := int(entries / DefaultSlotsPerBucket)
+	if buckets < 1 {
+		buckets = 1
+	}
+	return Config{Buckets: buckets, SlotsPerBucket: DefaultSlotsPerBucket, PartitionBits: partitionBits}
+}
+
+// Buffer is the Membuffer. Create with New.
+type Buffer struct {
+	buckets        []bucket
+	partitions     int
+	perPart        int // buckets per partition
+	slotsPerBucket int
+	partBits       uint
+
+	frozen atomic.Bool
+	live   atomic.Int64 // live (non-drained-and-removed) entries
+	bytes  atomic.Int64 // approximate bytes of live entries
+
+	// drainCursor hands out partitions round-robin to draining threads.
+	drainCursor atomic.Uint64
+
+	// fullFailures counts Adds rejected because the target bucket was
+	// full — the benchmarks report the "direct Membuffer update" fraction
+	// (Fig 17) from this.
+	fullFailures atomic.Int64
+}
+
+// New builds an empty buffer from cfg.
+func New(cfg Config) *Buffer {
+	if cfg.SlotsPerBucket <= 0 {
+		cfg.SlotsPerBucket = DefaultSlotsPerBucket
+	}
+	if cfg.PartitionBits > 16 {
+		cfg.PartitionBits = 16
+	}
+	parts := 1 << cfg.PartitionBits
+	if cfg.Buckets < parts {
+		cfg.Buckets = parts
+	}
+	if rem := cfg.Buckets % parts; rem != 0 {
+		cfg.Buckets += parts - rem
+	}
+	b := &Buffer{
+		buckets:        make([]bucket, cfg.Buckets),
+		partitions:     parts,
+		perPart:        cfg.Buckets / parts,
+		slotsPerBucket: cfg.SlotsPerBucket,
+		partBits:       cfg.PartitionBits,
+	}
+	for i := range b.buckets {
+		b.buckets[i].slots = make([]atomic.Pointer[pair], cfg.SlotsPerBucket)
+	}
+	return b
+}
+
+// fnv1a hashes key without allocating. FNV-1a's multiply only propagates
+// entropy toward high bits, so keys differing only in their first bytes
+// would collide modulo a power of two; the murmur3 finalizer mixes the
+// bits back down before the caller reduces the hash.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// bucketFor maps a key to its bucket index: partition by MSBs, hash within.
+func (b *Buffer) bucketFor(key []byte) int {
+	p := int(keys.PartitionOf(key, b.partBits))
+	h := fnv1a(key)
+	return p*b.perPart + int(h%uint64(b.perPart))
+}
+
+// Add inserts key→value (or a tombstone) into the buffer, updating in place
+// if the key is already present. It returns false — and the caller must
+// fall through to the Memtable — if the buffer is frozen or the target
+// bucket is full.
+func (b *Buffer) Add(key, value []byte, tombstone bool) bool {
+	if b.frozen.Load() {
+		return false
+	}
+	bk := &b.buckets[b.bucketFor(key)]
+	np := &pair{key: key, value: value, tombstone: tombstone}
+	bk.mu.Lock()
+	// Re-check under the lock: Freeze's caller synchronizes via RCU, but
+	// the cheap double check keeps helpers honest in tests.
+	if b.frozen.Load() {
+		bk.mu.Unlock()
+		return false
+	}
+	free := -1
+	for i := range bk.slots {
+		p := bk.slots[i].Load()
+		if p == nil {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if keys.Equal(p.key, key) {
+			// In-place update: replace the pair. Any drain claim on the
+			// old pair is invalidated by pointer identity.
+			bk.slots[i].Store(np)
+			b.bytes.Add(int64(len(value)) - int64(len(p.value)))
+			bk.mu.Unlock()
+			return true
+		}
+	}
+	if free < 0 {
+		bk.mu.Unlock()
+		b.fullFailures.Add(1)
+		return false
+	}
+	bk.slots[free].Store(np)
+	b.live.Add(1)
+	b.bytes.Add(int64(len(key)) + int64(len(value)))
+	bk.mu.Unlock()
+	return true
+}
+
+// Get returns the freshest value for key in this buffer. ok is false if the
+// key is absent. Lock-free.
+func (b *Buffer) Get(key []byte) (value []byte, tombstone, ok bool) {
+	bk := &b.buckets[b.bucketFor(key)]
+	for i := range bk.slots {
+		p := bk.slots[i].Load()
+		if p != nil && keys.Equal(p.key, key) {
+			return p.value, p.tombstone, true
+		}
+	}
+	return nil, false, false
+}
+
+// Freeze makes the buffer immutable: all subsequent Adds fail. Used when a
+// scan or the core installs a fresh Membuffer and this one becomes IMM_MBF.
+func (b *Buffer) Freeze() { b.frozen.Store(true) }
+
+// Frozen reports whether Freeze was called.
+func (b *Buffer) Frozen() bool { return b.frozen.Load() }
+
+// Len returns the number of live entries.
+func (b *Buffer) Len() int { return int(b.live.Load()) }
+
+// ApproxBytes returns the approximate bytes held.
+func (b *Buffer) ApproxBytes() int64 { return b.bytes.Load() }
+
+// Capacity returns the total slot count.
+func (b *Buffer) Capacity() int { return len(b.buckets) * b.slotsPerBucket }
+
+// Occupancy returns live entries / capacity in [0,1].
+func (b *Buffer) Occupancy() float64 {
+	return float64(b.live.Load()) / float64(b.Capacity())
+}
+
+// FullFailures returns how many Adds were rejected on a full bucket.
+func (b *Buffer) FullFailures() int64 { return b.fullFailures.Load() }
+
+// Partitions returns the partition count (2^ℓ).
+func (b *Buffer) Partitions() int { return b.partitions }
+
+// NextPartition hands out partition indices round-robin across draining
+// threads.
+func (b *Buffer) NextPartition() int {
+	return int(b.drainCursor.Add(1)-1) % b.partitions
+}
+
+// Drained is a claimed entry handed to a draining thread. The drainer must
+// call Release after the entry has been safely inserted downstream.
+type Drained struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+
+	bucketIdx int
+	slotIdx   int
+	p         *pair
+}
+
+// DrainPartition claims up to max unclaimed entries from partition part.
+// Claimed entries stay visible to readers (and to in-place updaters) until
+// Release removes them — exactly the mark→insert→delete sequence of
+// Figure 6. A max of 0 or less claims everything in the partition.
+func (b *Buffer) DrainPartition(part, max int) []Drained {
+	if part < 0 || part >= b.partitions {
+		return nil
+	}
+	if max <= 0 {
+		max = int(^uint(0) >> 1)
+	}
+	var out []Drained
+	start := part * b.perPart
+	for bi := start; bi < start+b.perPart && len(out) < max; bi++ {
+		bk := &b.buckets[bi]
+		for si := range bk.slots {
+			if len(out) >= max {
+				break
+			}
+			p := bk.slots[si].Load()
+			if p == nil {
+				continue
+			}
+			if !p.drained.CompareAndSwap(false, true) {
+				continue // another drainer owns it
+			}
+			out = append(out, Drained{
+				Key: p.key, Value: p.value, Tombstone: p.tombstone,
+				bucketIdx: bi, slotIdx: si, p: p,
+			})
+		}
+	}
+	return out
+}
+
+// DrainAll claims every unclaimed entry in the buffer. Used for the full
+// pre-scan drain of an immutable Membuffer.
+func (b *Buffer) DrainAll() []Drained {
+	var out []Drained
+	for part := 0; part < b.partitions; part++ {
+		out = append(out, b.DrainPartition(part, 0)...)
+	}
+	return out
+}
+
+// Release removes drained entries from the buffer. A slot is cleared only
+// if it still holds the identical pair: if a writer updated the key in
+// place after the claim, the newer pair stays (it will be drained later
+// with a newer sequence number).
+func (b *Buffer) Release(drained []Drained) {
+	for i := range drained {
+		d := &drained[i]
+		bk := &b.buckets[d.bucketIdx]
+		bk.mu.Lock()
+		if bk.slots[d.slotIdx].Load() == d.p {
+			bk.slots[d.slotIdx].Store(nil)
+			b.live.Add(-1)
+			b.bytes.Add(-int64(len(d.Key)) - int64(len(d.Value)))
+		}
+		bk.mu.Unlock()
+	}
+}
+
+// Abort returns claimed entries to the unclaimed state without removing
+// them. Drainers use it when the downstream insert fails (e.g. shutdown).
+func (b *Buffer) Abort(drained []Drained) {
+	for i := range drained {
+		drained[i].p.drained.Store(false)
+	}
+}
+
+// ForEach calls fn for every live entry (including drain-claimed ones).
+// Iteration order is bucket order, not key order. fn must not mutate the
+// buffer. Used by tests and by the flodb CLI's stats command.
+func (b *Buffer) ForEach(fn func(key, value []byte, tombstone bool)) {
+	for bi := range b.buckets {
+		bk := &b.buckets[bi]
+		for si := range bk.slots {
+			if p := bk.slots[si].Load(); p != nil {
+				fn(p.key, p.value, p.tombstone)
+			}
+		}
+	}
+}
+
+// PartitionLen counts live entries in one partition (diagnostics).
+func (b *Buffer) PartitionLen(part int) int {
+	if part < 0 || part >= b.partitions {
+		return 0
+	}
+	n := 0
+	start := part * b.perPart
+	for bi := start; bi < start+b.perPart; bi++ {
+		bk := &b.buckets[bi]
+		for si := range bk.slots {
+			if bk.slots[si].Load() != nil {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,375 @@
+package membuffer
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flodb/internal/keys"
+)
+
+func newSmall() *Buffer {
+	return New(Config{Buckets: 64, SlotsPerBucket: 4, PartitionBits: 2})
+}
+
+func TestAddGet(t *testing.T) {
+	b := newSmall()
+	if !b.Add([]byte("k"), []byte("v"), false) {
+		t.Fatal("Add failed on empty buffer")
+	}
+	v, tomb, ok := b.Get([]byte("k"))
+	if !ok || tomb || string(v) != "v" {
+		t.Fatalf("Get = %q, %v, %v", v, tomb, ok)
+	}
+	if _, _, ok := b.Get([]byte("missing")); ok {
+		t.Fatal("missing key should miss")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestInPlaceUpdate(t *testing.T) {
+	b := newSmall()
+	b.Add([]byte("k"), []byte("v1"), false)
+	b.Add([]byte("k"), []byte("v2longer"), false)
+	v, _, ok := b.Get([]byte("k"))
+	if !ok || string(v) != "v2longer" {
+		t.Fatalf("Get after update = %q, %v", v, ok)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("in-place update must not grow Len, got %d", b.Len())
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	b := newSmall()
+	b.Add([]byte("k"), nil, true)
+	_, tomb, ok := b.Get([]byte("k"))
+	if !ok || !tomb {
+		t.Fatal("tombstone should be stored and flagged")
+	}
+}
+
+func TestBucketFullRejects(t *testing.T) {
+	// One bucket, 2 slots: the third distinct key must be rejected.
+	b := New(Config{Buckets: 1, SlotsPerBucket: 2, PartitionBits: 0})
+	if !b.Add([]byte("a"), []byte("1"), false) || !b.Add([]byte("b"), []byte("2"), false) {
+		t.Fatal("first two adds should succeed")
+	}
+	if b.Add([]byte("c"), []byte("3"), false) {
+		t.Fatal("third distinct key should be rejected (bucket full)")
+	}
+	if b.FullFailures() != 1 {
+		t.Fatalf("FullFailures = %d", b.FullFailures())
+	}
+	// Updating an existing key still works when full.
+	if !b.Add([]byte("a"), []byte("1'"), false) {
+		t.Fatal("in-place update should succeed even when bucket is full")
+	}
+}
+
+func TestFreeze(t *testing.T) {
+	b := newSmall()
+	b.Add([]byte("k"), []byte("v"), false)
+	b.Freeze()
+	if !b.Frozen() {
+		t.Fatal("Frozen should report true")
+	}
+	if b.Add([]byte("k2"), []byte("v2"), false) {
+		t.Fatal("Add after Freeze should fail")
+	}
+	// Reads still work on a frozen buffer (it is IMM_MBF in Algorithm 2).
+	if _, _, ok := b.Get([]byte("k")); !ok {
+		t.Fatal("reads must work on frozen buffer")
+	}
+}
+
+func TestPartitioningIsMSBBased(t *testing.T) {
+	b := New(Config{Buckets: 256, SlotsPerBucket: 4, PartitionBits: 4})
+	if b.Partitions() != 16 {
+		t.Fatalf("Partitions = %d", b.Partitions())
+	}
+	// Keys sharing high bits land in the same partition.
+	k1 := keys.EncodeUint64(0x1234_0000_0000_0000)
+	k2 := keys.EncodeUint64(0x1fff_ffff_0000_0000)
+	k3 := keys.EncodeUint64(0xf000_0000_0000_0000)
+	p1, p2, p3 := b.bucketFor(k1)/b.perPart, b.bucketFor(k2)/b.perPart, b.bucketFor(k3)/b.perPart
+	if p1 != p2 {
+		t.Errorf("keys with same top nibble split: %d vs %d", p1, p2)
+	}
+	if p1 == p3 {
+		t.Errorf("keys with different top nibble collided: %d", p1)
+	}
+	b.Add(k1, []byte("v"), false)
+	if got := b.PartitionLen(p1); got != 1 {
+		t.Errorf("PartitionLen(%d) = %d", p1, got)
+	}
+}
+
+func TestBucketsRoundedToPartitions(t *testing.T) {
+	b := New(Config{Buckets: 5, SlotsPerBucket: 1, PartitionBits: 2})
+	if len(b.buckets)%4 != 0 {
+		t.Fatalf("buckets (%d) not a multiple of partitions", len(b.buckets))
+	}
+}
+
+func TestConfigForBytes(t *testing.T) {
+	c := ConfigForBytes(1<<20, 264, 4)
+	if c.Buckets <= 0 {
+		t.Fatal("ConfigForBytes produced no buckets")
+	}
+	b := New(c)
+	// Capacity should be in the right ballpark: 1MiB / 264B ≈ 3970 entries.
+	if b.Capacity() < 2000 || b.Capacity() > 8000 {
+		t.Fatalf("capacity %d out of expected range", b.Capacity())
+	}
+	if got := ConfigForBytes(100, 0, 0); got.Buckets < 1 {
+		t.Fatal("degenerate config must still have a bucket")
+	}
+}
+
+func TestDrainReleaseCycle(t *testing.T) {
+	b := New(Config{Buckets: 16, SlotsPerBucket: 4, PartitionBits: 1})
+	for i := 0; i < 20; i++ {
+		b.Add(keys.EncodeUint64(uint64(i)<<59), []byte("v"), false) // spread partitions
+	}
+	total := 0
+	for p := 0; p < b.Partitions(); p++ {
+		d := b.DrainPartition(p, 0)
+		total += len(d)
+		// Claimed entries are still readable before Release.
+		for _, e := range d {
+			if _, _, ok := b.Get(e.Key); !ok {
+				t.Fatal("claimed entry should remain visible")
+			}
+		}
+		b.Release(d)
+		for _, e := range d {
+			if _, _, ok := b.Get(e.Key); ok {
+				t.Fatal("released entry should be gone")
+			}
+		}
+	}
+	if total != 20 {
+		t.Fatalf("drained %d entries, want 20", total)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after full drain = %d", b.Len())
+	}
+}
+
+func TestDrainClaimsAreExclusive(t *testing.T) {
+	b := New(Config{Buckets: 4, SlotsPerBucket: 4, PartitionBits: 0})
+	for i := 0; i < 10; i++ {
+		b.Add(keys.EncodeUint64(uint64(i)), []byte("v"), false)
+	}
+	d1 := b.DrainPartition(0, 0)
+	d2 := b.DrainPartition(0, 0)
+	if len(d1) != 10 || len(d2) != 0 {
+		t.Fatalf("claims not exclusive: %d + %d", len(d1), len(d2))
+	}
+	b.Abort(d1)
+	d3 := b.DrainPartition(0, 0)
+	if len(d3) != 10 {
+		t.Fatalf("Abort should unclaim: redrained %d", len(d3))
+	}
+}
+
+func TestDrainMaxRespected(t *testing.T) {
+	b := New(Config{Buckets: 4, SlotsPerBucket: 4, PartitionBits: 0})
+	for i := 0; i < 12; i++ {
+		b.Add(keys.EncodeUint64(uint64(i)), []byte("v"), false)
+	}
+	d := b.DrainPartition(0, 5)
+	if len(d) != 5 {
+		t.Fatalf("DrainPartition(max=5) returned %d", len(d))
+	}
+	b.Abort(d)
+}
+
+func TestUpdateDuringDrainIsNotLost(t *testing.T) {
+	// The scenario from the package comment: claim, then in-place update,
+	// then release. The NEW value must survive in the buffer.
+	b := New(Config{Buckets: 1, SlotsPerBucket: 4, PartitionBits: 0})
+	b.Add([]byte("k"), []byte("old"), false)
+	d := b.DrainPartition(0, 0)
+	if len(d) != 1 || string(d[0].Value) != "old" {
+		t.Fatalf("claimed %v", d)
+	}
+	if !b.Add([]byte("k"), []byte("new"), false) {
+		t.Fatal("in-place update during drain should succeed")
+	}
+	b.Release(d)
+	v, _, ok := b.Get([]byte("k"))
+	if !ok || string(v) != "new" {
+		t.Fatalf("new value lost: %q, %v", v, ok)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	// The replacement pair is unclaimed, so a later drain picks it up.
+	d2 := b.DrainPartition(0, 0)
+	if len(d2) != 1 || string(d2[0].Value) != "new" {
+		t.Fatalf("redrain got %v", d2)
+	}
+	b.Release(d2)
+	if b.Len() != 0 {
+		t.Fatal("buffer should be empty after final release")
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	b := New(Config{Buckets: 64, SlotsPerBucket: 4, PartitionBits: 3})
+	n := 0
+	for i := 0; i < 200; i++ {
+		if b.Add(keys.EncodeUint64(rand.Uint64()), []byte("v"), false) {
+			n++
+		}
+	}
+	d := b.DrainAll()
+	if len(d) != n {
+		t.Fatalf("DrainAll claimed %d, want %d", len(d), n)
+	}
+	b.Release(d)
+	if b.Len() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestNextPartitionRoundRobin(t *testing.T) {
+	b := New(Config{Buckets: 8, SlotsPerBucket: 1, PartitionBits: 2})
+	seen := make(map[int]int)
+	for i := 0; i < 8; i++ {
+		seen[b.NextPartition()]++
+	}
+	for p := 0; p < 4; p++ {
+		if seen[p] != 2 {
+			t.Fatalf("partition %d visited %d times, want 2", p, seen[p])
+		}
+	}
+}
+
+func TestForEachSeesEverything(t *testing.T) {
+	b := newSmall()
+	want := map[string]string{}
+	for i := 0; i < 30; i++ {
+		k, v := fmt.Sprintf("key-%02d", i), fmt.Sprintf("val-%02d", i)
+		if b.Add([]byte(k), []byte(v), false) {
+			want[k] = v
+		}
+	}
+	got := map[string]string{}
+	b.ForEach(func(k, v []byte, tomb bool) { got[string(k)] = string(v) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("ForEach[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestPropertyGetAfterAdd(t *testing.T) {
+	b := New(Config{Buckets: 4096, SlotsPerBucket: 4, PartitionBits: 4})
+	err := quick.Check(func(k uint64, v []byte) bool {
+		key := keys.EncodeUint64(k)
+		if !b.Add(key, v, false) {
+			return true // bucket full is a legal outcome
+		}
+		got, tomb, ok := b.Get(key)
+		return ok && !tomb && bytes.Equal(got, v)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAddGetDrain(t *testing.T) {
+	b := New(Config{Buckets: 1 << 12, SlotsPerBucket: 4, PartitionBits: 4})
+	stop := make(chan struct{})
+	var writers, background sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := keys.EncodeUint64(rng.Uint64() % 4096)
+				b.Add(k, keys.EncodeUint64(uint64(i)), false)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		background.Add(1)
+		go func(r int) {
+			defer background.Done()
+			rng := rand.New(rand.NewSource(int64(100 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					b.Get(keys.EncodeUint64(rng.Uint64() % 4096))
+				}
+			}
+		}(r)
+	}
+	background.Add(1)
+	go func() { // drainer
+		defer background.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d := b.DrainPartition(b.NextPartition(), 64)
+				b.Release(d)
+			}
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	background.Wait()
+
+	// Drain what remains and check accounting closes to zero.
+	rest := b.DrainAll()
+	b.Release(rest)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after full drain", b.Len())
+	}
+	if b.ApproxBytes() != 0 {
+		t.Fatalf("ApproxBytes = %d after full drain", b.ApproxBytes())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	buf := New(Config{Buckets: 1 << 16, SlotsPerBucket: 4, PartitionBits: 6})
+	val := bytes.Repeat([]byte("x"), 256)
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			buf.Add(keys.EncodeUint64(rng.Uint64()), val, false)
+		}
+	})
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	buf := New(Config{Buckets: 1 << 14, SlotsPerBucket: 4, PartitionBits: 6})
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		buf.Add(keys.EncodeUint64(uint64(i)), []byte("v"), false)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(rand.Int63()))
+		for pb.Next() {
+			buf.Get(keys.EncodeUint64(rng.Uint64() % n))
+		}
+	})
+}

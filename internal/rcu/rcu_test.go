@@ -1,0 +1,218 @@
+package rcu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEnterExitBasic(t *testing.T) {
+	d := NewDomain()
+	h := d.Reader()
+	h.Enter()
+	h.Exit()
+	// Synchronize with no active readers returns promptly.
+	done := make(chan struct{})
+	go func() { d.Synchronize(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize blocked with no readers")
+	}
+}
+
+func TestExitWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d := NewDomain()
+	d.Reader().Exit()
+}
+
+func TestNestedSections(t *testing.T) {
+	d := NewDomain()
+	h := d.Reader()
+	h.Enter()
+	h.Enter()
+	h.Exit()
+
+	// Still inside the outer section: Synchronize must not complete.
+	released := make(chan struct{})
+	go func() { d.Synchronize(); close(released) }()
+	select {
+	case <-released:
+		t.Fatal("Synchronize returned while a nested section was active")
+	case <-time.After(50 * time.Millisecond):
+	}
+	h.Exit()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize never returned after Exit")
+	}
+}
+
+func TestSynchronizeWaitsForActiveReader(t *testing.T) {
+	d := NewDomain()
+	h := d.Reader()
+
+	h.Enter()
+	var syncDone atomic.Bool
+	go func() {
+		d.Synchronize()
+		syncDone.Store(true)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if syncDone.Load() {
+		t.Fatal("Synchronize returned while reader active")
+	}
+	h.Exit()
+	deadline := time.Now().Add(5 * time.Second)
+	for !syncDone.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Synchronize did not return after reader exited")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSynchronizeDoesNotWaitForLaterReaders(t *testing.T) {
+	// A reader that starts *after* Synchronize begins must not block it.
+	d := NewDomain()
+	h := d.Reader()
+
+	h.Enter()
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		close(started)
+		d.Synchronize()
+		close(done)
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond) // let Synchronize bump the epoch
+	h.Exit()
+
+	// New section on the same slot: must not re-block the synchronizer.
+	h.Enter()
+	defer h.Exit()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Synchronize blocked on a reader that started after it")
+	}
+}
+
+// TestGracePeriodProtectsSwitch models the membuffer-switch pattern from
+// Algorithm 3: writers read a shared pointer inside a critical section and
+// write through it; the switcher replaces the pointer, synchronizes, and
+// only then inspects the old target. The old target must be quiescent.
+func TestGracePeriodProtectsSwitch(t *testing.T) {
+	type buffer struct {
+		writes atomic.Int64
+		sealed atomic.Bool
+	}
+	d := NewDomain()
+	var cur atomic.Pointer[buffer]
+	cur.Store(&buffer{})
+
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var violations atomic.Int64
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Reader()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Enter()
+				b := cur.Load()
+				if b.sealed.Load() {
+					// Sealing happens only after Synchronize, so a writer
+					// that got the pointer inside a critical section must
+					// never observe it sealed.
+					violations.Add(1)
+				}
+				b.writes.Add(1)
+				h.Exit()
+			}
+		}()
+	}
+
+	for i := 0; i < 50; i++ {
+		old := cur.Swap(&buffer{})
+		d.Synchronize()
+		old.sealed.Store(true)
+	}
+	close(stop)
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d writers observed a sealed buffer inside a critical section", v)
+	}
+}
+
+func TestReadHelper(t *testing.T) {
+	d := NewDomain()
+	ran := false
+	d.Read(func() { ran = true })
+	if !ran {
+		t.Fatal("Read did not run fn")
+	}
+}
+
+func TestManyGoroutinesStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	d := NewDomain()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := d.Reader()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Enter()
+					h.Exit()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		d.Synchronize()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkEnterExit(b *testing.B) {
+	d := NewDomain()
+	b.RunParallel(func(pb *testing.PB) {
+		h := d.Reader()
+		for pb.Next() {
+			h.Enter()
+			h.Exit()
+		}
+	})
+}
+
+func BenchmarkSynchronizeUncontended(b *testing.B) {
+	d := NewDomain()
+	for i := 0; i < b.N; i++ {
+		d.Synchronize()
+	}
+}

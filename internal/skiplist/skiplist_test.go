@@ -1,0 +1,595 @@
+package skiplist
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"flodb/internal/keys"
+)
+
+func entry(v string, seq uint64) *Entry {
+	return &Entry{Value: []byte(v), Seq: seq}
+}
+
+func TestEmptyList(t *testing.T) {
+	l := New()
+	if !l.Empty() || l.Len() != 0 {
+		t.Fatal("new list should be empty")
+	}
+	if _, ok := l.Get([]byte("x")); ok {
+		t.Fatal("Get on empty list should miss")
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	if it.Valid() {
+		t.Fatal("iterator on empty list should be invalid")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	l := New()
+	if !l.Insert([]byte("b"), entry("2", 1)) {
+		t.Fatal("first insert should create a node")
+	}
+	if !l.Insert([]byte("a"), entry("1", 2)) {
+		t.Fatal("insert of distinct key should create a node")
+	}
+	if l.Insert([]byte("b"), entry("2'", 3)) {
+		t.Fatal("insert of existing key should update in place, not create")
+	}
+	e, ok := l.Get([]byte("b"))
+	if !ok || string(e.Value) != "2'" || e.Seq != 3 {
+		t.Fatalf("Get(b) = %+v, %v", e, ok)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	if l.Updates() != 1 {
+		t.Fatalf("Updates = %d, want 1", l.Updates())
+	}
+}
+
+func TestGetMiss(t *testing.T) {
+	l := New()
+	l.Insert([]byte("b"), entry("2", 1))
+	for _, k := range []string{"a", "bb", "c", ""} {
+		if _, ok := l.Get([]byte(k)); ok {
+			t.Errorf("Get(%q) should miss", k)
+		}
+	}
+}
+
+func TestTombstoneEntry(t *testing.T) {
+	l := New()
+	l.Insert([]byte("k"), &Entry{Seq: 1, Tombstone: true})
+	e, ok := l.Get([]byte("k"))
+	if !ok || !e.Tombstone {
+		t.Fatal("tombstone should be stored and visible")
+	}
+}
+
+func TestIteratorOrder(t *testing.T) {
+	l := New()
+	perm := rand.New(rand.NewSource(42)).Perm(500)
+	for _, i := range perm {
+		l.Insert(keys.EncodeUint64(uint64(i)), entry(fmt.Sprint(i), uint64(i)))
+	}
+	it := l.NewIterator()
+	var got []uint64
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		got = append(got, keys.DecodeUint64(it.Key()))
+	}
+	if len(got) != 500 {
+		t.Fatalf("iterated %d keys, want 500", len(got))
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("position %d holds key %d", i, v)
+		}
+	}
+}
+
+func TestIteratorSeek(t *testing.T) {
+	l := New()
+	for i := 0; i < 100; i += 2 { // even keys 0..98
+		l.Insert(keys.EncodeUint64(uint64(i)), entry("v", 0))
+	}
+	it := l.NewIterator()
+
+	it.Seek(keys.EncodeUint64(10)) // exact hit
+	if !it.Valid() || keys.DecodeUint64(it.Key()) != 10 {
+		t.Fatal("Seek(10) should land on 10")
+	}
+	it.Seek(keys.EncodeUint64(11)) // between keys
+	if !it.Valid() || keys.DecodeUint64(it.Key()) != 12 {
+		t.Fatal("Seek(11) should land on 12")
+	}
+	it.Seek(keys.EncodeUint64(99)) // past the end
+	if it.Valid() {
+		t.Fatal("Seek(99) should be invalid")
+	}
+	it.Seek(nil) // before the start
+	if !it.Valid() || keys.DecodeUint64(it.Key()) != 0 {
+		t.Fatal("Seek(nil) should land on first key")
+	}
+}
+
+func TestIteratorSnapshotEntry(t *testing.T) {
+	// The entry observed by an iterator is the one loaded on arrival;
+	// Reload fetches the newest.
+	l := New()
+	l.Insert([]byte("k"), entry("old", 1))
+	it := l.NewIterator()
+	it.Seek([]byte("k"))
+	l.Insert([]byte("k"), entry("new", 2))
+	if string(it.Entry().Value) != "old" {
+		t.Fatal("arrival snapshot should be stable")
+	}
+	if string(it.Reload().Value) != "new" {
+		t.Fatal("Reload should observe the in-place update")
+	}
+}
+
+func TestMultiInsertBasic(t *testing.T) {
+	l := New()
+	batch := []KV{
+		{Key: keys.EncodeUint64(3), Entry: entry("3", 1)},
+		{Key: keys.EncodeUint64(1), Entry: entry("1", 2)},
+		{Key: keys.EncodeUint64(2), Entry: entry("2", 3)},
+	}
+	if n := l.MultiInsert(batch); n != 3 {
+		t.Fatalf("MultiInsert inserted %d, want 3", n)
+	}
+	for i := uint64(1); i <= 3; i++ {
+		e, ok := l.Get(keys.EncodeUint64(i))
+		if !ok || string(e.Value) != fmt.Sprint(i) {
+			t.Fatalf("Get(%d) = %+v, %v", i, e, ok)
+		}
+	}
+}
+
+func TestMultiInsertEmpty(t *testing.T) {
+	l := New()
+	if n := l.MultiInsert(nil); n != 0 {
+		t.Fatal("empty batch should insert nothing")
+	}
+}
+
+func TestMultiInsertDuplicatesInBatch(t *testing.T) {
+	// Later duplicate in the batch must win, matching sequential Inserts.
+	l := New()
+	batch := []KV{
+		{Key: []byte("k"), Entry: entry("first", 1)},
+		{Key: []byte("a"), Entry: entry("a", 2)},
+		{Key: []byte("k"), Entry: entry("second", 3)},
+	}
+	if n := l.MultiInsert(batch); n != 2 {
+		t.Fatalf("inserted %d nodes, want 2", n)
+	}
+	e, _ := l.Get([]byte("k"))
+	if string(e.Value) != "second" || e.Seq != 3 {
+		t.Fatalf("duplicate resolution: got %+v", e)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestMultiInsertOverwritesExisting(t *testing.T) {
+	l := New()
+	l.Insert([]byte("k"), entry("old", 1))
+	n := l.MultiInsert([]KV{{Key: []byte("k"), Entry: entry("new", 2)}})
+	if n != 0 {
+		t.Fatal("existing key should be updated, not inserted")
+	}
+	e, _ := l.Get([]byte("k"))
+	if string(e.Value) != "new" {
+		t.Fatal("MultiInsert should update in place")
+	}
+}
+
+// TestMultiInsertEquivalence is the core property test: a MultiInsert of a
+// random batch leaves the list in exactly the state n sequential Inserts
+// would.
+func TestMultiInsertEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		batchLen := 1 + rng.Intn(64)
+		keySpace := 1 + rng.Intn(48) // small space forces duplicates
+		var batch, batch2 []KV
+		for i := 0; i < batchLen; i++ {
+			k := keys.EncodeUint64(uint64(rng.Intn(keySpace)))
+			e := entry(fmt.Sprintf("v%d-%d", trial, i), uint64(i))
+			batch = append(batch, KV{Key: k, Entry: e})
+			batch2 = append(batch2, KV{Key: k, Entry: e})
+		}
+		multi := New()
+		multi.MultiInsert(batch)
+		single := New()
+		for _, kv := range batch2 {
+			single.Insert(kv.Key, kv.Entry)
+		}
+		if !sameContents(t, multi, single) {
+			t.Fatalf("trial %d: multi-insert diverged from sequential inserts", trial)
+		}
+	}
+}
+
+func sameContents(t *testing.T, a, b *List) bool {
+	t.Helper()
+	ita, itb := a.NewIterator(), b.NewIterator()
+	ita.SeekToFirst()
+	itb.SeekToFirst()
+	for ita.Valid() && itb.Valid() {
+		if !bytes.Equal(ita.Key(), itb.Key()) {
+			t.Logf("key mismatch: %x vs %x", ita.Key(), itb.Key())
+			return false
+		}
+		ea, eb := ita.Entry(), itb.Entry()
+		if !bytes.Equal(ea.Value, eb.Value) || ea.Seq != eb.Seq || ea.Tombstone != eb.Tombstone {
+			t.Logf("entry mismatch at %x: %+v vs %+v", ita.Key(), ea, eb)
+			return false
+		}
+		ita.Next()
+		itb.Next()
+	}
+	if ita.Valid() != itb.Valid() {
+		t.Log("length mismatch")
+		return false
+	}
+	return true
+}
+
+func TestSortedInvariantAfterRandomOps(t *testing.T) {
+	l := New()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		if rng.Intn(3) == 0 {
+			var batch []KV
+			for j := 0; j < rng.Intn(10); j++ {
+				batch = append(batch, KV{Key: keys.EncodeUint64(uint64(rng.Intn(500))), Entry: entry("m", uint64(i))})
+			}
+			l.MultiInsert(batch)
+		} else {
+			l.Insert(keys.EncodeUint64(uint64(rng.Intn(500))), entry("s", uint64(i)))
+		}
+	}
+	assertSorted(t, l)
+}
+
+func assertSorted(t *testing.T, l *List) {
+	t.Helper()
+	it := l.NewIterator()
+	var prev []byte
+	n := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("order violated: %x !< %x", prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		n++
+	}
+	if n != l.Len() {
+		t.Fatalf("iterator saw %d keys, Len reports %d", n, l.Len())
+	}
+}
+
+func TestCustomComparator(t *testing.T) {
+	// Reverse order comparator: the list must respect it.
+	l := NewWithComparator(func(a, b []byte) int { return bytes.Compare(b, a) })
+	for i := 0; i < 10; i++ {
+		l.Insert(keys.EncodeUint64(uint64(i)), entry("v", 0))
+	}
+	it := l.NewIterator()
+	it.SeekToFirst()
+	if keys.DecodeUint64(it.Key()) != 9 {
+		t.Fatal("reverse comparator should put the largest key first")
+	}
+}
+
+func TestInternalKeyComparatorMode(t *testing.T) {
+	// The multi-versioned baseline mode: internal keys, newest-first within
+	// a user key, no in-place updates because every (key,seq) is unique.
+	l := NewWithComparator(func(a, b []byte) int {
+		return keys.CompareInternal(keys.InternalKey(a), keys.InternalKey(b))
+	})
+	u := []byte("user")
+	l.Insert(keys.MakeInternal(u, 1, keys.KindSet), entry("v1", 1))
+	l.Insert(keys.MakeInternal(u, 3, keys.KindSet), entry("v3", 3))
+	l.Insert(keys.MakeInternal(u, 2, keys.KindDelete), entry("", 2))
+	if l.Len() != 3 {
+		t.Fatalf("multi-versioning should keep all versions, Len=%d", l.Len())
+	}
+	// Seek to (user, MaxSeq) finds the newest version first.
+	it := l.NewIterator()
+	it.Seek(keys.MakeInternal(u, keys.MaxSeq, keys.KindSet))
+	if !it.Valid() {
+		t.Fatal("seek missed")
+	}
+	ik := keys.InternalKey(it.Key())
+	if ik.Seq() != 3 || string(it.Entry().Value) != "v3" {
+		t.Fatalf("newest version should sort first, got seq %d", ik.Seq())
+	}
+}
+
+func TestApproxBytesGrowsAndTracksUpdates(t *testing.T) {
+	l := New()
+	l.Insert([]byte("k"), entry("aaaa", 1))
+	before := l.ApproxBytes()
+	if before <= 0 {
+		t.Fatal("bytes should be positive after insert")
+	}
+	l.Insert([]byte("k"), entry("aaaaaaaa", 2)) // +4 value bytes
+	if got := l.ApproxBytes(); got != before+4 {
+		t.Fatalf("in-place growth: got %d, want %d", got, before+4)
+	}
+	l.Insert([]byte("k"), entry("aa", 3)) // -6 value bytes
+	if got := l.ApproxBytes(); got != before-2 {
+		t.Fatalf("in-place shrink: got %d, want %d", got, before-2)
+	}
+}
+
+func TestRandomHeightDistribution(t *testing.T) {
+	l := New()
+	counts := make([]int, MaxHeight+1)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h := l.randomHeight()
+		if h < 1 || h > MaxHeight {
+			t.Fatalf("height %d out of range", h)
+		}
+		counts[h]++
+	}
+	// Height 1 should be ~n/2, height 2 ~n/4; allow wide tolerance.
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Errorf("height-1 fraction off: %d/%d", counts[1], n)
+	}
+	if counts[2] < n/8 || counts[2] > n/2 {
+		t.Errorf("height-2 fraction off: %d/%d", counts[2], n)
+	}
+}
+
+// --- Concurrency -----------------------------------------------------------
+
+func TestConcurrentInsertDisjointRanges(t *testing.T) {
+	l := New()
+	const workers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := keys.EncodeUint64(uint64(w*per + i))
+				l.Insert(k, entry("v", uint64(i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", l.Len(), workers*per)
+	}
+	assertSorted(t, l)
+}
+
+func TestConcurrentInsertSameKeys(t *testing.T) {
+	// All workers hammer the same small key set: exactly keySpace nodes
+	// must exist afterwards, everything else must have been in-place.
+	l := New()
+	const workers = 8
+	const per = 3000
+	const keySpace = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				k := keys.EncodeUint64(uint64(rng.Intn(keySpace)))
+				l.Insert(k, entry("v", uint64(w*per+i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != keySpace {
+		t.Fatalf("Len = %d, want %d", l.Len(), keySpace)
+	}
+	assertSorted(t, l)
+}
+
+func TestConcurrentMultiInsertAndReads(t *testing.T) {
+	l := New()
+	const writers = 4
+	const batches = 200
+	const batchSize = 16
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers continuously verify order.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				it := l.NewIterator()
+				var prev []byte
+				for it.SeekToFirst(); it.Valid(); it.Next() {
+					if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+						panic("order violation under concurrency")
+					}
+					prev = append(prev[:0], it.Key()...)
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			rng := rand.New(rand.NewSource(int64(w * 31)))
+			for b := 0; b < batches; b++ {
+				var batch []KV
+				base := rng.Intn(100000)
+				for i := 0; i < batchSize; i++ {
+					batch = append(batch, KV{
+						Key:   keys.EncodeUint64(uint64(base + rng.Intn(64))),
+						Entry: entry("mv", uint64(b)),
+					})
+				}
+				l.MultiInsert(batch)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	assertSorted(t, l)
+}
+
+func TestConcurrentInsertGetVisibility(t *testing.T) {
+	// A Get racing an Insert of the same key must return either a miss or
+	// a complete (value, seq) pair — never a torn one. Entries are
+	// immutable; verify value/seq always agree.
+	l := New()
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			seq := uint64(i)
+			l.Insert([]byte("hot"), &Entry{Value: keys.EncodeUint64(seq), Seq: seq})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if e, ok := l.Get([]byte("hot")); ok {
+				if keys.DecodeUint64(e.Value) != e.Seq {
+					panic("torn entry observed")
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// --- Micro-sanity for path reuse -------------------------------------------
+
+func TestMultiInsertNeighborhoodCorrectness(t *testing.T) {
+	// Interleave two multi-inserts whose ranges overlap; exercised further
+	// in Fig 8 benchmarks. Here we only check correctness.
+	l := New()
+	for i := 0; i < 1000; i++ {
+		l.Insert(keys.EncodeUint64(uint64(i*10)), entry("base", 0))
+	}
+	var batch []KV
+	for i := 0; i < 100; i++ {
+		batch = append(batch, KV{Key: keys.EncodeUint64(uint64(i*10 + 5)), Entry: entry("mid", 1)})
+	}
+	l.MultiInsert(batch)
+	if l.Len() != 1100 {
+		t.Fatalf("Len = %d, want 1100", l.Len())
+	}
+	assertSorted(t, l)
+}
+
+func TestLargeSequentialMultiInsert(t *testing.T) {
+	// Ascending batch is the draining fast path (partition drains are
+	// sorted); make sure a long run is correct.
+	l := New()
+	var batch []KV
+	for i := 0; i < 10000; i++ {
+		batch = append(batch, KV{Key: keys.EncodeUint64(uint64(i)), Entry: entry("v", uint64(i))})
+	}
+	if n := l.MultiInsert(batch); n != 10000 {
+		t.Fatalf("inserted %d", n)
+	}
+	assertSorted(t, l)
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	l := New()
+	e := entry("0123456789abcdef", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(keys.EncodeUint64(uint64(i)), e)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	l := New()
+	e := entry("0123456789abcdef", 0)
+	rng := rand.New(rand.NewSource(1))
+	ks := make([][]byte, b.N)
+	for i := range ks {
+		ks[i] = keys.EncodeUint64(rng.Uint64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Insert(ks[i], e)
+	}
+}
+
+func BenchmarkMultiInsert16(b *testing.B) {
+	l := New()
+	e := entry("0123456789abcdef", 0)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 16 {
+		var batch [16]KV
+		base := rng.Uint64()
+		for j := range batch {
+			batch[j] = KV{Key: keys.EncodeUint64(base + uint64(j)), Entry: e}
+		}
+		l.MultiInsert(batch[:])
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New()
+	e := entry("0123456789abcdef", 0)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		l.Insert(keys.EncodeUint64(uint64(i)), e)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(2))
+		for pb.Next() {
+			l.Get(keys.EncodeUint64(uint64(rng.Intn(n))))
+		}
+	})
+}
+
+// Sanity check that sort in MultiInsert doesn't corrupt caller batches in a
+// way that breaks reuse (keys remain present, just reordered).
+func TestMultiInsertSortsCallerBatch(t *testing.T) {
+	l := New()
+	batch := []KV{
+		{Key: []byte("c"), Entry: entry("3", 0)},
+		{Key: []byte("a"), Entry: entry("1", 0)},
+	}
+	l.MultiInsert(batch)
+	got := []string{string(batch[0].Key), string(batch[1].Key)}
+	sort.Strings(got)
+	if got[0] != "a" || got[1] != "c" {
+		t.Fatal("batch contents lost")
+	}
+	if bytes.Compare(batch[0].Key, batch[1].Key) >= 0 {
+		t.Fatal("batch should be sorted in place (documented behaviour)")
+	}
+}

@@ -1,0 +1,101 @@
+package sstable
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// bloomFilter is a classic Bloom filter with double hashing, equivalent to
+// LevelDB's built-in filter policy. LSM-trie (§6) motivates strong filters;
+// we keep LevelDB's 10 bits/key default.
+type bloomFilter struct {
+	bits   []byte
+	nBits  uint64
+	probes uint32
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey.
+func newBloom(n int, bitsPerKey int) *bloomFilter {
+	if bitsPerKey <= 0 {
+		bitsPerKey = DefaultBloomBitsPerKey
+	}
+	nBits := uint64(n * bitsPerKey)
+	if nBits < 64 {
+		nBits = 64
+	}
+	// k = ln2 * bits/key rounded, clamped to [1,30] as in LevelDB.
+	probes := uint32(float64(bitsPerKey) * 0.69)
+	if probes < 1 {
+		probes = 1
+	}
+	if probes > 30 {
+		probes = 30
+	}
+	return &bloomFilter{
+		bits:   make([]byte, (nBits+7)/8),
+		nBits:  (nBits + 7) / 8 * 8,
+		probes: probes,
+	}
+}
+
+// bloomHash is the same mixed 64-bit hash the membuffer uses; defined here
+// to keep the packages dependency-free of each other.
+func bloomHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range key {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+func (f *bloomFilter) add(key []byte) {
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := uint32(0); i < f.probes; i++ {
+		pos := h % f.nBits
+		f.bits[pos/8] |= 1 << (pos % 8)
+		h += delta
+	}
+}
+
+func (f *bloomFilter) mayContain(key []byte) bool {
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := uint32(0); i < f.probes; i++ {
+		pos := h % f.nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}
+
+// encode serializes probes(uvarint) | bits, plus the CRC trailer.
+func (f *bloomFilter) encode() []byte {
+	b := binary.AppendUvarint(nil, uint64(f.probes))
+	b = append(b, f.bits...)
+	return appendChecksum(b)
+}
+
+func decodeBloom(raw []byte) (*bloomFilter, error) {
+	payload, err := verifyChecksum(raw)
+	if err != nil {
+		return nil, err
+	}
+	probes, sz := binary.Uvarint(payload)
+	if sz <= 0 || probes == 0 || probes > 30 {
+		return nil, fmt.Errorf("%w: bloom probes", ErrCorrupt)
+	}
+	bits := payload[sz:]
+	if len(bits) == 0 {
+		return nil, fmt.Errorf("%w: empty bloom", ErrCorrupt)
+	}
+	return &bloomFilter{bits: bits, nBits: uint64(len(bits)) * 8, probes: uint32(probes)}, nil
+}

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"container/heap"
+
+	"flodb/internal/keys"
+	"flodb/internal/sstable"
+)
+
+// InternalIterator is the iterator contract shared by memtable adapters,
+// sstable iterators and composite iterators. Entries are visited in (user
+// key ascending, sequence number descending) order.
+type InternalIterator interface {
+	SeekToFirst()
+	Seek(key []byte)
+	Next()
+	Valid() bool
+	Key() []byte
+	Seq() uint64
+	Kind() keys.Kind
+	Value() []byte
+	Err() error
+}
+
+// CreateSeqer is implemented by iterators over structures that update
+// values in place (FloDB's memtable): CreateSeq returns the sequence
+// number the current entry's node was first created with. Iterators over
+// immutable structures (sstables) omit it; CreateSeqOf falls back to Seq,
+// which is exact for them.
+type CreateSeqer interface {
+	CreateSeq() uint64
+}
+
+// CreateSeqOf returns the creation sequence of it's current entry.
+func CreateSeqOf(it InternalIterator) uint64 {
+	if c, ok := it.(CreateSeqer); ok {
+		return c.CreateSeq()
+	}
+	return it.Seq()
+}
+
+// tableIterAdapter lifts *sstable.Iterator to InternalIterator (method
+// sets already match; the adapter exists only to keep sstable free of this
+// package's interface).
+type tableIterAdapter struct{ *sstable.Iterator }
+
+// NewTableIterator wraps an sstable iterator.
+func NewTableIterator(it *sstable.Iterator) InternalIterator { return tableIterAdapter{it} }
+
+// --- Merging iterator --------------------------------------------------------
+
+// mergingIter merges n child iterators. Ties on (key, seq) are broken by
+// child rank: lower rank means fresher source (e.g. newer L0 file), so the
+// freshest entry is always surfaced first.
+type mergingIter struct {
+	children []InternalIterator
+	h        mergeHeap
+	err      error
+}
+
+// NewMergingIterator merges children; child order encodes freshness (index
+// 0 is the freshest source).
+func NewMergingIterator(children ...InternalIterator) InternalIterator {
+	return &mergingIter{children: children}
+}
+
+type mergeItem struct {
+	it   InternalIterator
+	rank int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if c := keys.Compare(a.it.Key(), b.it.Key()); c != 0 {
+		return c < 0
+	}
+	if sa, sb := a.it.Seq(), b.it.Seq(); sa != sb {
+		return sa > sb // newer first
+	}
+	return a.rank < b.rank
+}
+func (h mergeHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)          { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any            { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (m *mergingIter) rebuild()          { heap.Init(&m.h) }
+func (m *mergingIter) Err() error        { return m.err }
+func (m *mergingIter) Valid() bool       { return m.err == nil && len(m.h) > 0 }
+func (m *mergingIter) Key() []byte       { return m.h[0].it.Key() }
+func (m *mergingIter) Seq() uint64       { return m.h[0].it.Seq() }
+func (m *mergingIter) Kind() keys.Kind   { return m.h[0].it.Kind() }
+func (m *mergingIter) Value() []byte     { return m.h[0].it.Value() }
+func (m *mergingIter) CreateSeq() uint64 { return CreateSeqOf(m.h[0].it) }
+
+func (m *mergingIter) reset(position func(InternalIterator)) {
+	m.err = nil
+	m.h = m.h[:0]
+	for rank, it := range m.children {
+		position(it)
+		if err := it.Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+		if it.Valid() {
+			m.h = append(m.h, mergeItem{it: it, rank: rank})
+		}
+	}
+	m.rebuild()
+}
+
+func (m *mergingIter) SeekToFirst() { m.reset(func(it InternalIterator) { it.SeekToFirst() }) }
+func (m *mergingIter) Seek(key []byte) {
+	m.reset(func(it InternalIterator) { it.Seek(key) })
+}
+
+func (m *mergingIter) Next() {
+	if !m.Valid() {
+		return
+	}
+	top := m.h[0]
+	top.it.Next()
+	if err := top.it.Err(); err != nil {
+		m.err = err
+		return
+	}
+	if top.it.Valid() {
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+}
+
+// --- Level (concatenating) iterator ------------------------------------------
+
+// levelIter iterates a sorted run of non-overlapping files (an L1+ level)
+// by chaining per-table iterators, opening each table lazily through the
+// cache.
+type levelIter struct {
+	cache *tableCache
+	files []*FileMeta // sorted by Smallest, non-overlapping
+
+	fileIdx int
+	cur     InternalIterator
+	err     error
+}
+
+// NewLevelIterator returns an iterator over a non-overlapping file run.
+func NewLevelIterator(cache *tableCache, files []*FileMeta) InternalIterator {
+	return &levelIter{cache: cache, files: files, fileIdx: -1}
+}
+
+func (l *levelIter) openFile(i int) bool {
+	if i >= len(l.files) {
+		l.cur = nil
+		return false
+	}
+	r, err := l.cache.Get(l.files[i].Num)
+	if err != nil {
+		l.err = err
+		l.cur = nil
+		return false
+	}
+	l.fileIdx = i
+	l.cur = NewTableIterator(r.NewIterator())
+	return true
+}
+
+func (l *levelIter) SeekToFirst() {
+	l.err = nil
+	if !l.openFile(0) {
+		return
+	}
+	l.cur.SeekToFirst()
+	l.skipExhausted()
+}
+
+func (l *levelIter) Seek(key []byte) {
+	l.err = nil
+	// Binary search over file ranges: first file whose Largest >= key.
+	lo, hi := 0, len(l.files)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys.Compare(l.files[mid].Largest, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if !l.openFile(lo) {
+		return
+	}
+	l.cur.Seek(key)
+	l.skipExhausted()
+}
+
+func (l *levelIter) Next() {
+	if l.cur == nil {
+		return
+	}
+	l.cur.Next()
+	l.skipExhausted()
+}
+
+// skipExhausted advances to the next file while the current iterator is
+// spent.
+func (l *levelIter) skipExhausted() {
+	for l.cur != nil && !l.cur.Valid() {
+		if err := l.cur.Err(); err != nil {
+			l.err = err
+			l.cur = nil
+			return
+		}
+		if !l.openFile(l.fileIdx + 1) {
+			return
+		}
+		l.cur.SeekToFirst()
+	}
+}
+
+func (l *levelIter) Valid() bool {
+	return l.err == nil && l.cur != nil && l.cur.Valid()
+}
+func (l *levelIter) Key() []byte     { return l.cur.Key() }
+func (l *levelIter) Seq() uint64     { return l.cur.Seq() }
+func (l *levelIter) Kind() keys.Kind { return l.cur.Kind() }
+func (l *levelIter) Value() []byte   { return l.cur.Value() }
+func (l *levelIter) Err() error      { return l.err }

@@ -1,0 +1,184 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flodb/internal/keys"
+)
+
+// TestStorageModelCheck drives random flush batches through the store
+// (with aggressive compaction settings) and verifies Get against an
+// oracle after every flush, plus a full iterator sweep at the end. This
+// exercises L0 shadowing, level search, tombstone dropping and the
+// merging iterators against ground truth.
+func TestStorageModelCheck(t *testing.T) {
+	s := openTestStore(t, Options{
+		L0CompactionTrigger: 2,
+		BaseLevelBytes:      32 << 10,
+		TargetFileSize:      8 << 10,
+	})
+	oracle := map[string]memEntry{}
+	rng := rand.New(rand.NewSource(77))
+	seq := uint64(0)
+	const keySpace = 400
+
+	for round := 0; round < 25; round++ {
+		batch := map[string]memEntry{}
+		n := 20 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			seq++
+			k := keys.EncodeUint64(uint64(rng.Intn(keySpace)))
+			e := memEntry{key: k, seq: seq, kind: keys.KindSet, value: []byte(fmt.Sprintf("r%d-%d", round, i))}
+			if rng.Intn(5) == 0 {
+				e.kind = keys.KindDelete
+				e.value = nil
+			}
+			batch[string(k)] = e // newest in batch wins
+		}
+		var entries []memEntry
+		for _, e := range batch {
+			entries = append(entries, e)
+			oracle[string(e.key)] = e
+		}
+		if _, err := s.Flush(&memIter{entries: sortedEntries(entries)}, uint64(round+2), seq); err != nil {
+			t.Fatal(err)
+		}
+		// Verify a sample against the oracle mid-stream.
+		for i := 0; i < 50; i++ {
+			k := keys.EncodeUint64(uint64(rng.Intn(keySpace)))
+			v, _, kind, ok, err := s.Get(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, exists := oracle[string(k)]
+			switch {
+			case !exists:
+				if ok {
+					t.Fatalf("round %d: phantom key %x", round, k)
+				}
+			case want.kind == keys.KindDelete:
+				if ok && kind != keys.KindDelete {
+					t.Fatalf("round %d: deleted key %x alive", round, k)
+				}
+			default:
+				if !ok || kind != keys.KindSet || string(v) != string(want.value) {
+					t.Fatalf("round %d: key %x = %q/%v/%v, want %q", round, k, v, kind, ok, want.value)
+				}
+			}
+		}
+	}
+	s.WaitForCompactions()
+
+	// Full iterator: newest version per user key must match the oracle;
+	// deleted keys may appear only as tombstones (or not at all if the
+	// compactor dropped them).
+	it, release, err := s.NewIterator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	var lastKey []byte
+	live := 0
+	for it.SeekToFirst(); it.Valid(); it.Next() {
+		if lastKey != nil && keys.Equal(lastKey, it.Key()) {
+			continue // older version
+		}
+		lastKey = append(lastKey[:0], it.Key()...)
+		want, exists := oracle[string(it.Key())]
+		if !exists {
+			t.Fatalf("iterator surfaced unknown key %x", it.Key())
+		}
+		if it.Kind() == keys.KindDelete {
+			if want.kind != keys.KindDelete {
+				t.Fatalf("live key %x shadowed by tombstone", it.Key())
+			}
+			continue
+		}
+		if want.kind == keys.KindDelete {
+			t.Fatalf("deleted key %x alive in iterator", it.Key())
+		}
+		if string(it.Value()) != string(want.value) {
+			t.Fatalf("iterator %x = %q, want %q", it.Key(), it.Value(), want.value)
+		}
+		live++
+	}
+	wantLive := 0
+	for _, e := range oracle {
+		if e.kind == keys.KindSet {
+			wantLive++
+		}
+	}
+	if live != wantLive {
+		t.Fatalf("iterator found %d live keys, oracle has %d", live, wantLive)
+	}
+	m := s.Metrics()
+	if m.Compactions == 0 {
+		t.Fatal("model check never compacted; tighten the options")
+	}
+	t.Logf("model check done: %d flushes, %d compactions, levels %v", m.Flushes, m.Compactions, m.FilesPerLevel)
+}
+
+// TestConcurrentReadsDuringCompaction hammers Get from several goroutines
+// while flushes and compactions churn the version tree underneath.
+func TestConcurrentReadsDuringCompaction(t *testing.T) {
+	s := openTestStore(t, Options{
+		L0CompactionTrigger: 2,
+		BaseLevelBytes:      16 << 10,
+		TargetFileSize:      8 << 10,
+		CompactionThreads:   2,
+	})
+	const keySpace = 200
+	seq := uint64(0)
+	writeRound := func(round int) {
+		var entries []memEntry
+		for i := 0; i < keySpace; i++ {
+			seq++
+			entries = append(entries, memEntry{
+				key: keys.EncodeUint64(uint64(i)), seq: seq, kind: keys.KindSet,
+				value: []byte(fmt.Sprintf("round-%d", round)),
+			})
+		}
+		if _, err := s.Flush(&memIter{entries: sortedEntries(entries)}, uint64(round+2), seq); err != nil {
+			t.Error(err)
+		}
+	}
+	writeRound(0)
+
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					errs <- nil
+					return
+				default:
+				}
+				k := keys.EncodeUint64(uint64(rng.Intn(keySpace)))
+				_, _, _, ok, err := s.Get(k)
+				if err != nil {
+					errs <- fmt.Errorf("Get(%x): %w", k, err)
+					return
+				}
+				if !ok {
+					errs <- fmt.Errorf("key %x vanished mid-compaction", k)
+					return
+				}
+			}
+		}(g)
+	}
+	for round := 1; round <= 20; round++ {
+		writeRound(round)
+	}
+	close(stop)
+	for g := 0; g < 4; g++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.WaitForCompactions()
+}

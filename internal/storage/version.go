@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"flodb/internal/keys"
+)
+
+// NumLevels is the depth of the on-disk hierarchy (L0..L6, as in LevelDB).
+const NumLevels = 7
+
+// FileMeta describes one sstable in the version tree.
+type FileMeta struct {
+	Num      uint64
+	Size     int64
+	Smallest []byte // smallest user key, inclusive
+	Largest  []byte // largest user key, inclusive
+	MinSeq   uint64
+	MaxSeq   uint64
+	Count    uint64
+}
+
+func (f *FileMeta) overlaps(lo, hi []byte) bool {
+	// lo == nil means -inf, hi == nil means +inf. Bounds inclusive.
+	if hi != nil && keys.Compare(f.Smallest, hi) > 0 {
+		return false
+	}
+	if lo != nil && keys.Compare(f.Largest, lo) < 0 {
+		return false
+	}
+	return true
+}
+
+// Version is an immutable snapshot of the file tree. L0 files are ordered
+// newest first (descending file number); deeper levels are sorted by
+// Smallest and do not overlap.
+type Version struct {
+	files [NumLevels][]*FileMeta
+	refs  int // guarded by versionSet.mu
+}
+
+// Level returns the files of one level (shared slice; do not mutate).
+func (v *Version) Level(l int) []*FileMeta { return v.files[l] }
+
+// NumFiles returns the file count at level l.
+func (v *Version) NumFiles(l int) int { return len(v.files[l]) }
+
+// SizeBytes returns total bytes at level l.
+func (v *Version) SizeBytes(l int) int64 {
+	var n int64
+	for _, f := range v.files[l] {
+		n += f.Size
+	}
+	return n
+}
+
+// TotalFiles returns the file count across levels.
+func (v *Version) TotalFiles() int {
+	n := 0
+	for l := range v.files {
+		n += len(v.files[l])
+	}
+	return n
+}
+
+// get searches the version for key, newest level first. Within L0 all
+// overlapping files are consulted and the highest sequence number wins
+// (flushes are sequential, but this is robust even if they were not).
+func (v *Version) get(cache *tableCache, key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool, err error) {
+	var (
+		bestSeq  uint64
+		bestVal  []byte
+		bestKind keys.Kind
+		found    bool
+	)
+	for _, f := range v.files[0] {
+		if !f.overlaps(key, key) {
+			continue
+		}
+		r, err := cache.Get(f.Num)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		val, s, k, hit, err := r.Get(key)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if hit && (!found || s > bestSeq) {
+			bestSeq, bestVal, bestKind, found = s, val, k, true
+		}
+	}
+	if found {
+		return bestVal, bestSeq, bestKind, true, nil
+	}
+	for l := 1; l < NumLevels; l++ {
+		files := v.files[l]
+		if len(files) == 0 {
+			continue
+		}
+		// First file with Largest >= key.
+		i := sort.Search(len(files), func(i int) bool {
+			return keys.Compare(files[i].Largest, key) >= 0
+		})
+		if i == len(files) || keys.Compare(files[i].Smallest, key) > 0 {
+			continue
+		}
+		r, err := cache.Get(files[i].Num)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		val, s, k, hit, err := r.Get(key)
+		if err != nil {
+			return nil, 0, 0, false, err
+		}
+		if hit {
+			return val, s, k, true, nil
+		}
+	}
+	return nil, 0, 0, false, nil
+}
+
+// newIterator builds a merged iterator over every file in the version.
+// Child order encodes freshness: L0 files newest→oldest, then L1..Ln.
+func (v *Version) newIterator(cache *tableCache) (InternalIterator, error) {
+	var children []InternalIterator
+	for _, f := range v.files[0] {
+		r, err := cache.Get(f.Num)
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, NewTableIterator(r.NewIterator()))
+	}
+	for l := 1; l < NumLevels; l++ {
+		if len(v.files[l]) > 0 {
+			children = append(children, NewLevelIterator(cache, v.files[l]))
+		}
+	}
+	return NewMergingIterator(children...), nil
+}
+
+// overlappingFiles returns the files in level l intersecting [lo, hi]
+// (inclusive; nil bounds are infinite).
+func (v *Version) overlappingFiles(l int, lo, hi []byte) []*FileMeta {
+	var out []*FileMeta
+	for _, f := range v.files[l] {
+		if f.overlaps(lo, hi) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// checkInvariants validates ordering constraints; used by tests.
+func (v *Version) checkInvariants() error {
+	for i := 1; i < len(v.files[0]); i++ {
+		if v.files[0][i-1].Num <= v.files[0][i].Num {
+			return fmt.Errorf("L0 not newest-first at %d", i)
+		}
+	}
+	for l := 1; l < NumLevels; l++ {
+		files := v.files[l]
+		for i := range files {
+			if keys.Compare(files[i].Smallest, files[i].Largest) > 0 {
+				return fmt.Errorf("L%d file %d has inverted bounds", l, files[i].Num)
+			}
+			if i > 0 {
+				if keys.Compare(files[i-1].Largest, files[i].Smallest) >= 0 {
+					return fmt.Errorf("L%d files %d and %d overlap", l, files[i-1].Num, files[i].Num)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// versionBuilder applies an edit to a base version.
+type versionBuilder struct {
+	base    *Version
+	deleted map[uint64]bool
+	added   [NumLevels][]*FileMeta
+}
+
+func newVersionBuilder(base *Version) *versionBuilder {
+	return &versionBuilder{base: base, deleted: make(map[uint64]bool)}
+}
+
+func (b *versionBuilder) apply(e *VersionEdit) {
+	for _, d := range e.Deleted {
+		b.deleted[d.Num] = true
+	}
+	for _, a := range e.Added {
+		f := a.Meta
+		b.added[a.Level] = append(b.added[a.Level], &f)
+	}
+}
+
+func (b *versionBuilder) build() *Version {
+	v := &Version{}
+	for l := 0; l < NumLevels; l++ {
+		var files []*FileMeta
+		for _, f := range b.base.files[l] {
+			if !b.deleted[f.Num] {
+				files = append(files, f)
+			}
+		}
+		files = append(files, b.added[l]...)
+		if l == 0 {
+			sort.Slice(files, func(i, j int) bool { return files[i].Num > files[j].Num })
+		} else {
+			sort.Slice(files, func(i, j int) bool {
+				return keys.Compare(files[i].Smallest, files[j].Smallest) < 0
+			})
+		}
+		v.files[l] = files
+	}
+	return v
+}

@@ -1,0 +1,299 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func tempLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "000001.wal")
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := tempLog(t)
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]byte{
+		[]byte("first"),
+		{},
+		bytes.Repeat([]byte("x"), 100_000),
+		[]byte("last"),
+	}
+	for _, rec := range records {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestReplayAll(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	for i := 0; i < 10; i++ {
+		w.Append([]byte{byte(i)})
+	}
+	w.Close()
+	var got []byte
+	err := ReplayAll(path, func(rec []byte) error {
+		got = append(got, rec[0])
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("replayed %d records", len(got))
+	}
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("record %d = %d", i, b)
+		}
+	}
+}
+
+func TestReplayAllPropagatesFnError(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	w.Append([]byte("x"))
+	w.Close()
+	sentinel := errors.New("boom")
+	if err := ReplayAll(path, func([]byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTruncatedTailIsCleanEnd(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	w.Append([]byte("complete-record"))
+	w.Append([]byte("this-one-gets-torn"))
+	w.Close()
+
+	// Tear the last record: chop a few bytes off the file.
+	fi, _ := os.Stat(path)
+	for _, cut := range []int64{1, 5, 10} {
+		if err := os.Truncate(path, fi.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		err := ReplayAll(path, func(rec []byte) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if n != 1 {
+			t.Fatalf("cut %d: replayed %d records, want 1", cut, n)
+		}
+	}
+
+	// Tear into the header of the second record.
+	if err := os.Truncate(path, int64(headerSize+len("complete-record")+3)); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := ReplayAll(path, func(rec []byte) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("torn header: err=%v n=%d", err, n)
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	w.Append([]byte("aaaaaaaaaaaaaaaa"))
+	w.Close()
+
+	data, _ := os.ReadFile(path)
+	data[headerSize+4] ^= 0xff // flip a payload byte
+	os.WriteFile(path, data, 0o644)
+
+	r, _ := Open(path)
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestCorruptLengthDetected(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	w.Append([]byte("hello"))
+	w.Close()
+	data, _ := os.ReadFile(path)
+	// Make the length absurd; CRC covers it but the length sanity check
+	// fires first and must not attempt the allocation.
+	data[4] = 0xff
+	data[5] = 0xff
+	data[6] = 0xff
+	data[7] = 0x7f
+	os.WriteFile(path, data, 0o644)
+	r, _ := Open(path)
+	defer r.Close()
+	if _, err := r.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	w.Close()
+	if err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	defer w.Close()
+	// Don't allocate MaxRecordSize; fake a slice header over a small array
+	// is unsafe — instead just check the boundary arithmetic with a
+	// moderately large record and the documented limit.
+	if err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}
+
+func TestSyncEvery(t *testing.T) {
+	path := tempLog(t)
+	w, err := Create(path, Options{SyncEvery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Without Close, the record must already be on disk.
+	var n int
+	if err := ReplayAll(path, func([]byte) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("err=%v n=%d", err, n)
+	}
+	w.Close()
+}
+
+func TestSizeAccounting(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	defer w.Close()
+	w.Append(make([]byte, 100))
+	if got := w.Size(); got != 100+headerSize {
+		t.Fatalf("Size = %d", got)
+	}
+}
+
+func TestPropertyRoundTripRandomRecords(t *testing.T) {
+	err := quick.Check(func(recs [][]byte) bool {
+		path := filepath.Join(t.TempDir(), "q.wal")
+		w, err := Create(path, Options{})
+		if err != nil {
+			return false
+		}
+		for _, r := range recs {
+			if err := w.Append(r); err != nil {
+				return false
+			}
+		}
+		w.Close()
+		var got [][]byte
+		if err := ReplayAll(path, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range recs {
+			if !bytes.Equal(got[i], recs[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	path := tempLog(t)
+	w, _ := Create(path, Options{})
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				rec := make([]byte, 1+rand.Intn(64))
+				rec[0] = byte(g)
+				w.Append(rec)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	w.Close()
+	counts := map[byte]int{}
+	if err := ReplayAll(path, func(rec []byte) error {
+		counts[rec[0]]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for g := byte(0); g < 4; g++ {
+		if counts[g] != 500 {
+			t.Fatalf("writer %d: %d records", g, counts[g])
+		}
+	}
+}
+
+func BenchmarkAppend256(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.wal")
+	w, _ := Create(path, Options{})
+	defer w.Close()
+	rec := make([]byte, 256)
+	b.SetBytes(int64(len(rec) + headerSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Append(rec)
+	}
+}

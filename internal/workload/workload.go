@@ -1,0 +1,258 @@
+// Package workload generates the key streams and operation mixes of the
+// paper's evaluation (§5.1–§5.2):
+//
+//   - 8-byte keys, 256-byte values;
+//   - keys drawn uniformly at random unless stated otherwise;
+//   - the skewed experiments access 2% of the dataset with 98% of
+//     operations (§5.4);
+//   - mixes: write-only (50% insert / 50% delete), read-only, balanced
+//     (50r/25i/25d), one-writer-many-readers, and scan-write (95% update /
+//     5% scan of 100 keys).
+//
+// Generators are deterministic per (seed, thread) so runs are repeatable,
+// and allocation-free on the hot path.
+package workload
+
+import (
+	"math/rand"
+)
+
+// DefaultKeySize and DefaultValueSize are the paper's record shape.
+const (
+	DefaultKeySize   = 8
+	DefaultValueSize = 256
+)
+
+// Op is one operation kind in a mix.
+type Op int
+
+const (
+	// OpGet is a point read.
+	OpGet Op = iota
+	// OpInsert writes a (possibly new) key.
+	OpInsert
+	// OpDelete removes a key.
+	OpDelete
+	// OpScan reads a bounded range.
+	OpScan
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	default:
+		return "op?"
+	}
+}
+
+// Mix is a discrete distribution over operations, in percent.
+type Mix struct {
+	GetPct    int
+	InsertPct int
+	DeletePct int
+	ScanPct   int
+}
+
+// The paper's workload mixes.
+var (
+	// WriteOnly is §5.2's write-only workload: 50% inserts, 50% deletes.
+	WriteOnly = Mix{InsertPct: 50, DeletePct: 50}
+	// ReadOnly is §5.2's read-only workload.
+	ReadOnly = Mix{GetPct: 100}
+	// Balanced is the mixed workload: 50% reads, 25% inserts, 25% deletes.
+	Balanced = Mix{GetPct: 50, InsertPct: 25, DeletePct: 25}
+	// ScanWrite is the 95% update / 5% scan mix of Fig 13.
+	ScanWrite = Mix{InsertPct: 95, ScanPct: 5}
+	// ReadUpdate is the 50/50 mix of the skew experiment (Fig 16).
+	ReadUpdate = Mix{GetPct: 50, InsertPct: 50}
+)
+
+// ScanWithPct builds an update/scan mix with the given scan percentage
+// (the Fig 14 sweep).
+func ScanWithPct(scanPct int) Mix {
+	return Mix{InsertPct: 100 - scanPct, ScanPct: scanPct}
+}
+
+// Valid reports whether the mix sums to 100%.
+func (m Mix) Valid() bool {
+	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct == 100
+}
+
+// Sample draws an operation.
+func (m Mix) Sample(rng *rand.Rand) Op {
+	r := rng.Intn(100)
+	if r < m.GetPct {
+		return OpGet
+	}
+	r -= m.GetPct
+	if r < m.InsertPct {
+		return OpInsert
+	}
+	r -= m.InsertPct
+	if r < m.DeletePct {
+		return OpDelete
+	}
+	return OpScan
+}
+
+// KeyGen produces keys from a keyspace of Keys() distinct values. NextKey
+// writes the next key into dst (which must have DefaultKeySize capacity)
+// and returns it.
+type KeyGen interface {
+	NextKey(rng *rand.Rand, dst []byte) []byte
+	Keys() uint64
+}
+
+// spreadIndex maps a dense index to a key spread over the 64-bit space.
+// The fixed odd multiplier is a bijection mod 2^64, so distinct indices
+// give distinct keys while filling every Membuffer partition uniformly —
+// matching the paper's uniform draws over a large key space.
+func spreadIndex(i uint64) uint64 { return i * 0x9e3779b97f4a7c15 }
+
+// PutUint64 writes v big-endian into dst[0:8] and returns dst[0:8].
+func PutUint64(dst []byte, v uint64) []byte {
+	_ = dst[7]
+	dst[0] = byte(v >> 56)
+	dst[1] = byte(v >> 48)
+	dst[2] = byte(v >> 40)
+	dst[3] = byte(v >> 32)
+	dst[4] = byte(v >> 24)
+	dst[5] = byte(v >> 16)
+	dst[6] = byte(v >> 8)
+	dst[7] = byte(v)
+	return dst[:8]
+}
+
+// Uniform draws keys uniformly from a keyspace of n distinct keys.
+type Uniform struct {
+	n uint64
+}
+
+// NewUniform builds a uniform generator over n keys.
+func NewUniform(n uint64) *Uniform { return &Uniform{n: n} }
+
+// NextKey draws a key.
+func (u *Uniform) NextKey(rng *rand.Rand, dst []byte) []byte {
+	return PutUint64(dst, spreadIndex(uint64(rng.Int63n(int64(u.n)))))
+}
+
+// Keys returns the keyspace size.
+func (u *Uniform) Keys() uint64 { return u.n }
+
+// KeyAt returns the i-th key of the space (for initialization loops).
+func (u *Uniform) KeyAt(i uint64, dst []byte) []byte {
+	return PutUint64(dst, spreadIndex(i))
+}
+
+// Sequential yields keys in ascending key order (the paper's read-only
+// initialization inserts "the same data in sorted order", §5.2).
+type Sequential struct {
+	n    uint64
+	next uint64
+}
+
+// NewSequential builds a sequential generator over n keys.
+func NewSequential(n uint64) *Sequential { return &Sequential{n: n} }
+
+// NextKey returns the next key in ascending order, wrapping at n.
+func (s *Sequential) NextKey(_ *rand.Rand, dst []byte) []byte {
+	i := s.next % s.n
+	s.next++
+	// Ascending in FINAL key order: sort the spread images by sorting the
+	// pre-image through a rank... a simple increasing counter already
+	// yields ascending big-endian keys; sequential mode skips spreading.
+	return PutUint64(dst, i)
+}
+
+// Keys returns the keyspace size.
+func (s *Sequential) Keys() uint64 { return s.n }
+
+// HotSet draws hotPct% of operations from a hot subset of hotFrac of the
+// keyspace — the paper's "2% of the dataset is accessed by 98% of
+// operations" (§5.4). The hot keys form a CONTIGUOUS key range (a shared
+// prefix), matching the skew shape the paper calls out as FloDB's
+// partitioning worst case ("if the data skew concerns a certain key
+// range", §4.3) — this is what produces Fig 16's small-memory penalty.
+type HotSet struct {
+	n       uint64
+	hotKeys uint64
+	hotPct  int
+}
+
+// NewHotSet builds the paper's skewed generator: hotFrac of the keys
+// receive hotPct% of accesses.
+func NewHotSet(n uint64, hotFrac float64, hotPct int) *HotSet {
+	hk := uint64(float64(n) * hotFrac)
+	if hk < 1 {
+		hk = 1
+	}
+	return &HotSet{n: n, hotKeys: hk, hotPct: hotPct}
+}
+
+// NextKey draws from the hot set with probability hotPct%. Hot keys are
+// sequential (clustered prefixes); cold keys are spread like Uniform's.
+func (h *HotSet) NextKey(rng *rand.Rand, dst []byte) []byte {
+	if rng.Intn(100) < h.hotPct {
+		return PutUint64(dst, uint64(rng.Int63n(int64(h.hotKeys))))
+	}
+	i := h.hotKeys + uint64(rng.Int63n(int64(h.n-h.hotKeys)))
+	return PutUint64(dst, spreadIndex(i))
+}
+
+// Keys returns the keyspace size.
+func (h *HotSet) Keys() uint64 { return h.n }
+
+// HotKeys returns the hot-set cardinality.
+func (h *HotSet) HotKeys() uint64 { return h.hotKeys }
+
+// Neighborhood draws batches of keys within a bounded distance of each
+// other — Fig 8's neighborhood experiment, where "a neighborhood size of n
+// means all keys in a multi-insert are at maximum 2^n distance from each
+// other".
+type Neighborhood struct {
+	n    uint64
+	bits uint // log2 of the neighborhood diameter; 64 = no locality
+}
+
+// NewNeighborhood builds a generator over n keys where each batch is
+// confined to a 2^bits-wide window. bits >= 64 disables locality.
+func NewNeighborhood(n uint64, bits uint) *Neighborhood {
+	return &Neighborhood{n: n, bits: bits}
+}
+
+// NextBatch fills batch with keyCount keys inside one window.
+func (g *Neighborhood) NextBatch(rng *rand.Rand, keyCount int, scratch []uint64) []uint64 {
+	scratch = scratch[:0]
+	if g.bits >= 64 {
+		for i := 0; i < keyCount; i++ {
+			scratch = append(scratch, rng.Uint64())
+		}
+		return scratch
+	}
+	width := uint64(1) << g.bits
+	base := rng.Uint64() &^ (width - 1)
+	for i := 0; i < keyCount; i++ {
+		scratch = append(scratch, base+uint64(rng.Int63n(int64(width))))
+	}
+	return scratch
+}
+
+// Value fills dst with a deterministic pattern of the given size,
+// allocating only when dst is too small.
+func Value(dst []byte, size int, tag uint64) []byte {
+	if cap(dst) < size {
+		dst = make([]byte, size)
+	}
+	dst = dst[:size]
+	for i := range dst {
+		dst[i] = byte(tag + uint64(i))
+	}
+	return dst
+}
