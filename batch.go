@@ -1,0 +1,30 @@
+package flodb
+
+import "flodb/internal/kv"
+
+// WriteBatch is an ordered group of Put and Delete operations committed
+// atomically by DB.Apply. Operations apply in insertion order (a later
+// operation on the same key wins). Put and Delete copy their arguments,
+// so the caller may reuse buffers immediately. A WriteBatch is not safe
+// for concurrent mutation; Reset recycles one for reuse after Apply.
+//
+//	b := flodb.NewWriteBatch()
+//	b.Put([]byte("user:7:name"), []byte("ada"))
+//	b.Put([]byte("user:7:email"), []byte("ada@example.com"))
+//	b.Delete([]byte("user:7:pending"))
+//	if err := db.Apply(b); err != nil { ... }
+type WriteBatch = kv.Batch
+
+// NewWriteBatch returns an empty batch.
+func NewWriteBatch() *WriteBatch { return kv.NewBatch() }
+
+// Apply commits every operation in b atomically. The batch is logged as
+// ONE write-ahead-log record — with WithSyncWAL that is a single fsync
+// regardless of the batch size — and after a crash either every operation
+// in the batch is recovered or none is. Concurrent scans and iterators
+// never observe a partially applied batch; racing point Gets may.
+//
+// An empty or nil batch is a no-op.
+func (db *DB) Apply(b *WriteBatch) error {
+	return db.inner.Apply(b)
+}

@@ -98,3 +98,7 @@ func BenchmarkFig17Ablation(b *testing.B) {
 func BenchmarkScanFallbackStats(b *testing.B) {
 	runFigure(b, figures.ScanStats, 0, 0, "fallback-pct")
 }
+
+func BenchmarkAPIBatchIter(b *testing.B) {
+	runFigure(b, figures.APIBench, 0, 0, "flodb-batch-Mops")
+}

@@ -42,6 +42,9 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	"fig16":     figures.Fig16,
 	"fig17":     figures.Fig17,
 	"scanstats": figures.ScanStats,
+	// Contract surface beyond the paper: atomic batches + streaming
+	// iterators across the five systems.
+	"apibench": figures.APIBench,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,

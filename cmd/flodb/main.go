@@ -4,6 +4,7 @@
 //	flodb -db /tmp/db get <key>
 //	flodb -db /tmp/db del <key>
 //	flodb -db /tmp/db scan <low> <high>
+//	flodb -db /tmp/db batch put k1 v1 del k2 put k3 v3 ...   atomic batch
 //	flodb -db /tmp/db fill <n>        load n sequential keys
 //	flodb -db /tmp/db stats
 package main
@@ -20,12 +21,20 @@ import (
 func main() {
 	dir := flag.String("db", "", "database directory (required)")
 	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
+	sync := flag.Bool("sync", false, "fsync the WAL on every update")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | fill n | stats}")
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | batch ops... | fill n | stats}")
 		os.Exit(2)
 	}
-	db, err := flodb.Open(*dir, &flodb.Options{MemoryBytes: *mem})
+	var opts []flodb.Option
+	if *mem > 0 {
+		opts = append(opts, flodb.WithMemory(*mem))
+	}
+	if *sync {
+		opts = append(opts, flodb.WithSyncWAL())
+	}
+	db, err := flodb.Open(*dir, opts...)
 	if err != nil {
 		fail(err)
 	}
@@ -62,14 +71,50 @@ func main() {
 		fmt.Println("ok")
 	case "scan":
 		need(args, 3)
-		pairs, err := db.Scan([]byte(args[1]), []byte(args[2]))
+		// Stream the range through an iterator: constant memory however
+		// large the range is.
+		it, err := db.NewIterator([]byte(args[1]), []byte(args[2]))
 		if err != nil {
 			fail(err)
 		}
-		for _, p := range pairs {
-			fmt.Printf("%s = %s\n", p.Key, p.Value)
+		n := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			fmt.Printf("%s = %s\n", it.Key(), it.Value())
+			n++
 		}
-		fmt.Printf("(%d pairs)\n", len(pairs))
+		if err := it.Err(); err != nil {
+			fail(err)
+		}
+		it.Close()
+		fmt.Printf("(%d pairs)\n", n)
+	case "batch":
+		b := flodb.NewWriteBatch()
+		rest := args[1:]
+		for len(rest) > 0 {
+			switch rest[0] {
+			case "put":
+				if len(rest) < 3 {
+					fail(fmt.Errorf("batch: put needs <key> <value>"))
+				}
+				b.Put([]byte(rest[1]), []byte(rest[2]))
+				rest = rest[3:]
+			case "del":
+				if len(rest) < 2 {
+					fail(fmt.Errorf("batch: del needs <key>"))
+				}
+				b.Delete([]byte(rest[1]))
+				rest = rest[2:]
+			default:
+				fail(fmt.Errorf("batch: unknown op %q (want put|del)", rest[0]))
+			}
+		}
+		if b.Len() == 0 {
+			fail(fmt.Errorf("batch: no operations"))
+		}
+		if err := db.Apply(b); err != nil {
+			fail(err)
+		}
+		fmt.Printf("applied %d ops atomically\n", b.Len())
 	case "fill":
 		need(args, 2)
 		var n uint64
@@ -84,7 +129,8 @@ func main() {
 		fmt.Printf("filled %d keys\n", n)
 	case "stats":
 		s := db.Stats()
-		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d\n", s.Puts, s.Gets, s.Deletes, s.Scans)
+		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d iterators=%d batches=%d (%d ops)\n",
+			s.Puts, s.Gets, s.Deletes, s.Scans, s.Iterators, s.Batches, s.BatchOps)
 		fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", s.MembufferHits, s.MemtableWrites)
 		fmt.Printf("scan-restarts=%d fallback-scans=%d flushes=%d compactions=%d\n",
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)

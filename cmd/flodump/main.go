@@ -1,17 +1,21 @@
-// Command flodump inspects FloDB on-disk artifacts: the level tree of a
-// store directory, individual sstables, and WAL segments.
+// Command flodump inspects FloDB on-disk artifacts: the full logical
+// contents of a store, the level tree of a store directory, individual
+// sstables, and WAL segments.
 //
 // Usage:
 //
+//	flodump db <dbdir>          stream every live pair of a store
 //	flodump tree <dbdir>        print the level tree from the manifest
 //	flodump sst <file.sst>      dump an sstable's entries
 //	flodump wal <file.wal>      dump a commit-log segment's records
 package main
 
 import (
+	"bufio"
 	"fmt"
 	"os"
 
+	"flodb"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 	"flodb/internal/sstable"
@@ -21,11 +25,13 @@ import (
 
 func main() {
 	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: flodump {tree|sst|wal} <path>")
+		fmt.Fprintln(os.Stderr, "usage: flodump {db|tree|sst|wal} <path>")
 		os.Exit(2)
 	}
 	var err error
 	switch os.Args[1] {
+	case "db":
+		err = dumpDB(os.Args[2])
 	case "tree":
 		err = dumpTree(os.Args[2])
 	case "sst":
@@ -40,6 +46,53 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flodump: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// dumpDB streams the whole store through an iterator: memory use stays
+// O(1) in the store size, so arbitrarily large databases dump safely.
+//
+// Opening a store is NOT read-only — flodb.Open creates the directory,
+// runs WAL recovery (flushing recovered memtables to new tables), and
+// starts a fresh log segment. An inspection tool must leave the store
+// byte-identical, so the dump opens a temporary copy instead.
+func dumpDB(dir string) error {
+	if fi, err := os.Stat(dir); err != nil {
+		return err
+	} else if !fi.IsDir() {
+		return fmt.Errorf("%s is not a directory", dir)
+	}
+	tmp, err := os.MkdirTemp("", "flodump-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	if err := os.CopyFS(tmp, os.DirFS(dir)); err != nil {
+		return err
+	}
+	db, err := flodb.Open(tmp)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	it, err := db.NewIterator(nil, nil)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	w := bufio.NewWriter(os.Stdout)
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Fprintf(w, "%x = %q\n", it.Key(), truncate(it.Value(), 64))
+		n++
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("dumped %d live pairs\n", n)
+	return nil
 }
 
 func dumpTree(dir string) error {
@@ -76,20 +129,25 @@ func dumpSST(path string) error {
 }
 
 func dumpWAL(path string) error {
-	n := 0
+	records, ops := 0, 0
 	err := wal.ReplayAll(path, func(rec []byte) error {
-		kind, key, value, err := kv.DecodeRecord(rec)
-		if err != nil {
-			return err
+		records++
+		if kv.IsBatchRecord(rec) {
+			fmt.Printf("batch:\n")
 		}
-		fmt.Printf("%x %s %q\n", key, kindName(kind), truncate(value, 32))
-		n++
-		return nil
+		return kv.ForEachOp(rec, func(kind keys.Kind, key, value []byte) error {
+			if kv.IsBatchRecord(rec) {
+				fmt.Printf("  ")
+			}
+			fmt.Printf("%x %s %q\n", key, kindName(kind), truncate(value, 32))
+			ops++
+			return nil
+		})
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("replayed %d records\n", n)
+	fmt.Printf("replayed %d records (%d ops)\n", records, ops)
 	return nil
 }
 

@@ -9,12 +9,12 @@ import (
 	"flodb"
 )
 
-// Example demonstrates the complete public API: open, write, read, scan,
+// Example demonstrates the core public API: open, write, read, scan,
 // delete, close.
 func Example() {
 	dir := filepath.Join(os.TempDir(), "flodb-example")
 	os.RemoveAll(dir)
-	db, err := flodb.Open(dir, nil)
+	db, err := flodb.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,17 +38,17 @@ func Example() {
 	// c=3
 }
 
-// ExampleOpen shows tuning the memory component, the paper's central
-// knob: a larger budget lets the store absorb longer write bursts at
-// hash-table speed.
+// ExampleOpen shows tuning the store with functional options — the memory
+// budget is the paper's central knob: a larger budget lets the store
+// absorb longer write bursts at hash-table speed.
 func ExampleOpen() {
 	dir := filepath.Join(os.TempDir(), "flodb-example-open")
 	os.RemoveAll(dir)
-	db, err := flodb.Open(dir, &flodb.Options{
-		MemoryBytes:       128 << 20, // 128 MiB total, split 1:4 buffer:table
-		MembufferFraction: 0.25,
-		DrainThreads:      2,
-	})
+	db, err := flodb.Open(dir,
+		flodb.WithMemory(128<<20), // 128 MiB total, split 1:4 buffer:table
+		flodb.WithMembufferFraction(0.25),
+		flodb.WithDrainThreads(2),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,4 +56,61 @@ func ExampleOpen() {
 	fmt.Println(db.Put([]byte("k"), []byte("v")))
 	// Output:
 	// <nil>
+}
+
+// ExampleDB_NewIterator streams a range through a cursor: only a small
+// prefetch chunk is ever resident, so the same loop handles ranges far
+// larger than memory.
+func ExampleDB_NewIterator() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-iter")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("user:1"), []byte("ada"))
+	db.Put([]byte("user:2"), []byte("grace"))
+	db.Put([]byte("user:3"), []byte("edsger"))
+
+	it, err := db.NewIterator([]byte("user:"), []byte("user:\xff"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Printf("%s=%s\n", it.Key(), it.Value())
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// user:1=ada
+	// user:2=grace
+	// user:3=edsger
+}
+
+// ExampleDB_Apply commits several mutations atomically: one WAL record,
+// all-or-nothing recovery, never observed partially by scans.
+func ExampleDB_Apply() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-batch")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	b := flodb.NewWriteBatch()
+	b.Put([]byte("acct:alice"), []byte("90"))
+	b.Put([]byte("acct:bob"), []byte("110"))
+	if err := db.Apply(b); err != nil {
+		log.Fatal(err)
+	}
+
+	v, _, _ := db.Get([]byte("acct:bob"))
+	fmt.Printf("bob=%s after %d-op batch\n", v, b.Len())
+	// Output:
+	// bob=110 after 2-op batch
 }

@@ -35,10 +35,10 @@ func queueKey(seq uint64) []byte {
 func main() {
 	dir := filepath.Join(os.TempDir(), "flodb-messagequeue")
 	os.RemoveAll(dir)
-	db, err := flodb.Open(dir, &flodb.Options{
-		MemoryBytes: 8 << 20,
-		DisableWAL:  true, // queue contents are reconstructible; favor speed
-	})
+	db, err := flodb.Open(dir,
+		flodb.WithMemory(8<<20),
+		flodb.WithoutWAL(), // queue contents are reconstructible; favor speed
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,29 +64,38 @@ func main() {
 		}(p)
 	}
 
-	// Consumer drains batches with scans while producers are still active.
-	// It always scans from the queue head: sequence numbers are allocated
-	// before their Put lands, so a cursor could otherwise skip a message
-	// that is still in flight.
+	// Consumer streams the queue with an iterator while producers are
+	// still active — the queue is never materialized — and acknowledges
+	// each drain round with one atomic delete batch. It always restarts
+	// from the queue head: sequence numbers are allocated before their Put
+	// lands, so a resumed cursor could otherwise skip a message that is
+	// still in flight.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		lo, hi := queueKey(0), queueKey(^uint64(0))
+		acks := flodb.NewWriteBatch()
 		for {
-			pairs, err := db.Scan(lo, hi)
+			it, err := db.NewIterator(lo, hi)
 			if err != nil {
 				log.Fatal(err)
 			}
-			for _, p := range pairs {
-				if err := db.Delete(p.Key); err != nil { // acknowledge
-					log.Fatal(err)
-				}
-				consumed.Add(1)
+			acks.Reset()
+			for ok := it.First(); ok; ok = it.Next() {
+				acks.Delete(it.Key())
 			}
+			if err := it.Err(); err != nil {
+				log.Fatal(err)
+			}
+			it.Close()
+			if err := db.Apply(acks); err != nil { // acknowledge atomically
+				log.Fatal(err)
+			}
+			consumed.Add(uint64(acks.Len()))
 			if consumed.Load() >= producers*messagesPerProd {
 				return
 			}
-			if len(pairs) == 0 {
+			if acks.Len() == 0 {
 				time.Sleep(time.Millisecond)
 			}
 		}

@@ -1,5 +1,6 @@
 // Quickstart: the complete FloDB public API in one runnable program —
-// open, put, get, delete, scan, stats, close, reopen (recovery).
+// open with options, put, get, delete, atomic write batch, streaming
+// iterator, scan, stats, close, reopen (recovery).
 package main
 
 import (
@@ -15,7 +16,10 @@ func main() {
 	dir := filepath.Join(os.TempDir(), "flodb-quickstart")
 	os.RemoveAll(dir)
 
-	db, err := flodb.Open(dir, nil) // nil options = paper-style defaults
+	// No options = paper-style defaults; tune with functional options,
+	// e.g. flodb.WithMemory(128<<20), flodb.WithDrainThreads(4),
+	// flodb.WithSyncWAL().
+	db, err := flodb.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,30 +48,53 @@ func main() {
 		fmt.Println("city:zurich deleted")
 	}
 
-	// Range scans return a consistent snapshot in key order.
+	// Write batches commit atomically: one WAL record, one fsync under
+	// WithSyncWAL, all-or-nothing recovery after a crash.
+	b := flodb.NewWriteBatch()
+	b.Put([]byte("city:dresden"), []byte("EuroSys 2019"))
+	b.Put([]byte("city:rennes"), []byte("EuroSys 2022"))
+	b.Delete([]byte("city:belgrade"))
+	if err := db.Apply(b); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied a %d-op batch atomically\n", b.Len())
+
+	// Iterators stream a range in key order without materializing it —
+	// this loop would use the same memory over a billion keys.
+	it, err := db.NewIterator([]byte("city:"), []byte("city:\xff"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("iterate city:*")
+	for ok := it.First(); ok; ok = it.Next() {
+		fmt.Printf("  %s = %s\n", it.Key(), it.Value())
+	}
+	if err := it.Err(); err != nil {
+		log.Fatal(err)
+	}
+	it.Close()
+
+	// Scan materializes the same range as one point-in-time snapshot.
 	pairs, err := db.Scan([]byte("city:"), []byte("city:\xff"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("scan city:*")
-	for _, p := range pairs {
-		fmt.Printf("  %s = %s\n", p.Key, p.Value)
-	}
+	fmt.Printf("scan city:* -> %d pairs\n", len(pairs))
 
 	st := db.Stats()
-	fmt.Printf("stats: puts=%d gets=%d scans=%d membuffer-hits=%d\n",
-		st.Puts, st.Gets, st.Scans, st.MembufferHits)
+	fmt.Printf("stats: puts=%d gets=%d scans=%d iterators=%d batches=%d membuffer-hits=%d\n",
+		st.Puts, st.Gets, st.Scans, st.Iterators, st.Batches, st.MembufferHits)
 
 	if err := db.Close(); err != nil {
 		log.Fatal(err)
 	}
 
 	// Reopen: everything survives across restarts.
-	db2, err := flodb.Open(dir, nil)
+	db2, err := flodb.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db2.Close()
-	v, found, _ = db2.Get([]byte("city:belgrade"))
-	fmt.Printf("after reopen: city:belgrade -> %q (found=%v)\n", v, found)
+	v, found, _ = db2.Get([]byte("city:rennes"))
+	fmt.Printf("after reopen: city:rennes -> %q (found=%v)\n", v, found)
 }

@@ -32,7 +32,7 @@ func sessionKey(id int) []byte {
 func main() {
 	dir := filepath.Join(os.TempDir(), "flodb-sessionstore")
 	os.RemoveAll(dir)
-	db, err := flodb.Open(dir, &flodb.Options{MemoryBytes: 16 << 20, DisableWAL: true})
+	db, err := flodb.Open(dir, flodb.WithMemory(16<<20), flodb.WithoutWAL())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -14,12 +14,34 @@
 //
 // Quick start:
 //
-//	db, err := flodb.Open("/tmp/mydb", nil)
+//	db, err := flodb.Open("/tmp/mydb", flodb.WithMemory(64<<20))
 //	if err != nil { ... }
 //	defer db.Close()
 //
 //	db.Put([]byte("k"), []byte("v"))
 //	v, found, err := db.Get([]byte("k"))
+//
+// Ranges stream through a cursor, so a scan larger than memory never
+// materializes:
+//
+//	it, err := db.NewIterator([]byte("a"), []byte("z"))
+//	if err != nil { ... }
+//	defer it.Close()
+//	for ok := it.First(); ok; ok = it.Next() {
+//		process(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Mutations group into atomic batches — one WAL record, one fsync,
+// all-or-nothing recovery:
+//
+//	b := flodb.NewWriteBatch()
+//	b.Put([]byte("k1"), []byte("v1"))
+//	b.Delete([]byte("k2"))
+//	if err := db.Apply(b); err != nil { ... }
+//
+// Scan remains as a convenience that materializes a full range snapshot:
+//
 //	pairs, err := db.Scan([]byte("a"), []byte("z"))
 package flodb
 
@@ -38,48 +60,40 @@ type Stats = kv.Stats
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = core.ErrClosed
 
-// Options tune a store. The zero value (or nil) gives the defaults the
-// paper's evaluation uses, scaled for a development machine.
-type Options struct {
-	// MemoryBytes is the total memory-component budget, split 1/4
-	// Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
-	MemoryBytes int64
-	// MembufferFraction overrides the Membuffer's share (0 < f < 1).
-	MembufferFraction float64
-	// PartitionBits is ℓ: the Membuffer has 2^ℓ partitions selected by
-	// the most significant key bits (§4.3). Default 6.
-	PartitionBits uint
-	// DrainThreads is the number of background draining threads. Default 2.
-	DrainThreads int
-	// RestartThreshold bounds scan restarts before the fallback scan
-	// blocks writers. Default 3.
-	RestartThreshold int
-	// DisableWAL turns off commit logging: faster writes, no crash
-	// durability for the memory component.
-	DisableWAL bool
-	// SyncWAL fsyncs the commit log on every update.
-	SyncWAL bool
-}
-
 // DB is a FloDB store. All methods are safe for concurrent use; Close must
 // not race with other operations.
 type DB struct {
 	inner *core.DB
 }
 
-// Open opens (creating if needed) a store in dir. opts may be nil.
-func Open(dir string, opts *Options) (*DB, error) {
-	cfg := core.Config{Dir: dir}
-	if opts != nil {
-		cfg.MemoryBytes = opts.MemoryBytes
-		cfg.MembufferFraction = opts.MembufferFraction
-		cfg.PartitionBits = opts.PartitionBits
-		cfg.DrainThreads = opts.DrainThreads
-		cfg.RestartThreshold = opts.RestartThreshold
-		cfg.DisableWAL = opts.DisableWAL
-		cfg.SyncWAL = opts.SyncWAL
+// Open opens (creating if needed) a store in dir, tuned by opts.
+//
+//	db, err := flodb.Open(dir,
+//		flodb.WithMemory(128<<20),
+//		flodb.WithDrainThreads(4),
+//		flodb.WithSyncWAL(),
+//	)
+//
+// With no options the store uses the paper's defaults scaled for a
+// development machine. A legacy *Options struct (including nil) is itself
+// an Option and may be passed directly.
+func Open(dir string, opts ...Option) (*DB, error) {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt.apply(&o)
+		}
 	}
-	inner, err := core.Open(cfg)
+	inner, err := core.Open(core.Config{
+		Dir:               dir,
+		MemoryBytes:       o.MemoryBytes,
+		MembufferFraction: o.MembufferFraction,
+		PartitionBits:     o.PartitionBits,
+		DrainThreads:      o.DrainThreads,
+		RestartThreshold:  o.RestartThreshold,
+		DisableWAL:        o.DisableWAL,
+		SyncWAL:           o.SyncWAL,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +103,12 @@ func Open(dir string, opts *Options) (*DB, error) {
 // Put inserts or overwrites key with value. The slices are copied; the
 // caller may reuse them.
 func (db *DB) Put(key, value []byte) error {
-	return db.inner.Put(keys.Clone(key), keys.Clone(value))
+	return db.inner.Put(key, value)
 }
 
 // Delete removes key. Deleting an absent key is not an error.
 func (db *DB) Delete(key []byte) error {
-	return db.inner.Delete(keys.Clone(key))
+	return db.inner.Delete(key)
 }
 
 // Get returns the current value of key. found is false if the key is
@@ -109,7 +123,8 @@ func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
 
 // Scan returns all pairs with low <= key < high in key order. Nil bounds
 // are open. The returned view is a consistent snapshot: point-in-time
-// semantics as defined in §2.1 of the paper.
+// semantics as defined in §2.1 of the paper. The whole range is
+// materialized; prefer NewIterator for large or unbounded ranges.
 func (db *DB) Scan(low, high []byte) ([]Pair, error) {
 	return db.inner.Scan(low, high)
 }

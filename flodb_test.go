@@ -164,3 +164,116 @@ func TestErrClosedExported(t *testing.T) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 }
+
+func TestFunctionalOptions(t *testing.T) {
+	db, err := flodb.Open(t.TempDir(),
+		flodb.WithMemory(2<<20),
+		flodb.WithMembufferFraction(0.5),
+		flodb.WithPartitionBits(4),
+		flodb.WithDrainThreads(1),
+		flodb.WithRestartThreshold(5),
+		flodb.WithoutWAL(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 1000; i++ {
+		if err := db.Put(keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := db.Stats(); st.Puts != 1000 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLegacyOptionsShim(t *testing.T) {
+	// The deprecated *Options struct is itself an Option; nil still works.
+	db, err := flodb.Open(t.TempDir(), &flodb.Options{MemoryBytes: 1 << 20, DisableWAL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("v"))
+	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatalf("legacy options store broken: %q %v", v, ok)
+	}
+	db.Close()
+
+	db2, err := flodb.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2.Close()
+}
+
+func TestPublicIterator(t *testing.T) {
+	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20})
+	for i := 0; i < 100; i++ {
+		db.Put(keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
+	}
+	it, err := db.NewIterator(keys.EncodeUint64(20), keys.EncodeUint64(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	i := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if keys.DecodeUint64(it.Key()) != uint64(20+i) || string(it.Value()) != fmt.Sprint(20+i) {
+			t.Fatalf("pair %d: %x=%q", i, it.Key(), it.Value())
+		}
+		i++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if i != 10 {
+		t.Fatalf("iterated %d pairs", i)
+	}
+	if !it.Seek(keys.EncodeUint64(25)) || keys.DecodeUint64(it.Key()) != 25 {
+		t.Fatalf("Seek(25) landed on %x", it.Key())
+	}
+}
+
+func TestPublicWriteBatch(t *testing.T) {
+	db := openPublic(t, nil)
+	db.Put([]byte("doomed"), []byte("x"))
+	b := flodb.NewWriteBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("doomed"))
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := db.Get([]byte("a")); !ok || string(v) != "1" {
+		t.Fatalf("a = %q %v", v, ok)
+	}
+	if v, ok, _ := db.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatalf("b = %q %v", v, ok)
+	}
+	if _, ok, _ := db.Get([]byte("doomed")); ok {
+		t.Fatal("batched delete ineffective")
+	}
+	st := db.Stats()
+	if st.Batches != 1 || st.BatchOps != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicStoreSatisfiesContract(t *testing.T) {
+	// Compile-time in flodb.go; here: the closed-store behavior of the
+	// extended surface.
+	db, err := flodb.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if _, err := db.NewIterator(nil, nil); err != flodb.ErrClosed {
+		t.Fatalf("NewIterator on closed store: %v", err)
+	}
+	b := flodb.NewWriteBatch()
+	b.Put([]byte("k"), []byte("v"))
+	if err := db.Apply(b); err != flodb.ErrClosed {
+		t.Fatalf("Apply on closed store: %v", err)
+	}
+}

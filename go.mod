@@ -1,0 +1,3 @@
+module flodb
+
+go 1.24

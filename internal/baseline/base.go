@@ -81,7 +81,8 @@ type base struct {
 	flushErr atomic.Pointer[error]
 
 	stats struct {
-		puts, gets, deletes, scans atomic.Uint64
+		puts, gets, deletes, scans   atomic.Uint64
+		batches, batchOps, iterators atomic.Uint64
 	}
 }
 
@@ -165,14 +166,14 @@ func (b *base) recoverWALs() error {
 	}
 	for _, num := range segs {
 		mem := b.newVersionedMem()
+		// ForEachOp decodes single-op and multi-op (batch) records alike;
+		// batch atomicity comes from the WAL's per-record CRC framing.
 		err := wal.ReplayAll(storage.WALFileName(b.cfg.Dir, num), func(rec []byte) error {
-			kind, key, value, err := kv.DecodeRecord(rec)
-			if err != nil {
-				return err
-			}
-			b.lastSeq++
-			mem.Insert(keys.Clone(key), b.lastSeq, kind, keys.Clone(value))
-			return nil
+			return kv.ForEachOp(rec, func(kind keys.Kind, key, value []byte) error {
+				b.lastSeq++
+				mem.Insert(keys.Clone(key), b.lastSeq, kind, keys.Clone(value))
+				return nil
+			})
 		})
 		if err != nil {
 			return fmt.Errorf("baseline: replay wal %d: %w", num, err)
@@ -215,6 +216,42 @@ func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) error 
 		return nil
 	}
 	return h.wal.Append(kv.EncodeRecord(kind, key, value))
+}
+
+// applyBatch is the shared Apply mechanism for the mutex-ordered variants
+// (LevelDB, HyperLevelDB, RocksDB): one WAL record for the whole batch,
+// then every operation inserted under the global mutex with consecutive
+// sequence numbers. Atomicity falls out of the multi-versioned design —
+// the batch's version range is contiguous, and recovery replays the single
+// record all-or-nothing.
+func (b *base) applyBatch(batch *kv.Batch) error {
+	if b.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := b.loadFlushErr(); err != nil {
+		return err
+	}
+	if batch == nil || batch.Len() == 0 {
+		return nil
+	}
+	b.stats.batches.Add(1)
+	b.stats.batchOps.Add(uint64(batch.Len()))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.waitRoomLocked(); err != nil {
+		return err
+	}
+	if b.mem.wal != nil {
+		if err := b.mem.wal.Append(kv.EncodeBatchRecord(batch)); err != nil {
+			return err
+		}
+	}
+	for _, op := range batch.Ops() {
+		b.lastSeq++
+		b.mem.mem.Insert(op.Key, b.lastSeq, op.Kind, op.Value)
+	}
+	b.maybeScheduleFlushLocked()
+	return nil
 }
 
 // waitRoomLocked blocks (on mu) while the memtable is full and the
@@ -350,11 +387,31 @@ func (b *base) getFrom(mem, imm *memHandle, snap uint64, key []byte) ([]byte, bo
 	return v, true, nil
 }
 
-// scanFrom produces a consistent snapshot scan at snap. Multi-versioning
-// makes this conflict-free: versions newer than snap are simply skipped —
-// the approach whose memory cost §3.2 criticizes, but which needs no
-// restarts.
+// scanFrom produces a consistent snapshot scan at snap: a drained
+// snapshot iterator. Multi-versioning makes this conflict-free: versions
+// newer than snap are simply skipped — the approach whose memory cost §3.2
+// criticizes, but which needs no restarts.
 func (b *base) scanFrom(mem, imm *memHandle, snap uint64, low, high []byte) ([]kv.Pair, error) {
+	it, err := b.newSnapshotIter(mem, imm, snap, low, high, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []kv.Pair
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, kv.Pair{Key: keys.Clone(it.Key()), Value: keys.Clone(it.Value())})
+	}
+	return out, it.Err()
+}
+
+// newSnapshotIter builds a streaming iterator over a captured view. The
+// multi-versioned design pins ONE snapshot for the iterator's whole
+// lifetime — versions newer than snap stay invisible however long the
+// caller iterates, with no restarts (the memory-for-stability trade §3.2
+// discusses). The disk version stays pinned until Close; onClose, when
+// non-nil, runs after the release (the variants' end-of-read critical
+// section).
+func (b *base) newSnapshotIter(mem, imm *memHandle, snap uint64, low, high []byte, onClose func()) (kv.Iterator, error) {
 	its := []storage.InternalIterator{mem.mem.NewIterator()}
 	if imm != nil {
 		its = append(its, imm.mem.NewIterator())
@@ -363,35 +420,132 @@ func (b *base) scanFrom(mem, imm *memHandle, snap uint64, low, high []byte) ([]k
 	if err != nil {
 		return nil, err
 	}
-	defer release()
 	its = append(its, dit)
-	m := storage.NewMergingIterator(its...)
+	return &snapshotIter{
+		m:       storage.NewMergingIterator(its...),
+		low:     keys.Clone(low),
+		high:    keys.Clone(high),
+		snap:    snap,
+		release: release,
+		onClose: onClose,
+	}, nil
+}
 
-	var out []kv.Pair
-	var lastKey []byte
-	haveLast := false
-	for m.Seek(low); m.Valid(); m.Next() {
-		k := m.Key()
-		if high != nil && keys.Compare(k, high) >= 0 {
-			break
+// snapshotIter streams live pairs <= snap in key order, deduplicating
+// versions and skipping tombstones as it goes.
+type snapshotIter struct {
+	m         storage.InternalIterator
+	low, high []byte
+	snap      uint64
+	release   func()
+	onClose   func()
+
+	lastKey    []byte
+	haveLast   bool
+	positioned bool
+	onPair     bool
+	closed     bool
+}
+
+var _ kv.Iterator = (*snapshotIter)(nil)
+
+// First positions at the first live pair of the range.
+func (it *snapshotIter) First() bool {
+	if it.closed {
+		return false
+	}
+	it.positioned = true
+	it.haveLast = false
+	it.m.Seek(it.low)
+	return it.settle()
+}
+
+// Seek positions at the first live pair with key >= key (clamped to low).
+func (it *snapshotIter) Seek(key []byte) bool {
+	if it.closed {
+		return false
+	}
+	if it.low != nil && (key == nil || keys.Compare(key, it.low) < 0) {
+		key = it.low
+	}
+	it.positioned = true
+	it.haveLast = false
+	it.m.Seek(key)
+	return it.settle()
+}
+
+// Next advances past the current key's remaining versions to the next
+// live pair; unpositioned, it is equivalent to First.
+func (it *snapshotIter) Next() bool {
+	if it.closed {
+		return false
+	}
+	if !it.positioned {
+		return it.First()
+	}
+	if it.m.Valid() {
+		it.m.Next()
+	}
+	return it.settle()
+}
+
+// settle skips versions newer than the snapshot, superseded versions of an
+// already-visited key, and tombstones, stopping on the next live pair.
+func (it *snapshotIter) settle() bool {
+	it.onPair = false
+	for ; it.m.Valid(); it.m.Next() {
+		k := it.m.Key()
+		if it.high != nil && keys.Compare(k, it.high) >= 0 {
+			return false
 		}
-		if m.Seq() > snap {
+		if it.m.Seq() > it.snap {
 			continue // newer than the snapshot: invisible
 		}
-		if haveLast && keys.Equal(lastKey, k) {
+		if it.haveLast && keys.Equal(it.lastKey, k) {
+			continue // superseded version of a visited key
+		}
+		it.lastKey = append(it.lastKey[:0], k...)
+		it.haveLast = true
+		if it.m.Kind() == keys.KindDelete {
 			continue
 		}
-		lastKey = append(lastKey[:0], k...)
-		haveLast = true
-		if m.Kind() == keys.KindDelete {
-			continue
-		}
-		out = append(out, kv.Pair{Key: keys.Clone(k), Value: keys.Clone(m.Value())})
+		it.onPair = true
+		return true
 	}
-	if err := m.Err(); err != nil {
-		return nil, err
+	return false
+}
+
+// Key returns the current key; the slice is valid until the next advance.
+func (it *snapshotIter) Key() []byte {
+	if !it.onPair {
+		return nil
 	}
-	return out, nil
+	return it.m.Key()
+}
+
+// Value returns the current value, under the same aliasing rule as Key.
+func (it *snapshotIter) Value() []byte {
+	if !it.onPair {
+		return nil
+	}
+	return it.m.Value()
+}
+
+// Err returns the first error of the underlying merge.
+func (it *snapshotIter) Err() error { return it.m.Err() }
+
+// Close unpins the disk snapshot. It is idempotent.
+func (it *snapshotIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.onPair = false
+	it.release()
+	if it.onClose != nil {
+		it.onClose()
+	}
+	return nil
 }
 
 // closeCommon shuts down the flush loop and persists what remains.
@@ -451,10 +605,13 @@ func (b *base) WaitDiskQuiesce() {
 // Stats reports shared counters.
 func (b *base) Stats() kv.Stats {
 	s := kv.Stats{
-		Puts:    b.stats.puts.Load(),
-		Gets:    b.stats.gets.Load(),
-		Deletes: b.stats.deletes.Load(),
-		Scans:   b.stats.scans.Load(),
+		Puts:      b.stats.puts.Load(),
+		Gets:      b.stats.gets.Load(),
+		Deletes:   b.stats.deletes.Load(),
+		Scans:     b.stats.scans.Load(),
+		Batches:   b.stats.batches.Load(),
+		BatchOps:  b.stats.batchOps.Load(),
+		Iterators: b.stats.iterators.Load(),
 	}
 	m := b.store.Metrics()
 	s.Flushes = m.Flushes

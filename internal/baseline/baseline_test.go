@@ -408,3 +408,151 @@ func BenchmarkPut(b *testing.B) {
 		})
 	}
 }
+
+func TestIteratorMatchesScanBaselines(t *testing.T) {
+	forEachStore(t, 64<<10, func(t *testing.T, s kv.Store) {
+		if ok := testingIsHash(s); ok {
+			return // scans impractical on hash memtables (§2.3)
+		}
+		const n = 800
+		for i := 0; i < n; i++ {
+			if err := s.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i := n / 2; true {
+			s.Delete(spread(uint64(i))) // a tombstone in range
+		}
+		want, err := s.Scan(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := s.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			if i >= len(want) || !bytes.Equal(it.Key(), want[i].Key) || !bytes.Equal(it.Value(), want[i].Value) {
+				t.Fatalf("iterator diverged from Scan at %d", i)
+			}
+			i++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(want) {
+			t.Fatalf("iterator %d pairs, Scan %d", i, len(want))
+		}
+	})
+}
+
+func TestIteratorPinsSnapshotBaselines(t *testing.T) {
+	// The multi-versioned baselines pin ONE snapshot for the iterator's
+	// lifetime: writes racing the cursor must stay invisible, however
+	// slowly the caller drains it.
+	forEachStore(t, 1<<20, func(t *testing.T, s kv.Store) {
+		if testingIsHash(s) {
+			return
+		}
+		const n = 200
+		for i := 0; i < n; i++ {
+			s.Put(spread(uint64(i)), keys.EncodeUint64(0))
+		}
+		it, err := s.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		count := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			// Overwrite ahead of the cursor mid-iteration.
+			if count == 10 {
+				for i := 0; i < n; i++ {
+					s.Put(spread(uint64(i)), keys.EncodeUint64(999))
+				}
+			}
+			if keys.DecodeUint64(it.Value()) != 0 {
+				t.Fatalf("iterator observed post-snapshot version at %x", it.Key())
+			}
+			count++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if count != n {
+			t.Fatalf("iterated %d of %d", count, n)
+		}
+	})
+}
+
+func TestApplyBaselines(t *testing.T) {
+	forEachStore(t, 64<<10, func(t *testing.T, s kv.Store) {
+		if err := s.Apply(nil); err != nil {
+			t.Fatal("nil batch:", err)
+		}
+		s.Put([]byte("pre"), []byte("old"))
+		b := kv.NewBatch()
+		const n = 300
+		for i := 0; i < n; i++ {
+			b.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i)))
+		}
+		b.Delete([]byte("pre"))
+		if err := s.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i += 7 {
+			v, ok, err := s.Get(spread(uint64(i)))
+			if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
+				t.Fatalf("batched key %d: %v %v %v", i, v, ok, err)
+			}
+		}
+		if _, ok, _ := s.Get([]byte("pre")); ok {
+			t.Fatal("batched delete ineffective")
+		}
+		if sp, ok := s.(kv.StatsProvider); ok {
+			st := sp.Stats()
+			if st.Batches != 1 || st.BatchOps != uint64(n+1) {
+				t.Fatalf("stats: %+v", st)
+			}
+		}
+	})
+}
+
+func TestApplyRecoversBaselines(t *testing.T) {
+	// A batch written before an abrupt-but-synced shutdown must recover
+	// whole: one WAL record carrying every op.
+	for _, o := range openers {
+		t.Run(o.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := o.open(Config{Dir: dir, MemBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b := kv.NewBatch()
+			for i := 0; i < 100; i++ {
+				b.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i)))
+			}
+			if err := s.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := o.open(Config{Dir: dir, MemBytes: 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			for i := 0; i < 100; i++ {
+				v, ok, err := s2.Get(spread(uint64(i)))
+				if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
+					t.Fatalf("batched key %d after restart: %v %v %v", i, v, ok, err)
+				}
+			}
+		})
+	}
+}

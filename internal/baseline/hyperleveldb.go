@@ -105,6 +105,26 @@ func (db *HyperLevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
 	return pairs, err
 }
 
+// NewIterator streams a pinned snapshot with LevelDB-style start and end
+// critical sections.
+func (db *HyperLevelDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.iterators.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	return db.newSnapshotIter(mem, imm, snap, low, high, func() {
+		db.mu.Lock()
+		db.mu.Unlock()
+	})
+}
+
+// Apply commits the batch atomically: version numbers for the whole batch
+// are allocated in one critical section.
+func (db *HyperLevelDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+
 // Close flushes and shuts down.
 func (db *HyperLevelDB) Close() error { return db.closeCommon() }
 

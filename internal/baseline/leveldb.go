@@ -159,6 +159,26 @@ func (db *LevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
 	return pairs, err
 }
 
+// NewIterator streams a pinned snapshot; the closing critical section
+// (releasing metadata under the global lock) runs at Close.
+func (db *LevelDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.iterators.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	return db.newSnapshotIter(mem, imm, snap, low, high, func() {
+		db.mu.Lock()
+		db.mu.Unlock()
+	})
+}
+
+// Apply commits the batch atomically under the global mutex — the same
+// single-writer application the leader performs for combined queues.
+func (db *LevelDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+
 // Close shuts down the leader and flushes.
 func (db *LevelDB) Close() error {
 	if db.closed.Load() {

@@ -54,8 +54,10 @@ func newSkipMem() *skipMem {
 }
 
 func (m *skipMem) Insert(ukey []byte, seq uint64, kind keys.Kind, value []byte) {
+	// MakeInternal copies the key; the value must be copied here — the
+	// node retains it, and harness drivers reuse their value buffers.
 	ik := keys.MakeInternal(ukey, seq, kind)
-	m.list.Insert(ik, &skiplist.Entry{Value: value, Seq: seq, Tombstone: kind == keys.KindDelete})
+	m.list.Insert(ik, &skiplist.Entry{Value: keys.Clone(value), Seq: seq, Tombstone: kind == keys.KindDelete})
 }
 
 func (m *skipMem) Get(ukey []byte, snapshot uint64) ([]byte, uint64, keys.Kind, bool) {
@@ -144,7 +146,9 @@ func (h *hashMem) shard(ukey []byte) *hashShard {
 func (h *hashMem) Insert(ukey []byte, seq uint64, kind keys.Kind, value []byte) {
 	s := h.shard(ukey)
 	s.mu.Lock()
-	s.m[string(ukey)] = append(s.m[string(ukey)], hashVersion{seq: seq, kind: kind, value: value})
+	// string(ukey) copies the key; clone the value for the same reason as
+	// skipMem — callers reuse their buffers.
+	s.m[string(ukey)] = append(s.m[string(ukey)], hashVersion{seq: seq, kind: kind, value: keys.Clone(value)})
 	s.bytes += int64(len(ukey) + len(value) + 32)
 	s.count++
 	s.mu.Unlock()

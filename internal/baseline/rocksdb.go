@@ -98,6 +98,22 @@ func (db *RocksDB) Scan(low, high []byte) ([]kv.Pair, error) {
 	return db.scanFrom(mem, imm, snap, low, high)
 }
 
+// NewIterator streams a pinned snapshot after one short critical section.
+func (db *RocksDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	db.stats.iterators.Add(1)
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	return db.newSnapshotIter(mem, imm, snap, low, high, nil)
+}
+
+// Apply commits the batch atomically with one critical section — the shape
+// of RocksDB's WriteBatch, whose group commit this models.
+func (db *RocksDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+
 // Close flushes and shuts down.
 func (db *RocksDB) Close() error { return db.closeCommon() }
 

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/skiplist"
+)
+
+// Apply commits every mutation in b atomically.
+//
+// Durability and recovery are all-or-nothing: the whole batch is appended
+// as ONE WAL record (kv.EncodeBatchRecord), so the log's per-record CRC
+// framing guarantees that after a crash either every operation replays or
+// none does — and with SyncWAL the batch costs a single fsync, amortized
+// across its operations the way the paper's drain threads amortize
+// skiplist traversals across a multi-insert batch (§4.2).
+//
+// The memory-component application runs under drainMu, which serializes it
+// with generation switches (persist seals, master scans, fallback scans).
+// That exclusion is what makes the per-op routing safe: with no immutable
+// Membuffer in existence and no switch in flight, an operation either
+// completes in the Membuffer (in-place update or insert) or — only when
+// its key is absent from the Membuffer and the target bucket is full —
+// goes directly into the Memtable as part of one multi-insert holding a
+// contiguous sequence range, without ever being shadowed by a staler
+// Membuffer entry (the Get freshness invariant of Algorithm 2).
+//
+// Visibility: scans never observe a partial batch. A scan whose sequence
+// number predates the batch skips every batch entry (or restarts, per
+// Algorithm 3); a scan led after Apply returns drains the Membuffer first
+// and sees every entry. Point Gets racing with Apply may observe a prefix
+// of the batch — the atomicity contract is about durability and scans, not
+// read isolation.
+func (db *DB) Apply(b *kv.Batch) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.loadPersistErr(); err != nil {
+		return err
+	}
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	db.stats.batches.Add(1)
+	db.stats.batchOps.Add(uint64(b.Len()))
+
+	// Backpressure outside the lock, mirroring update's slow path: wait
+	// out a full Memtable with a pending persist, and an overloaded L0.
+	for spins := 0; ; spins++ {
+		g := db.gen.Load()
+		if over := g.mtb.approxBytes(); over > db.cfg.memtableTargetBytes() {
+			db.signalPersist()
+			if db.immMtb.Load() != nil || over > 2*db.cfg.memtableTargetBytes() {
+				db.backoff(spins)
+				continue
+			}
+		}
+		if db.store != nil && db.store.NeedsStall() {
+			db.store.MaybeScheduleCompaction()
+			db.backoff(spins)
+			continue
+		}
+		break
+	}
+
+	db.drainMu.Lock()
+	defer db.drainMu.Unlock()
+	if db.closed.Load() {
+		return ErrClosed
+	}
+
+	// Under drainMu, pauseWriters is stably false and immMbf stably nil:
+	// both are only set by drainMu holders and cleared before release. The
+	// RCU read section still brackets the mutation so a switch that starts
+	// right after we release the lock synchronizes behind us.
+	h := db.handle()
+	defer db.putHandle(h)
+	h.Enter()
+	defer h.Exit()
+
+	g := db.gen.Load()
+	if g.mtb.wal != nil {
+		if err := g.mtb.wal.Append(kv.EncodeBatchRecord(b)); err != nil {
+			return err
+		}
+	}
+
+	ops := b.Ops()
+	var direct []skiplist.KV
+	for i := range ops {
+		op := &ops[i]
+		tomb := op.Kind == keys.KindDelete
+		val := op.Value
+		if tomb {
+			val = tombstoneMarker
+		}
+		if g.mbf != nil && g.mbf.Add(op.Key, val, tomb) {
+			db.stats.membufferHits.Add(1)
+			continue
+		}
+		direct = append(direct, skiplist.KV{Key: op.Key, Entry: &skiplist.Entry{Value: val, Tombstone: tomb}})
+	}
+	if len(direct) > 0 {
+		// One contiguous sequence range for the whole spill, assigned in
+		// batch order so a later op on the same key wins the multi-insert.
+		end := db.seq.Add(uint64(len(direct)))
+		start := end - uint64(len(direct)) + 1
+		for i := range direct {
+			direct[i].Entry.Seq = start + uint64(i)
+		}
+		g.mtb.list.MultiInsert(direct)
+		db.stats.memtableWrites.Add(uint64(len(direct)))
+	}
+	if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+		db.signalPersist()
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"flodb/internal/kv"
+)
+
+// TestApplyBasic commits a mixed batch and verifies reads, in-batch
+// ordering (later op on the same key wins), and empty-batch no-ops.
+func TestApplyBasic(t *testing.T) {
+	db := openTestDB(t, testConfig(t))
+
+	if err := db.Apply(nil); err != nil {
+		t.Fatal("nil batch:", err)
+	}
+	if err := db.Apply(kv.NewBatch()); err != nil {
+		t.Fatal("empty batch:", err)
+	}
+
+	if err := db.Put([]byte("pre"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	b := kv.NewBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("pre"))
+	b.Put([]byte("dup"), []byte("first"))
+	b.Put([]byte("dup"), []byte("second")) // later op wins
+	b.Put([]byte("gone"), []byte("x"))
+	b.Delete([]byte("gone")) // delete after put wins
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+
+	checks := []struct {
+		key   string
+		want  string
+		found bool
+	}{
+		{"a", "1", true},
+		{"b", "2", true},
+		{"pre", "", false},
+		{"dup", "second", true},
+		{"gone", "", false},
+	}
+	for _, c := range checks {
+		v, ok, err := db.Get([]byte(c.key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.found || (ok && string(v) != c.want) {
+			t.Fatalf("Get(%s) = %q/%v, want %q/%v", c.key, v, ok, c.want, c.found)
+		}
+	}
+}
+
+// TestApplySurvivesDrainAndPersist pushes many batches through a tiny
+// memory component so batch entries cross the membuffer→memtable→disk
+// boundaries, and verifies contents at the end.
+func TestApplySurvivesDrainAndPersist(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 64 << 10
+	db := openTestDB(t, cfg)
+
+	want := map[string]string{}
+	b := kv.NewBatch()
+	for round := 0; round < 200; round++ {
+		b.Reset()
+		for i := 0; i < 25; i++ {
+			k := spreadKey(uint64(round*25 + i))
+			v := fmt.Sprintf("r%d-%d", round, i)
+			b.Put(k, []byte(v))
+			want[string(k)] = v
+		}
+		if err := db.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.WaitDiskQuiesce()
+	for k, v := range want {
+		got, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("key %x = %q/%v/%v, want %q", k, got, ok, err, v)
+		}
+	}
+	s := db.Stats()
+	if s.Batches != 200 || s.BatchOps != 5000 {
+		t.Fatalf("stats: batches=%d batchOps=%d", s.Batches, s.BatchOps)
+	}
+}
+
+// TestApplyReusedBatchAfterReset verifies the documented reuse pattern:
+// Reset must not corrupt data retained by a previous Apply.
+func TestApplyReusedBatchAfterReset(t *testing.T) {
+	db := openTestDB(t, testConfig(t))
+	b := kv.NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	b.Put([]byte("k2"), bytes.Repeat([]byte("Z"), 2)) // would overwrite a reused arena
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := db.Get([]byte("k1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("k1 corrupted by batch reuse: %q %v", v, ok)
+	}
+}
+
+// TestApplyCallerMayReuseInputs verifies Put/Delete copy their arguments.
+func TestApplyCallerMayReuseInputs(t *testing.T) {
+	db := openTestDB(t, testConfig(t))
+	key := []byte("mutable")
+	val := []byte("value-0")
+	b := kv.NewBatch()
+	b.Put(key, val)
+	key[0], val[0] = 'X', 'X'
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := db.Get([]byte("mutable"))
+	if !ok || string(v) != "value-0" {
+		t.Fatalf("input aliasing leaked into the batch: %q %v", v, ok)
+	}
+}
+
+// TestApplyVisibleToScansAtomically races scans against atomic batch
+// overwrites of a fixed key set: every scan must observe all keys with ONE
+// generation tag — never a mix from two batches.
+func TestApplyVisibleToScansAtomically(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 64 << 10
+	db := openTestDB(t, cfg)
+
+	const n = 100
+	keysList := make([][]byte, n)
+	for i := range keysList {
+		keysList[i] = spreadKey(uint64(i))
+	}
+	write := func(gen int) {
+		b := kv.NewBatch()
+		for _, k := range keysList {
+			b.Put(k, []byte(fmt.Sprintf("gen%06d", gen)))
+		}
+		if err := db.Apply(b); err != nil {
+			t.Error(err)
+		}
+	}
+	write(0)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for gen := 1; gen <= 300; gen++ {
+			write(gen)
+		}
+	}()
+	torn := 0
+	for {
+		select {
+		case <-done:
+			if torn > 0 {
+				t.Fatalf("%d torn scans observed", torn)
+			}
+			return
+		default:
+		}
+		pairs, err := db.Scan(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs) != n {
+			t.Fatalf("scan saw %d of %d keys", len(pairs), n)
+		}
+		gens := map[string]bool{}
+		for _, p := range pairs {
+			gens[string(p.Value)] = true
+		}
+		if len(gens) != 1 {
+			torn++
+		}
+	}
+}

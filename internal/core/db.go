@@ -112,6 +112,7 @@ type DB struct {
 
 type statCounters struct {
 	puts, gets, deletes, scans    atomic.Uint64
+	batches, batchOps, iterators  atomic.Uint64
 	scanRestarts, fallbackScans   atomic.Uint64
 	membufferHits, memtableWrites atomic.Uint64
 	drainedEntries, drainBatches  atomic.Uint64
@@ -212,18 +213,20 @@ func (db *DB) recoverWALs() error {
 	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
 	for _, num := range segs {
 		list := skiplist.New()
+		// ForEachOp handles both single-op records and multi-op batch
+		// records. Atomicity of a batch is inherited from WAL framing: a
+		// torn batch record fails its CRC as a whole, so recovery replays
+		// either every op of a batch or none.
 		err := wal.ReplayAll(storage.WALFileName(db.cfg.Dir, num), func(rec []byte) error {
-			kind, key, value, err := kv.DecodeRecord(rec)
-			if err != nil {
-				return err
-			}
-			e := &skiplist.Entry{
-				Value:     keys.Clone(value),
-				Seq:       db.seq.Add(1),
-				Tombstone: kind == keys.KindDelete,
-			}
-			list.Insert(keys.Clone(key), e)
-			return nil
+			return kv.ForEachOp(rec, func(kind keys.Kind, key, value []byte) error {
+				e := &skiplist.Entry{
+					Value:     keys.Clone(value),
+					Seq:       db.seq.Add(1),
+					Tombstone: kind == keys.KindDelete,
+				}
+				list.Insert(keys.Clone(key), e)
+				return nil
+			})
 		})
 		if err != nil {
 			return fmt.Errorf("core: replay wal %d: %w", num, err)
@@ -305,6 +308,9 @@ func (db *DB) Stats() kv.Stats {
 		Gets:           db.stats.gets.Load(),
 		Deletes:        db.stats.deletes.Load(),
 		Scans:          db.stats.scans.Load(),
+		Batches:        db.stats.batches.Load(),
+		BatchOps:       db.stats.batchOps.Load(),
+		Iterators:      db.stats.iterators.Load(),
 		ScanRestarts:   db.stats.scanRestarts.Load(),
 		FallbackScans:  db.stats.fallbackScans.Load(),
 		MembufferHits:  db.stats.membufferHits.Load(),

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// defaultIteratorChunk is the number of live pairs a streaming iterator
+// prefetches per refill. Each chunk is served from one Algorithm 3
+// snapshot (with the usual restart-then-fallback conflict handling), so
+// the chunk size bounds both the iterator's memory footprint and the
+// window a conflicting writer can invalidate.
+const defaultIteratorChunk = 256
+
+// NewIterator returns a streaming cursor over low <= key < high (nil
+// bounds are open). Unlike Scan, the range is never materialized: the
+// iterator holds at most defaultIteratorChunk pairs, so iterating a range
+// larger than the memory component is O(1) in the range size.
+//
+// Consistency: every refill chunk is a consistent snapshot acquired via
+// the scan machinery of §4.4 (piggybacking on concurrent scans, restarting
+// transparently on in-place-overwrite conflicts up to RestartThreshold,
+// then falling back to the writer-blocking scan). Chunk snapshots are
+// monotonically ordered — each refill's sequence number is at least the
+// previous one's — so the stream as a whole is a serializable sequence of
+// consistent range fragments. A Scan (one unbounded chunk) remains a
+// single point-in-time snapshot.
+func (db *DB) NewIterator(low, high []byte) (kv.Iterator, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.stats.iterators.Add(1)
+	return db.newIter(keys.Clone(low), keys.Clone(high), defaultIteratorChunk), nil
+}
+
+// newIter builds the concrete iterator; chunk <= 0 means unbounded (the
+// whole range in one snapshot, used by Scan).
+func (db *DB) newIter(low, high []byte, chunk int) *iterState {
+	return &iterState{db: db, low: low, high: high, chunk: chunk}
+}
+
+// iterState is the streaming cursor over a FloDB range. It refills buf one
+// chunk at a time, remembering the last emitted key as the (exclusive)
+// resume point. No resources are pinned between refills: each chunk
+// acquires and releases its own scan state and disk snapshot, so an idle
+// iterator never delays WAL truncation or table deletion.
+type iterState struct {
+	db        *DB
+	low, high []byte
+	chunk     int // max pairs per refill; <= 0 means unbounded
+
+	buf        []kv.Pair
+	pos        int
+	resume     []byte // last key of buf when more; next refill is exclusive of it
+	more       bool   // the last refill stopped at the chunk limit
+	positioned bool
+	err        error
+	closed     bool
+}
+
+var _ kv.Iterator = (*iterState)(nil)
+
+// First positions at the first pair of the range.
+func (it *iterState) First() bool { return it.reposition(it.low, false) }
+
+// Seek positions at the first pair with key >= key, clamped to the range.
+func (it *iterState) Seek(key []byte) bool {
+	from := keys.Clone(key)
+	if it.low != nil && (from == nil || keys.Compare(from, it.low) < 0) {
+		from = it.low
+	}
+	return it.reposition(from, false)
+}
+
+// Next advances to the next pair, refilling when the chunk is spent. On an
+// unpositioned iterator it is equivalent to First.
+func (it *iterState) Next() bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	if !it.positioned {
+		return it.First()
+	}
+	if it.pos+1 < len(it.buf) {
+		it.pos++
+		return true
+	}
+	if !it.more {
+		it.buf, it.pos = nil, 0
+		return false
+	}
+	if !it.fill(it.resume, true) {
+		return false
+	}
+	return len(it.buf) > 0
+}
+
+// reposition restarts iteration from a fresh bound.
+func (it *iterState) reposition(from []byte, excl bool) bool {
+	if it.closed || it.err != nil {
+		return false
+	}
+	it.positioned = true
+	if !it.fill(from, excl) {
+		return false
+	}
+	return len(it.buf) > 0
+}
+
+// fill fetches the next chunk starting at from, running the restart loop
+// of Algorithm 3: join or lead a scan for a sequence number, read the
+// chunk, and on an in-place-overwrite conflict retry with a fresh
+// snapshot, falling back to the writer-blocking scan after
+// RestartThreshold attempts.
+func (it *iterState) fill(from []byte, fromExcl bool) bool {
+	db := it.db
+	if db.closed.Load() {
+		it.err = ErrClosed
+		return false
+	}
+	restarts := 0
+	for {
+		st := db.joinOrLeadScan()
+		pairs, more, conflict, err := db.scanChunk(from, fromExcl, it.high, st.seq, it.chunk)
+		db.releaseScanState(st)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		if !conflict {
+			it.setChunk(pairs, more)
+			return true
+		}
+		restarts++
+		db.stats.scanRestarts.Add(1)
+		if restarts >= db.cfg.RestartThreshold {
+			pairs, more, err := db.fallbackChunk(from, fromExcl, it.high, it.chunk)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.setChunk(pairs, more)
+			return true
+		}
+	}
+}
+
+func (it *iterState) setChunk(pairs []kv.Pair, more bool) {
+	it.buf = pairs
+	it.pos = 0
+	it.more = more
+	if more && len(pairs) > 0 {
+		it.resume = pairs[len(pairs)-1].Key // already a stable clone
+	}
+}
+
+// valid reports whether the cursor currently rests on a pair.
+func (it *iterState) valid() bool {
+	return !it.closed && it.positioned && it.pos < len(it.buf)
+}
+
+// Key returns the current key (a stable copy; callers may retain it).
+func (it *iterState) Key() []byte {
+	if !it.valid() {
+		return nil
+	}
+	return it.buf[it.pos].Key
+}
+
+// Value returns the current value (a stable copy).
+func (it *iterState) Value() []byte {
+	if !it.valid() {
+		return nil
+	}
+	return it.buf[it.pos].Value
+}
+
+// Err returns the first error the iterator encountered.
+func (it *iterState) Err() error { return it.err }
+
+// Close releases the iterator. It is idempotent; the iterator pins no
+// external resources between refills, so Close only bars further use.
+func (it *iterState) Close() error {
+	it.closed = true
+	it.buf = nil
+	return nil
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"flodb/internal/keys"
+)
+
+// TestIteratorMatchesScan drives random data through drains and persists,
+// then checks that the streaming iterator yields exactly what Scan
+// materializes, in the same order.
+func TestIteratorMatchesScan(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 64 << 10 // tiny: constant drains and persists
+	db := openTestDB(t, cfg)
+
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		k := spreadKey(uint64(rng.Intn(900)))
+		if rng.Intn(6) == 0 {
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bounds := [][2][]byte{
+		{nil, nil},
+		{spreadKey(100), spreadKey(400)},
+		{spreadKey(0), spreadKey(1)},
+	}
+	for _, bd := range bounds {
+		low, high := bd[0], bd[1]
+		want, err := db.Scan(low, high)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := db.NewIterator(low, high)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := 0
+		for ok := it.First(); ok; ok = it.Next() {
+			if i >= len(want) {
+				t.Fatalf("iterator yielded more than Scan's %d pairs", len(want))
+			}
+			if !bytes.Equal(it.Key(), want[i].Key) || !bytes.Equal(it.Value(), want[i].Value) {
+				t.Fatalf("pair %d: iterator (%x,%q) != scan (%x,%q)",
+					i, it.Key(), it.Value(), want[i].Key, want[i].Value)
+			}
+			i++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if i != len(want) {
+			t.Fatalf("iterator yielded %d pairs, Scan %d", i, len(want))
+		}
+		it.Close()
+	}
+}
+
+// TestIteratorStreamsWithoutMaterializing iterates a range much larger
+// than the memory component and asserts — white-box — that the iterator
+// never buffers more than one prefetch chunk.
+func TestIteratorStreamsWithoutMaterializing(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 64 << 10 // 64 KiB memory component
+	db := openTestDB(t, cfg)
+
+	const n = 20000
+	val := bytes.Repeat([]byte("x"), 64) // ~1.4 MiB total: >> memory component
+	for i := 0; i < n; i++ {
+		if err := db.Put(spreadKey(uint64(i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.WaitDiskQuiesce()
+
+	iter, err := db.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iter.Close()
+	st, ok := iter.(*iterState)
+	if !ok {
+		t.Fatalf("NewIterator returned %T, want *iterState", iter)
+	}
+	count, maxBuf := 0, 0
+	for ok := iter.First(); ok; ok = iter.Next() {
+		if len(st.buf) > maxBuf {
+			maxBuf = len(st.buf)
+		}
+		count++
+	}
+	if err := iter.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("iterated %d of %d keys", count, n)
+	}
+	if maxBuf > defaultIteratorChunk {
+		t.Fatalf("iterator buffered %d pairs, chunk bound is %d", maxBuf, defaultIteratorChunk)
+	}
+	t.Logf("streamed %d keys with at most %d pairs resident", count, maxBuf)
+}
+
+// TestIteratorSeekAndContract covers the cursor contract: Seek positioning
+// and clamping, Next-implies-First, exhaustion, and Close.
+func TestIteratorSeekAndContract(t *testing.T) {
+	db := openTestDB(t, testConfig(t))
+	for i := 0; i < 100; i++ {
+		if err := db.Put(keys.EncodeUint64(uint64(i*2)), keys.EncodeUint64(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	it, err := db.NewIterator(keys.EncodeUint64(10), keys.EncodeUint64(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Next on an unpositioned iterator behaves like First.
+	if !it.Next() || keys.DecodeUint64(it.Key()) != 10 {
+		t.Fatalf("Next-as-First got %x", it.Key())
+	}
+	// Seek to an absent key positions at the next present one.
+	if !it.Seek(keys.EncodeUint64(31)) || keys.DecodeUint64(it.Key()) != 32 {
+		t.Fatalf("Seek(31) got %x", it.Key())
+	}
+	// Seek below low clamps to low.
+	if !it.Seek(keys.EncodeUint64(2)) || keys.DecodeUint64(it.Key()) != 10 {
+		t.Fatalf("Seek below low got %x", it.Key())
+	}
+	// Seek past high exhausts.
+	if it.Seek(keys.EncodeUint64(60)) {
+		t.Fatalf("Seek past high still valid at %x", it.Key())
+	}
+	// Full drive: 10,12,...,48.
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if got := keys.DecodeUint64(it.Key()); got != uint64(10+2*count) {
+			t.Fatalf("pair %d: key %d", count, got)
+		}
+		count++
+	}
+	if count != 20 {
+		t.Fatalf("drove %d pairs, want 20", count)
+	}
+	if it.Key() != nil || it.Value() != nil {
+		t.Fatal("Key/Value must be nil when exhausted")
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal("Close must be idempotent:", err)
+	}
+	if it.First() || it.Next() {
+		t.Fatal("closed iterator repositioned")
+	}
+}
+
+// TestScanChunkDetectsInPlaceOverwriteConflict pins the Algorithm 3
+// conflict rule deterministically: an in-place Memtable overwrite that
+// destroys a pre-snapshot value must flag a conflict, while a
+// post-snapshot INSERT (CreateSeq > scanSeq) must be skipped silently.
+func TestScanChunkDetectsInPlaceOverwriteConflict(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.DisableMembuffer = true // writes take Memtable seqs immediately
+	db := openTestDB(t, cfg)
+
+	for i := 0; i < 10; i++ {
+		if err := db.Put(keys.EncodeUint64(uint64(i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := db.seq.Load()
+
+	// A brand-new key after the snapshot: skipped, no conflict.
+	if err := db.Put(keys.EncodeUint64(100), []byte("new-key")); err != nil {
+		t.Fatal(err)
+	}
+	pairs, _, conflict, err := db.scanChunk(nil, false, nil, snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conflict {
+		t.Fatal("post-snapshot insert must not conflict")
+	}
+	if len(pairs) != 10 {
+		t.Fatalf("snapshot read saw %d pairs, want 10", len(pairs))
+	}
+
+	// An in-place overwrite of a pre-snapshot key: the old value is gone,
+	// the snapshot is unrecoverable — conflict.
+	if err := db.Put(keys.EncodeUint64(5), []byte("overwritten")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, conflict, err = db.scanChunk(nil, false, nil, snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conflict {
+		t.Fatal("in-place overwrite of a pre-snapshot value must conflict")
+	}
+
+	// The public paths self-heal: a fresh iterator takes a fresh snapshot
+	// and must see the overwrite.
+	it, err := db.NewIterator(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.Seek(keys.EncodeUint64(5)) || string(it.Value()) != "overwritten" {
+		t.Fatalf("fresh iterator: %q", it.Value())
+	}
+}
+
+// TestIteratorUnderConcurrentWriters streams a stable key region while
+// writers hammer a disjoint region, verifying the cursor's output equals
+// both Scan and the expected stable contents despite restarts; then
+// streams a region whose VALUES are being overwritten in place and checks
+// the key set stays exact.
+func TestIteratorUnderConcurrentWriters(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.MemoryBytes = 64 << 10
+	db := openTestDB(t, cfg)
+
+	// Region A (stable): keys [0,2000). Region B (churn): keys
+	// [2000,6000).
+	const stable = 2000
+	want := map[string]string{}
+	for i := 0; i < stable; i++ {
+		k, v := spreadKey(uint64(i)), fmt.Sprintf("stable%d", i)
+		if err := db.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[string(k)] = v
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; !stop.Load(); i++ {
+				k := spreadKey(uint64(stable + rng.Intn(4000)))
+				if err := db.Put(k, []byte(fmt.Sprintf("churn%d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The spread permutation interleaves regions A and B across the whole
+	// keyspace, so churn writes land between stable keys: every chunk
+	// refill races with in-place updates nearby.
+	for round := 0; round < 20; round++ {
+		got := map[string]string{}
+		it, err := db.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ok := it.First(); ok; ok = it.Next() {
+			got[string(it.Key())] = string(it.Value())
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("round %d: stable key %x = %q, want %q", round, k, got[k], v)
+			}
+		}
+	}
+	stop.Store(false) // keep writers running for the in-place phase
+
+	// In-place churn over the STABLE region: keys fixed, values changing.
+	// The key set the iterator reports must stay exact.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			k := spreadKey(uint64(i % stable))
+			if err := db.Put(k, []byte(fmt.Sprintf("rewrite%d", i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for round := 0; round < 10; round++ {
+		seen := 0
+		it, err := db.NewIterator(nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ok := it.First(); ok; ok = it.Next() {
+			if _, isStable := want[string(it.Key())]; isStable {
+				seen++
+			}
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		if seen != stable {
+			t.Fatalf("round %d: saw %d of %d stable keys", round, seen, stable)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	s := db.Stats()
+	t.Logf("restarts=%d fallbacks=%d iterators=%d", s.ScanRestarts, s.FallbackScans, s.Iterators)
+}

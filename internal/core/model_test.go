@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"flodb/internal/keys"
+	"flodb/internal/kv"
 )
 
 // TestModelCheckSequential runs a long random operation sequence against
@@ -27,7 +28,23 @@ func TestModelCheckSequential(t *testing.T) {
 	randKey := func() []byte { return spreadKey(uint64(rng.Intn(keySpace))) }
 
 	for i := 0; i < ops; i++ {
-		switch rng.Intn(10) {
+		switch rng.Intn(12) {
+		case 10, 11: // atomic write batch
+			b := kv.NewBatch()
+			for n := 1 + rng.Intn(8); n > 0; n-- {
+				k := randKey()
+				if rng.Intn(5) == 0 {
+					b.Delete(k)
+					delete(oracle, string(k))
+				} else {
+					v := fmt.Sprintf("b%d-%d", i, n)
+					b.Put(k, []byte(v))
+					oracle[string(k)] = v
+				}
+			}
+			if err := db.Apply(b); err != nil {
+				t.Fatal(err)
+			}
 		case 0, 1, 2, 3: // put
 			k := randKey()
 			v := fmt.Sprintf("v%d", i)
@@ -54,7 +71,7 @@ func TestModelCheckSequential(t *testing.T) {
 			if found && string(v) != want {
 				t.Fatalf("op %d: Get(%x) = %q, oracle %q", i, k, v, want)
 			}
-		case 9: // occasionally scan everything and compare
+		case 9: // occasionally scan everything and compare, both ways
 			if i%1000 != 999 {
 				continue
 			}
@@ -69,6 +86,25 @@ func TestModelCheckSequential(t *testing.T) {
 				if oracle[string(p.Key)] != string(p.Value) {
 					t.Fatalf("op %d: scan %x = %q, oracle %q", i, p.Key, p.Value, oracle[string(p.Key)])
 				}
+			}
+			// The streaming iterator must agree with Scan pair for pair.
+			it, err := db.NewIterator(nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				if j >= len(pairs) || !bytes.Equal(it.Key(), pairs[j].Key) || !bytes.Equal(it.Value(), pairs[j].Value) {
+					t.Fatalf("op %d: iterator diverged from scan at %d", i, j)
+				}
+				j++
+			}
+			if err := it.Err(); err != nil {
+				t.Fatal(err)
+			}
+			it.Close()
+			if j != len(pairs) {
+				t.Fatalf("op %d: iterator %d pairs, scan %d", i, j, len(pairs))
 			}
 		}
 	}

@@ -82,24 +82,28 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	return v, true, nil
 }
 
-// Put inserts or overwrites key. The key and value slices are retained;
-// the public flodb package clones at the API boundary.
+// Put inserts or overwrites key. The key and value are copied, so the
+// caller may reuse its buffers immediately — the memory component retains
+// every slice it is handed (Membuffer slots and skiplist nodes alias
+// their inputs), so ownership must be taken here, exactly as LevelDB-
+// lineage memtables copy into an arena.
 func (db *DB) Put(key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.update(key, value, false)
+	return db.update(keys.Clone(key), keys.Clone(value), false)
 }
 
 // Delete writes a tombstone for key (§3.2: "a Put with a special tombstone
-// value").
+// value"). The key is copied.
 func (db *DB) Delete(key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.update(key, tombstoneMarker, true)
+	return db.update(keys.Clone(key), tombstoneMarker, true)
 }
 
 // update is Algorithm 2's Put. The fast path tries the Membuffer; if the
 // target bucket is full (or the buffer is disabled) the update goes
 // directly to the Memtable, first honoring pauseWriters (helping with the
-// drain) and Memtable backpressure.
+// drain) and Memtable backpressure. key and value are owned by the store
+// (Put/Delete clone at entry).
 func (db *DB) update(key, value []byte, tombstone bool) error {
 	if db.closed.Load() {
 		return ErrClosed

@@ -7,7 +7,9 @@ import (
 	"testing"
 
 	"flodb/internal/keys"
+	"flodb/internal/kv"
 	"flodb/internal/storage"
+	"flodb/internal/wal"
 )
 
 func TestRecoveryFromWAL(t *testing.T) {
@@ -161,6 +163,133 @@ func TestSeqMonotonicAcrossRestart(t *testing.T) {
 	v, ok, _ := db2.Get(spreadKey(50))
 	if !ok || string(v) != "post-restart" {
 		t.Fatalf("post-restart overwrite lost: %q %v", v, ok)
+	}
+}
+
+// crashDB simulates a crash: syncs the active WAL (so the log is on
+// disk), then abandons the instance without the graceful close-time flush.
+func crashDB(t *testing.T, db *DB) {
+	t.Helper()
+	g := db.gen.Load()
+	if g.mtb.wal != nil {
+		if err := g.mtb.wal.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.closed.Store(true)
+	close(db.closing)
+	db.wg.Wait()
+	db.store.Close()
+}
+
+// TestBatchIsOneWALRecord proves the amortization claim at the log level:
+// a WriteBatch with N operations produces exactly ONE WAL record, and the
+// whole batch recovers after a crash.
+func TestBatchIsOneWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 100
+	b := kv.NewBatch()
+	for i := 0; i < n; i++ {
+		b.Put(spreadKey(uint64(i)), []byte(fmt.Sprintf("b%d", i)))
+	}
+	b.Delete(spreadKey(3))
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	walPath := storage.WALFileName(dir, db.gen.Load().mtb.walNum)
+	crashDB(t, db)
+
+	records, ops := 0, 0
+	err = wal.ReplayAll(walPath, func(rec []byte) error {
+		records++
+		if !kv.IsBatchRecord(rec) {
+			t.Fatalf("record %d is not a batch record", records)
+		}
+		return kv.ForEachOp(rec, func(keys.Kind, []byte, []byte) error {
+			ops++
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records != 1 {
+		t.Fatalf("batch of %d ops produced %d WAL records, want exactly 1", n+1, records)
+	}
+	if ops != n+1 {
+		t.Fatalf("batch record carries %d ops, want %d", ops, n+1)
+	}
+
+	db2, err := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	for i := 0; i < n; i++ {
+		v, ok, err := db2.Get(spreadKey(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			if ok {
+				t.Fatal("batched delete lost in recovery")
+			}
+			continue
+		}
+		if !ok || string(v) != fmt.Sprintf("b%d", i) {
+			t.Fatalf("batched key %d after crash: %q %v", i, v, ok)
+		}
+	}
+}
+
+// TestBatchRecoversAllOrNothing tears the WAL inside the batch record and
+// verifies recovery applies NONE of the batch — while the preceding
+// single-op record survives intact.
+func TestBatchRecoversAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("anchor"), []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	b := kv.NewBatch()
+	for i := 0; i < 50; i++ {
+		b.Put(spreadKey(uint64(i)), []byte("batched"))
+	}
+	if err := db.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	walPath := storage.WALFileName(dir, db.gen.Load().mtb.walNum)
+	crashDB(t, db)
+
+	// Tear the tail mid-record: the torn record is the batch.
+	fi, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok, _ := db2.Get([]byte("anchor")); !ok || string(v) != "kept" {
+		t.Fatalf("pre-batch record lost: %q %v", v, ok)
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok, _ := db2.Get(spreadKey(uint64(i))); ok {
+			t.Fatalf("torn batch partially applied: key %d visible", i)
+		}
 	}
 }
 

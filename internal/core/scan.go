@@ -24,32 +24,22 @@ type scanState struct {
 // (nil bounds are open). Master scans are linearizable with respect to
 // updates — the linearization point is the installation of the fresh
 // Membuffer; piggybacking scans are serializable (§4.4 "Correctness").
+//
+// Scan is a convenience wrapper over the streaming iterator machinery: it
+// drains a single unbounded chunk, so a conflict restarts the whole range
+// and the result is one consistent snapshot, exactly as before the
+// iterator existed.
 func (db *DB) Scan(low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
 	db.stats.scans.Add(1)
-
-	restartCount := 0
-	for {
-		st := db.joinOrLeadScan()
-		pairs, conflict, err := db.scanWithSeq(low, high, st.seq)
-		db.releaseScanState(st)
-		if err != nil {
-			return nil, err
-		}
-		if !conflict {
-			return pairs, nil
-		}
-		// A key in range carried a sequence number newer than the scan's:
-		// its pre-scan value was overwritten in place and is gone, so the
-		// snapshot is unrecoverable — restart (Algorithm 3 lines 21–26).
-		restartCount++
-		db.stats.scanRestarts.Add(1)
-		if restartCount >= db.cfg.RestartThreshold {
-			return db.fallbackScan(low, high)
-		}
+	it := db.newIter(low, high, 0) // unbounded chunk: one snapshot
+	defer it.Close()
+	if !it.fill(low, false) {
+		return nil, it.err
 	}
+	return it.buf, nil
 }
 
 // joinOrLeadScan returns a scanState with a published sequence number,
@@ -125,16 +115,19 @@ func (db *DB) releaseScanState(st *scanState) {
 	}
 }
 
-// scanWithSeq performs the actual range read (Algorithm 3 lines 15–30)
-// over Memtable, immutable Memtable and a pinned disk snapshot. It reports
-// conflict=true when any in-range entry carries seq > scanSeq.
+// scanChunk performs the actual range read (Algorithm 3 lines 15–30) over
+// Memtable, immutable Memtable and a pinned disk snapshot, starting at
+// from (exclusive when fromExcl — the iterator's resume point) and ending
+// at high. At most limit live pairs are emitted when limit > 0; more=true
+// reports that the limit stopped the read with range left to cover. It
+// reports conflict=true when any visited entry carries seq > scanSeq.
 //
 // Component capture order matters: the active pair first, then the
 // immutable Memtable, then the disk snapshot. A concurrent persist moves
 // data strictly in that direction, so every entry is visible in at least
 // one captured component (possibly two, which the newest-first merge
 // dedups).
-func (db *DB) scanWithSeq(low, high []byte, scanSeq uint64) ([]kv.Pair, bool, error) {
+func (db *DB) scanChunk(from []byte, fromExcl bool, high []byte, scanSeq uint64, limit int) (out []kv.Pair, more, conflict bool, err error) {
 	g := db.gen.Load()
 	its := []storage.InternalIterator{newMemtableIter(g.mtb)}
 	if imm := db.immMtb.Load(); imm != nil && imm != g.mtb {
@@ -143,20 +136,35 @@ func (db *DB) scanWithSeq(low, high []byte, scanSeq uint64) ([]kv.Pair, bool, er
 	if db.store != nil {
 		dit, release, err := db.store.NewIterator()
 		if err != nil {
-			return nil, false, err
+			return nil, false, false, err
 		}
 		defer release()
 		its = append(its, dit)
 	}
 	m := storage.NewMergingIterator(its...)
 
-	var out []kv.Pair
+	// Seeding the dedup state with the resume key makes "exclusive from"
+	// fall out of the existing same-key skip.
 	var lastKey []byte
 	haveLast := false
-	for m.Seek(low); m.Valid(); m.Next() {
+	if fromExcl && from != nil {
+		lastKey = append(lastKey, from...)
+		haveLast = true
+	}
+	for m.Seek(from); m.Valid(); m.Next() {
 		k := m.Key()
 		if high != nil && keys.Compare(k, high) >= 0 {
 			break
+		}
+		if haveLast && keys.Equal(lastKey, k) {
+			// A version of an emitted (or resume) key. Skipped BEFORE the
+			// conflict check: the key's value was already delivered from
+			// an earlier snapshot, so even a post-snapshot in-place
+			// overwrite of it (common when a writer hot-loops a key just
+			// behind the cursor) destroys nothing this read still needs —
+			// restarting on it would burn the restart budget and escalate
+			// to the writer-blocking fallback for no benefit.
+			continue
 		}
 		if m.Seq() > scanSeq {
 			// Refinement over Algorithm 3's blanket restart: if the node
@@ -169,10 +177,7 @@ func (db *DB) scanWithSeq(low, high []byte, scanSeq uint64) ([]kv.Pair, bool, er
 			if storage.CreateSeqOf(m) > scanSeq {
 				continue
 			}
-			return nil, true, nil // conflict: restart
-		}
-		if haveLast && keys.Equal(lastKey, k) {
-			continue // older version of an emitted key
+			return nil, false, true, nil // conflict: restart
 		}
 		lastKey = append(lastKey[:0], k...)
 		haveLast = true
@@ -180,19 +185,23 @@ func (db *DB) scanWithSeq(low, high []byte, scanSeq uint64) ([]kv.Pair, bool, er
 			continue
 		}
 		out = append(out, kv.Pair{Key: keys.Clone(k), Value: keys.Clone(m.Value())})
+		if limit > 0 && len(out) >= limit {
+			more = true
+			break
+		}
 	}
 	if err := m.Err(); err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
-	return out, false, nil
+	return out, more, false, nil
 }
 
-// fallbackScan guarantees termination by blocking Memtable writers for its
-// whole duration (§4.4: "blocking writers from the Memtable until it
+// fallbackChunk guarantees termination by blocking Memtable writers for
+// its whole duration (§4.4: "blocking writers from the Memtable until it
 // completes scanning"). With writers, drainers and persists excluded, no
-// in-range entry can acquire a newer sequence number, so the scan cannot
+// in-range entry can acquire a newer sequence number, so the read cannot
 // be invalidated.
-func (db *DB) fallbackScan(low, high []byte) ([]kv.Pair, error) {
+func (db *DB) fallbackChunk(from []byte, fromExcl bool, high []byte, limit int) ([]kv.Pair, bool, error) {
 	db.stats.fallbackScans.Add(1)
 	db.drainMu.Lock()
 	db.pauseDraining.Store(true)
@@ -216,15 +225,15 @@ func (db *DB) fallbackScan(low, high []byte) ([]kv.Pair, error) {
 	}
 
 	seq := db.seq.Add(1)
-	pairs, conflict, err := db.scanWithSeq(low, high, seq)
+	pairs, more, conflict, err := db.scanChunk(from, fromExcl, high, seq, limit)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if conflict {
 		// Cannot happen while writers are blocked; guard anyway.
-		return nil, errFallbackConflict
+		return nil, false, errFallbackConflict
 	}
-	return pairs, nil
+	return pairs, more, nil
 }
 
 var errFallbackConflict = errInternal("fallback scan observed a conflict")

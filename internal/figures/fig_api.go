@@ -1,0 +1,80 @@
+package figures
+
+import (
+	"fmt"
+
+	"flodb/internal/harness"
+	"flodb/internal/workload"
+)
+
+// APIBench exercises the batch-and-cursor half of the kv.Store contract
+// across the five systems — the surface the paper's figures do not cover.
+// Three workloads per system, at the mid thread count of the sweep:
+//
+//	batch-write: every op is a 32-mutation atomic Apply (Mops/s counts
+//	             individual mutations)
+//	iter-scan:   the Fig 13 scan-write mix, scans driven through
+//	             NewIterator instead of Scan (Mkeys/s)
+//	scan:        the same mix through materializing Scan, for comparison
+func APIBench(c Config) (*harness.Table, error) {
+	c.Defaults()
+	threads := c.Threads[len(c.Threads)/2]
+	cols := []string{"batch-write Mops/s", "iter-scan Mkeys/s", "scan Mkeys/s"}
+	tbl := harness.NewTable("API bench: atomic batches and streaming iterators",
+		fmt.Sprintf("workload (%d threads)", threads), "throughput", cols, systemRows())
+
+	type cell struct {
+		opts   harness.RunOptions
+		metric func(harness.Result) float64
+		fill   bool
+	}
+	cells := []cell{
+		{
+			opts:   harness.RunOptions{Mix: workload.BatchWrite, BatchSize: 32},
+			metric: func(r harness.Result) float64 { return float64(r.Writes) / r.Elapsed.Seconds() / 1e6 },
+		},
+		{
+			opts:   harness.RunOptions{Mix: workload.ScanWrite, IteratorScans: true},
+			metric: harness.Result.MkeysPerSec,
+			fill:   true,
+		},
+		{
+			opts:   harness.RunOptions{Mix: workload.ScanWrite},
+			metric: harness.Result.MkeysPerSec,
+			fill:   true,
+		},
+	}
+	for si, sys := range AllSystems {
+		for ci, cl := range cells {
+			dir, err := c.cellDir(fmt.Sprintf("api-%d-%d", si, ci))
+			if err != nil {
+				return nil, err
+			}
+			store, err := openSystem(sys, dir, c.MemBytes, c.limiter())
+			if err != nil {
+				return nil, err
+			}
+			if cl.fill {
+				if err := initHalf(store, c.Keys, false); err != nil {
+					store.Close()
+					return nil, err
+				}
+			}
+			ro := cl.opts
+			ro.Threads = threads
+			ro.Duration = c.Duration
+			ro.Keys = c.Keys
+			res := harness.Run(store, ro)
+			if err := store.Close(); err != nil {
+				return nil, err
+			}
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("apibench: %s %s: %d errors", sys, cols[ci], res.Errors)
+			}
+			tbl.Set(si, ci, cl.metric(res))
+			c.logf("apibench %s %s -> %.3f", sys, cols[ci], cl.metric(res))
+		}
+	}
+	tbl.AddNote("batch-write counts mutations (32 per Apply); scans report keys accessed per second")
+	return tbl, nil
+}

@@ -29,6 +29,13 @@ type RunOptions struct {
 	ValueSize int
 	// ScanLength is the expected number of keys per scan (default 100).
 	ScanLength int
+	// BatchSize is the number of mutations per OpBatch write batch
+	// (default 16).
+	BatchSize int
+	// IteratorScans drives OpScan through Store.NewIterator instead of
+	// Scan: the range streams through the cursor without materializing,
+	// measuring the iterator path of the contract.
+	IteratorScans bool
 	// MeasureLatency enables per-op histograms (adds two clock reads per
 	// op; off for pure throughput numbers, as in db_bench).
 	MeasureLatency bool
@@ -57,6 +64,9 @@ func (o *RunOptions) fillDefaults() {
 	}
 	if o.ScanLength <= 0 {
 		o.ScanLength = 100
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
 	}
 	if o.Seed == 0 {
 		o.Seed = 42
@@ -149,6 +159,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 			keyBuf := make([]byte, workload.DefaultKeySize)
 			highBuf := make([]byte, workload.DefaultKeySize)
 			var valBuf []byte
+			batch := kv.NewBatch()
 			var myOps uint64
 			for !stop.Load() {
 				if opts.MaxOps > 0 && myOps >= opts.MaxOps {
@@ -211,13 +222,50 @@ func Run(store kv.Store, opts RunOptions) Result {
 					if hv+scanWidth < hv { // wrapped: open upper bound
 						high = nil
 					}
-					pairs, err := store.Scan(low, high)
-					if err != nil {
+					var got uint64
+					if opts.IteratorScans {
+						it, err := store.NewIterator(low, high)
+						if err != nil {
+							errCount.Add(1)
+							continue
+						}
+						for ok := it.First(); ok; ok = it.Next() {
+							got++
+						}
+						err = it.Err()
+						it.Close()
+						if err != nil {
+							errCount.Add(1)
+							continue
+						}
+					} else {
+						pairs, err := store.Scan(low, high)
+						if err != nil {
+							errCount.Add(1)
+							continue
+						}
+						got = uint64(len(pairs))
+					}
+					scans.Add(1)
+					keysAcc.Add(got)
+				case workload.OpBatch:
+					batch.Reset()
+					for i := 0; i < opts.BatchSize; i++ {
+						if i > 0 {
+							key = gen.NextKey(rng, keyBuf)
+						}
+						valBuf = workload.Value(valBuf, opts.ValueSize, myOps+uint64(i))
+						batch.Put(key, valBuf)
+					}
+					if err := store.Apply(batch); err != nil {
 						errCount.Add(1)
 						continue
 					}
-					scans.Add(1)
-					keysAcc.Add(uint64(len(pairs)))
+					writes.Add(uint64(batch.Len()))
+					keysAcc.Add(uint64(batch.Len()))
+					if opts.MeasureLatency {
+						res.WriteLat.Record(time.Since(begin))
+					}
 				}
 				ops.Add(1)
 			}

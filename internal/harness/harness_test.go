@@ -2,11 +2,13 @@ package harness
 
 import (
 	"bytes"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"flodb/internal/keys"
 	"flodb/internal/kv"
 	"flodb/internal/workload"
 )
@@ -52,7 +54,64 @@ func (s *mapStore) Scan(low, high []byte) ([]kv.Pair, error) {
 	}
 	return out, nil
 }
+func (s *mapStore) NewIterator(low, high []byte) (kv.Iterator, error) {
+	pairs, err := s.Scan(low, high)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pairs, func(i, j int) bool { return bytes.Compare(pairs[i].Key, pairs[j].Key) < 0 })
+	return &mapIter{pairs: pairs, i: -1}, nil
+}
+
+func (s *mapStore) Apply(b *kv.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, op := range b.Ops() {
+		if op.Kind == keys.KindDelete {
+			delete(s.m, string(op.Key))
+		} else {
+			s.m[string(op.Key)] = append([]byte(nil), op.Value...)
+		}
+	}
+	return nil
+}
+
 func (s *mapStore) Close() error { return nil }
+
+// mapIter is a trivial materialized kv.Iterator over a mapStore snapshot.
+type mapIter struct {
+	pairs []kv.Pair
+	i     int
+}
+
+func (it *mapIter) First() bool { it.i = 0; return it.i < len(it.pairs) }
+func (it *mapIter) Seek(key []byte) bool {
+	it.i = sort.Search(len(it.pairs), func(i int) bool {
+		return bytes.Compare(it.pairs[i].Key, key) >= 0
+	})
+	return it.i < len(it.pairs)
+}
+func (it *mapIter) Next() bool {
+	if it.i < 0 {
+		return it.First()
+	}
+	it.i++
+	return it.i < len(it.pairs)
+}
+func (it *mapIter) Key() []byte {
+	if it.i < 0 || it.i >= len(it.pairs) {
+		return nil
+	}
+	return it.pairs[it.i].Key
+}
+func (it *mapIter) Value() []byte {
+	if it.i < 0 || it.i >= len(it.pairs) {
+		return nil
+	}
+	return it.pairs[it.i].Value
+}
+func (it *mapIter) Err() error   { return nil }
+func (it *mapIter) Close() error { return nil }
 
 func TestHistogramQuantiles(t *testing.T) {
 	h := &Histogram{}

@@ -1,0 +1,174 @@
+package kv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flodb/internal/keys"
+)
+
+func TestBatchRecordRoundTrip(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("k1"), []byte("v1"))
+	b.Delete([]byte("k2"))
+	b.Put([]byte{}, []byte{})         // empty key and value
+	b.Put([]byte("k3"), nil)          // nil value
+	b.Put([]byte("k1"), []byte("v4")) // duplicate key preserved in order
+	if b.Len() != 5 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+
+	rec := EncodeBatchRecord(b)
+	if !IsBatchRecord(rec) {
+		t.Fatal("batch record not recognized")
+	}
+	want := b.Ops()
+	var got []BatchOp
+	err := ForEachOp(rec, func(kind keys.Kind, key, value []byte) error {
+		got = append(got, BatchOp{Kind: kind, Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Kind != want[i].Kind || !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Value, want[i].Value) {
+			t.Fatalf("op %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchClonesInputs(t *testing.T) {
+	b := NewBatch()
+	key, val := []byte("key"), []byte("val")
+	b.Put(key, val)
+	key[0], val[0] = 'X', 'X'
+	op := b.Ops()[0]
+	if string(op.Key) != "key" || string(op.Value) != "val" {
+		t.Fatalf("batch aliased caller buffers: %q %q", op.Key, op.Value)
+	}
+}
+
+func TestBatchResetDoesNotInvalidateRetainedSlices(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("stable"), []byte("value"))
+	retained := b.Ops()[0]
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", b.Len())
+	}
+	b.Put([]byte("XXXXXX"), []byte("YYYYY"))
+	if string(retained.Key) != "stable" || string(retained.Value) != "value" {
+		t.Fatalf("Reset reused the arena under retained slices: %q %q", retained.Key, retained.Value)
+	}
+}
+
+func TestForEachOpHandlesSingleRecords(t *testing.T) {
+	rec := EncodeRecord(keys.KindSet, []byte("k"), []byte("v"))
+	if IsBatchRecord(rec) {
+		t.Fatal("single record misidentified as batch")
+	}
+	calls := 0
+	err := ForEachOp(rec, func(kind keys.Kind, key, value []byte) error {
+		calls++
+		if kind != keys.KindSet || string(key) != "k" || string(value) != "v" {
+			t.Fatalf("decoded %v %q %q", kind, key, value)
+		}
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestForEachOpRejectsCorruptBatches(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("key"), []byte("value"))
+	b.Put([]byte("key2"), []byte("value2"))
+	rec := EncodeBatchRecord(b)
+
+	nop := func(keys.Kind, []byte, []byte) error { return nil }
+	// Every strict prefix must fail: a batch decodes whole or not at all.
+	for cut := 1; cut < len(rec); cut++ {
+		if err := ForEachOp(rec[:cut], nop); err == nil {
+			t.Fatalf("truncation at %d decoded cleanly", cut)
+		} else if !errors.Is(err, ErrBadRecord) {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+	// Trailing garbage must fail too.
+	if err := ForEachOp(append(append([]byte(nil), rec...), 0xFF), nop); err == nil {
+		t.Fatal("trailing garbage decoded cleanly")
+	}
+	// A bad op kind must fail.
+	bad := append([]byte(nil), rec...)
+	bad[2] = 0x7F // first op's kind byte: marker(1) + count(1 for small batches)
+	if err := ForEachOp(bad, nop); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("bad kind: %v", err)
+	}
+}
+
+func TestForEachOpPropagatesCallbackError(t *testing.T) {
+	b := NewBatch()
+	b.Put([]byte("a"), nil)
+	b.Put([]byte("b"), nil)
+	sentinel := errors.New("stop")
+	calls := 0
+	err := ForEachOp(EncodeBatchRecord(b), func(keys.Kind, []byte, []byte) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestBatchRecordPropertyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		b := NewBatch()
+		n := rng.Intn(20)
+		type op struct {
+			kind keys.Kind
+			k, v string
+		}
+		var want []op
+		for i := 0; i < n; i++ {
+			k := make([]byte, rng.Intn(40))
+			rng.Read(k)
+			if rng.Intn(4) == 0 {
+				b.Delete(k)
+				want = append(want, op{keys.KindDelete, string(k), ""})
+			} else {
+				v := make([]byte, rng.Intn(200))
+				rng.Read(v)
+				b.Put(k, v)
+				want = append(want, op{keys.KindSet, string(k), string(v)})
+			}
+		}
+		i := 0
+		err := ForEachOp(EncodeBatchRecord(b), func(kind keys.Kind, key, value []byte) error {
+			if i >= len(want) {
+				return fmt.Errorf("extra op %d", i)
+			}
+			w := want[i]
+			if kind != w.kind || string(key) != w.k || string(value) != w.v {
+				return fmt.Errorf("op %d mismatch", i)
+			}
+			i++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if i != len(want) {
+			t.Fatalf("trial %d: decoded %d of %d ops", trial, i, len(want))
+		}
+	}
+}

@@ -21,8 +21,11 @@ type Pair struct {
 	Value []byte
 }
 
-// Store is the user-facing key-value API from §2.1 of the paper: put, get,
-// remove, and range scans with point-in-time (serializable) semantics.
+// Store is the user-facing key-value API from §2.1 of the paper — put,
+// get, remove, and range reads with point-in-time (serializable)
+// semantics — extended with the two batch-oriented entry points modern
+// concurrent stores expose: a streaming cursor for incremental range
+// access and an atomic multi-op write batch.
 type Store interface {
 	// Put inserts or overwrites key with value.
 	Put(key, value []byte) error
@@ -35,7 +38,48 @@ type Store interface {
 	// returned view is a consistent snapshot (serializable; master scans
 	// in FloDB are linearizable, §4.4).
 	Scan(low, high []byte) ([]Pair, error)
+	// NewIterator returns a streaming cursor over low <= key < high (nil
+	// bounds are open). Unlike Scan it does not materialize the range:
+	// memory use is O(1) in the range size. See Iterator for the
+	// consistency contract.
+	NewIterator(low, high []byte) (Iterator, error)
+	// Apply commits every mutation in b atomically: after a crash either
+	// all of b's operations are recovered or none are. The batch is
+	// logged as one WAL record, amortizing framing and fsync cost.
+	Apply(b *Batch) error
 	// Close flushes and releases resources.
+	Close() error
+}
+
+// Iterator is a streaming cursor over a key range, yielding live pairs in
+// ascending key order. A fresh iterator is unpositioned; call First (or
+// Seek, or Next, which implies First) to position it. Key and Value are
+// valid only after a positioning call returned true and until the next
+// positioning call. When iteration stops early, check Err; Close releases
+// any pinned resources and must always be called.
+//
+// Consistency: every pair comes from a consistent snapshot no older than
+// the iterator's creation. FloDB serves each internal refill chunk from a
+// single Algorithm 3 snapshot (restarting transparently on in-place
+// overwrite conflicts); the multi-versioned baselines pin one snapshot for
+// the iterator's whole lifetime.
+type Iterator interface {
+	// First positions at the first pair of the range.
+	First() bool
+	// Seek positions at the first pair with key >= the given key (clamped
+	// to the iterator's range).
+	Seek(key []byte) bool
+	// Next advances to the next pair; on an unpositioned iterator it is
+	// equivalent to First.
+	Next() bool
+	// Key returns the current key. The slice is valid until the iterator
+	// advances; callers that retain it must copy.
+	Key() []byte
+	// Value returns the current value, under the same aliasing rule as Key.
+	Value() []byte
+	// Err returns the first error the iterator encountered, if any.
+	Err() error
+	// Close releases the iterator's resources. It is idempotent.
 	Close() error
 }
 
@@ -48,12 +92,16 @@ type Syncer interface {
 // Stats are point-in-time counters exposed by stores for the harness.
 type Stats struct {
 	Puts, Gets, Deletes, Scans uint64
-	ScanRestarts               uint64
-	FallbackScans              uint64
-	MembufferHits              uint64 // updates completed in the Membuffer
-	MemtableWrites             uint64 // updates that fell through to the Memtable
-	Flushes                    uint64
-	Compactions                uint64
+	// Batches counts Apply calls; BatchOps the mutations they carried.
+	Batches, BatchOps uint64
+	// Iterators counts NewIterator calls.
+	Iterators      uint64
+	ScanRestarts   uint64
+	FallbackScans  uint64
+	MembufferHits  uint64 // updates completed in the Membuffer
+	MemtableWrites uint64 // updates that fell through to the Memtable
+	Flushes        uint64
+	Compactions    uint64
 }
 
 // StatsProvider is implemented by stores that report Stats.

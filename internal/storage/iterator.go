@@ -31,7 +31,7 @@ type CreateSeqer interface {
 	CreateSeq() uint64
 }
 
-// CreateSeqOf returns the creation sequence of it's current entry.
+// CreateSeqOf returns the creation sequence of its current entry.
 func CreateSeqOf(it InternalIterator) uint64 {
 	if c, ok := it.(CreateSeqer); ok {
 		return c.CreateSeq()

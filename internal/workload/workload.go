@@ -35,6 +35,9 @@ const (
 	OpDelete
 	// OpScan reads a bounded range.
 	OpScan
+	// OpBatch applies an atomic write batch of RunOptions.BatchSize
+	// mutations through Store.Apply.
+	OpBatch
 )
 
 func (o Op) String() string {
@@ -47,6 +50,8 @@ func (o Op) String() string {
 		return "delete"
 	case OpScan:
 		return "scan"
+	case OpBatch:
+		return "batch"
 	default:
 		return "op?"
 	}
@@ -58,6 +63,7 @@ type Mix struct {
 	InsertPct int
 	DeletePct int
 	ScanPct   int
+	BatchPct  int
 }
 
 // The paper's workload mixes.
@@ -72,6 +78,12 @@ var (
 	ScanWrite = Mix{InsertPct: 95, ScanPct: 5}
 	// ReadUpdate is the 50/50 mix of the skew experiment (Fig 16).
 	ReadUpdate = Mix{GetPct: 50, InsertPct: 50}
+	// BatchWrite is a write-only workload where every operation is an
+	// atomic write batch (loader/ingest shape: RocksDB's WriteBatch path).
+	BatchWrite = Mix{BatchPct: 100}
+	// BatchRead mixes batched ingest with point reads, the
+	// read-while-bulk-loading shape.
+	BatchRead = Mix{GetPct: 50, BatchPct: 50}
 )
 
 // ScanWithPct builds an update/scan mix with the given scan percentage
@@ -82,7 +94,7 @@ func ScanWithPct(scanPct int) Mix {
 
 // Valid reports whether the mix sums to 100%.
 func (m Mix) Valid() bool {
-	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct == 100
+	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct+m.BatchPct == 100
 }
 
 // Sample draws an operation.
@@ -99,7 +111,11 @@ func (m Mix) Sample(rng *rand.Rand) Op {
 	if r < m.DeletePct {
 		return OpDelete
 	}
-	return OpScan
+	r -= m.DeletePct
+	if r < m.ScanPct {
+		return OpScan
+	}
+	return OpBatch
 }
 
 // KeyGen produces keys from a keyspace of Keys() distinct values. NextKey

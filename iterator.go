@@ -1,0 +1,33 @@
+package flodb
+
+import "flodb/internal/kv"
+
+// Iterator is a streaming cursor over a key range: position with First or
+// Seek, advance with Next, read with Key and Value, then check Err and
+// Close. Unlike Scan, an Iterator holds only a small prefetch chunk in
+// memory, so ranges far larger than the memory component stream in O(1)
+// space.
+//
+//	it, err := db.NewIterator(low, high)
+//	if err != nil { ... }
+//	defer it.Close()
+//	for ok := it.First(); ok; ok = it.Next() {
+//		use(it.Key(), it.Value())
+//	}
+//	if err := it.Err(); err != nil { ... }
+//
+// Each prefetch chunk is a consistent snapshot acquired through the
+// paper's Algorithm 3 scan machinery — piggybacking on concurrent scans
+// and transparently restarting on in-place-overwrite conflicts — and
+// successive chunks observe monotonically newer snapshots, so the stream
+// is a serializable sequence of consistent range fragments. A Scan (one
+// unbounded chunk) remains a single point-in-time snapshot.
+type Iterator = kv.Iterator
+
+// NewIterator returns a streaming cursor over low <= key < high. Nil
+// bounds are open; the bound slices are copied. The returned iterator is
+// not safe for concurrent use, but any number of iterators may run
+// concurrently with each other and with updates. Close must be called.
+func (db *DB) NewIterator(low, high []byte) (Iterator, error) {
+	return db.inner.NewIterator(low, high)
+}

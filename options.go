@@ -1,0 +1,91 @@
+package flodb
+
+// An Option tunes a store at Open. Options are applied in order, so later
+// options override earlier ones. The zero configuration (no options) gives
+// the defaults the paper's evaluation uses, scaled for a development
+// machine: 64 MiB of memory split 1/4 Membuffer : 3/4 Memtable, two drain
+// threads, WAL on without per-write fsync.
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a closure to Option.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// WithMemory sets the total memory-component budget in bytes, split
+// 1/4 Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
+func WithMemory(bytes int64) Option {
+	return optionFunc(func(o *Options) { o.MemoryBytes = bytes })
+}
+
+// WithMembufferFraction overrides the Membuffer's share of the memory
+// budget (0 < f < 1). Default 0.25, the paper's empirically chosen split.
+func WithMembufferFraction(f float64) Option {
+	return optionFunc(func(o *Options) { o.MembufferFraction = f })
+}
+
+// WithPartitionBits sets ℓ: the Membuffer has 2^ℓ partitions selected by
+// the most significant key bits (§4.3). Default 6.
+func WithPartitionBits(bits uint) Option {
+	return optionFunc(func(o *Options) { o.PartitionBits = bits })
+}
+
+// WithDrainThreads sets the number of background draining threads (§4.2).
+// Default 2.
+func WithDrainThreads(n int) Option {
+	return optionFunc(func(o *Options) { o.DrainThreads = n })
+}
+
+// WithRestartThreshold bounds scan restarts before the fallback scan
+// blocks writers (Algorithm 3). Default 3.
+func WithRestartThreshold(n int) Option {
+	return optionFunc(func(o *Options) { o.RestartThreshold = n })
+}
+
+// WithoutWAL turns off commit logging: faster writes, no crash durability
+// for the memory component.
+func WithoutWAL() Option {
+	return optionFunc(func(o *Options) { o.DisableWAL = true })
+}
+
+// WithSyncWAL fsyncs the commit log on every update (and once per applied
+// WriteBatch, however many operations it carries).
+func WithSyncWAL() Option {
+	return optionFunc(func(o *Options) { o.SyncWAL = true })
+}
+
+// Options tune a store as one struct.
+//
+// Deprecated: pass functional options (WithMemory, WithDrainThreads, ...)
+// to Open instead. *Options implements Option so existing call sites keep
+// compiling for one release: Open(dir, &Options{...}) applies the whole
+// struct, overriding any options that precede it.
+type Options struct {
+	// MemoryBytes is the total memory-component budget, split 1/4
+	// Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
+	MemoryBytes int64
+	// MembufferFraction overrides the Membuffer's share (0 < f < 1).
+	MembufferFraction float64
+	// PartitionBits is ℓ: the Membuffer has 2^ℓ partitions selected by
+	// the most significant key bits (§4.3). Default 6.
+	PartitionBits uint
+	// DrainThreads is the number of background draining threads. Default 2.
+	DrainThreads int
+	// RestartThreshold bounds scan restarts before the fallback scan
+	// blocks writers. Default 3.
+	RestartThreshold int
+	// DisableWAL turns off commit logging: faster writes, no crash
+	// durability for the memory component.
+	DisableWAL bool
+	// SyncWAL fsyncs the commit log on every update.
+	SyncWAL bool
+}
+
+// apply lets a legacy *Options value be passed to Open as an Option.
+func (o *Options) apply(dst *Options) {
+	if o != nil {
+		*dst = *o
+	}
+}
