@@ -1,6 +1,10 @@
 package flodb
 
-import "flodb/internal/kv"
+import (
+	"context"
+
+	"flodb/internal/kv"
+)
 
 // WriteBatch is an ordered group of Put and Delete operations committed
 // atomically by DB.Apply. Operations apply in insertion order (a later
@@ -12,7 +16,7 @@ import "flodb/internal/kv"
 //	b.Put([]byte("user:7:name"), []byte("ada"))
 //	b.Put([]byte("user:7:email"), []byte("ada@example.com"))
 //	b.Delete([]byte("user:7:pending"))
-//	if err := db.Apply(b); err != nil { ... }
+//	if err := db.Apply(ctx, b); err != nil { ... }
 type WriteBatch = kv.Batch
 
 // NewWriteBatch returns an empty batch.
@@ -25,6 +29,6 @@ func NewWriteBatch() *WriteBatch { return kv.NewBatch() }
 // never observe a partially applied batch; racing point Gets may.
 //
 // An empty or nil batch is a no-op.
-func (db *DB) Apply(b *WriteBatch) error {
-	return db.inner.Apply(b)
+func (db *DB) Apply(ctx context.Context, b *WriteBatch) error {
+	return db.inner.Apply(ctx, b)
 }

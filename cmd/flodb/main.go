@@ -5,11 +5,13 @@
 //	flodb -db /tmp/db del <key>
 //	flodb -db /tmp/db scan <low> <high>
 //	flodb -db /tmp/db batch put k1 v1 del k2 put k3 v3 ...   atomic batch
+//	flodb -db /tmp/db checkpoint <dir>   online openable copy of the store
 //	flodb -db /tmp/db fill <n>        load n sequential keys
 //	flodb -db /tmp/db stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,7 +26,7 @@ func main() {
 	sync := flag.Bool("sync", false, "fsync the WAL on every update")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | batch ops... | fill n | stats}")
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | batch ops... | checkpoint dir | fill n | stats}")
 		os.Exit(2)
 	}
 	var opts []flodb.Option
@@ -44,17 +46,18 @@ func main() {
 		}
 	}()
 
+	ctx := context.Background()
 	args := flag.Args()
 	switch args[0] {
 	case "put":
 		need(args, 3)
-		if err := db.Put([]byte(args[1]), []byte(args[2])); err != nil {
+		if err := db.Put(ctx, []byte(args[1]), []byte(args[2])); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
 	case "get":
 		need(args, 2)
-		v, ok, err := db.Get([]byte(args[1]))
+		v, ok, err := db.Get(ctx, []byte(args[1]))
 		if err != nil {
 			fail(err)
 		}
@@ -65,7 +68,7 @@ func main() {
 		}
 	case "del":
 		need(args, 2)
-		if err := db.Delete([]byte(args[1])); err != nil {
+		if err := db.Delete(ctx, []byte(args[1])); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
@@ -73,7 +76,7 @@ func main() {
 		need(args, 3)
 		// Stream the range through an iterator: constant memory however
 		// large the range is.
-		it, err := db.NewIterator([]byte(args[1]), []byte(args[2]))
+		it, err := db.NewIterator(ctx, []byte(args[1]), []byte(args[2]))
 		if err != nil {
 			fail(err)
 		}
@@ -111,10 +114,16 @@ func main() {
 		if b.Len() == 0 {
 			fail(fmt.Errorf("batch: no operations"))
 		}
-		if err := db.Apply(b); err != nil {
+		if err := db.Apply(ctx, b); err != nil {
 			fail(err)
 		}
 		fmt.Printf("applied %d ops atomically\n", b.Len())
+	case "checkpoint":
+		need(args, 2)
+		if err := db.Checkpoint(ctx, args[1]); err != nil {
+			fail(err)
+		}
+		fmt.Printf("checkpointed to %s\n", args[1])
 	case "fill":
 		need(args, 2)
 		var n uint64
@@ -122,15 +131,15 @@ func main() {
 			fail(err)
 		}
 		for i := uint64(0); i < n; i++ {
-			if err := db.Put(keys.EncodeUint64(i), keys.EncodeUint64(i)); err != nil {
+			if err := db.Put(ctx, keys.EncodeUint64(i), keys.EncodeUint64(i)); err != nil {
 				fail(err)
 			}
 		}
 		fmt.Printf("filled %d keys\n", n)
 	case "stats":
 		s := db.Stats()
-		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d iterators=%d batches=%d (%d ops)\n",
-			s.Puts, s.Gets, s.Deletes, s.Scans, s.Iterators, s.Batches, s.BatchOps)
+		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d iterators=%d batches=%d (%d ops) snapshots=%d checkpoints=%d\n",
+			s.Puts, s.Gets, s.Deletes, s.Scans, s.Iterators, s.Batches, s.BatchOps, s.Snapshots, s.Checkpoints)
 		fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", s.MembufferHits, s.MemtableWrites)
 		fmt.Printf("scan-restarts=%d fallback-scans=%d flushes=%d compactions=%d\n",
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)

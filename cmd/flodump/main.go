@@ -12,8 +12,10 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"flodb"
 	"flodb/internal/keys"
@@ -54,7 +56,11 @@ func main() {
 // Opening a store is NOT read-only — flodb.Open creates the directory,
 // runs WAL recovery (flushing recovered memtables to new tables), and
 // starts a fresh log segment. An inspection tool must leave the store
-// byte-identical, so the dump opens a temporary copy instead.
+// byte-identical, so the dump opens a checkpoint-style clone instead:
+// storage.CloneDir is the same audited path DB.Checkpoint takes online
+// (hard-linked tables, copied WAL tail, fresh manifest), so inspection
+// and backup share one code path — and the clone is near-free, since the
+// sstables are links, not copies.
 func dumpDB(dir string) error {
 	if fi, err := os.Stat(dir); err != nil {
 		return err
@@ -66,15 +72,16 @@ func dumpDB(dir string) error {
 		return err
 	}
 	defer os.RemoveAll(tmp)
-	if err := os.CopyFS(tmp, os.DirFS(dir)); err != nil {
+	clone := filepath.Join(tmp, "clone")
+	if err := storage.CloneDir(dir, clone); err != nil {
 		return err
 	}
-	db, err := flodb.Open(tmp)
+	db, err := flodb.Open(clone)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
-	it, err := db.NewIterator(nil, nil)
+	it, err := db.NewIterator(context.Background(), nil, nil)
 	if err != nil {
 		return err
 	}

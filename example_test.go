@@ -1,6 +1,8 @@
 package flodb_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -20,15 +22,15 @@ func Example() {
 	}
 	defer db.Close()
 
-	db.Put([]byte("a"), []byte("1"))
-	db.Put([]byte("b"), []byte("2"))
-	db.Put([]byte("c"), []byte("3"))
-	db.Delete([]byte("b"))
+	db.Put(bg, []byte("a"), []byte("1"))
+	db.Put(bg, []byte("b"), []byte("2"))
+	db.Put(bg, []byte("c"), []byte("3"))
+	db.Delete(bg, []byte("b"))
 
-	if v, found, _ := db.Get([]byte("a")); found {
+	if v, found, _ := db.Get(bg, []byte("a")); found {
 		fmt.Printf("a=%s\n", v)
 	}
-	pairs, _ := db.Scan([]byte("a"), []byte("z"))
+	pairs, _ := db.Scan(bg, []byte("a"), []byte("z"))
 	for _, p := range pairs {
 		fmt.Printf("%s=%s\n", p.Key, p.Value)
 	}
@@ -53,7 +55,7 @@ func ExampleOpen() {
 		log.Fatal(err)
 	}
 	defer db.Close()
-	fmt.Println(db.Put([]byte("k"), []byte("v")))
+	fmt.Println(db.Put(bg, []byte("k"), []byte("v")))
 	// Output:
 	// <nil>
 }
@@ -70,11 +72,11 @@ func ExampleDB_NewIterator() {
 	}
 	defer db.Close()
 
-	db.Put([]byte("user:1"), []byte("ada"))
-	db.Put([]byte("user:2"), []byte("grace"))
-	db.Put([]byte("user:3"), []byte("edsger"))
+	db.Put(bg, []byte("user:1"), []byte("ada"))
+	db.Put(bg, []byte("user:2"), []byte("grace"))
+	db.Put(bg, []byte("user:3"), []byte("edsger"))
 
-	it, err := db.NewIterator([]byte("user:"), []byte("user:\xff"))
+	it, err := db.NewIterator(bg, []byte("user:"), []byte("user:\xff"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,12 +107,106 @@ func ExampleDB_Apply() {
 	b := flodb.NewWriteBatch()
 	b.Put([]byte("acct:alice"), []byte("90"))
 	b.Put([]byte("acct:bob"), []byte("110"))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		log.Fatal(err)
 	}
 
-	v, _, _ := db.Get([]byte("acct:bob"))
+	v, _, _ := db.Get(bg, []byte("acct:bob"))
 	fmt.Printf("bob=%s after %d-op batch\n", v, b.Len())
 	// Output:
 	// bob=110 after 2-op batch
+}
+
+// ExampleDB_Snapshot pins a repeatable-read view: reads through the
+// handle keep seeing the state at Snapshot time, however many writes land
+// afterwards — the multi-request consistency a session pins itself to.
+func ExampleDB_Snapshot() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-snapshot")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put(bg, []byte("balance"), []byte("100"))
+
+	snap, err := db.Snapshot(bg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer snap.Close()
+
+	db.Put(bg, []byte("balance"), []byte("250")) // later write
+
+	old, _, _ := snap.Get(bg, []byte("balance"))
+	live, _, _ := db.Get(bg, []byte("balance"))
+	fmt.Printf("snapshot=%s live=%s\n", old, live)
+	// Output:
+	// snapshot=100 live=250
+}
+
+// ExampleDB_Checkpoint takes an online, openable copy of the store —
+// hard-linked sstables plus the WAL tail — suitable for backups and for
+// seeding replicas. The source stays open and serving throughout.
+func ExampleDB_Checkpoint() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-checkpoint")
+	ckdir := dir + "-backup"
+	os.RemoveAll(dir)
+	os.RemoveAll(ckdir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	db.Put(bg, []byte("k"), []byte("v"))
+	if err := db.Checkpoint(bg, ckdir); err != nil {
+		log.Fatal(err)
+	}
+
+	backup, err := flodb.Open(ckdir) // the checkpoint is a real store
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer backup.Close()
+	v, found, _ := backup.Get(bg, []byte("k"))
+	fmt.Printf("backup has k=%s (found=%v)\n", v, found)
+	// Output:
+	// backup has k=v (found=true)
+}
+
+// ExampleDB_NewIterator_deadline bounds a scan with a context deadline: a
+// slow consumer (or an oversized range) is cut off promptly, and the
+// context error is reported through the iterator's Err.
+func ExampleDB_NewIterator_deadline() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-deadline")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 10000; i++ {
+		db.Put(bg, []byte(fmt.Sprintf("k%08d", i)), []byte("v"))
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	it, err := db.NewIterator(ctx, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if n++; n == 100 {
+			cancel() // in production: a deadline firing mid-scan
+		}
+	}
+	fmt.Printf("stopped early: %v (read %v pairs before the full 10000)\n",
+		errors.Is(it.Err(), context.Canceled), n < 10000)
+	// Output:
+	// stopped early: true (read true pairs before the full 10000)
 }

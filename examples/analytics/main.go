@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -39,6 +40,7 @@ func catBounds(cat int) (lo, hi []byte) {
 }
 
 func main() {
+	ctx := context.Background()
 	dir := filepath.Join(os.TempDir(), "flodb-analytics")
 	os.RemoveAll(dir)
 	db, err := flodb.Open(dir, flodb.WithMemory(8<<20), flodb.WithoutWAL())
@@ -51,7 +53,7 @@ func main() {
 	for cat := 0; cat < categories; cat++ {
 		for item := 0; item < itemsPerCat; item++ {
 			binary.BigEndian.PutUint64(price, 100)
-			if err := db.Put(itemKey(cat, item), price); err != nil {
+			if err := db.Put(ctx, itemKey(cat, item), price); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -81,7 +83,7 @@ func main() {
 			for item := 0; item < itemsPerCat; item++ {
 				batch.Put(itemKey(cat, item), buf)
 			}
-			if err := db.Apply(batch); err != nil {
+			if err := db.Apply(ctx, batch); err != nil {
 				log.Fatal(err)
 			}
 			bursts.Add(1)
@@ -96,7 +98,7 @@ func main() {
 	for round := 0; round < scanRounds; round++ {
 		cat := round % categories
 		lo, hi := catBounds(cat)
-		pairs, err := db.Scan(lo, hi)
+		pairs, err := db.Scan(ctx, lo, hi)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -33,6 +34,7 @@ func queueKey(seq uint64) []byte {
 }
 
 func main() {
+	ctx := context.Background()
 	dir := filepath.Join(os.TempDir(), "flodb-messagequeue")
 	os.RemoveAll(dir)
 	db, err := flodb.Open(dir,
@@ -56,7 +58,7 @@ func main() {
 			for i := 0; i < messagesPerProd; i++ {
 				seq := nextSeq.Add(1)
 				msg := fmt.Sprintf("producer-%d message-%d", p, i)
-				if err := db.Put(queueKey(seq), []byte(msg)); err != nil {
+				if err := db.Put(ctx, queueKey(seq), []byte(msg)); err != nil {
 					log.Fatal(err)
 				}
 				produced.Add(1)
@@ -76,7 +78,7 @@ func main() {
 		lo, hi := queueKey(0), queueKey(^uint64(0))
 		acks := flodb.NewWriteBatch()
 		for {
-			it, err := db.NewIterator(lo, hi)
+			it, err := db.NewIterator(ctx, lo, hi)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -88,7 +90,7 @@ func main() {
 				log.Fatal(err)
 			}
 			it.Close()
-			if err := db.Apply(acks); err != nil { // acknowledge atomically
+			if err := db.Apply(ctx, acks); err != nil { // acknowledge atomically
 				log.Fatal(err)
 			}
 			consumed.Add(uint64(acks.Len()))
@@ -111,7 +113,7 @@ func main() {
 		float64(consumed.Load())/elapsed.Seconds())
 
 	// The queue must be empty now.
-	rest, _ := db.Scan([]byte("q:"), []byte("q:\xff"))
+	rest, _ := db.Scan(ctx, []byte("q:"), []byte("q:\xff"))
 	fmt.Printf("remaining in queue: %d\n", len(rest))
 	st := db.Stats()
 	fmt.Printf("stats: membuffer-hits=%d memtable-writes=%d flushes=%d scan-restarts=%d\n",

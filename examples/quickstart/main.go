@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -13,6 +14,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	dir := filepath.Join(os.TempDir(), "flodb-quickstart")
 	os.RemoveAll(dir)
 
@@ -25,26 +27,26 @@ func main() {
 	}
 
 	// Point writes and reads.
-	if err := db.Put([]byte("city:lausanne"), []byte("EPFL")); err != nil {
+	if err := db.Put(ctx, []byte("city:lausanne"), []byte("EPFL")); err != nil {
 		log.Fatal(err)
 	}
-	db.Put([]byte("city:belgrade"), []byte("EuroSys 2017"))
-	db.Put([]byte("city:zurich"), []byte("ETH"))
+	db.Put(ctx, []byte("city:belgrade"), []byte("EuroSys 2017"))
+	db.Put(ctx, []byte("city:zurich"), []byte("ETH"))
 
-	v, found, err := db.Get([]byte("city:lausanne"))
+	v, found, err := db.Get(ctx, []byte("city:lausanne"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("get city:lausanne -> %q (found=%v)\n", v, found)
 
 	// Overwrites are in place: the freshest value always wins.
-	db.Put([]byte("city:lausanne"), []byte("EPFL, updated"))
-	v, _, _ = db.Get([]byte("city:lausanne"))
+	db.Put(ctx, []byte("city:lausanne"), []byte("EPFL, updated"))
+	v, _, _ = db.Get(ctx, []byte("city:lausanne"))
 	fmt.Printf("after overwrite  -> %q\n", v)
 
 	// Deletes are tombstones; the key disappears from reads and scans.
-	db.Delete([]byte("city:zurich"))
-	if _, found, _ := db.Get([]byte("city:zurich")); !found {
+	db.Delete(ctx, []byte("city:zurich"))
+	if _, found, _ := db.Get(ctx, []byte("city:zurich")); !found {
 		fmt.Println("city:zurich deleted")
 	}
 
@@ -54,14 +56,14 @@ func main() {
 	b.Put([]byte("city:dresden"), []byte("EuroSys 2019"))
 	b.Put([]byte("city:rennes"), []byte("EuroSys 2022"))
 	b.Delete([]byte("city:belgrade"))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(ctx, b); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("applied a %d-op batch atomically\n", b.Len())
 
 	// Iterators stream a range in key order without materializing it —
 	// this loop would use the same memory over a billion keys.
-	it, err := db.NewIterator([]byte("city:"), []byte("city:\xff"))
+	it, err := db.NewIterator(ctx, []byte("city:"), []byte("city:\xff"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func main() {
 	it.Close()
 
 	// Scan materializes the same range as one point-in-time snapshot.
-	pairs, err := db.Scan([]byte("city:"), []byte("city:\xff"))
+	pairs, err := db.Scan(ctx, []byte("city:"), []byte("city:\xff"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,6 +97,6 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db2.Close()
-	v, found, _ = db2.Get([]byte("city:rennes"))
+	v, found, _ = db2.Get(ctx, []byte("city:rennes"))
 	fmt.Printf("after reopen: city:rennes -> %q (found=%v)\n", v, found)
 }

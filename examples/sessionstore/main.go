@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,6 +31,7 @@ func sessionKey(id int) []byte {
 }
 
 func main() {
+	ctx := context.Background()
 	dir := filepath.Join(os.TempDir(), "flodb-sessionstore")
 	os.RemoveAll(dir)
 	db, err := flodb.Open(dir, flodb.WithMemory(16<<20), flodb.WithoutWAL())
@@ -40,7 +42,7 @@ func main() {
 
 	// Seed every session.
 	for i := 0; i < sessions; i++ {
-		if err := db.Put(sessionKey(i), []byte("state=new")); err != nil {
+		if err := db.Put(ctx, sessionKey(i), []byte("state=new")); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -62,11 +64,11 @@ func main() {
 				}
 				state = state[:0]
 				state = append(state, fmt.Sprintf("state=active;worker=%d;op=%d", w, i)...)
-				if err := db.Put(sessionKey(id), state); err != nil {
+				if err := db.Put(ctx, sessionKey(id), state); err != nil {
 					log.Fatal(err)
 				}
 				// Occasionally read back the session (50/50 mix of §5.4).
-				if _, _, err := db.Get(sessionKey(id)); err != nil {
+				if _, _, err := db.Get(ctx, sessionKey(id)); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -84,6 +86,6 @@ func main() {
 	fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", st.MembufferHits, st.MemtableWrites)
 
 	// Spot-check a hot session's final state is a valid latest write.
-	v, found, _ := db.Get(sessionKey(0))
+	v, found, _ := db.Get(ctx, sessionKey(0))
 	fmt.Printf("session 0: found=%v state=%q\n", found, v)
 }

@@ -12,19 +12,24 @@
 // freshness order. Scans are serializable (master scans linearizable) and
 // run concurrently with updates.
 //
+// Every operation takes a context.Context: cancellation and deadlines are
+// honored at every wait point (chunked scan refills, drain waits, write
+// backpressure), and context errors surface via errors.Is.
+//
 // Quick start:
 //
 //	db, err := flodb.Open("/tmp/mydb", flodb.WithMemory(64<<20))
 //	if err != nil { ... }
 //	defer db.Close()
 //
-//	db.Put([]byte("k"), []byte("v"))
-//	v, found, err := db.Get([]byte("k"))
+//	ctx := context.Background()
+//	db.Put(ctx, []byte("k"), []byte("v"))
+//	v, found, err := db.Get(ctx, []byte("k"))
 //
 // Ranges stream through a cursor, so a scan larger than memory never
 // materializes:
 //
-//	it, err := db.NewIterator([]byte("a"), []byte("z"))
+//	it, err := db.NewIterator(ctx, []byte("a"), []byte("z"))
 //	if err != nil { ... }
 //	defer it.Close()
 //	for ok := it.First(); ok; ok = it.Next() {
@@ -38,14 +43,21 @@
 //	b := flodb.NewWriteBatch()
 //	b.Put([]byte("k1"), []byte("v1"))
 //	b.Delete([]byte("k2"))
-//	if err := db.Apply(b); err != nil { ... }
+//	if err := db.Apply(ctx, b); err != nil { ... }
 //
-// Scan remains as a convenience that materializes a full range snapshot:
+// Named read views give multi-request consistency and online backup:
 //
-//	pairs, err := db.Scan([]byte("a"), []byte("z"))
+//	snap, err := db.Snapshot(ctx)  // repeatable-read handle
+//	if err != nil { ... }
+//	defer snap.Close()
+//	v1, _, _ := snap.Get(ctx, []byte("k"))  // repeats identically
+//
+//	err = db.Checkpoint(ctx, "/backups/mydb-2026-07-25")  // openable copy
 package flodb
 
 import (
+	"context"
+
 	"flodb/internal/core"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
@@ -57,8 +69,23 @@ type Pair = kv.Pair
 // Stats is a snapshot of store operation counters.
 type Stats = kv.Stats
 
-// ErrClosed is returned by operations on a closed store.
-var ErrClosed = core.ErrClosed
+// View is a read-only view of the store: Get, Scan, NewIterator, Close.
+// A *DB is itself the live View; Snapshot returns a View pinned at a
+// point in time. See the kv package for the full contract.
+type View = kv.View
+
+// The error taxonomy. Implementations wrap these, so always test with
+// errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed store.
+	ErrClosed = kv.ErrClosed
+	// ErrSnapshotReleased is returned by reads through a snapshot whose
+	// Close has run.
+	ErrSnapshotReleased = kv.ErrSnapshotReleased
+	// ErrNotSupported is returned when the store's configuration cannot
+	// provide an operation.
+	ErrNotSupported = kv.ErrNotSupported
+)
 
 // DB is a FloDB store. All methods are safe for concurrent use; Close must
 // not race with other operations.
@@ -75,10 +102,9 @@ type DB struct {
 //	)
 //
 // With no options the store uses the paper's defaults scaled for a
-// development machine. A legacy *Options struct (including nil) is itself
-// an Option and may be passed directly.
+// development machine.
 func Open(dir string, opts ...Option) (*DB, error) {
-	var o Options
+	var o options
 	for _, opt := range opts {
 		if opt != nil {
 			opt.apply(&o)
@@ -86,13 +112,13 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	}
 	inner, err := core.Open(core.Config{
 		Dir:               dir,
-		MemoryBytes:       o.MemoryBytes,
-		MembufferFraction: o.MembufferFraction,
-		PartitionBits:     o.PartitionBits,
-		DrainThreads:      o.DrainThreads,
-		RestartThreshold:  o.RestartThreshold,
-		DisableWAL:        o.DisableWAL,
-		SyncWAL:           o.SyncWAL,
+		MemoryBytes:       o.memoryBytes,
+		MembufferFraction: o.membufferFraction,
+		PartitionBits:     o.partitionBits,
+		DrainThreads:      o.drainThreads,
+		RestartThreshold:  o.restartThreshold,
+		DisableWAL:        o.disableWAL,
+		SyncWAL:           o.syncWAL,
 	})
 	if err != nil {
 		return nil, err
@@ -102,19 +128,19 @@ func Open(dir string, opts ...Option) (*DB, error) {
 
 // Put inserts or overwrites key with value. The slices are copied; the
 // caller may reuse them.
-func (db *DB) Put(key, value []byte) error {
-	return db.inner.Put(key, value)
+func (db *DB) Put(ctx context.Context, key, value []byte) error {
+	return db.inner.Put(ctx, key, value)
 }
 
 // Delete removes key. Deleting an absent key is not an error.
-func (db *DB) Delete(key []byte) error {
-	return db.inner.Delete(key)
+func (db *DB) Delete(ctx context.Context, key []byte) error {
+	return db.inner.Delete(ctx, key)
 }
 
 // Get returns the current value of key. found is false if the key is
 // absent or deleted. The returned slice is a copy.
-func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
-	v, ok, err := db.inner.Get(key)
+func (db *DB) Get(ctx context.Context, key []byte) (value []byte, found bool, err error) {
+	v, ok, err := db.inner.Get(ctx, key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -125,8 +151,36 @@ func (db *DB) Get(key []byte) (value []byte, found bool, err error) {
 // are open. The returned view is a consistent snapshot: point-in-time
 // semantics as defined in §2.1 of the paper. The whole range is
 // materialized; prefer NewIterator for large or unbounded ranges.
-func (db *DB) Scan(low, high []byte) ([]Pair, error) {
-	return db.inner.Scan(low, high)
+func (db *DB) Scan(ctx context.Context, low, high []byte) ([]Pair, error) {
+	return db.inner.Scan(ctx, low, high)
+}
+
+// Snapshot returns a repeatable-read View pinned at the current state:
+// its Gets, Scans and iterators observe exactly the data committed before
+// the call, however many writes land afterwards, until the handle is
+// Closed.
+//
+// FloDB's memory component is single-versioned (in-place updates, §3.2),
+// so a durable read view cannot reference it: Snapshot materializes the
+// memory component — one forced drain-and-flush cycle, the same seal a
+// master scan performs plus the persist of §4.2 — and pins the resulting
+// immutable disk version at a sequence bound. Taking a snapshot therefore
+// costs a memtable flush; reads through it are pure sstable reads and
+// never restart. The handle pins sstables until Close, so holding
+// snapshots delays space reclamation, not writers.
+func (db *DB) Snapshot(ctx context.Context) (View, error) {
+	return db.inner.Snapshot(ctx)
+}
+
+// Checkpoint writes an openable copy of the store into dir (which must
+// not exist or be empty) while the store stays online. Immutable sstables
+// are hard-linked (copied across filesystems), the manifest is rewritten,
+// and the WAL tail is copied, so flodb.Open(dir) recovers a
+// prefix-consistent state: every update it contains completed here before
+// some point during the call, with no holes in commit order. Use it to
+// seed replicas and take online backups.
+func (db *DB) Checkpoint(ctx context.Context, dir string) error {
+	return db.inner.Checkpoint(ctx, dir)
 }
 
 // Close flushes the memory component to disk and releases all resources.

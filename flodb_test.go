@@ -2,6 +2,8 @@ package flodb_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,9 +12,12 @@ import (
 	"flodb/internal/keys"
 )
 
-func openPublic(t *testing.T, opts *flodb.Options) *flodb.DB {
+// bg is the context threaded through every store call in these tests.
+var bg = context.Background()
+
+func openPublic(t *testing.T, opts ...flodb.Option) *flodb.DB {
 	t.Helper()
-	db, err := flodb.Open(t.TempDir(), opts)
+	db, err := flodb.Open(t.TempDir(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,18 +26,18 @@ func openPublic(t *testing.T, opts *flodb.Options) *flodb.DB {
 }
 
 func TestPublicAPIRoundTrip(t *testing.T) {
-	db := openPublic(t, nil)
-	if err := db.Put([]byte("k"), []byte("v")); err != nil {
+	db := openPublic(t)
+	if err := db.Put(bg, []byte("k"), []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	v, found, err := db.Get([]byte("k"))
+	v, found, err := db.Get(bg, []byte("k"))
 	if err != nil || !found || string(v) != "v" {
 		t.Fatalf("Get = %q %v %v", v, found, err)
 	}
-	if err := db.Delete([]byte("k")); err != nil {
+	if err := db.Delete(bg, []byte("k")); err != nil {
 		t.Fatal(err)
 	}
-	if _, found, _ := db.Get([]byte("k")); found {
+	if _, found, _ := db.Get(bg, []byte("k")); found {
 		t.Fatal("deleted key visible")
 	}
 }
@@ -40,34 +45,34 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 func TestPublicAPIClonesInputs(t *testing.T) {
 	// The public API must copy key and value, so callers can reuse
 	// buffers — the core retains slices.
-	db := openPublic(t, nil)
+	db := openPublic(t)
 	key := []byte("mutable-key")
 	val := []byte("mutable-val")
-	db.Put(key, val)
+	db.Put(bg, key, val)
 	key[0], val[0] = 'X', 'X'
-	v, found, _ := db.Get([]byte("mutable-key"))
+	v, found, _ := db.Get(bg, []byte("mutable-key"))
 	if !found || string(v) != "mutable-val" {
 		t.Fatalf("input aliasing leaked into the store: %q %v", v, found)
 	}
 }
 
 func TestPublicAPIClonesOutputs(t *testing.T) {
-	db := openPublic(t, nil)
-	db.Put([]byte("k"), []byte("value"))
-	v, _, _ := db.Get([]byte("k"))
+	db := openPublic(t)
+	db.Put(bg, []byte("k"), []byte("value"))
+	v, _, _ := db.Get(bg, []byte("k"))
 	v[0] = 'X'
-	v2, _, _ := db.Get([]byte("k"))
+	v2, _, _ := db.Get(bg, []byte("k"))
 	if !bytes.Equal(v2, []byte("value")) {
 		t.Fatal("mutating a returned value corrupted the store")
 	}
 }
 
 func TestPublicAPIScan(t *testing.T) {
-	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20})
+	db := openPublic(t, flodb.WithMemory(1<<20))
 	for i := 0; i < 100; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
 	}
-	pairs, err := db.Scan(keys.EncodeUint64(20), keys.EncodeUint64(30))
+	pairs, err := db.Scan(bg, keys.EncodeUint64(20), keys.EncodeUint64(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +87,16 @@ func TestPublicAPIScan(t *testing.T) {
 }
 
 func TestPublicAPIOptions(t *testing.T) {
-	db := openPublic(t, &flodb.Options{
-		MemoryBytes:       2 << 20,
-		MembufferFraction: 0.5,
-		PartitionBits:     4,
-		DrainThreads:      1,
-		RestartThreshold:  5,
-		DisableWAL:        true,
-	})
+	db := openPublic(t,
+		flodb.WithMemory(2<<20),
+		flodb.WithMembufferFraction(0.5),
+		flodb.WithPartitionBits(4),
+		flodb.WithDrainThreads(1),
+		flodb.WithRestartThreshold(5),
+		flodb.WithoutWAL(),
+	)
 	for i := 0; i < 1000; i++ {
-		if err := db.Put(keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -108,7 +113,7 @@ func TestPublicAPIPersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i)))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i)))
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -119,7 +124,7 @@ func TestPublicAPIPersistence(t *testing.T) {
 	}
 	defer db2.Close()
 	for i := 0; i < 500; i += 37 {
-		v, found, err := db2.Get(keys.EncodeUint64(uint64(i)))
+		v, found, err := db2.Get(bg, keys.EncodeUint64(uint64(i)))
 		if err != nil || !found || keys.DecodeUint64(v) != uint64(i) {
 			t.Fatalf("key %d after reopen: %v %v %v", i, v, found, err)
 		}
@@ -127,7 +132,7 @@ func TestPublicAPIPersistence(t *testing.T) {
 }
 
 func TestPublicAPIConcurrent(t *testing.T) {
-	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20, DisableWAL: true})
+	db := openPublic(t, flodb.WithMemory(1<<20), flodb.WithoutWAL())
 	var wg sync.WaitGroup
 	for w := 0; w < 4; w++ {
 		wg.Add(1)
@@ -135,17 +140,17 @@ func TestPublicAPIConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				k := keys.EncodeUint64(uint64(w*2000+i) * 0x9e3779b97f4a7c15)
-				if err := db.Put(k, keys.EncodeUint64(uint64(i))); err != nil {
+				if err := db.Put(bg, k, keys.EncodeUint64(uint64(i))); err != nil {
 					panic(err)
 				}
-				if _, _, err := db.Get(k); err != nil {
+				if _, _, err := db.Get(bg, k); err != nil {
 					panic(err)
 				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,12 +160,12 @@ func TestPublicAPIConcurrent(t *testing.T) {
 }
 
 func TestErrClosedExported(t *testing.T) {
-	db, err := flodb.Open(t.TempDir(), nil)
+	db, err := flodb.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	db.Close()
-	if err := db.Put([]byte("k"), []byte("v")); err != flodb.ErrClosed {
+	if err := db.Put(bg, []byte("k"), []byte("v")); !errors.Is(err, flodb.ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 }
@@ -179,7 +184,7 @@ func TestFunctionalOptions(t *testing.T) {
 	}
 	defer db.Close()
 	for i := 0; i < 1000; i++ {
-		if err := db.Put(keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i)*0x9e3779b97f4a7c15), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -190,17 +195,17 @@ func TestFunctionalOptions(t *testing.T) {
 
 func TestLegacyOptionsShim(t *testing.T) {
 	// The deprecated *Options struct is itself an Option; nil still works.
-	db, err := flodb.Open(t.TempDir(), &flodb.Options{MemoryBytes: 1 << 20, DisableWAL: true})
+	db, err := flodb.Open(t.TempDir(), flodb.WithMemory(1<<20), flodb.WithoutWAL())
 	if err != nil {
 		t.Fatal(err)
 	}
-	db.Put([]byte("k"), []byte("v"))
-	if v, ok, _ := db.Get([]byte("k")); !ok || string(v) != "v" {
+	db.Put(bg, []byte("k"), []byte("v"))
+	if v, ok, _ := db.Get(bg, []byte("k")); !ok || string(v) != "v" {
 		t.Fatalf("legacy options store broken: %q %v", v, ok)
 	}
 	db.Close()
 
-	db2, err := flodb.Open(t.TempDir(), nil)
+	db2, err := flodb.Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +213,11 @@ func TestLegacyOptionsShim(t *testing.T) {
 }
 
 func TestPublicIterator(t *testing.T) {
-	db := openPublic(t, &flodb.Options{MemoryBytes: 1 << 20})
+	db := openPublic(t, flodb.WithMemory(1<<20))
 	for i := 0; i < 100; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte(fmt.Sprint(i)))
 	}
-	it, err := db.NewIterator(keys.EncodeUint64(20), keys.EncodeUint64(30))
+	it, err := db.NewIterator(bg, keys.EncodeUint64(20), keys.EncodeUint64(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,22 +241,22 @@ func TestPublicIterator(t *testing.T) {
 }
 
 func TestPublicWriteBatch(t *testing.T) {
-	db := openPublic(t, nil)
-	db.Put([]byte("doomed"), []byte("x"))
+	db := openPublic(t)
+	db.Put(bg, []byte("doomed"), []byte("x"))
 	b := flodb.NewWriteBatch()
 	b.Put([]byte("a"), []byte("1"))
 	b.Put([]byte("b"), []byte("2"))
 	b.Delete([]byte("doomed"))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
-	if v, ok, _ := db.Get([]byte("a")); !ok || string(v) != "1" {
+	if v, ok, _ := db.Get(bg, []byte("a")); !ok || string(v) != "1" {
 		t.Fatalf("a = %q %v", v, ok)
 	}
-	if v, ok, _ := db.Get([]byte("b")); !ok || string(v) != "2" {
+	if v, ok, _ := db.Get(bg, []byte("b")); !ok || string(v) != "2" {
 		t.Fatalf("b = %q %v", v, ok)
 	}
-	if _, ok, _ := db.Get([]byte("doomed")); ok {
+	if _, ok, _ := db.Get(bg, []byte("doomed")); ok {
 		t.Fatal("batched delete ineffective")
 	}
 	st := db.Stats()
@@ -268,12 +273,12 @@ func TestPublicStoreSatisfiesContract(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Close()
-	if _, err := db.NewIterator(nil, nil); err != flodb.ErrClosed {
+	if _, err := db.NewIterator(bg, nil, nil); !errors.Is(err, flodb.ErrClosed) {
 		t.Fatalf("NewIterator on closed store: %v", err)
 	}
 	b := flodb.NewWriteBatch()
 	b.Put([]byte("k"), []byte("v"))
-	if err := db.Apply(b); err != flodb.ErrClosed {
+	if err := db.Apply(bg, b); !errors.Is(err, flodb.ErrClosed) {
 		t.Fatalf("Apply on closed store: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -68,7 +70,16 @@ type base struct {
 	// mu guards the handles and lastSeq. The variants ALSO use it as
 	// their "global mutex" where their design has one, which is exactly
 	// the contention the paper measures.
-	mu      sync.Mutex
+	mu sync.Mutex
+	// snapMu is the snapshot barrier for variants whose memtable inserts
+	// run OUTSIDE mu (HyperLevelDB, RocksDB): writers hold the read side
+	// from sequence allocation through insert completion, and Snapshot
+	// takes the write side while capturing its bound — otherwise a handle
+	// could pin a sequence covering an insert still in flight, and a key
+	// would pop into existence inside a supposedly repeatable view. (Real
+	// RocksDB avoids this by publishing the visible sequence only after
+	// the memtable insert; the barrier is the model-sized equivalent.)
+	snapMu  sync.RWMutex
 	mem     *memHandle
 	imm     *memHandle
 	immCond *sync.Cond // waits for imm to clear (writer stall, §2.3)
@@ -83,6 +94,7 @@ type base struct {
 	stats struct {
 		puts, gets, deletes, scans   atomic.Uint64
 		batches, batchOps, iterators atomic.Uint64
+		snapshots, checkpoints       atomic.Uint64
 	}
 }
 
@@ -224,9 +236,12 @@ func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) error 
 // sequence numbers. Atomicity falls out of the multi-versioned design —
 // the batch's version range is contiguous, and recovery replays the single
 // record all-or-nothing.
-func (b *base) applyBatch(batch *kv.Batch) error {
+func (b *base) applyBatch(ctx context.Context, batch *kv.Batch) error {
 	if b.closed.Load() {
 		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := b.loadFlushErr(); err != nil {
 		return err
@@ -238,7 +253,7 @@ func (b *base) applyBatch(batch *kv.Batch) error {
 	b.stats.batchOps.Add(uint64(batch.Len()))
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if err := b.waitRoomLocked(); err != nil {
+	if err := b.waitRoomCtxLocked(ctx); err != nil {
 		return err
 	}
 	if b.mem.wal != nil {
@@ -257,7 +272,17 @@ func (b *base) applyBatch(batch *kv.Batch) error {
 // waitRoomLocked blocks (on mu) while the memtable is full and the
 // previous one is still flushing — the writer delay of §2.3.
 func (b *base) waitRoomLocked() error {
+	return b.waitRoomCtxLocked(context.Background())
+}
+
+// waitRoomCtxLocked is waitRoomLocked with a cancellation point at every
+// cond wakeup. (A Wait in progress cannot be interrupted by the context;
+// the flush loop's broadcast bounds the latency.)
+func (b *base) waitRoomCtxLocked(ctx context.Context) error {
 	for b.mem.mem.ApproxBytes() >= b.cfg.MemBytes && b.imm != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := b.loadFlushErr(); err != nil {
 			return err
 		}
@@ -361,8 +386,11 @@ func (b *base) snapshotLocked() (mem, imm *memHandle, snap uint64) {
 	return b.mem, b.imm, b.lastSeq
 }
 
-// getFrom resolves a read against a captured view.
-func (b *base) getFrom(mem, imm *memHandle, snap uint64, key []byte) ([]byte, bool, error) {
+// getFrom resolves a read against a captured view. ver, when non-nil, is
+// a pinned disk version read at the snap bound (long-lived snapshot
+// handles); nil reads the live disk state (point operations, whose view
+// was captured moments ago).
+func (b *base) getFrom(mem, imm *memHandle, ver *storage.Version, snap uint64, key []byte) ([]byte, bool, error) {
 	if v, _, kind, ok := mem.mem.Get(key, snap); ok {
 		if kind == keys.KindDelete {
 			return nil, false, nil
@@ -377,7 +405,17 @@ func (b *base) getFrom(mem, imm *memHandle, snap uint64, key []byte) ([]byte, bo
 			return v, true, nil
 		}
 	}
-	v, _, kind, ok, err := b.store.Get(key)
+	var (
+		v    []byte
+		kind keys.Kind
+		ok   bool
+		err  error
+	)
+	if ver != nil {
+		v, _, kind, ok, err = b.store.GetAt(ver, key, snap)
+	} else {
+		v, _, kind, ok, err = b.store.Get(key)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -391,8 +429,8 @@ func (b *base) getFrom(mem, imm *memHandle, snap uint64, key []byte) ([]byte, bo
 // snapshot iterator. Multi-versioning makes this conflict-free: versions
 // newer than snap are simply skipped — the approach whose memory cost §3.2
 // criticizes, but which needs no restarts.
-func (b *base) scanFrom(mem, imm *memHandle, snap uint64, low, high []byte) ([]kv.Pair, error) {
-	it, err := b.newSnapshotIter(mem, imm, snap, low, high, nil)
+func (b *base) scanFrom(ctx context.Context, mem, imm *memHandle, snap uint64, low, high []byte) ([]kv.Pair, error) {
+	it, err := b.newSnapshotIter(ctx, mem, imm, nil, snap, low, high, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -408,144 +446,175 @@ func (b *base) scanFrom(mem, imm *memHandle, snap uint64, low, high []byte) ([]k
 // multi-versioned design pins ONE snapshot for the iterator's whole
 // lifetime — versions newer than snap stay invisible however long the
 // caller iterates, with no restarts (the memory-for-stability trade §3.2
-// discusses). The disk version stays pinned until Close; onClose, when
-// non-nil, runs after the release (the variants' end-of-read critical
-// section).
-func (b *base) newSnapshotIter(mem, imm *memHandle, snap uint64, low, high []byte, onClose func()) (kv.Iterator, error) {
+// discusses). ver, when non-nil, is an already-pinned disk version to
+// iterate (the iterator takes its own reference); nil pins the current
+// one. The pin is released on Close; onClose, when non-nil, runs after
+// the release (the variants' end-of-read critical section).
+func (b *base) newSnapshotIter(ctx context.Context, mem, imm *memHandle, ver *storage.Version, snap uint64, low, high []byte, onClose func()) (kv.Iterator, error) {
+	if ver == nil {
+		ver = b.store.PinVersion()
+	} else {
+		b.store.AcquireVersion(ver)
+	}
 	its := []storage.InternalIterator{mem.mem.NewIterator()}
 	if imm != nil {
 		its = append(its, imm.mem.NewIterator())
 	}
-	dit, release, err := b.store.NewIterator()
+	dit, err := b.store.NewVersionIterator(ver)
 	if err != nil {
+		b.store.ReleaseVersion(ver)
 		return nil, err
 	}
 	its = append(its, dit)
-	return &snapshotIter{
-		m:       storage.NewMergingIterator(its...),
-		low:     keys.Clone(low),
-		high:    keys.Clone(high),
-		snap:    snap,
-		release: release,
-		onClose: onClose,
-	}, nil
+	store := b.store
+	return storage.NewSnapshotIter(ctx, storage.NewMergingIterator(its...), storage.SnapshotIterOptions{
+		Low: low, High: high, MaxSeq: snap,
+		OnClose: func() {
+			store.ReleaseVersion(ver)
+			if onClose != nil {
+				onClose()
+			}
+		},
+	}), nil
 }
 
-// snapshotIter streams live pairs <= snap in key order, deduplicating
-// versions and skipping tombstones as it goes.
-type snapshotIter struct {
-	m         storage.InternalIterator
-	low, high []byte
-	snap      uint64
-	release   func()
-	onClose   func()
+// --- Snapshot handles ---------------------------------------------------------
 
-	lastKey    []byte
-	haveLast   bool
-	positioned bool
-	onPair     bool
-	closed     bool
+// newSnapshot wraps a captured view as a long-lived kv.View. The
+// multi-versioned memtables make this nearly free: the handle references
+// the captured memtable generation(s) — whose versions <= snap survive
+// arbitrarily many later writes — and pins the current disk version so
+// compaction cannot delete the files the bound still needs. This is the
+// paper's memory-for-stability trade (§3.2) paying off at the API layer:
+// where FloDB must materialize its single-versioned memory component to
+// disk, the baselines just hold on to what multi-versioning already kept.
+func (b *base) newSnapshot(mem, imm *memHandle, snap uint64) *baseSnapshot {
+	b.stats.snapshots.Add(1)
+	return &baseSnapshot{b: b, mem: mem, imm: imm, snap: snap, ver: b.store.PinVersion()}
 }
 
-var _ kv.Iterator = (*snapshotIter)(nil)
-
-// First positions at the first live pair of the range.
-func (it *snapshotIter) First() bool {
-	if it.closed {
-		return false
-	}
-	it.positioned = true
-	it.haveLast = false
-	it.m.Seek(it.low)
-	return it.settle()
+// baseSnapshot is a pinned read view at a sequence bound.
+type baseSnapshot struct {
+	b        *base
+	mem, imm *memHandle
+	snap     uint64
+	ver      *storage.Version
+	closed   atomic.Bool
 }
 
-// Seek positions at the first live pair with key >= key (clamped to low).
-func (it *snapshotIter) Seek(key []byte) bool {
-	if it.closed {
-		return false
+var _ kv.View = (*baseSnapshot)(nil)
+
+func (s *baseSnapshot) check(ctx context.Context) error {
+	if s.closed.Load() {
+		return ErrSnapshotReleasedBaseline
 	}
-	if it.low != nil && (key == nil || keys.Compare(key, it.low) < 0) {
-		key = it.low
+	if s.b.closed.Load() {
+		return ErrClosedBaseline
 	}
-	it.positioned = true
-	it.haveLast = false
-	it.m.Seek(key)
-	return it.settle()
+	return ctx.Err()
 }
 
-// Next advances past the current key's remaining versions to the next
-// live pair; unpositioned, it is equivalent to First.
-func (it *snapshotIter) Next() bool {
-	if it.closed {
-		return false
+// Get returns the value key had at the snapshot point (a copy).
+func (s *baseSnapshot) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, false, err
 	}
-	if !it.positioned {
-		return it.First()
+	v, ok, err := s.b.getFrom(s.mem, s.imm, s.ver, s.snap, key)
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	if it.m.Valid() {
-		it.m.Next()
-	}
-	return it.settle()
+	return keys.Clone(v), true, nil
 }
 
-// settle skips versions newer than the snapshot, superseded versions of an
-// already-visited key, and tombstones, stopping on the next live pair.
-func (it *snapshotIter) settle() bool {
-	it.onPair = false
-	for ; it.m.Valid(); it.m.Next() {
-		k := it.m.Key()
-		if it.high != nil && keys.Compare(k, it.high) >= 0 {
-			return false
-		}
-		if it.m.Seq() > it.snap {
-			continue // newer than the snapshot: invisible
-		}
-		if it.haveLast && keys.Equal(it.lastKey, k) {
-			continue // superseded version of a visited key
-		}
-		it.lastKey = append(it.lastKey[:0], k...)
-		it.haveLast = true
-		if it.m.Kind() == keys.KindDelete {
-			continue
-		}
-		it.onPair = true
-		return true
+// Scan materializes the range at the snapshot point.
+func (s *baseSnapshot) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
+	it, err := s.NewIterator(ctx, low, high)
+	if err != nil {
+		return nil, err
 	}
-	return false
+	defer it.Close()
+	var out []kv.Pair
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, kv.Pair{Key: keys.Clone(it.Key()), Value: keys.Clone(it.Value())})
+	}
+	return out, it.Err()
 }
 
-// Key returns the current key; the slice is valid until the next advance.
-func (it *snapshotIter) Key() []byte {
-	if !it.onPair {
+// NewIterator streams the snapshot's range. The iterator holds its own
+// version pin, so it survives the handle's Close.
+func (s *baseSnapshot) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	if err := s.check(ctx); err != nil {
+		return nil, err
+	}
+	s.b.stats.iterators.Add(1)
+	return s.b.newSnapshotIter(ctx, s.mem, s.imm, s.ver, s.snap, low, high, nil)
+}
+
+// Close releases the snapshot's disk pin. Idempotent; outstanding
+// iterators keep their own pins and stay valid.
+func (s *baseSnapshot) Close() error {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	return it.m.Key()
-}
-
-// Value returns the current value, under the same aliasing rule as Key.
-func (it *snapshotIter) Value() []byte {
-	if !it.onPair {
-		return nil
-	}
-	return it.m.Value()
-}
-
-// Err returns the first error of the underlying merge.
-func (it *snapshotIter) Err() error { return it.m.Err() }
-
-// Close unpins the disk snapshot. It is idempotent.
-func (it *snapshotIter) Close() error {
-	if it.closed {
-		return nil
-	}
-	it.closed = true
-	it.onPair = false
-	it.release()
-	if it.onClose != nil {
-		it.onClose()
-	}
+	s.b.store.ReleaseVersion(s.ver)
 	return nil
+}
+
+// --- Checkpoint ---------------------------------------------------------------
+
+// Checkpoint syncs the WAL segments and clones the store into dir via
+// the storage checkpoint path (hard-linked tables + copied WAL tail +
+// fresh manifest). Shared by all four variants.
+//
+// WAL appends are buffered, so around a memtable switch the sealed
+// segment's file can lag its logical contents while the successor
+// segment takes newer records — copying in that window would leave a
+// hole in the middle of history. Both segments are therefore synced
+// first, and the copy is validated by the memtable handle being the same
+// before and after: if a switch raced the copy, the attempt is discarded
+// and retried. (The storage layer independently retries on WAL turnover
+// from completed flushes via its log-number check.)
+func (b *base) Checkpoint(ctx context.Context, dir string) error {
+	if b.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := b.loadFlushErr(); err != nil {
+		return err
+	}
+	b.stats.checkpoints.Add(1)
+	const retries = 4
+	for attempt := 0; attempt < retries; attempt++ {
+		b.mu.Lock()
+		mem, imm := b.mem, b.imm
+		b.mu.Unlock()
+		// Sealed-segment sync first (flush order), then the active one. A
+		// handle flushed meanwhile closes its WAL; its contents are then
+		// in tables, which the log-number check accounts for.
+		for _, h := range []*memHandle{imm, mem} {
+			if h == nil || h.wal == nil {
+				continue
+			}
+			if err := h.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+				return err
+			}
+		}
+		if err := b.store.Checkpoint(dir); err != nil {
+			return err
+		}
+		b.mu.Lock()
+		stable := b.mem == mem
+		b.mu.Unlock()
+		if stable {
+			return nil
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("baseline: checkpoint %s: memtable turnover outpaced the copy %d times", dir, retries)
 }
 
 // closeCommon shuts down the flush loop and persists what remains.
@@ -605,13 +674,15 @@ func (b *base) WaitDiskQuiesce() {
 // Stats reports shared counters.
 func (b *base) Stats() kv.Stats {
 	s := kv.Stats{
-		Puts:      b.stats.puts.Load(),
-		Gets:      b.stats.gets.Load(),
-		Deletes:   b.stats.deletes.Load(),
-		Scans:     b.stats.scans.Load(),
-		Batches:   b.stats.batches.Load(),
-		BatchOps:  b.stats.batchOps.Load(),
-		Iterators: b.stats.iterators.Load(),
+		Puts:        b.stats.puts.Load(),
+		Gets:        b.stats.gets.Load(),
+		Deletes:     b.stats.deletes.Load(),
+		Scans:       b.stats.scans.Load(),
+		Batches:     b.stats.batches.Load(),
+		BatchOps:    b.stats.batchOps.Load(),
+		Iterators:   b.stats.iterators.Load(),
+		Snapshots:   b.stats.snapshots.Load(),
+		Checkpoints: b.stats.checkpoints.Load(),
 	}
 	m := b.store.Metrics()
 	s.Flushes = m.Flushes
@@ -620,4 +691,9 @@ func (b *base) Stats() kv.Stats {
 }
 
 // ErrClosedBaseline is returned by operations on a closed baseline store.
-var ErrClosedBaseline = fmt.Errorf("baseline: store closed")
+// It wraps kv.ErrClosed, so errors.Is(err, kv.ErrClosed) holds.
+var ErrClosedBaseline = fmt.Errorf("baseline: %w", kv.ErrClosed)
+
+// ErrSnapshotReleasedBaseline is returned by reads through a Closed
+// snapshot handle. It wraps kv.ErrSnapshotReleased.
+var ErrSnapshotReleasedBaseline = fmt.Errorf("baseline: %w", kv.ErrSnapshotReleased)

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"bytes"
+	"context"
 
 	"math/rand"
 	"sync"
@@ -10,6 +11,9 @@ import (
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
+
+// bg is the context threaded through every store call in these tests.
+var bg = context.Background()
 
 // openers enumerates every baseline variant so the whole battery runs
 // against each — the paper evaluates all of them under identical drivers.
@@ -44,24 +48,24 @@ func spread(i uint64) []byte { return keys.EncodeUint64(i * 0x9e3779b97f4a7c15) 
 
 func TestBasicOps(t *testing.T) {
 	forEachStore(t, 1<<20, func(t *testing.T, s kv.Store) {
-		if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		if err := s.Put(bg, []byte("k"), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
-		v, ok, err := s.Get([]byte("k"))
+		v, ok, err := s.Get(bg, []byte("k"))
 		if err != nil || !ok || string(v) != "v" {
 			t.Fatalf("Get = %q %v %v", v, ok, err)
 		}
-		if _, ok, _ := s.Get([]byte("nope")); ok {
+		if _, ok, _ := s.Get(bg, []byte("nope")); ok {
 			t.Fatal("phantom key")
 		}
-		if err := s.Delete([]byte("k")); err != nil {
+		if err := s.Delete(bg, []byte("k")); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok, _ := s.Get([]byte("k")); ok {
+		if _, ok, _ := s.Get(bg, []byte("k")); ok {
 			t.Fatal("deleted key visible")
 		}
-		s.Put([]byte("k"), []byte("v2"))
-		v, ok, _ = s.Get([]byte("k"))
+		s.Put(bg, []byte("k"), []byte("v2"))
+		v, ok, _ = s.Get(bg, []byte("k"))
 		if !ok || string(v) != "v2" {
 			t.Fatal("reinsert failed")
 		}
@@ -72,9 +76,9 @@ func TestOverwriteLatestWins(t *testing.T) {
 	forEachStore(t, 1<<20, func(t *testing.T, s kv.Store) {
 		k := []byte("key")
 		for i := 0; i < 50; i++ {
-			s.Put(k, keys.EncodeUint64(uint64(i)))
+			s.Put(bg, k, keys.EncodeUint64(uint64(i)))
 		}
-		v, ok, _ := s.Get(k)
+		v, ok, _ := s.Get(bg, k)
 		if !ok || keys.DecodeUint64(v) != 49 {
 			t.Fatalf("latest version lost: %x", v)
 		}
@@ -87,12 +91,12 @@ func TestFlushAndReadBack(t *testing.T) {
 	forEachStore(t, 32<<10, func(t *testing.T, s kv.Store) {
 		const n = 2000
 		for i := 0; i < n; i++ {
-			if err := s.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
+			if err := s.Put(bg, spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for i := 0; i < n; i += 7 {
-			v, ok, err := s.Get(spread(uint64(i)))
+			v, ok, err := s.Get(bg, spread(uint64(i)))
 			if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 				t.Fatalf("key %d: %v %v %v", i, v, ok, err)
 			}
@@ -109,10 +113,10 @@ func TestScanSortedAndComplete(t *testing.T) {
 		want := map[string]uint64{}
 		for i := 0; i < n; i++ {
 			k := spread(uint64(i))
-			s.Put(k, keys.EncodeUint64(uint64(i)))
+			s.Put(bg, k, keys.EncodeUint64(uint64(i)))
 			want[string(k)] = uint64(i)
 		}
-		pairs, err := s.Scan(nil, nil)
+		pairs, err := s.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,14 +155,14 @@ func TestMultiVersioningGrowsMemtable(t *testing.T) {
 	k := []byte("hot-key")
 	val := bytes.Repeat([]byte("v"), 100)
 	for i := 0; i < 2000; i++ {
-		if err := s.Put(k, val); err != nil {
+		if err := s.Put(bg, k, val); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if flushes := s.Stats().Flushes; flushes == 0 {
 		t.Fatal("single-key updates never filled the multi-versioned memtable")
 	}
-	v, ok, _ := s.Get(k)
+	v, ok, _ := s.Get(bg, k)
 	if !ok || !bytes.Equal(v, val) {
 		t.Fatal("hot key lost")
 	}
@@ -175,7 +179,7 @@ func TestConcurrentWriters(t *testing.T) {
 				defer wg.Done()
 				for i := 0; i < per; i++ {
 					k := spread(uint64(w*per + i))
-					if err := s.Put(k, keys.EncodeUint64(uint64(i))); err != nil {
+					if err := s.Put(bg, k, keys.EncodeUint64(uint64(i))); err != nil {
 						panic(err)
 					}
 				}
@@ -185,7 +189,7 @@ func TestConcurrentWriters(t *testing.T) {
 		for w := 0; w < workers; w++ {
 			for i := 0; i < per; i += 97 {
 				k := spread(uint64(w*per + i))
-				v, ok, err := s.Get(k)
+				v, ok, err := s.Get(bg, k)
 				if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 					t.Fatalf("w%d i%d: %v %v %v", w, i, v, ok, err)
 				}
@@ -211,18 +215,18 @@ func TestConcurrentMixed(t *testing.T) {
 					default:
 					}
 					i++
-					s.Put(spread(rng.Uint64()%2048), keys.EncodeUint64(uint64(i)))
+					s.Put(bg, spread(rng.Uint64()%2048), keys.EncodeUint64(uint64(i)))
 				}
 			}(w)
 		}
 		for r := 0; r < 2000; r++ {
-			if _, _, err := s.Get(spread(uint64(r % 2048))); err != nil {
+			if _, _, err := s.Get(bg, spread(uint64(r%2048))); err != nil {
 				t.Fatal(err)
 			}
 		}
 		if !testingIsHash(s) {
 			for r := 0; r < 5; r++ {
-				pairs, err := s.Scan(nil, nil)
+				pairs, err := s.Scan(bg, nil, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -248,7 +252,7 @@ func TestRecoveryBaselines(t *testing.T) {
 			}
 			const n = 1000
 			for i := 0; i < n; i++ {
-				if err := s.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
+				if err := s.Put(bg, spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -261,7 +265,7 @@ func TestRecoveryBaselines(t *testing.T) {
 			}
 			defer s2.Close()
 			for i := 0; i < n; i += 13 {
-				v, ok, err := s2.Get(spread(uint64(i)))
+				v, ok, err := s2.Get(bg, spread(uint64(i)))
 				if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 					t.Fatalf("key %d after restart: %v %v %v", i, v, ok, err)
 				}
@@ -279,15 +283,15 @@ func TestScanSnapshotIgnoresNewerVersions(t *testing.T) {
 	}
 	defer s.Close()
 	for i := 0; i < 100; i++ {
-		s.Put(spread(uint64(i)), keys.EncodeUint64(0))
+		s.Put(bg, spread(uint64(i)), keys.EncodeUint64(0))
 	}
 	// Capture view+snapshot manually, then write newer versions.
 	v := s.view.Load()
 	snap := s.seq.Load()
 	for i := 0; i < 100; i++ {
-		s.Put(spread(uint64(i)), keys.EncodeUint64(999))
+		s.Put(bg, spread(uint64(i)), keys.EncodeUint64(999))
 	}
-	pairs, err := s.scanFrom(v.mem, v.imm, snap, nil, nil)
+	pairs, err := s.scanFrom(bg, v.mem, v.imm, snap, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,10 +377,10 @@ func TestSkipMemVersions(t *testing.T) {
 func TestStatsProvider(t *testing.T) {
 	s, _ := NewLevelDB(Config{Dir: t.TempDir(), MemBytes: 1 << 20})
 	defer s.Close()
-	s.Put([]byte("a"), []byte("1"))
-	s.Get([]byte("a"))
-	s.Delete([]byte("a"))
-	s.Scan(nil, nil)
+	s.Put(bg, []byte("a"), []byte("1"))
+	s.Get(bg, []byte("a"))
+	s.Delete(bg, []byte("a"))
+	s.Scan(bg, nil, nil)
 	st := s.Stats()
 	if st.Puts != 1 || st.Gets != 1 || st.Deletes != 1 || st.Scans != 1 {
 		t.Fatalf("stats = %+v", st)
@@ -402,7 +406,7 @@ func BenchmarkPut(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(rand.Int63()))
 				for pb.Next() {
-					s.Put(spread(rng.Uint64()), val)
+					s.Put(bg, spread(rng.Uint64()), val)
 				}
 			})
 		})
@@ -416,18 +420,18 @@ func TestIteratorMatchesScanBaselines(t *testing.T) {
 		}
 		const n = 800
 		for i := 0; i < n; i++ {
-			if err := s.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
+			if err := s.Put(bg, spread(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
 				t.Fatal(err)
 			}
 		}
 		if i := n / 2; true {
-			s.Delete(spread(uint64(i))) // a tombstone in range
+			s.Delete(bg, spread(uint64(i))) // a tombstone in range
 		}
-		want, err := s.Scan(nil, nil)
+		want, err := s.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		it, err := s.NewIterator(nil, nil)
+		it, err := s.NewIterator(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -460,9 +464,9 @@ func TestIteratorPinsSnapshotBaselines(t *testing.T) {
 		}
 		const n = 200
 		for i := 0; i < n; i++ {
-			s.Put(spread(uint64(i)), keys.EncodeUint64(0))
+			s.Put(bg, spread(uint64(i)), keys.EncodeUint64(0))
 		}
-		it, err := s.NewIterator(nil, nil)
+		it, err := s.NewIterator(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -472,7 +476,7 @@ func TestIteratorPinsSnapshotBaselines(t *testing.T) {
 			// Overwrite ahead of the cursor mid-iteration.
 			if count == 10 {
 				for i := 0; i < n; i++ {
-					s.Put(spread(uint64(i)), keys.EncodeUint64(999))
+					s.Put(bg, spread(uint64(i)), keys.EncodeUint64(999))
 				}
 			}
 			if keys.DecodeUint64(it.Value()) != 0 {
@@ -491,26 +495,26 @@ func TestIteratorPinsSnapshotBaselines(t *testing.T) {
 
 func TestApplyBaselines(t *testing.T) {
 	forEachStore(t, 64<<10, func(t *testing.T, s kv.Store) {
-		if err := s.Apply(nil); err != nil {
+		if err := s.Apply(bg, nil); err != nil {
 			t.Fatal("nil batch:", err)
 		}
-		s.Put([]byte("pre"), []byte("old"))
+		s.Put(bg, []byte("pre"), []byte("old"))
 		b := kv.NewBatch()
 		const n = 300
 		for i := 0; i < n; i++ {
 			b.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i)))
 		}
 		b.Delete([]byte("pre"))
-		if err := s.Apply(b); err != nil {
+		if err := s.Apply(bg, b); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < n; i += 7 {
-			v, ok, err := s.Get(spread(uint64(i)))
+			v, ok, err := s.Get(bg, spread(uint64(i)))
 			if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 				t.Fatalf("batched key %d: %v %v %v", i, v, ok, err)
 			}
 		}
-		if _, ok, _ := s.Get([]byte("pre")); ok {
+		if _, ok, _ := s.Get(bg, []byte("pre")); ok {
 			t.Fatal("batched delete ineffective")
 		}
 		if sp, ok := s.(kv.StatsProvider); ok {
@@ -536,7 +540,7 @@ func TestApplyRecoversBaselines(t *testing.T) {
 			for i := 0; i < 100; i++ {
 				b.Put(spread(uint64(i)), keys.EncodeUint64(uint64(i)))
 			}
-			if err := s.Apply(b); err != nil {
+			if err := s.Apply(bg, b); err != nil {
 				t.Fatal(err)
 			}
 			if err := s.Close(); err != nil {
@@ -548,7 +552,7 @@ func TestApplyRecoversBaselines(t *testing.T) {
 			}
 			defer s2.Close()
 			for i := 0; i < 100; i++ {
-				v, ok, err := s2.Get(spread(uint64(i)))
+				v, ok, err := s2.Get(bg, spread(uint64(i)))
 				if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 					t.Fatalf("batched key %d after restart: %v %v %v", i, v, ok, err)
 				}

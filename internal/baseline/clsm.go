@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -52,7 +53,7 @@ func NewCLSM(cfg Config) (*CLSM, error) {
 	return db, nil
 }
 
-func (db *CLSM) write(kind keys.Kind, key, value []byte) error {
+func (db *CLSM) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -60,6 +61,11 @@ func (db *CLSM) write(kind keys.Kind, key, value []byte) error {
 		return err
 	}
 	for {
+		// The switchOrWait loop can block behind a slow flush; every lap
+		// is a cancellation point.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		db.rw.RLock()
 		v := db.view.Load()
 		if v.mem.mem.ApproxBytes() >= db.cfg.MemBytes {
@@ -109,26 +115,29 @@ func (db *CLSM) switchOrWait() error {
 }
 
 // Put proceeds under the read side of the global RW lock.
-func (db *CLSM) Put(key, value []byte) error {
+func (db *CLSM) Put(ctx context.Context, key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.write(keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value)
 }
 
 // Delete writes a tombstone version.
-func (db *CLSM) Delete(key []byte) error {
+func (db *CLSM) Delete(ctx context.Context, key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.write(keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil)
 }
 
 // Get is lock-free: atomic view capture, atomic snapshot sequence.
-func (db *CLSM) Get(key []byte) ([]byte, bool, error) {
+func (db *CLSM) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	db.stats.gets.Add(1)
 	v := db.view.Load()
 	snap := db.seq.Load()
-	val, ok, err := db.getFrom(v.mem, v.imm, snap, key)
+	val, ok, err := db.getFrom(v.mem, v.imm, nil, snap, key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -136,26 +145,53 @@ func (db *CLSM) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Scan is lock-free on the read path, snapshot-consistent via seq.
-func (db *CLSM) Scan(low, high []byte) ([]kv.Pair, error) {
+func (db *CLSM) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.scans.Add(1)
 	v := db.view.Load()
 	snap := db.seq.Load()
-	return db.scanFrom(v.mem, v.imm, snap, low, high)
+	return db.scanFrom(ctx, v.mem, v.imm, snap, low, high)
 }
 
 // NewIterator streams a pinned snapshot captured lock-free, like Get and
 // Scan — no global lock on cLSM's read-only path.
-func (db *CLSM) NewIterator(low, high []byte) (kv.Iterator, error) {
+func (db *CLSM) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.iterators.Add(1)
 	v := db.view.Load()
 	snap := db.seq.Load()
-	return db.newSnapshotIter(v.mem, v.imm, snap, low, high, nil)
+	return db.newSnapshotIter(ctx, v.mem, v.imm, nil, snap, low, high, nil)
+}
+
+// Snapshot pins a repeatable-read view. Unlike the lock-free point-read
+// path, the capture takes the write side of the global RW lock: writers
+// allocate AND insert under the read side, so with the write side held no
+// insert with seq <= the bound is still in flight — a lock-free capture
+// could pin a sequence whose key pops into existence later, breaking the
+// handle's repeatable-read contract. (This matches cLSM's design, which
+// reserves the exclusive side for coordination points.)
+func (db *CLSM) Snapshot(ctx context.Context) (kv.View, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.rw.Lock()
+	v := db.view.Load()
+	snap := db.seq.Load()
+	db.rw.Unlock()
+	return db.newSnapshot(v.mem, v.imm, snap), nil
 }
 
 // Apply commits the batch under the read side of the global RW lock: the
@@ -173,7 +209,7 @@ func (db *CLSM) NewIterator(low, high []byte) (kv.Iterator, error) {
 // pre-existing caveat that WAL append order and sequence order are not
 // atomic across concurrent writers, so recovery's replay order may
 // resolve a same-key race differently than pre-crash readers saw.
-func (db *CLSM) Apply(b *kv.Batch) error {
+func (db *CLSM) Apply(ctx context.Context, b *kv.Batch) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -186,6 +222,9 @@ func (db *CLSM) Apply(b *kv.Batch) error {
 	db.stats.batches.Add(1)
 	db.stats.batchOps.Add(uint64(b.Len()))
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		db.rw.RLock()
 		v := db.view.Load()
 		if v.mem.mem.ApproxBytes() >= db.cfg.MemBytes {

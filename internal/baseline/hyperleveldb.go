@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
@@ -27,22 +29,29 @@ func NewHyperLevelDB(cfg Config) (*HyperLevelDB, error) {
 	return db, nil
 }
 
-func (db *HyperLevelDB) write(kind keys.Kind, key, value []byte) error {
+func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := db.loadFlushErr(); err != nil {
 		return err
 	}
 	// Critical section #1: room check, version-number (seq) allocation,
-	// commit-log append.
+	// commit-log append. The snapshot barrier spans allocation through
+	// insert so a Snapshot never pins a sequence still in flight.
+	db.snapMu.RLock()
 	db.mu.Lock()
-	if err := db.waitRoomLocked(); err != nil {
+	if err := db.waitRoomCtxLocked(ctx); err != nil {
 		db.mu.Unlock()
+		db.snapMu.RUnlock()
 		return err
 	}
 	if err := db.logRecord(db.mem, kind, key, value); err != nil {
 		db.mu.Unlock()
+		db.snapMu.RUnlock()
 		return err
 	}
 	h, seq := db.beginConcurrentInsertLocked()
@@ -50,6 +59,7 @@ func (db *HyperLevelDB) write(kind keys.Kind, key, value []byte) error {
 
 	// The insert itself proceeds in parallel with other writers.
 	h.mem.Insert(key, seq, kind, value)
+	db.snapMu.RUnlock()
 
 	// Critical section #2: post-insert bookkeeping (size trigger).
 	db.mu.Lock()
@@ -59,27 +69,30 @@ func (db *HyperLevelDB) write(kind keys.Kind, key, value []byte) error {
 }
 
 // Put inserts concurrently between two global critical sections.
-func (db *HyperLevelDB) Put(key, value []byte) error {
+func (db *HyperLevelDB) Put(ctx context.Context, key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.write(keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value)
 }
 
 // Delete writes a tombstone version.
-func (db *HyperLevelDB) Delete(key []byte) error {
+func (db *HyperLevelDB) Delete(ctx context.Context, key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.write(keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil)
 }
 
 // Get retains LevelDB's read-side critical sections.
-func (db *HyperLevelDB) Get(key []byte) ([]byte, bool, error) {
+func (db *HyperLevelDB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	db.stats.gets.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	v, ok, err := db.getFrom(mem, imm, snap, key)
+	v, ok, err := db.getFrom(mem, imm, nil, snap, key)
 	db.mu.Lock()
 	db.mu.Unlock()
 	if err != nil || !ok {
@@ -91,15 +104,18 @@ func (db *HyperLevelDB) Get(key []byte) ([]byte, bool, error) {
 // Scan produces a snapshot scan ("HyperLevelDB's efficient compaction"
 // keeps its file count low, which is why it does well in Fig 13 — that
 // property comes from the shared disk component here).
-func (db *HyperLevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
+func (db *HyperLevelDB) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.scans.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	pairs, err := db.scanFrom(mem, imm, snap, low, high)
+	pairs, err := db.scanFrom(ctx, mem, imm, snap, low, high)
 	db.mu.Lock()
 	db.mu.Unlock()
 	return pairs, err
@@ -107,23 +123,44 @@ func (db *HyperLevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
 
 // NewIterator streams a pinned snapshot with LevelDB-style start and end
 // critical sections.
-func (db *HyperLevelDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+func (db *HyperLevelDB) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.iterators.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	return db.newSnapshotIter(mem, imm, snap, low, high, func() {
+	return db.newSnapshotIter(ctx, mem, imm, nil, snap, low, high, func() {
 		db.mu.Lock()
 		db.mu.Unlock()
 	})
 }
 
+// Snapshot pins a repeatable-read view captured under the global mutex,
+// behind the snapshot barrier (no insert with seq <= the bound is still
+// in flight).
+func (db *HyperLevelDB) Snapshot(ctx context.Context) (kv.View, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.snapMu.Lock()
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	db.snapMu.Unlock()
+	return db.newSnapshot(mem, imm, snap), nil
+}
+
 // Apply commits the batch atomically: version numbers for the whole batch
 // are allocated in one critical section.
-func (db *HyperLevelDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+func (db *HyperLevelDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
 
 // Close flushes and shuts down.
 func (db *HyperLevelDB) Close() error { return db.closeCommon() }

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
@@ -96,9 +98,12 @@ func (db *LevelDB) writeLeader() {
 	}
 }
 
-func (db *LevelDB) write(kind keys.Kind, key, value []byte) error {
+func (db *LevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := db.loadFlushErr(); err != nil {
 		return err
@@ -108,34 +113,47 @@ func (db *LevelDB) write(kind keys.Kind, key, value []byte) error {
 	case db.writeCh <- req:
 	case <-db.closing:
 		return ErrClosedBaseline
+	case <-ctx.Done():
+		return ctx.Err()
 	}
-	return <-req.done
+	// Cancellation here abandons the wait, not the write: the leader may
+	// still apply the queued update. Context errors mean "the caller
+	// stopped waiting", never "the operation did not happen".
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Put queues the update for the write leader.
-func (db *LevelDB) Put(key, value []byte) error {
+func (db *LevelDB) Put(ctx context.Context, key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.write(keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value)
 }
 
 // Delete queues a tombstone.
-func (db *LevelDB) Delete(key []byte) error {
+func (db *LevelDB) Delete(ctx context.Context, key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.write(keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil)
 }
 
 // Get takes the global mutex at the start (to capture the view) and again
 // at the end (LevelDB releases its memtable/version references under the
 // lock) — the read-side critical sections of §2.2.
-func (db *LevelDB) Get(key []byte) ([]byte, bool, error) {
+func (db *LevelDB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	db.stats.gets.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	v, ok, err := db.getFrom(mem, imm, snap, key)
+	v, ok, err := db.getFrom(mem, imm, nil, snap, key)
 	db.mu.Lock() // the "end" critical section: unref metadata
 	db.mu.Unlock()
 	if err != nil || !ok {
@@ -145,15 +163,18 @@ func (db *LevelDB) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Scan produces a snapshot scan with the same two critical sections.
-func (db *LevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
+func (db *LevelDB) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.scans.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	pairs, err := db.scanFrom(mem, imm, snap, low, high)
+	pairs, err := db.scanFrom(ctx, mem, imm, snap, low, high)
 	db.mu.Lock()
 	db.mu.Unlock()
 	return pairs, err
@@ -161,23 +182,41 @@ func (db *LevelDB) Scan(low, high []byte) ([]kv.Pair, error) {
 
 // NewIterator streams a pinned snapshot; the closing critical section
 // (releasing metadata under the global lock) runs at Close.
-func (db *LevelDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+func (db *LevelDB) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.iterators.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	return db.newSnapshotIter(mem, imm, snap, low, high, func() {
+	return db.newSnapshotIter(ctx, mem, imm, nil, snap, low, high, func() {
 		db.mu.Lock()
 		db.mu.Unlock()
 	})
 }
 
+// Snapshot pins a repeatable-read view, captured under the global mutex
+// like every LevelDB read.
+func (db *LevelDB) Snapshot(ctx context.Context) (kv.View, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	return db.newSnapshot(mem, imm, snap), nil
+}
+
 // Apply commits the batch atomically under the global mutex — the same
 // single-writer application the leader performs for combined queues.
-func (db *LevelDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+func (db *LevelDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
 
 // Close shuts down the leader and flushes.
 func (db *LevelDB) Close() error {

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
@@ -31,21 +33,29 @@ func NewRocksDB(cfg Config) (*RocksDB, error) {
 	return db, nil
 }
 
-func (db *RocksDB) write(kind keys.Kind, key, value []byte) error {
+func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := db.loadFlushErr(); err != nil {
 		return err
 	}
 	// Single short critical section: room check, seq, log, size trigger.
+	// The snapshot barrier spans allocation through insert so a Snapshot
+	// never pins a sequence still in flight.
+	db.snapMu.RLock()
 	db.mu.Lock()
-	if err := db.waitRoomLocked(); err != nil {
+	if err := db.waitRoomCtxLocked(ctx); err != nil {
 		db.mu.Unlock()
+		db.snapMu.RUnlock()
 		return err
 	}
 	if err := db.logRecord(db.mem, kind, key, value); err != nil {
 		db.mu.Unlock()
+		db.snapMu.RUnlock()
 		return err
 	}
 	h, seq := db.beginConcurrentInsertLocked()
@@ -53,33 +63,37 @@ func (db *RocksDB) write(kind keys.Kind, key, value []byte) error {
 	db.mu.Unlock()
 
 	h.mem.Insert(key, seq, kind, value)
+	db.snapMu.RUnlock()
 	return nil
 }
 
 // Put inserts with one short global critical section.
-func (db *RocksDB) Put(key, value []byte) error {
+func (db *RocksDB) Put(ctx context.Context, key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.write(keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value)
 }
 
 // Delete writes a tombstone version.
-func (db *RocksDB) Delete(key []byte) error {
+func (db *RocksDB) Delete(ctx context.Context, key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.write(keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil)
 }
 
 // Get takes one short critical section to capture the view ("caching
 // metadata locally reduces synchronized accesses", §6), then reads without
 // the lock — the concurrency that lets RocksDB scale reads in Fig 10.
-func (db *RocksDB) Get(key []byte) ([]byte, bool, error) {
+func (db *RocksDB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	db.stats.gets.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	v, ok, err := db.getFrom(mem, imm, snap, key)
+	v, ok, err := db.getFrom(mem, imm, nil, snap, key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -87,32 +101,56 @@ func (db *RocksDB) Get(key []byte) ([]byte, bool, error) {
 }
 
 // Scan produces a snapshot scan with one critical section.
-func (db *RocksDB) Scan(low, high []byte) ([]kv.Pair, error) {
+func (db *RocksDB) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.scans.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	return db.scanFrom(mem, imm, snap, low, high)
+	return db.scanFrom(ctx, mem, imm, snap, low, high)
 }
 
 // NewIterator streams a pinned snapshot after one short critical section.
-func (db *RocksDB) NewIterator(low, high []byte) (kv.Iterator, error) {
+func (db *RocksDB) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	db.stats.iterators.Add(1)
 	db.mu.Lock()
 	mem, imm, snap := db.snapshotLocked()
 	db.mu.Unlock()
-	return db.newSnapshotIter(mem, imm, snap, low, high, nil)
+	return db.newSnapshotIter(ctx, mem, imm, nil, snap, low, high, nil)
+}
+
+// Snapshot pins a repeatable-read view after one short critical section —
+// the shape of RocksDB's GetSnapshot — behind the snapshot barrier (no
+// insert with seq <= the bound is still in flight).
+func (db *RocksDB) Snapshot(ctx context.Context) (kv.View, error) {
+	if db.closed.Load() {
+		return nil, ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.snapMu.Lock()
+	db.mu.Lock()
+	mem, imm, snap := db.snapshotLocked()
+	db.mu.Unlock()
+	db.snapMu.Unlock()
+	return db.newSnapshot(mem, imm, snap), nil
 }
 
 // Apply commits the batch atomically with one critical section — the shape
 // of RocksDB's WriteBatch, whose group commit this models.
-func (db *RocksDB) Apply(b *kv.Batch) error { return db.applyBatch(b) }
+func (db *RocksDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
 
 // Close flushes and shuts down.
 func (db *RocksDB) Close() error { return db.closeCommon() }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 	"flodb/internal/skiplist"
@@ -31,9 +33,12 @@ import (
 // and sees every entry. Point Gets racing with Apply may observe a prefix
 // of the batch — the atomicity contract is about durability and scans, not
 // read isolation.
-func (db *DB) Apply(b *kv.Batch) error {
+func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := db.loadPersistErr(); err != nil {
 		return err
@@ -46,7 +51,11 @@ func (db *DB) Apply(b *kv.Batch) error {
 
 	// Backpressure outside the lock, mirroring update's slow path: wait
 	// out a full Memtable with a pending persist, and an overloaded L0.
+	// Each lap is a cancellation point — this wait is unbounded.
 	for spins := 0; ; spins++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		g := db.gen.Load()
 		if over := g.mtb.approxBytes(); over > db.cfg.memtableTargetBytes() {
 			db.signalPersist()

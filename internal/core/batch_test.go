@@ -13,14 +13,14 @@ import (
 func TestApplyBasic(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 
-	if err := db.Apply(nil); err != nil {
+	if err := db.Apply(bg, nil); err != nil {
 		t.Fatal("nil batch:", err)
 	}
-	if err := db.Apply(kv.NewBatch()); err != nil {
+	if err := db.Apply(bg, kv.NewBatch()); err != nil {
 		t.Fatal("empty batch:", err)
 	}
 
-	if err := db.Put([]byte("pre"), []byte("old")); err != nil {
+	if err := db.Put(bg, []byte("pre"), []byte("old")); err != nil {
 		t.Fatal(err)
 	}
 	b := kv.NewBatch()
@@ -31,7 +31,7 @@ func TestApplyBasic(t *testing.T) {
 	b.Put([]byte("dup"), []byte("second")) // later op wins
 	b.Put([]byte("gone"), []byte("x"))
 	b.Delete([]byte("gone")) // delete after put wins
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
 
@@ -47,7 +47,7 @@ func TestApplyBasic(t *testing.T) {
 		{"gone", "", false},
 	}
 	for _, c := range checks {
-		v, ok, err := db.Get([]byte(c.key))
+		v, ok, err := db.Get(bg, []byte(c.key))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,13 +75,13 @@ func TestApplySurvivesDrainAndPersist(t *testing.T) {
 			b.Put(k, []byte(v))
 			want[string(k)] = v
 		}
-		if err := db.Apply(b); err != nil {
+		if err := db.Apply(bg, b); err != nil {
 			t.Fatal(err)
 		}
 	}
 	db.WaitDiskQuiesce()
 	for k, v := range want {
-		got, ok, err := db.Get([]byte(k))
+		got, ok, err := db.Get(bg, []byte(k))
 		if err != nil || !ok || string(got) != v {
 			t.Fatalf("key %x = %q/%v/%v, want %q", k, got, ok, err, v)
 		}
@@ -98,15 +98,15 @@ func TestApplyReusedBatchAfterReset(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	b := kv.NewBatch()
 	b.Put([]byte("k1"), []byte("v1"))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
 	b.Reset()
 	b.Put([]byte("k2"), bytes.Repeat([]byte("Z"), 2)) // would overwrite a reused arena
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := db.Get([]byte("k1"))
+	v, ok, _ := db.Get(bg, []byte("k1"))
 	if !ok || string(v) != "v1" {
 		t.Fatalf("k1 corrupted by batch reuse: %q %v", v, ok)
 	}
@@ -120,10 +120,10 @@ func TestApplyCallerMayReuseInputs(t *testing.T) {
 	b := kv.NewBatch()
 	b.Put(key, val)
 	key[0], val[0] = 'X', 'X'
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, _ := db.Get([]byte("mutable"))
+	v, ok, _ := db.Get(bg, []byte("mutable"))
 	if !ok || string(v) != "value-0" {
 		t.Fatalf("input aliasing leaked into the batch: %q %v", v, ok)
 	}
@@ -147,7 +147,7 @@ func TestApplyVisibleToScansAtomically(t *testing.T) {
 		for _, k := range keysList {
 			b.Put(k, []byte(fmt.Sprintf("gen%06d", gen)))
 		}
-		if err := db.Apply(b); err != nil {
+		if err := db.Apply(bg, b); err != nil {
 			t.Error(err)
 		}
 	}
@@ -170,7 +170,7 @@ func TestApplyVisibleToScansAtomically(t *testing.T) {
 			return
 		default:
 		}
-		pairs, err := db.Scan(nil, nil)
+		pairs, err := db.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

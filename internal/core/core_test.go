@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -10,6 +11,9 @@ import (
 
 	"flodb/internal/keys"
 )
+
+// bg is the context threaded through every store call in these tests.
+var bg = context.Background()
 
 func testConfig(t *testing.T) Config {
 	t.Helper()
@@ -52,14 +56,14 @@ func waitPersists(t *testing.T, db *DB, n uint64) {
 
 func TestPutGetBasic(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
-	if err := db.Put([]byte("hello"), []byte("world")); err != nil {
+	if err := db.Put(bg, []byte("hello"), []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := db.Get([]byte("hello"))
+	v, ok, err := db.Get(bg, []byte("hello"))
 	if err != nil || !ok || string(v) != "world" {
 		t.Fatalf("Get = %q, %v, %v", v, ok, err)
 	}
-	if _, ok, _ := db.Get([]byte("missing")); ok {
+	if _, ok, _ := db.Get(bg, []byte("missing")); ok {
 		t.Fatal("missing key found")
 	}
 }
@@ -68,11 +72,11 @@ func TestOverwrite(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	k := []byte("key")
 	for i := 0; i < 10; i++ {
-		if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := db.Put(bg, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	v, ok, _ := db.Get(k)
+	v, ok, _ := db.Get(bg, k)
 	if !ok || string(v) != "v9" {
 		t.Fatalf("Get after overwrites = %q, %v", v, ok)
 	}
@@ -87,20 +91,20 @@ func TestOverwrite(t *testing.T) {
 func TestDelete(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	k := []byte("key")
-	db.Put(k, []byte("v"))
-	if err := db.Delete(k); err != nil {
+	db.Put(bg, k, []byte("v"))
+	if err := db.Delete(bg, k); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := db.Get(k); ok {
+	if _, ok, _ := db.Get(bg, k); ok {
 		t.Fatal("deleted key still visible")
 	}
 	// Delete of a missing key is fine.
-	if err := db.Delete([]byte("never-existed")); err != nil {
+	if err := db.Delete(bg, []byte("never-existed")); err != nil {
 		t.Fatal(err)
 	}
 	// Re-insert after delete.
-	db.Put(k, []byte("v2"))
-	v, ok, _ := db.Get(k)
+	db.Put(bg, k, []byte("v2"))
+	v, ok, _ := db.Get(bg, k)
 	if !ok || string(v) != "v2" {
 		t.Fatalf("re-insert after delete = %q, %v", v, ok)
 	}
@@ -120,7 +124,7 @@ func TestGetAcrossLevels(t *testing.T) {
 		for i := 0; i < n; i++ {
 			// Distinct keys per generation so the memtable keeps growing
 			// (in-place updates would keep it flat).
-			if err := db.Put(spreadKey(uint64(gen*n+i)), val(i, gen)); err != nil {
+			if err := db.Put(bg, spreadKey(uint64(gen*n+i)), val(i, gen)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -128,7 +132,7 @@ func TestGetAcrossLevels(t *testing.T) {
 	waitPersists(t, db, 1)
 	for gen := 0; gen < 3; gen++ {
 		for i := 0; i < n; i++ {
-			v, ok, err := db.Get(spreadKey(uint64(gen*n + i)))
+			v, ok, err := db.Get(bg, spreadKey(uint64(gen*n+i)))
 			if err != nil || !ok {
 				t.Fatalf("Get(%d,%d): ok=%v err=%v", gen, i, ok, err)
 			}
@@ -142,9 +146,9 @@ func TestGetAcrossLevels(t *testing.T) {
 func TestScanBasic(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	for i := 0; i < 100; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("v%d", i)))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("v%d", i)))
 	}
-	pairs, err := db.Scan(keys.EncodeUint64(10), keys.EncodeUint64(20))
+	pairs, err := db.Scan(bg, keys.EncodeUint64(10), keys.EncodeUint64(20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,20 +166,20 @@ func TestScanBasic(t *testing.T) {
 func TestScanOpenBounds(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	for i := 0; i < 50; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte("v"))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
 	}
-	all, err := db.Scan(nil, nil)
+	all, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(all) != 50 {
 		t.Fatalf("full scan returned %d", len(all))
 	}
-	tail, _ := db.Scan(keys.EncodeUint64(40), nil)
+	tail, _ := db.Scan(bg, keys.EncodeUint64(40), nil)
 	if len(tail) != 10 {
 		t.Fatalf("tail scan returned %d", len(tail))
 	}
-	head, _ := db.Scan(nil, keys.EncodeUint64(10))
+	head, _ := db.Scan(bg, nil, keys.EncodeUint64(10))
 	if len(head) != 10 {
 		t.Fatalf("head scan returned %d", len(head))
 	}
@@ -184,12 +188,12 @@ func TestScanOpenBounds(t *testing.T) {
 func TestScanSkipsTombstones(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	for i := 0; i < 20; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte("v"))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
 	}
 	for i := 0; i < 20; i += 2 {
-		db.Delete(keys.EncodeUint64(uint64(i)))
+		db.Delete(bg, keys.EncodeUint64(uint64(i)))
 	}
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,9 +211,9 @@ func TestScanSeesMembufferContents(t *testing.T) {
 	// The pre-scan drain must make membuffer-resident updates visible
 	// (§3.2: "drain the MemBuffer in the Memtable before a scan").
 	db := openTestDB(t, testConfig(t))
-	db.Put(keys.EncodeUint64(5), []byte("fresh"))
+	db.Put(bg, keys.EncodeUint64(5), []byte("fresh"))
 	// Immediately scan; the put is almost certainly still in the membuffer.
-	pairs, err := db.Scan(keys.EncodeUint64(0), keys.EncodeUint64(10))
+	pairs, err := db.Scan(bg, keys.EncodeUint64(0), keys.EncodeUint64(10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,9 +228,9 @@ func TestScanAcrossAllLevels(t *testing.T) {
 	db := openTestDB(t, cfg)
 	const n = 3000
 	for i := 0; i < n; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i)))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i)))
 	}
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +246,7 @@ func TestScanAcrossAllLevels(t *testing.T) {
 
 func TestEmptyScan(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,13 +261,13 @@ func TestClosedOperations(t *testing.T) {
 		t.Fatal(err)
 	}
 	db.Close()
-	if err := db.Put([]byte("k"), []byte("v")); err != ErrClosed {
+	if err := db.Put(bg, []byte("k"), []byte("v")); err != ErrClosed {
 		t.Fatalf("Put after close: %v", err)
 	}
-	if _, _, err := db.Get([]byte("k")); err != ErrClosed {
+	if _, _, err := db.Get(bg, []byte("k")); err != ErrClosed {
 		t.Fatalf("Get after close: %v", err)
 	}
-	if _, err := db.Scan(nil, nil); err != ErrClosed {
+	if _, err := db.Scan(bg, nil, nil); err != ErrClosed {
 		t.Fatalf("Scan after close: %v", err)
 	}
 	if err := db.Close(); err != nil {
@@ -274,11 +278,11 @@ func TestClosedOperations(t *testing.T) {
 func TestStatsCounting(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	for i := 0; i < 10; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte("v"))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
 	}
-	db.Delete(keys.EncodeUint64(0))
-	db.Get(keys.EncodeUint64(1))
-	db.Scan(nil, nil)
+	db.Delete(bg, keys.EncodeUint64(0))
+	db.Get(bg, keys.EncodeUint64(1))
+	db.Scan(bg, nil, nil)
 	s := db.Stats()
 	if s.Puts != 10 || s.Deletes != 1 || s.Gets != 1 || s.Scans != 1 {
 		t.Fatalf("stats = %+v", s)
@@ -294,16 +298,16 @@ func TestDisableMembufferMode(t *testing.T) {
 	cfg.DisableMembuffer = true
 	db := openTestDB(t, cfg)
 	for i := 0; i < 100; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte("v"))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
 	}
 	if s := db.Stats(); s.MembufferHits != 0 || s.MemtableWrites != 100 {
 		t.Fatalf("No-HT mode stats = %+v", s)
 	}
-	v, ok, _ := db.Get(keys.EncodeUint64(50))
+	v, ok, _ := db.Get(bg, keys.EncodeUint64(50))
 	if !ok || string(v) != "v" {
 		t.Fatal("Get in No-HT mode failed")
 	}
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil || len(pairs) != 100 {
 		t.Fatalf("scan in No-HT mode: %d pairs, %v", len(pairs), err)
 	}
@@ -318,7 +322,7 @@ func TestDropPersistMode(t *testing.T) {
 	}
 	defer db.Close()
 	for i := 0; i < 5000; i++ {
-		if err := db.Put(spreadKey(uint64(i)), bytes.Repeat([]byte("x"), 64)); err != nil {
+		if err := db.Put(bg, spreadKey(uint64(i)), bytes.Repeat([]byte("x"), 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -339,11 +343,11 @@ func TestSimpleInsertDrainMode(t *testing.T) {
 	cfg.SimpleInsertDrain = true
 	db := openTestDB(t, cfg)
 	for i := 0; i < 1000; i++ {
-		db.Put(keys.EncodeUint64(uint64(i)), []byte("v"))
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
 	}
 	// All data readable regardless of drain style.
 	for i := 0; i < 1000; i++ {
-		if _, ok, _ := db.Get(keys.EncodeUint64(uint64(i))); !ok {
+		if _, ok, _ := db.Get(bg, keys.EncodeUint64(uint64(i))); !ok {
 			t.Fatalf("key %d lost with simple-insert drain", i)
 		}
 	}
@@ -363,7 +367,7 @@ func TestConcurrentPutsAndGets(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
 				k := keys.EncodeUint64(uint64(w*perWriter + i))
-				if err := db.Put(k, keys.EncodeUint64(uint64(i))); err != nil {
+				if err := db.Put(bg, k, keys.EncodeUint64(uint64(i))); err != nil {
 					panic(err)
 				}
 			}
@@ -380,7 +384,7 @@ func TestConcurrentPutsAndGets(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					db.Get(keys.EncodeUint64(rng.Uint64() % (writers * perWriter)))
+					db.Get(bg, keys.EncodeUint64(rng.Uint64()%(writers*perWriter)))
 				}
 			}
 		}(r)
@@ -396,7 +400,7 @@ func TestConcurrentPutsAndGets(t *testing.T) {
 			}
 			k := keys.EncodeUint64(uint64(i))
 			for {
-				if _, ok, err := db.Get(k); ok || err != nil {
+				if _, ok, err := db.Get(bg, k); ok || err != nil {
 					break
 				}
 			}
@@ -411,7 +415,7 @@ func TestConcurrentPutsAndGets(t *testing.T) {
 	for w := 0; w < writers; w++ {
 		for i := perWriter - 1; i >= 0; i -= 503 {
 			k := keys.EncodeUint64(uint64(w*perWriter + i))
-			v, ok, err := db.Get(k)
+			v, ok, err := db.Get(bg, k)
 			if err != nil || !ok || keys.DecodeUint64(v) != uint64(i) {
 				t.Fatalf("key %d/%d: %v %v %v", w, i, v, ok, err)
 			}

@@ -88,6 +88,11 @@ type DB struct {
 	// drainMu serializes the switch+drain critical flows (persist seals
 	// and master scans).
 	drainMu sync.Mutex
+	// persistMu serializes whole persist cycles (the persisting thread's
+	// and Snapshot's forced ones) and covers Snapshot's flush→pin window,
+	// so a snapshot never pins a version into which a newer flush has
+	// already landed.
+	persistMu sync.Mutex
 	// fullDrain publishes an in-progress full drain so writers and
 	// drainers can help (Put's helpDrain, Algorithm 2 line 14).
 	fullDrain atomic.Pointer[drainTask]
@@ -113,6 +118,7 @@ type DB struct {
 type statCounters struct {
 	puts, gets, deletes, scans    atomic.Uint64
 	batches, batchOps, iterators  atomic.Uint64
+	snapshots, checkpoints        atomic.Uint64
 	scanRestarts, fallbackScans   atomic.Uint64
 	membufferHits, memtableWrites atomic.Uint64
 	drainedEntries, drainBatches  atomic.Uint64
@@ -311,6 +317,8 @@ func (db *DB) Stats() kv.Stats {
 		Batches:        db.stats.batches.Load(),
 		BatchOps:       db.stats.batchOps.Load(),
 		Iterators:      db.stats.iterators.Load(),
+		Snapshots:      db.stats.snapshots.Load(),
+		Checkpoints:    db.stats.checkpoints.Load(),
 		ScanRestarts:   db.stats.scanRestarts.Load(),
 		FallbackScans:  db.stats.fallbackScans.Load(),
 		MembufferHits:  db.stats.membufferHits.Load(),
@@ -375,3 +383,8 @@ func (db *DB) WaitDiskQuiesce() {
 
 // Seq returns the current global sequence number (diagnostics).
 func (db *DB) Seq() uint64 { return db.seq.Load() }
+
+var (
+	_ kv.Store         = (*DB)(nil)
+	_ kv.StatsProvider = (*DB)(nil)
+)

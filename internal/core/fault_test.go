@@ -28,7 +28,7 @@ func TestFlushFaultSurfacesOnWrites(t *testing.T) {
 	deadline := time.Now().Add(10 * time.Second)
 	var lastErr error
 	for i := 0; ; i++ {
-		lastErr = db.Put(spreadKey(uint64(i)), make([]byte, 128))
+		lastErr = db.Put(bg, spreadKey(uint64(i)), make([]byte, 128))
 		if lastErr != nil {
 			break
 		}
@@ -43,7 +43,7 @@ func TestFlushFaultSurfacesOnWrites(t *testing.T) {
 		t.Fatalf("fault fired %d times", fault.Fired())
 	}
 	// Reads still work on the data that is in memory/disk.
-	if _, _, err := db.Get(spreadKey(0)); err != nil {
+	if _, _, err := db.Get(bg, spreadKey(0)); err != nil {
 		t.Fatalf("reads should survive a persist failure: %v", err)
 	}
 	if err := db.Close(); !errors.Is(err, boom) {
@@ -68,7 +68,7 @@ func TestPersistLimiterBoundsThroughput(t *testing.T) {
 	// Write ~256 KiB of distinct keys: at 64 KiB/s persist and ~48 KiB
 	// memtable target, backpressure must make this take >= ~2s.
 	for i := 0; time.Since(start) < 5*time.Second; i++ {
-		if err := db.Put(spreadKey(uint64(i)), make([]byte, 256)); err != nil {
+		if err := db.Put(bg, spreadKey(uint64(i)), make([]byte, 256)); err != nil {
 			t.Fatal(err)
 		}
 		written += 264

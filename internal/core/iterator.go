@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
@@ -25,18 +27,24 @@ const defaultIteratorChunk = 256
 // previous one's — so the stream as a whole is a serializable sequence of
 // consistent range fragments. A Scan (one unbounded chunk) remains a
 // single point-in-time snapshot.
-func (db *DB) NewIterator(low, high []byte) (kv.Iterator, error) {
+// The context is captured by the iterator: every refill checks it, so a
+// canceled or expired context stops iteration promptly with the context
+// error in Err.
+func (db *DB) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	db.stats.iterators.Add(1)
-	return db.newIter(keys.Clone(low), keys.Clone(high), defaultIteratorChunk), nil
+	return db.newIter(ctx, keys.Clone(low), keys.Clone(high), defaultIteratorChunk), nil
 }
 
 // newIter builds the concrete iterator; chunk <= 0 means unbounded (the
 // whole range in one snapshot, used by Scan).
-func (db *DB) newIter(low, high []byte, chunk int) *iterState {
-	return &iterState{db: db, low: low, high: high, chunk: chunk}
+func (db *DB) newIter(ctx context.Context, low, high []byte, chunk int) *iterState {
+	return &iterState{db: db, ctx: ctx, low: low, high: high, chunk: chunk}
 }
 
 // iterState is the streaming cursor over a FloDB range. It refills buf one
@@ -46,6 +54,7 @@ func (db *DB) newIter(low, high []byte, chunk int) *iterState {
 // iterator never delays WAL truncation or table deletion.
 type iterState struct {
 	db        *DB
+	ctx       context.Context
 	low, high []byte
 	chunk     int // max pairs per refill; <= 0 means unbounded
 
@@ -118,10 +127,18 @@ func (it *iterState) fill(from []byte, fromExcl bool) bool {
 		it.err = ErrClosed
 		return false
 	}
+	if err := it.ctx.Err(); err != nil {
+		it.err = err
+		return false
+	}
 	restarts := 0
 	for {
-		st := db.joinOrLeadScan()
-		pairs, more, conflict, err := db.scanChunk(from, fromExcl, it.high, st.seq, it.chunk)
+		st, err := db.joinOrLeadScan(it.ctx)
+		if err != nil {
+			it.err = err
+			return false
+		}
+		pairs, more, conflict, err := db.scanChunk(it.ctx, from, fromExcl, it.high, st.seq, it.chunk)
 		db.releaseScanState(st)
 		if err != nil {
 			it.err = err
@@ -133,8 +150,14 @@ func (it *iterState) fill(from []byte, fromExcl bool) bool {
 		}
 		restarts++
 		db.stats.scanRestarts.Add(1)
+		// A canceled context must not burn the restart budget into the
+		// writer-blocking fallback.
+		if err := it.ctx.Err(); err != nil {
+			it.err = err
+			return false
+		}
 		if restarts >= db.cfg.RestartThreshold {
-			pairs, more, err := db.fallbackChunk(from, fromExcl, it.high, it.chunk)
+			pairs, more, err := db.fallbackChunk(it.ctx, from, fromExcl, it.high, it.chunk)
 			if err != nil {
 				it.err = err
 				return false

@@ -23,10 +23,10 @@ func TestIteratorMatchesScan(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		k := spreadKey(uint64(rng.Intn(900)))
 		if rng.Intn(6) == 0 {
-			if err := db.Delete(k); err != nil {
+			if err := db.Delete(bg, k); err != nil {
 				t.Fatal(err)
 			}
-		} else if err := db.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		} else if err := db.Put(bg, k, []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -38,11 +38,11 @@ func TestIteratorMatchesScan(t *testing.T) {
 	}
 	for _, bd := range bounds {
 		low, high := bd[0], bd[1]
-		want, err := db.Scan(low, high)
+		want, err := db.Scan(bg, low, high)
 		if err != nil {
 			t.Fatal(err)
 		}
-		it, err := db.NewIterator(low, high)
+		it, err := db.NewIterator(bg, low, high)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,13 +78,13 @@ func TestIteratorStreamsWithoutMaterializing(t *testing.T) {
 	const n = 20000
 	val := bytes.Repeat([]byte("x"), 64) // ~1.4 MiB total: >> memory component
 	for i := 0; i < n; i++ {
-		if err := db.Put(spreadKey(uint64(i)), val); err != nil {
+		if err := db.Put(bg, spreadKey(uint64(i)), val); err != nil {
 			t.Fatal(err)
 		}
 	}
 	db.WaitDiskQuiesce()
 
-	iter, err := db.NewIterator(nil, nil)
+	iter, err := db.NewIterator(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,12 +117,12 @@ func TestIteratorStreamsWithoutMaterializing(t *testing.T) {
 func TestIteratorSeekAndContract(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	for i := 0; i < 100; i++ {
-		if err := db.Put(keys.EncodeUint64(uint64(i*2)), keys.EncodeUint64(uint64(i))); err != nil {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i*2)), keys.EncodeUint64(uint64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	it, err := db.NewIterator(keys.EncodeUint64(10), keys.EncodeUint64(50))
+	it, err := db.NewIterator(bg, keys.EncodeUint64(10), keys.EncodeUint64(50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,17 +178,17 @@ func TestScanChunkDetectsInPlaceOverwriteConflict(t *testing.T) {
 	db := openTestDB(t, cfg)
 
 	for i := 0; i < 10; i++ {
-		if err := db.Put(keys.EncodeUint64(uint64(i)), []byte("old")); err != nil {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("old")); err != nil {
 			t.Fatal(err)
 		}
 	}
 	snap := db.seq.Load()
 
 	// A brand-new key after the snapshot: skipped, no conflict.
-	if err := db.Put(keys.EncodeUint64(100), []byte("new-key")); err != nil {
+	if err := db.Put(bg, keys.EncodeUint64(100), []byte("new-key")); err != nil {
 		t.Fatal(err)
 	}
-	pairs, _, conflict, err := db.scanChunk(nil, false, nil, snap, 0)
+	pairs, _, conflict, err := db.scanChunk(bg, nil, false, nil, snap, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,10 +201,10 @@ func TestScanChunkDetectsInPlaceOverwriteConflict(t *testing.T) {
 
 	// An in-place overwrite of a pre-snapshot key: the old value is gone,
 	// the snapshot is unrecoverable — conflict.
-	if err := db.Put(keys.EncodeUint64(5), []byte("overwritten")); err != nil {
+	if err := db.Put(bg, keys.EncodeUint64(5), []byte("overwritten")); err != nil {
 		t.Fatal(err)
 	}
-	_, _, conflict, err = db.scanChunk(nil, false, nil, snap, 0)
+	_, _, conflict, err = db.scanChunk(bg, nil, false, nil, snap, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func TestScanChunkDetectsInPlaceOverwriteConflict(t *testing.T) {
 
 	// The public paths self-heal: a fresh iterator takes a fresh snapshot
 	// and must see the overwrite.
-	it, err := db.NewIterator(nil, nil)
+	it, err := db.NewIterator(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestIteratorUnderConcurrentWriters(t *testing.T) {
 	want := map[string]string{}
 	for i := 0; i < stable; i++ {
 		k, v := spreadKey(uint64(i)), fmt.Sprintf("stable%d", i)
-		if err := db.Put(k, []byte(v)); err != nil {
+		if err := db.Put(bg, k, []byte(v)); err != nil {
 			t.Fatal(err)
 		}
 		want[string(k)] = v
@@ -255,7 +255,7 @@ func TestIteratorUnderConcurrentWriters(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; !stop.Load(); i++ {
 				k := spreadKey(uint64(stable + rng.Intn(4000)))
-				if err := db.Put(k, []byte(fmt.Sprintf("churn%d", i))); err != nil {
+				if err := db.Put(bg, k, []byte(fmt.Sprintf("churn%d", i))); err != nil {
 					t.Error(err)
 					return
 				}
@@ -268,7 +268,7 @@ func TestIteratorUnderConcurrentWriters(t *testing.T) {
 	// refill races with in-place updates nearby.
 	for round := 0; round < 20; round++ {
 		got := map[string]string{}
-		it, err := db.NewIterator(nil, nil)
+		it, err := db.NewIterator(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +294,7 @@ func TestIteratorUnderConcurrentWriters(t *testing.T) {
 		defer wg.Done()
 		for i := 0; !stop.Load(); i++ {
 			k := spreadKey(uint64(i % stable))
-			if err := db.Put(k, []byte(fmt.Sprintf("rewrite%d", i))); err != nil {
+			if err := db.Put(bg, k, []byte(fmt.Sprintf("rewrite%d", i))); err != nil {
 				t.Error(err)
 				return
 			}
@@ -302,7 +302,7 @@ func TestIteratorUnderConcurrentWriters(t *testing.T) {
 	}()
 	for round := 0; round < 10; round++ {
 		seen := 0
-		it, err := db.NewIterator(nil, nil)
+		it, err := db.NewIterator(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

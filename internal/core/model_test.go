@@ -42,25 +42,25 @@ func TestModelCheckSequential(t *testing.T) {
 					oracle[string(k)] = v
 				}
 			}
-			if err := db.Apply(b); err != nil {
+			if err := db.Apply(bg, b); err != nil {
 				t.Fatal(err)
 			}
 		case 0, 1, 2, 3: // put
 			k := randKey()
 			v := fmt.Sprintf("v%d", i)
-			if err := db.Put(k, []byte(v)); err != nil {
+			if err := db.Put(bg, k, []byte(v)); err != nil {
 				t.Fatal(err)
 			}
 			oracle[string(k)] = v
 		case 4: // delete
 			k := randKey()
-			if err := db.Delete(k); err != nil {
+			if err := db.Delete(bg, k); err != nil {
 				t.Fatal(err)
 			}
 			delete(oracle, string(k))
 		case 5, 6, 7, 8: // get
 			k := randKey()
-			v, found, err := db.Get(k)
+			v, found, err := db.Get(bg, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,7 +75,7 @@ func TestModelCheckSequential(t *testing.T) {
 			if i%1000 != 999 {
 				continue
 			}
-			pairs, err := db.Scan(nil, nil)
+			pairs, err := db.Scan(bg, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -88,7 +88,7 @@ func TestModelCheckSequential(t *testing.T) {
 				}
 			}
 			// The streaming iterator must agree with Scan pair for pair.
-			it, err := db.NewIterator(nil, nil)
+			it, err := db.NewIterator(bg, nil, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -110,7 +110,7 @@ func TestModelCheckSequential(t *testing.T) {
 	}
 	// Final full verification.
 	for k, want := range oracle {
-		v, found, err := db.Get([]byte(k))
+		v, found, err := db.Get(bg, []byte(k))
 		if err != nil || !found || string(v) != want {
 			t.Fatalf("final: key %x = %q/%v/%v, want %q", k, v, found, err, want)
 		}
@@ -132,11 +132,11 @@ func TestModelCheckAcrossRestart(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		k := spreadKey(uint64(rng.Intn(300)))
 		if rng.Intn(5) == 0 {
-			db.Delete(k)
+			db.Delete(bg, k)
 			delete(oracle, string(k))
 		} else {
 			v := fmt.Sprintf("r%d", i)
-			db.Put(k, []byte(v))
+			db.Put(bg, k, []byte(v))
 			oracle[string(k)] = v
 		}
 	}
@@ -149,7 +149,7 @@ func TestModelCheckAcrossRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	pairs, err := db2.Scan(nil, nil)
+	pairs, err := db2.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,14 +175,14 @@ func TestValuesAreStableUnderDrain(t *testing.T) {
 		k := spreadKey(uint64(i))
 		v := make([]byte, rng.Intn(300))
 		rng.Read(v)
-		if err := db.Put(k, v); err != nil {
+		if err := db.Put(bg, k, v); err != nil {
 			t.Fatal(err)
 		}
 		want[string(k)] = v
 	}
 	db.WaitDiskQuiesce()
 	for k, v := range want {
-		got, found, err := db.Get([]byte(k))
+		got, found, err := db.Get(bg, []byte(k))
 		if err != nil || !found || !bytes.Equal(got, v) {
 			t.Fatalf("binary value corrupted for %x (len %d vs %d)", k, len(got), len(v))
 		}
@@ -192,25 +192,25 @@ func TestValuesAreStableUnderDrain(t *testing.T) {
 // TestEmptyValueAndEmptyKey covers degenerate shapes end to end.
 func TestEmptyValueAndEmptyKey(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
-	if err := db.Put([]byte{}, []byte{}); err != nil {
+	if err := db.Put(bg, []byte{}, []byte{}); err != nil {
 		t.Fatal(err)
 	}
-	v, found, err := db.Get([]byte{})
+	v, found, err := db.Get(bg, []byte{})
 	if err != nil || !found || len(v) != 0 {
 		t.Fatalf("empty key/value: %v %v %v", v, found, err)
 	}
-	if err := db.Put([]byte("k"), nil); err != nil {
+	if err := db.Put(bg, []byte("k"), nil); err != nil {
 		t.Fatal(err)
 	}
-	v, found, _ = db.Get([]byte("k"))
+	v, found, _ = db.Get(bg, []byte("k"))
 	if !found || len(v) != 0 {
 		t.Fatalf("nil value: %v %v", v, found)
 	}
 	// Tombstone for the empty key.
-	if err := db.Delete([]byte{}); err != nil {
+	if err := db.Delete(bg, []byte{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, found, _ := db.Get([]byte{}); found {
+	if _, found, _ := db.Get(bg, []byte{}); found {
 		t.Fatal("deleted empty key visible")
 	}
 }
@@ -218,23 +218,23 @@ func TestEmptyValueAndEmptyKey(t *testing.T) {
 func TestLargeValues(t *testing.T) {
 	db := openTestDB(t, testConfig(t))
 	big := bytes.Repeat([]byte("B"), 1<<20) // 1 MiB value > memtable target
-	if err := db.Put([]byte("big"), big); err != nil {
+	if err := db.Put(bg, []byte("big"), big); err != nil {
 		t.Fatal(err)
 	}
 	db.WaitDiskQuiesce()
-	v, found, err := db.Get([]byte("big"))
+	v, found, err := db.Get(bg, []byte("big"))
 	if err != nil || !found || !bytes.Equal(v, big) {
 		t.Fatalf("large value: found=%v len=%d err=%v", found, len(v), err)
 	}
 	keysList := make([][]byte, 0, 4)
 	for i := 0; i < 4; i++ {
 		k := keys.EncodeUint64(uint64(i))
-		db.Put(k, big)
+		db.Put(bg, k, big)
 		keysList = append(keysList, k)
 	}
 	db.WaitDiskQuiesce()
 	for _, k := range keysList {
-		if _, found, _ := db.Get(k); !found {
+		if _, found, _ := db.Get(bg, k); !found {
 			t.Fatalf("large value for %x lost", k)
 		}
 	}

@@ -1,7 +1,8 @@
 package core
 
 import (
-	"errors"
+	"context"
+	"fmt"
 	"runtime"
 	"time"
 
@@ -11,8 +12,9 @@ import (
 	"flodb/internal/skiplist"
 )
 
-// ErrClosed is returned by operations on a closed DB.
-var ErrClosed = errors.New("flodb: database closed")
+// ErrClosed is returned by operations on a closed DB. It wraps
+// kv.ErrClosed, so errors.Is(err, kv.ErrClosed) holds.
+var ErrClosed = fmt.Errorf("flodb: %w", kv.ErrClosed)
 
 // tombstoneMarker is the special value FloDB writes for deletes (§3.2 "a
 // delete is done by inserting a special tombstone value"). It never leaves
@@ -32,9 +34,12 @@ func (db *DB) putHandle(h *rcu.Handle) {
 // Get implements Algorithm 2: search MBF, IMM_MBF, MTB, IMM_MTB, DISK in
 // order and return the first occurrence — the levels are checked in the
 // direction of data flow, so the first hit is the freshest.
-func (db *DB) Get(key []byte) ([]byte, bool, error) {
+func (db *DB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
 	}
 	db.stats.gets.Add(1)
 
@@ -87,16 +92,16 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 // every slice it is handed (Membuffer slots and skiplist nodes alias
 // their inputs), so ownership must be taken here, exactly as LevelDB-
 // lineage memtables copy into an arena.
-func (db *DB) Put(key, value []byte) error {
+func (db *DB) Put(ctx context.Context, key, value []byte) error {
 	db.stats.puts.Add(1)
-	return db.update(keys.Clone(key), keys.Clone(value), false)
+	return db.update(ctx, keys.Clone(key), keys.Clone(value), false)
 }
 
 // Delete writes a tombstone for key (§3.2: "a Put with a special tombstone
 // value"). The key is copied.
-func (db *DB) Delete(key []byte) error {
+func (db *DB) Delete(ctx context.Context, key []byte) error {
 	db.stats.deletes.Add(1)
-	return db.update(keys.Clone(key), tombstoneMarker, true)
+	return db.update(ctx, keys.Clone(key), tombstoneMarker, true)
 }
 
 // update is Algorithm 2's Put. The fast path tries the Membuffer; if the
@@ -104,9 +109,12 @@ func (db *DB) Delete(key []byte) error {
 // directly to the Memtable, first honoring pauseWriters (helping with the
 // drain) and Memtable backpressure. key and value are owned by the store
 // (Put/Delete clone at entry).
-func (db *DB) update(key, value []byte, tombstone bool) error {
+func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) error {
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := db.loadPersistErr(); err != nil {
 		return err
@@ -147,6 +155,11 @@ func (db *DB) update(key, value []byte, tombstone bool) error {
 
 	// --- Slow path: write to the Memtable (Algorithm 2 lines 12–20).
 	for spins := 0; ; spins++ {
+		// Honest cancellation point: the slow path can wait out drains and
+		// backpressure indefinitely, so every lap re-checks the context.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// While a scan or persist drains the immutable Membuffer, writers
 		// must not update the Memtable; they help drain instead.
 		if db.pauseWriters.Load() {

@@ -36,7 +36,21 @@ func (db *DB) needsPersist() bool {
 	return db.gen.Load().mtb.approxBytes() >= db.cfg.memtableTargetBytes()
 }
 
-// persistOnce runs one seal→drain→flush cycle.
+// persistOnce runs one seal→drain→flush cycle under persistMu, which
+// serializes the persisting thread with Snapshot's forced cycles.
+func (db *DB) persistOnce() error {
+	db.persistMu.Lock()
+	defer db.persistMu.Unlock()
+	_, err := db.persistCycle()
+	return err
+}
+
+// persistCycle runs one seal→drain→flush cycle. The caller must hold
+// persistMu. It returns the sequence number taken after the old
+// Membuffer fully drained: every update that completed before the
+// generation switch has a sequence number <= the bound and is contained
+// in the flushed Memtable (or older tables), and every later update gets
+// a larger one — the linearization bound Snapshot pins.
 //
 // Switch protocol (see the package comment for why the pair is one
 // pointer):
@@ -53,14 +67,14 @@ func (db *DB) needsPersist() bool {
 //     order intact.
 //  5. Release writers, flush the sealed Memtable to L0, advance the log
 //     number, delete the old WAL segment.
-func (db *DB) persistOnce() error {
+func (db *DB) persistCycle() (seqBound uint64, err error) {
 	db.drainMu.Lock()
 
 	old := db.gen.Load()
 	next, err := db.newMemtable()
 	if err != nil {
 		db.drainMu.Unlock()
-		return err
+		return 0, err
 	}
 	g := &generation{mtb: next}
 	if old.mbf != nil {
@@ -81,6 +95,10 @@ func (db *DB) persistOnce() error {
 		db.drainBufferInto(old.mbf, old.mtb, 0)
 		db.immMbf.Store(nil)
 	}
+	// Taken while writers are still paused and drainers stopped: every
+	// pre-switch update has a smaller sequence number and sits in old.mtb
+	// or older tables; every post-switch update will draw a larger one.
+	seqBound = db.seq.Add(1)
 	db.pauseWriters.Store(false)
 	db.pauseDraining.Store(false)
 	db.drainMu.Unlock()
@@ -90,11 +108,11 @@ func (db *DB) persistOnce() error {
 	if db.store == nil {
 		// DropPersist (Fig 17): the sealed Memtable is simply discarded.
 		db.immMtb.Store(nil)
-		return nil
+		return seqBound, nil
 	}
 
 	if err := db.cfg.FlushFault.Check(); err != nil {
-		return err
+		return 0, err
 	}
 	// Model the paper's bounded persistence throughput, if configured.
 	db.cfg.PersistLimiter.Acquire(old.mtb.approxBytes())
@@ -104,7 +122,7 @@ func (db *DB) persistOnce() error {
 		newLog = db.store.NewFileNum()
 	}
 	if _, err := db.store.Flush(newMemtableIter(old.mtb), newLog, db.seq.Load()); err != nil {
-		return err
+		return 0, err
 	}
 	// The old Memtable's data is in tables; RCU ensures in-flight readers
 	// finish before the component is dropped (§4.2's second use of RCU —
@@ -113,10 +131,10 @@ func (db *DB) persistOnce() error {
 	db.domain.Synchronize()
 	db.immMtb.Store(nil)
 	if err := old.mtb.closeWAL(); err != nil {
-		return err
+		return 0, err
 	}
 	if !db.cfg.DisableWAL {
 		os.Remove(storage.WALFileName(db.cfg.Dir, old.mtb.walNum))
 	}
-	return nil
+	return seqBound, nil
 }

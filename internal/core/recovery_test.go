@@ -20,11 +20,11 @@ func TestRecoveryFromWAL(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 500; i++ {
-		if err := db.Put(spreadKey(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := db.Put(bg, spreadKey(uint64(i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	db.Delete(spreadKey(7))
+	db.Delete(bg, spreadKey(7))
 
 	// Simulate a crash: sync the active WAL but skip the graceful flush.
 	g := db.gen.Load()
@@ -46,7 +46,7 @@ func TestRecoveryFromWAL(t *testing.T) {
 	}
 	defer db2.Close()
 	for i := 0; i < 500; i++ {
-		v, ok, err := db2.Get(spreadKey(uint64(i)))
+		v, ok, err := db2.Get(bg, spreadKey(uint64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +69,7 @@ func TestRecoveryAfterCleanClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 300; i++ {
-		db.Put(spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
+		db.Put(bg, spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
@@ -89,7 +89,7 @@ func TestRecoveryAfterCleanClose(t *testing.T) {
 	}
 	defer db2.Close()
 	for i := 0; i < 300; i++ {
-		v, ok, _ := db2.Get(spreadKey(uint64(i)))
+		v, ok, _ := db2.Get(bg, spreadKey(uint64(i)))
 		if !ok || keys.DecodeUint64(v) != uint64(i) {
 			t.Fatalf("key %d lost across clean restart", i)
 		}
@@ -100,7 +100,7 @@ func TestRecoveryWithTornWALTail(t *testing.T) {
 	dir := t.TempDir()
 	db, _ := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
 	for i := 0; i < 100; i++ {
-		db.Put(spreadKey(uint64(i)), []byte("v"))
+		db.Put(bg, spreadKey(uint64(i)), []byte("v"))
 	}
 	g := db.gen.Load()
 	walPath := storage.WALFileName(dir, g.mtb.walNum)
@@ -127,7 +127,7 @@ func TestRecoveryWithTornWALTail(t *testing.T) {
 	// At most the torn final record may be missing.
 	missing := 0
 	for i := 0; i < 100; i++ {
-		if _, ok, _ := db2.Get(spreadKey(uint64(i))); !ok {
+		if _, ok, _ := db2.Get(bg, spreadKey(uint64(i))); !ok {
 			missing++
 		}
 	}
@@ -140,7 +140,7 @@ func TestSeqMonotonicAcrossRestart(t *testing.T) {
 	dir := t.TempDir()
 	db, _ := Open(Config{Dir: dir, MemoryBytes: 1 << 20})
 	for i := 0; i < 100; i++ {
-		db.Put(spreadKey(uint64(i)), []byte("v"))
+		db.Put(bg, spreadKey(uint64(i)), []byte("v"))
 	}
 	db.Close()
 
@@ -151,16 +151,16 @@ func TestSeqMonotonicAcrossRestart(t *testing.T) {
 		t.Fatal("restart must resume from the persisted sequence number")
 	}
 	// Membuffer writes take no seq (assigned at drain, §4.2); a scan does.
-	db2.Put([]byte("new"), []byte("v"))
-	if _, err := db2.Scan(nil, nil); err != nil {
+	db2.Put(bg, []byte("new"), []byte("v"))
+	if _, err := db2.Scan(bg, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if db2.Seq() <= seqBefore {
 		t.Fatal("sequence numbers must advance after restart")
 	}
 	// Overwrites after restart must win over recovered data.
-	db2.Put(spreadKey(50), []byte("post-restart"))
-	v, ok, _ := db2.Get(spreadKey(50))
+	db2.Put(bg, spreadKey(50), []byte("post-restart"))
+	v, ok, _ := db2.Get(bg, spreadKey(50))
 	if !ok || string(v) != "post-restart" {
 		t.Fatalf("post-restart overwrite lost: %q %v", v, ok)
 	}
@@ -198,7 +198,7 @@ func TestBatchIsOneWALRecord(t *testing.T) {
 		b.Put(spreadKey(uint64(i)), []byte(fmt.Sprintf("b%d", i)))
 	}
 	b.Delete(spreadKey(3))
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
 	walPath := storage.WALFileName(dir, db.gen.Load().mtb.walNum)
@@ -231,7 +231,7 @@ func TestBatchIsOneWALRecord(t *testing.T) {
 	}
 	defer db2.Close()
 	for i := 0; i < n; i++ {
-		v, ok, err := db2.Get(spreadKey(uint64(i)))
+		v, ok, err := db2.Get(bg, spreadKey(uint64(i)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -256,14 +256,14 @@ func TestBatchRecoversAllOrNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Put([]byte("anchor"), []byte("kept")); err != nil {
+	if err := db.Put(bg, []byte("anchor"), []byte("kept")); err != nil {
 		t.Fatal(err)
 	}
 	b := kv.NewBatch()
 	for i := 0; i < 50; i++ {
 		b.Put(spreadKey(uint64(i)), []byte("batched"))
 	}
-	if err := db.Apply(b); err != nil {
+	if err := db.Apply(bg, b); err != nil {
 		t.Fatal(err)
 	}
 	walPath := storage.WALFileName(dir, db.gen.Load().mtb.walNum)
@@ -283,11 +283,11 @@ func TestBatchRecoversAllOrNothing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db2.Close()
-	if v, ok, _ := db2.Get([]byte("anchor")); !ok || string(v) != "kept" {
+	if v, ok, _ := db2.Get(bg, []byte("anchor")); !ok || string(v) != "kept" {
 		t.Fatalf("pre-batch record lost: %q %v", v, ok)
 	}
 	for i := 0; i < 50; i++ {
-		if _, ok, _ := db2.Get(spreadKey(uint64(i))); ok {
+		if _, ok, _ := db2.Get(bg, spreadKey(uint64(i))); ok {
 			t.Fatalf("torn batch partially applied: key %d visible", i)
 		}
 	}
@@ -301,7 +301,7 @@ func TestDisableWALMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		db.Put(spreadKey(uint64(i)), []byte("v"))
+		db.Put(bg, spreadKey(uint64(i)), []byte("v"))
 	}
 	// No WAL files should exist.
 	entries, _ := os.ReadDir(dir)
@@ -320,7 +320,7 @@ func TestDisableWALMode(t *testing.T) {
 	}
 	defer db2.Close()
 	for i := 0; i < 200; i++ {
-		if _, ok, _ := db2.Get(spreadKey(uint64(i))); !ok {
+		if _, ok, _ := db2.Get(bg, spreadKey(uint64(i))); !ok {
 			t.Fatalf("key %d lost across clean DisableWAL restart", i)
 		}
 	}

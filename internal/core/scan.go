@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync/atomic"
@@ -29,12 +30,15 @@ type scanState struct {
 // drains a single unbounded chunk, so a conflict restarts the whole range
 // and the result is one consistent snapshot, exactly as before the
 // iterator existed.
-func (db *DB) Scan(low, high []byte) ([]kv.Pair, error) {
+func (db *DB) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	db.stats.scans.Add(1)
-	it := db.newIter(low, high, 0) // unbounded chunk: one snapshot
+	it := db.newIter(ctx, low, high, 0) // unbounded chunk: one snapshot
 	defer it.Close()
 	if !it.fill(low, false) {
 		return nil, it.err
@@ -43,16 +47,20 @@ func (db *DB) Scan(low, high []byte) ([]kv.Pair, error) {
 }
 
 // joinOrLeadScan returns a scanState with a published sequence number,
-// either by piggybacking on a running scan or by becoming the master.
-func (db *DB) joinOrLeadScan() *scanState {
+// either by piggybacking on a running scan or by becoming the master. A
+// context error aborts the wait for a free piggyback slot.
+func (db *DB) joinOrLeadScan(ctx context.Context) (*scanState, error) {
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if st := db.scanState.Load(); st != nil {
 			j := st.joins.Load()
 			if j < int32(db.cfg.MaxPiggybackChain) && st.joins.CompareAndSwap(j, j+1) {
 				st.active.Add(1)
 				<-st.seqReady
 				db.stats.piggybackScans.Add(1)
-				return st
+				return st, nil
 			}
 			// Chain is full: wait for the state to clear, then lead or
 			// join the successor ("we limit the length of these chains
@@ -61,7 +69,7 @@ func (db *DB) joinOrLeadScan() *scanState {
 			continue
 		}
 		if st, ok := db.leadMasterScan(); ok {
-			return st
+			return st, nil
 		}
 	}
 }
@@ -127,7 +135,7 @@ func (db *DB) releaseScanState(st *scanState) {
 // data strictly in that direction, so every entry is visible in at least
 // one captured component (possibly two, which the newest-first merge
 // dedups).
-func (db *DB) scanChunk(from []byte, fromExcl bool, high []byte, scanSeq uint64, limit int) (out []kv.Pair, more, conflict bool, err error) {
+func (db *DB) scanChunk(ctx context.Context, from []byte, fromExcl bool, high []byte, scanSeq uint64, limit int) (out []kv.Pair, more, conflict bool, err error) {
 	g := db.gen.Load()
 	its := []storage.InternalIterator{newMemtableIter(g.mtb)}
 	if imm := db.immMtb.Load(); imm != nil && imm != g.mtb {
@@ -151,7 +159,16 @@ func (db *DB) scanChunk(from []byte, fromExcl bool, high []byte, scanSeq uint64,
 		lastKey = append(lastKey, from...)
 		haveLast = true
 	}
+	visited := 0
 	for m.Seek(from); m.Valid(); m.Next() {
+		// Honest cancellation inside the chunk: an unbounded Scan (or a
+		// fallback holding writers) must not outlive its context by the
+		// whole range. Checked every 1024 entries to stay off the hot path.
+		if visited++; visited&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, false, false, err
+			}
+		}
 		k := m.Key()
 		if high != nil && keys.Compare(k, high) >= 0 {
 			break
@@ -201,7 +218,10 @@ func (db *DB) scanChunk(from []byte, fromExcl bool, high []byte, scanSeq uint64,
 // completes scanning"). With writers, drainers and persists excluded, no
 // in-range entry can acquire a newer sequence number, so the read cannot
 // be invalidated.
-func (db *DB) fallbackChunk(from []byte, fromExcl bool, high []byte, limit int) ([]kv.Pair, bool, error) {
+func (db *DB) fallbackChunk(ctx context.Context, from []byte, fromExcl bool, high []byte, limit int) ([]kv.Pair, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	db.stats.fallbackScans.Add(1)
 	db.drainMu.Lock()
 	db.pauseDraining.Store(true)
@@ -225,7 +245,7 @@ func (db *DB) fallbackChunk(from []byte, fromExcl bool, high []byte, limit int) 
 	}
 
 	seq := db.seq.Add(1)
-	pairs, more, conflict, err := db.scanChunk(from, fromExcl, high, seq, limit)
+	pairs, more, conflict, err := db.scanChunk(ctx, from, fromExcl, high, seq, limit)
 	if err != nil {
 		return nil, false, err
 	}

@@ -29,7 +29,7 @@ func TestScanSnapshotConsistency(t *testing.T) {
 	}
 	// Scans need bounds covering all group keys: use the full range.
 	for _, k := range groupKeys {
-		db.Put(k, keys.EncodeUint64(0))
+		db.Put(bg, k, keys.EncodeUint64(0))
 	}
 
 	stop := make(chan struct{})
@@ -46,7 +46,7 @@ func TestScanSnapshotConsistency(t *testing.T) {
 			}
 			v := version.Load() + 1
 			for _, k := range groupKeys {
-				if err := db.Put(k, keys.EncodeUint64(v)); err != nil {
+				if err := db.Put(bg, k, keys.EncodeUint64(v)); err != nil {
 					panic(err)
 				}
 			}
@@ -58,7 +58,7 @@ func TestScanSnapshotConsistency(t *testing.T) {
 	scans := 0
 	for time.Now().Before(deadline) {
 		before := version.Load()
-		pairs, err := db.Scan(nil, nil)
+		pairs, err := db.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -102,7 +102,7 @@ func TestConcurrentScansPiggyback(t *testing.T) {
 	cfg := testConfig(t)
 	db := openTestDB(t, cfg)
 	for i := 0; i < 1000; i++ {
-		db.Put(spreadKey(uint64(i)), []byte("v"))
+		db.Put(bg, spreadKey(uint64(i)), []byte("v"))
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -110,7 +110,7 @@ func TestConcurrentScansPiggyback(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				if _, err := db.Scan(nil, nil); err != nil {
+				if _, err := db.Scan(bg, nil, nil); err != nil {
 					panic(err)
 				}
 			}
@@ -148,13 +148,13 @@ func TestScanWhileWriteHeavy(t *testing.T) {
 				default:
 				}
 				i++
-				db.Put(spreadKey(i%4096), keys.EncodeUint64(i))
+				db.Put(bg, spreadKey(i%4096), keys.EncodeUint64(i))
 			}
 		}(w)
 	}
 
 	for s := 0; s < 50; s++ {
-		pairs, err := db.Scan(nil, nil)
+		pairs, err := db.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -190,12 +190,12 @@ func TestFallbackScanTriggers(t *testing.T) {
 			default:
 			}
 			i++
-			db.Put(spreadKey(i%512), keys.EncodeUint64(i))
+			db.Put(bg, spreadKey(i%512), keys.EncodeUint64(i))
 		}
 	}()
 	sawFallback := false
 	for s := 0; s < 100 && !sawFallback; s++ {
-		if _, err := db.Scan(nil, nil); err != nil {
+		if _, err := db.Scan(bg, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		sawFallback = db.Stats().FallbackScans > 0
@@ -220,7 +220,7 @@ func TestScanSkipsPostSnapshotInserts(t *testing.T) {
 	cfg.RestartThreshold = 1000000 // make any restart visible in stats
 	db := openTestDB(t, cfg)
 	for i := 0; i < 100; i++ {
-		db.Put(spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
+		db.Put(bg, spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -235,11 +235,11 @@ func TestScanSkipsPostSnapshotInserts(t *testing.T) {
 			default:
 			}
 			i++
-			db.Put(spreadKey(i), []byte("new"))
+			db.Put(bg, spreadKey(i), []byte("new"))
 		}
 	}()
 	for s := 0; s < 50; s++ {
-		if _, err := db.Scan(nil, nil); err != nil {
+		if _, err := db.Scan(bg, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -263,7 +263,7 @@ func TestScanDuringPersist(t *testing.T) {
 	db := openTestDB(t, cfg)
 	const n = 1000
 	for i := 0; i < n; i++ {
-		db.Put(spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
+		db.Put(bg, spreadKey(uint64(i)), keys.EncodeUint64(uint64(i)))
 	}
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -278,11 +278,11 @@ func TestScanDuringPersist(t *testing.T) {
 			default:
 			}
 			i++
-			db.Put(spreadKey(i), []byte("churn"))
+			db.Put(bg, spreadKey(i), []byte("churn"))
 		}
 	}()
 	for s := 0; s < 30; s++ {
-		pairs, err := db.Scan(nil, nil)
+		pairs, err := db.Scan(bg, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -42,7 +42,7 @@ func TestStressBufferReuseInsertIterate(t *testing.T) {
 			for i := 0; !stop.Load(); i++ {
 				key := gen.NextKey(rng, keyBuf)
 				if i%20 == 19 { // ~5% iterator scans, as in the Fig 13 mix
-					it, err := db.NewIterator(key, nil)
+					it, err := db.NewIterator(bg, key, nil)
 					if err != nil {
 						errCh <- err
 						return
@@ -58,7 +58,7 @@ func TestStressBufferReuseInsertIterate(t *testing.T) {
 					continue
 				}
 				valBuf = workload.Value(valBuf, workload.DefaultValueSize, uint64(i))
-				if err := db.Put(key, valBuf); err != nil {
+				if err := db.Put(bg, key, valBuf); err != nil {
 					errCh <- err
 					return
 				}
@@ -85,11 +85,11 @@ func TestPutCopiesReusedBuffers(t *testing.T) {
 	const n = 1000
 	for i := uint64(0); i < n; i++ {
 		workload.PutUint64(buf, i)
-		if err := db.Put(buf, buf); err != nil {
+		if err := db.Put(bg, buf, buf); err != nil {
 			t.Fatal(err)
 		}
 	}
-	pairs, err := db.Scan(nil, nil)
+	pairs, err := db.Scan(bg, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

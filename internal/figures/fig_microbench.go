@@ -132,7 +132,10 @@ func Fig5(c Config) (*harness.Table, error) {
 			if rng.Intn(2) == 0 {
 				buf.Get(k)
 			} else {
-				buf.Add(k, []byte("v"), false)
+				// Add retains the key slice (slots alias their inputs), so
+				// the reused buffer must be cloned — the same per-write
+				// copy the store layer pays before handing keys over.
+				buf.Add(append([]byte(nil), k...), []byte("v"), false)
 			}
 		})
 	}, "Fig 5: concurrent hash table, mixed read-write")

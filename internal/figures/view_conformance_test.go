@@ -1,0 +1,189 @@
+package figures
+
+// Conformance of the read-view surface across the paper's five systems:
+// every kv.Store the harness drives must provide repeatable-read
+// snapshots, honor context cancellation mid-scan, and produce openable
+// checkpoints. This is the contract the apibench figure (and the next
+// PRs' server layer) relies on.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"flodb/internal/baseline"
+	"flodb/internal/core"
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+var bg = context.Background()
+
+func openSys(t *testing.T, sys System, dir string) kv.Store {
+	t.Helper()
+	s, err := openSystem(sys, dir, 1<<20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// openSysWAL opens one of the five systems with the commit log ON, so
+// checkpoints capture the memory component through the WAL tail.
+func openSysWAL(t *testing.T, sys System, dir string) kv.Store {
+	t.Helper()
+	var s kv.Store
+	var err error
+	switch sys {
+	case SysFloDB:
+		s, err = core.Open(core.Config{Dir: dir, MemoryBytes: 1 << 20, Storage: storageOpts(1 << 20)})
+	default:
+		cfg := baseline.Config{Dir: dir, MemBytes: 1 << 20, Storage: storageOpts(1 << 20)}
+		switch sys {
+		case SysRocks:
+			s, err = baseline.NewRocksDB(cfg)
+		case SysCLSM:
+			s, err = baseline.NewCLSM(cfg)
+		case SysHyper:
+			s, err = baseline.NewHyperLevelDB(cfg)
+		case SysLevel:
+			s, err = baseline.NewLevelDB(cfg)
+		}
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllSystemsSnapshotIsolation(t *testing.T) {
+	for _, sys := range AllSystems {
+		t.Run(string(sys), func(t *testing.T) {
+			s := openSys(t, sys, t.TempDir())
+			defer s.Close()
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := s.Put(bg, keys.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, err := s.Snapshot(bg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer snap.Close()
+			for i := 0; i < n; i++ {
+				if err := s.Put(bg, keys.EncodeUint64(uint64(i)), []byte("new")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Repeatable read of the pre-snapshot state, twice.
+			for pass := 0; pass < 2; pass++ {
+				pairs, err := snap.Scan(bg, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(pairs) != n {
+					t.Fatalf("pass %d: snapshot scan %d pairs, want %d", pass, len(pairs), n)
+				}
+				for _, p := range pairs {
+					want := fmt.Sprintf("old-%d", keys.DecodeUint64(p.Key))
+					if string(p.Value) != want {
+						t.Fatalf("pass %d: snapshot leaked %q for key %d", pass, p.Value, keys.DecodeUint64(p.Key))
+					}
+				}
+			}
+			if v, ok, err := snap.Get(bg, keys.EncodeUint64(3)); err != nil || !ok || string(v) != "old-3" {
+				t.Fatalf("snapshot Get = %q %v %v", v, ok, err)
+			}
+			if v, ok, err := s.Get(bg, keys.EncodeUint64(3)); err != nil || !ok || string(v) != "new" {
+				t.Fatalf("live Get = %q %v %v", v, ok, err)
+			}
+			// Released handles return the typed error.
+			snap.Close()
+			if _, _, err := snap.Get(bg, keys.EncodeUint64(3)); !errors.Is(err, kv.ErrSnapshotReleased) {
+				t.Fatalf("released snapshot Get: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllSystemsContextCanceledScan(t *testing.T) {
+	for _, sys := range AllSystems {
+		t.Run(string(sys), func(t *testing.T) {
+			s := openSys(t, sys, t.TempDir())
+			defer s.Close()
+			for i := 0; i < 3000; i++ {
+				if err := s.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ctx, cancel := context.WithCancel(bg)
+			defer cancel()
+			it, err := s.NewIterator(ctx, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer it.Close()
+			n := 0
+			for ok := it.First(); ok; ok = it.Next() {
+				if n++; n == 100 {
+					cancel()
+				}
+			}
+			if err := it.Err(); !errors.Is(err, context.Canceled) {
+				t.Fatalf("iterator err after mid-scan cancel: %v (saw %d pairs)", err, n)
+			}
+			if n >= 3000 {
+				t.Fatal("iteration ran to completion despite cancellation")
+			}
+			if _, err := s.Scan(ctx, nil, nil); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Scan with canceled ctx: %v", err)
+			}
+			if err := s.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+				t.Fatalf("Put with canceled ctx: %v", err)
+			}
+		})
+	}
+}
+
+func TestAllSystemsCheckpointReopens(t *testing.T) {
+	for _, sys := range AllSystems {
+		t.Run(string(sys), func(t *testing.T) {
+			base := t.TempDir()
+			s := openSysWAL(t, sys, filepath.Join(base, "src"))
+			defer s.Close()
+			const n = 500
+			for i := 0; i < n; i++ {
+				if err := s.Put(bg, keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ck := filepath.Join(base, "ck")
+			if err := s.Checkpoint(bg, ck); err != nil {
+				t.Fatal(err)
+			}
+			// With the WAL on, the synced tail captures the whole write
+			// history: the checkpoint must reopen (as the same system)
+			// holding every pair, each intact.
+			r := openSysWAL(t, sys, ck)
+			pairs, err := r.Scan(bg, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(pairs) != n {
+				t.Fatalf("checkpoint reopened with %d pairs, want %d", len(pairs), n)
+			}
+			for _, p := range pairs {
+				if keys.DecodeUint64(p.Key) != keys.DecodeUint64(p.Value) {
+					t.Fatalf("corrupt pair in checkpoint: %x=%x", p.Key, p.Value)
+				}
+			}
+		})
+	}
+}

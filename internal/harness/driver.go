@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -32,6 +33,9 @@ type RunOptions struct {
 	// BatchSize is the number of mutations per OpBatch write batch
 	// (default 16).
 	BatchSize int
+	// SnapshotReads is the number of point reads served through each
+	// OpSnapshot view before it is released (default 16).
+	SnapshotReads int
 	// IteratorScans drives OpScan through Store.NewIterator instead of
 	// Scan: the range streams through the cursor without materializing,
 	// measuring the iterator path of the contract.
@@ -68,6 +72,9 @@ func (o *RunOptions) fillDefaults() {
 	if o.BatchSize <= 0 {
 		o.BatchSize = 16
 	}
+	if o.SnapshotReads <= 0 {
+		o.SnapshotReads = 16
+	}
 	if o.Seed == 0 {
 		o.Seed = 42
 	}
@@ -79,6 +86,7 @@ type Result struct {
 	Reads        uint64
 	Writes       uint64
 	Scans        uint64
+	Snapshots    uint64
 	KeysAccessed uint64 // scans count each returned key (§5.2)
 	Elapsed      time.Duration
 	ReadLat      *Histogram
@@ -125,6 +133,7 @@ func (r Result) ScanOpsPerSec() float64 {
 // on the data store ... continually").
 func Run(store kv.Store, opts RunOptions) Result {
 	opts.fillDefaults()
+	ctx := context.Background()
 	res := Result{
 		ReadLat:  &Histogram{},
 		WriteLat: &Histogram{},
@@ -135,6 +144,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 		reads    atomic.Uint64
 		writes   atomic.Uint64
 		scans    atomic.Uint64
+		snaps    atomic.Uint64
 		keysAcc  atomic.Uint64
 		errCount atomic.Uint64
 		wg       sync.WaitGroup
@@ -181,7 +191,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 				}
 				switch op {
 				case workload.OpGet:
-					_, _, err := store.Get(key)
+					_, _, err := store.Get(ctx, key)
 					if err != nil {
 						errCount.Add(1)
 						continue
@@ -193,7 +203,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 					}
 				case workload.OpInsert:
 					valBuf = workload.Value(valBuf, opts.ValueSize, myOps)
-					if err := store.Put(key, valBuf); err != nil {
+					if err := store.Put(ctx, key, valBuf); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -203,7 +213,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 						res.WriteLat.Record(time.Since(begin))
 					}
 				case workload.OpDelete:
-					if err := store.Delete(key); err != nil {
+					if err := store.Delete(ctx, key); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -224,7 +234,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 					}
 					var got uint64
 					if opts.IteratorScans {
-						it, err := store.NewIterator(low, high)
+						it, err := store.NewIterator(ctx, low, high)
 						if err != nil {
 							errCount.Add(1)
 							continue
@@ -239,7 +249,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 							continue
 						}
 					} else {
-						pairs, err := store.Scan(low, high)
+						pairs, err := store.Scan(ctx, low, high)
 						if err != nil {
 							errCount.Add(1)
 							continue
@@ -257,7 +267,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 						valBuf = workload.Value(valBuf, opts.ValueSize, myOps+uint64(i))
 						batch.Put(key, valBuf)
 					}
-					if err := store.Apply(batch); err != nil {
+					if err := store.Apply(ctx, batch); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -265,6 +275,35 @@ func Run(store kv.Store, opts RunOptions) Result {
 					keysAcc.Add(uint64(batch.Len()))
 					if opts.MeasureLatency {
 						res.WriteLat.Record(time.Since(begin))
+					}
+				case workload.OpSnapshot:
+					// One repeatable-read session: pin a view, serve
+					// SnapshotReads point reads from it, release it.
+					view, err := store.Snapshot(ctx)
+					if err != nil {
+						errCount.Add(1)
+						continue
+					}
+					failed := false
+					for i := 0; i < opts.SnapshotReads; i++ {
+						if i > 0 {
+							key = gen.NextKey(rng, keyBuf)
+						}
+						if _, _, err := view.Get(ctx, key); err != nil {
+							failed = true
+							break
+						}
+					}
+					view.Close()
+					if failed {
+						errCount.Add(1)
+						continue
+					}
+					snaps.Add(1)
+					reads.Add(uint64(opts.SnapshotReads))
+					keysAcc.Add(uint64(opts.SnapshotReads))
+					if opts.MeasureLatency {
+						res.ReadLat.Record(time.Since(begin))
 					}
 				}
 				ops.Add(1)
@@ -280,6 +319,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 	res.Reads = reads.Load()
 	res.Writes = writes.Load()
 	res.Scans = scans.Load()
+	res.Snapshots = snaps.Load()
 	res.KeysAccessed = keysAcc.Load()
 	res.Errors = errCount.Load()
 	return res
@@ -288,10 +328,11 @@ func Run(store kv.Store, opts RunOptions) Result {
 // Fill loads n keys into store (half-dataset random initialization of
 // §5.2 when used with a shuffled order; sorted when sequential).
 func Fill(store kv.Store, gen func(i uint64) []byte, n uint64, valueSize int) error {
+	ctx := context.Background()
 	var val []byte
 	for i := uint64(0); i < n; i++ {
 		val = workload.Value(val, valueSize, i)
-		if err := store.Put(gen(i), val); err != nil {
+		if err := store.Put(ctx, gen(i), val); err != nil {
 			return fmt.Errorf("harness: fill at %d: %w", i, err)
 		}
 	}

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"strings"
 	"sync"
@@ -21,27 +22,30 @@ type mapStore struct {
 
 func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
 
-func (s *mapStore) Put(k, v []byte) error {
+func (s *mapStore) Put(_ context.Context, k, v []byte) error {
 	s.mu.Lock()
 	s.m[string(k)] = append([]byte(nil), v...)
 	s.mu.Unlock()
 	return nil
 }
-func (s *mapStore) Delete(k []byte) error {
+func (s *mapStore) Delete(_ context.Context, k []byte) error {
 	s.mu.Lock()
 	delete(s.m, string(k))
 	s.mu.Unlock()
 	return nil
 }
-func (s *mapStore) Get(k []byte) ([]byte, bool, error) {
+func (s *mapStore) Get(_ context.Context, k []byte) ([]byte, bool, error) {
 	s.mu.RLock()
 	v, ok := s.m[string(k)]
 	s.mu.RUnlock()
 	return v, ok, nil
 }
-func (s *mapStore) Scan(low, high []byte) ([]kv.Pair, error) {
+func (s *mapStore) Scan(_ context.Context, low, high []byte) ([]kv.Pair, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	return s.scanLocked(low, high), nil
+}
+func (s *mapStore) scanLocked(low, high []byte) []kv.Pair {
 	var out []kv.Pair
 	for k, v := range s.m {
 		if low != nil && k < string(low) {
@@ -52,10 +56,10 @@ func (s *mapStore) Scan(low, high []byte) ([]kv.Pair, error) {
 		}
 		out = append(out, kv.Pair{Key: []byte(k), Value: v})
 	}
-	return out, nil
+	return out
 }
-func (s *mapStore) NewIterator(low, high []byte) (kv.Iterator, error) {
-	pairs, err := s.Scan(low, high)
+func (s *mapStore) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	pairs, err := s.Scan(ctx, low, high)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +67,7 @@ func (s *mapStore) NewIterator(low, high []byte) (kv.Iterator, error) {
 	return &mapIter{pairs: pairs, i: -1}, nil
 }
 
-func (s *mapStore) Apply(b *kv.Batch) error {
+func (s *mapStore) Apply(_ context.Context, b *kv.Batch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, op := range b.Ops() {
@@ -76,7 +80,22 @@ func (s *mapStore) Apply(b *kv.Batch) error {
 	return nil
 }
 
+// Snapshot returns a materialized copy view — trivially repeatable-read.
+func (s *mapStore) Snapshot(context.Context) (kv.View, error) {
+	s.mu.RLock()
+	snap := newMapStore()
+	for k, v := range s.m {
+		snap.m[k] = v
+	}
+	s.mu.RUnlock()
+	return snap, nil
+}
+
+func (s *mapStore) Checkpoint(context.Context, string) error { return kv.ErrNotSupported }
+
 func (s *mapStore) Close() error { return nil }
+
+var _ kv.Store = (*mapStore)(nil)
 
 // mapIter is a trivial materialized kv.Iterator over a mapStore snapshot.
 type mapIter struct {

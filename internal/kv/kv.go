@@ -8,6 +8,7 @@
 package kv
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -21,35 +22,90 @@ type Pair struct {
 	Value []byte
 }
 
-// Store is the user-facing key-value API from §2.1 of the paper — put,
-// get, remove, and range reads with point-in-time (serializable)
-// semantics — extended with the two batch-oriented entry points modern
-// concurrent stores expose: a streaming cursor for incremental range
-// access and an atomic multi-op write batch.
-type Store interface {
-	// Put inserts or overwrites key with value.
-	Put(key, value []byte) error
-	// Delete removes key (by writing a tombstone).
-	Delete(key []byte) error
-	// Get returns the freshest value for key. found is false if the key is
-	// absent or deleted.
-	Get(key []byte) (value []byte, found bool, err error)
+// View is the read half of the store contract: point reads, materializing
+// range reads, and streaming cursors over ONE consistent source of data.
+// Two things implement it — a Store itself (the live view, where every
+// read observes the freshest data) and the handle returned by
+// Store.Snapshot (a read-only view pinned at a point in time, where every
+// read repeats identically however many writes land after it).
+//
+// Writing read paths against View, not Store, is what lets gets, scans
+// and iterators be implemented once and served from either source.
+//
+// Close releases the view's resources. On the live view it closes the
+// store; on a snapshot it unpins the snapshot (the store stays open) and
+// further reads return ErrSnapshotReleased.
+//
+// Every operation takes a context: cancellation or deadline expiry makes
+// the call return promptly with an error satisfying
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded. Iterators
+// returned by NewIterator capture the context and honor it on every
+// subsequent positioning call.
+type View interface {
+	// Get returns the value of key in this view. found is false if the
+	// key is absent or deleted.
+	Get(ctx context.Context, key []byte) (value []byte, found bool, err error)
 	// Scan returns all pairs with low <= key < high, in key order. The
 	// returned view is a consistent snapshot (serializable; master scans
 	// in FloDB are linearizable, §4.4).
-	Scan(low, high []byte) ([]Pair, error)
+	Scan(ctx context.Context, low, high []byte) ([]Pair, error)
 	// NewIterator returns a streaming cursor over low <= key < high (nil
 	// bounds are open). Unlike Scan it does not materialize the range:
 	// memory use is O(1) in the range size. See Iterator for the
 	// consistency contract.
-	NewIterator(low, high []byte) (Iterator, error)
+	NewIterator(ctx context.Context, low, high []byte) (Iterator, error)
+	// Close releases the view.
+	Close() error
+}
+
+// Store is the user-facing key-value API from §2.1 of the paper — put,
+// get, remove, and range reads with point-in-time (serializable)
+// semantics — extended with the entry points a production store serving
+// concurrent request threads needs: atomic multi-op write batches,
+// named repeatable-read snapshots, online checkpoints, and
+// context-aware cancellation on every operation.
+//
+// The embedded View is the live read half: Get/Scan/NewIterator observe
+// the freshest data, and Close closes the whole store.
+type Store interface {
+	View
+	// Put inserts or overwrites key with value.
+	Put(ctx context.Context, key, value []byte) error
+	// Delete removes key (by writing a tombstone).
+	Delete(ctx context.Context, key []byte) error
 	// Apply commits every mutation in b atomically: after a crash either
 	// all of b's operations are recovered or none are. The batch is
 	// logged as one WAL record, amortizing framing and fsync cost.
-	Apply(b *Batch) error
-	// Close flushes and releases resources.
-	Close() error
+	Apply(ctx context.Context, b *Batch) error
+	// Snapshot returns a read-only View pinned at the current state: a
+	// repeatable-read handle whose Gets, Scans and iterators observe
+	// exactly the data committed before the call, however long the handle
+	// lives and however many writes land after it. The handle must be
+	// Closed to release pinned resources; reads on a closed handle return
+	// ErrSnapshotReleased.
+	Snapshot(ctx context.Context) (View, error)
+	// Checkpoint produces an openable on-disk copy of the store in dir
+	// (which must not exist or be empty): immutable sstables are
+	// hard-linked where possible, the manifest is rewritten, and the WAL
+	// tail is copied, so the checkpoint reopens as a valid store holding
+	// a prefix-consistent state. The source store stays online.
+	Checkpoint(ctx context.Context, dir string) error
 }
+
+// --- Error taxonomy ----------------------------------------------------------
+
+// ErrClosed is returned by operations on a closed store. Implementations
+// wrap it, so test with errors.Is.
+var ErrClosed = errors.New("kv: store closed")
+
+// ErrSnapshotReleased is returned by reads through a snapshot View whose
+// Close has run.
+var ErrSnapshotReleased = errors.New("kv: snapshot released")
+
+// ErrNotSupported is returned when a store cannot provide an operation in
+// its current configuration (e.g. Checkpoint on a store without a disk
+// component).
+var ErrNotSupported = errors.New("kv: operation not supported")
 
 // Iterator is a streaming cursor over a key range, yielding live pairs in
 // ascending key order. A fresh iterator is unpositioned; call First (or
@@ -95,7 +151,10 @@ type Stats struct {
 	// Batches counts Apply calls; BatchOps the mutations they carried.
 	Batches, BatchOps uint64
 	// Iterators counts NewIterator calls.
-	Iterators      uint64
+	Iterators uint64
+	// Snapshots counts Snapshot calls; Checkpoints counts Checkpoint calls.
+	Snapshots      uint64
+	Checkpoints    uint64
 	ScanRestarts   uint64
 	FallbackScans  uint64
 	MembufferHits  uint64 // updates completed in the Membuffer

@@ -227,6 +227,35 @@ func (s *Store) NewIterator() (InternalIterator, func(), error) {
 	return it, func() { s.vs.releaseVersion(v) }, nil
 }
 
+// PinVersion takes a reference on the current version and returns it.
+// Pinned versions are immutable and their files are protected from
+// deletion until ReleaseVersion — the foundation of snapshots and
+// checkpoints.
+func (s *Store) PinVersion() *Version { return s.vs.refCurrent() }
+
+// AcquireVersion takes an additional reference on an already-pinned
+// version (e.g. for an iterator that may outlive the snapshot handle).
+func (s *Store) AcquireVersion(v *Version) {
+	s.vs.mu.Lock()
+	v.refs++
+	s.vs.mu.Unlock()
+}
+
+// ReleaseVersion drops one reference taken by PinVersion/AcquireVersion.
+func (s *Store) ReleaseVersion(v *Version) { s.vs.releaseVersion(v) }
+
+// GetAt returns the newest occurrence of key with seq <= maxSeq in the
+// pinned version v.
+func (s *Store) GetAt(v *Version, key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool, err error) {
+	return v.getAt(s.cache, key, maxSeq)
+}
+
+// NewVersionIterator builds a merged iterator over the pinned version v.
+// The caller must keep v pinned for the iterator's lifetime.
+func (s *Store) NewVersionIterator(v *Version) (InternalIterator, error) {
+	return v.newIterator(s.cache)
+}
+
 // NumLevelFiles returns the file count at a level.
 func (s *Store) NumLevelFiles(l int) int {
 	s.vs.mu.Lock()

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"flodb/internal/keys"
@@ -68,6 +69,14 @@ func (v *Version) TotalFiles() int {
 // overlapping files are consulted and the highest sequence number wins
 // (flushes are sequential, but this is robust even if they were not).
 func (v *Version) get(cache *tableCache, key []byte) (value []byte, seq uint64, kind keys.Kind, ok bool, err error) {
+	return v.getAt(cache, key, math.MaxUint64)
+}
+
+// getAt searches the version for the newest occurrence of key with
+// seq <= maxSeq. Files whose version of the key is newer than maxSeq are
+// skipped and the search continues in older files and deeper levels —
+// the read path of a sequence-bounded snapshot over a pinned version.
+func (v *Version) getAt(cache *tableCache, key []byte, maxSeq uint64) (value []byte, seq uint64, kind keys.Kind, ok bool, err error) {
 	var (
 		bestSeq  uint64
 		bestVal  []byte
@@ -86,7 +95,7 @@ func (v *Version) get(cache *tableCache, key []byte) (value []byte, seq uint64, 
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
-		if hit && (!found || s > bestSeq) {
+		if hit && s <= maxSeq && (!found || s > bestSeq) {
 			bestSeq, bestVal, bestKind, found = s, val, k, true
 		}
 	}
@@ -98,7 +107,6 @@ func (v *Version) get(cache *tableCache, key []byte) (value []byte, seq uint64, 
 		if len(files) == 0 {
 			continue
 		}
-		// First file with Largest >= key.
 		i := sort.Search(len(files), func(i int) bool {
 			return keys.Compare(files[i].Largest, key) >= 0
 		})
@@ -113,7 +121,7 @@ func (v *Version) get(cache *tableCache, key []byte) (value []byte, seq uint64, 
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
-		if hit {
+		if hit && s <= maxSeq {
 			return val, s, k, true, nil
 		}
 	}

@@ -38,6 +38,11 @@ const (
 	// OpBatch applies an atomic write batch of RunOptions.BatchSize
 	// mutations through Store.Apply.
 	OpBatch
+	// OpSnapshot takes a Store.Snapshot, performs
+	// RunOptions.SnapshotReads point reads through it, and releases it —
+	// the multi-request repeatable-read shape of a session pinned to one
+	// view.
+	OpSnapshot
 )
 
 func (o Op) String() string {
@@ -52,6 +57,8 @@ func (o Op) String() string {
 		return "scan"
 	case OpBatch:
 		return "batch"
+	case OpSnapshot:
+		return "snapshot"
 	default:
 		return "op?"
 	}
@@ -64,6 +71,7 @@ type Mix struct {
 	DeletePct int
 	ScanPct   int
 	BatchPct  int
+	SnapPct   int
 }
 
 // The paper's workload mixes.
@@ -84,6 +92,13 @@ var (
 	// BatchRead mixes batched ingest with point reads, the
 	// read-while-bulk-loading shape.
 	BatchRead = Mix{GetPct: 50, BatchPct: 50}
+	// SnapshotRead models sessions that pin a repeatable-read view amid a
+	// write-heavy stream: 2% of operations take a snapshot and read
+	// through it, the rest are live reads and inserts. The low snapshot
+	// rate keeps the mix honest for FloDB, where each snapshot
+	// materializes the memory component (a flush) — exactly the API cost
+	// asymmetry the apibench figure exists to expose.
+	SnapshotRead = Mix{GetPct: 48, InsertPct: 50, SnapPct: 2}
 )
 
 // ScanWithPct builds an update/scan mix with the given scan percentage
@@ -94,7 +109,7 @@ func ScanWithPct(scanPct int) Mix {
 
 // Valid reports whether the mix sums to 100%.
 func (m Mix) Valid() bool {
-	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct+m.BatchPct == 100
+	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct+m.BatchPct+m.SnapPct == 100
 }
 
 // Sample draws an operation.
@@ -115,7 +130,11 @@ func (m Mix) Sample(rng *rand.Rand) Op {
 	if r < m.ScanPct {
 		return OpScan
 	}
-	return OpBatch
+	r -= m.ScanPct
+	if r < m.BatchPct {
+		return OpBatch
+	}
+	return OpSnapshot
 }
 
 // KeyGen produces keys from a keyspace of Keys() distinct values. NextKey

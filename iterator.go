@@ -1,6 +1,10 @@
 package flodb
 
-import "flodb/internal/kv"
+import (
+	"context"
+
+	"flodb/internal/kv"
+)
 
 // Iterator is a streaming cursor over a key range: position with First or
 // Seek, advance with Next, read with Key and Value, then check Err and
@@ -28,6 +32,11 @@ type Iterator = kv.Iterator
 // bounds are open; the bound slices are copied. The returned iterator is
 // not safe for concurrent use, but any number of iterators may run
 // concurrently with each other and with updates. Close must be called.
-func (db *DB) NewIterator(low, high []byte) (Iterator, error) {
-	return db.inner.NewIterator(low, high)
+//
+// The context is captured by the iterator: every refill checks it, so
+// canceling it (or a deadline expiring) makes the next positioning call
+// return false with the context error in Err — a slow consumer can always
+// be cut off promptly.
+func (db *DB) NewIterator(ctx context.Context, low, high []byte) (Iterator, error) {
+	return db.inner.NewIterator(ctx, low, high)
 }

@@ -5,87 +5,68 @@ package flodb
 // the defaults the paper's evaluation uses, scaled for a development
 // machine: 64 MiB of memory split 1/4 Membuffer : 3/4 Memtable, two drain
 // threads, WAL on without per-write fsync.
+//
+// (The deprecated *Options struct shim from the previous release has been
+// removed; pass functional options directly.)
 type Option interface {
-	apply(*Options)
+	apply(*options)
+}
+
+// options accumulates the applied Option values for Open.
+type options struct {
+	memoryBytes       int64
+	membufferFraction float64
+	partitionBits     uint
+	drainThreads      int
+	restartThreshold  int
+	disableWAL        bool
+	syncWAL           bool
 }
 
 // optionFunc adapts a closure to Option.
-type optionFunc func(*Options)
+type optionFunc func(*options)
 
-func (f optionFunc) apply(o *Options) { f(o) }
+func (f optionFunc) apply(o *options) { f(o) }
 
 // WithMemory sets the total memory-component budget in bytes, split
 // 1/4 Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
 func WithMemory(bytes int64) Option {
-	return optionFunc(func(o *Options) { o.MemoryBytes = bytes })
+	return optionFunc(func(o *options) { o.memoryBytes = bytes })
 }
 
 // WithMembufferFraction overrides the Membuffer's share of the memory
 // budget (0 < f < 1). Default 0.25, the paper's empirically chosen split.
 func WithMembufferFraction(f float64) Option {
-	return optionFunc(func(o *Options) { o.MembufferFraction = f })
+	return optionFunc(func(o *options) { o.membufferFraction = f })
 }
 
 // WithPartitionBits sets ℓ: the Membuffer has 2^ℓ partitions selected by
 // the most significant key bits (§4.3). Default 6.
 func WithPartitionBits(bits uint) Option {
-	return optionFunc(func(o *Options) { o.PartitionBits = bits })
+	return optionFunc(func(o *options) { o.partitionBits = bits })
 }
 
 // WithDrainThreads sets the number of background draining threads (§4.2).
 // Default 2.
 func WithDrainThreads(n int) Option {
-	return optionFunc(func(o *Options) { o.DrainThreads = n })
+	return optionFunc(func(o *options) { o.drainThreads = n })
 }
 
 // WithRestartThreshold bounds scan restarts before the fallback scan
 // blocks writers (Algorithm 3). Default 3.
 func WithRestartThreshold(n int) Option {
-	return optionFunc(func(o *Options) { o.RestartThreshold = n })
+	return optionFunc(func(o *options) { o.restartThreshold = n })
 }
 
 // WithoutWAL turns off commit logging: faster writes, no crash durability
-// for the memory component.
+// for the memory component. Checkpoints of a WAL-less store capture only
+// the flushed state.
 func WithoutWAL() Option {
-	return optionFunc(func(o *Options) { o.DisableWAL = true })
+	return optionFunc(func(o *options) { o.disableWAL = true })
 }
 
 // WithSyncWAL fsyncs the commit log on every update (and once per applied
 // WriteBatch, however many operations it carries).
 func WithSyncWAL() Option {
-	return optionFunc(func(o *Options) { o.SyncWAL = true })
-}
-
-// Options tune a store as one struct.
-//
-// Deprecated: pass functional options (WithMemory, WithDrainThreads, ...)
-// to Open instead. *Options implements Option so existing call sites keep
-// compiling for one release: Open(dir, &Options{...}) applies the whole
-// struct, overriding any options that precede it.
-type Options struct {
-	// MemoryBytes is the total memory-component budget, split 1/4
-	// Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
-	MemoryBytes int64
-	// MembufferFraction overrides the Membuffer's share (0 < f < 1).
-	MembufferFraction float64
-	// PartitionBits is ℓ: the Membuffer has 2^ℓ partitions selected by
-	// the most significant key bits (§4.3). Default 6.
-	PartitionBits uint
-	// DrainThreads is the number of background draining threads. Default 2.
-	DrainThreads int
-	// RestartThreshold bounds scan restarts before the fallback scan
-	// blocks writers. Default 3.
-	RestartThreshold int
-	// DisableWAL turns off commit logging: faster writes, no crash
-	// durability for the memory component.
-	DisableWAL bool
-	// SyncWAL fsyncs the commit log on every update.
-	SyncWAL bool
-}
-
-// apply lets a legacy *Options value be passed to Open as an Option.
-func (o *Options) apply(dst *Options) {
-	if o != nil {
-		*dst = *o
-	}
+	return optionFunc(func(o *options) { o.syncWAL = true })
 }

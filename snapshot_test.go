@@ -1,0 +1,416 @@
+package flodb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flodb"
+	"flodb/internal/keys"
+)
+
+// TestSnapshotSeesExactlyThePast takes a snapshot of a known state, then
+// overwrites every key, and asserts the snapshot keeps serving the old
+// state — through Get, Scan, and an iterator — while the live view serves
+// the new one.
+func TestSnapshotSeesExactlyThePast(t *testing.T) {
+	db := openPublic(t, flodb.WithMemory(1<<20))
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i)), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A deleted key must stay deleted in the snapshot even if re-created
+	// afterwards.
+	if err := db.Delete(bg, keys.EncodeUint64(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := db.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	for i := 0; i < n; i++ {
+		if err := db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if v, ok, err := snap.Get(bg, keys.EncodeUint64(42)); err != nil || !ok || string(v) != "old-42" {
+		t.Fatalf("snapshot Get = %q %v %v, want old-42", v, ok, err)
+	}
+	if _, ok, err := snap.Get(bg, keys.EncodeUint64(7)); err != nil || ok {
+		t.Fatalf("deleted key visible in snapshot (ok=%v err=%v)", ok, err)
+	}
+	if v, ok, _ := db.Get(bg, keys.EncodeUint64(42)); !ok || string(v) != "new" {
+		t.Fatalf("live Get = %q %v, want new", v, ok)
+	}
+
+	pairs, err := snap.Scan(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != n-1 {
+		t.Fatalf("snapshot scan: %d pairs, want %d", len(pairs), n-1)
+	}
+	for _, p := range pairs {
+		want := fmt.Sprintf("old-%d", keys.DecodeUint64(p.Key))
+		if string(p.Value) != want {
+			t.Fatalf("snapshot scan leaked post-snapshot value %q for key %d", p.Value, keys.DecodeUint64(p.Key))
+		}
+	}
+
+	it, err := snap.NewIterator(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n-1 {
+		t.Fatalf("snapshot iterator: %d pairs, want %d", count, n-1)
+	}
+}
+
+// TestSnapshotIsolationModel is the snapshot-isolation model test of the
+// read-view contract, run under -race: writers continuously bump per-key
+// version counters while a reader thread takes snapshots and
+// cross-validates them against a sequence-bounded oracle. Three
+// properties are checked per snapshot:
+//
+//  1. repeatable read — two full passes over the snapshot see identical
+//     data, however much the writers race;
+//  2. per-key monotonicity across snapshots — a later snapshot never
+//     shows an older version than an earlier one (the store's sequence
+//     order is the oracle: versions only grow);
+//  3. no time travel — a snapshot never shows a version the oracle had
+//     not yet recorded as written when the snapshot returned.
+func TestSnapshotIsolationModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := openPublic(t, flodb.WithMemory(1<<20))
+	const (
+		nKeys     = 64
+		writers   = 4
+		snapshots = 8
+	)
+
+	// Oracle: upperBound[k] is the newest version written to key k,
+	// recorded AFTER Put returns — so a snapshot taken later must not
+	// show anything newer, and versions a snapshot shows must be <= the
+	// bound read after the snapshot was created.
+	var upperBound [nKeys]atomic.Uint64
+	var lowerBound [nKeys]atomic.Uint64 // recorded BEFORE Put is issued
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var version atomic.Uint64
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (i*writers + w) % nKeys
+				ver := version.Add(1)
+				lowerBound[k].Store(ver)
+				if err := db.Put(bg, keys.EncodeUint64(uint64(k)), keys.EncodeUint64(ver)); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+				// Publish: the version is definitely visible from here on.
+				for {
+					cur := upperBound[k].Load()
+					if cur >= ver || upperBound[k].CompareAndSwap(cur, ver) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+
+	prev := make(map[uint64]uint64) // per-key floor from earlier snapshots
+	for s := 0; s < snapshots; s++ {
+		snap, err := db.Snapshot(bg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Ceiling read AFTER the snapshot exists: anything the snapshot
+		// shows must already have been issued (lowerBound is set before
+		// the Put) — read it post-creation for a sound comparison.
+		var ceil [nKeys]uint64
+		for k := range ceil {
+			ceil[k] = version.Load()
+		}
+
+		pass1, err := snap.Scan(bg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pass2, err := snap.Scan(bg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pass1) != len(pass2) {
+			t.Fatalf("snapshot %d not repeatable: %d vs %d pairs", s, len(pass1), len(pass2))
+		}
+		for i := range pass1 {
+			if !keys.Equal(pass1[i].Key, pass2[i].Key) || !keys.Equal(pass1[i].Value, pass2[i].Value) {
+				t.Fatalf("snapshot %d not repeatable at %d: %x=%x vs %x=%x",
+					s, i, pass1[i].Key, pass1[i].Value, pass2[i].Key, pass2[i].Value)
+			}
+		}
+		// And point reads agree with the scan.
+		for _, p := range pass1 {
+			v, ok, err := snap.Get(bg, p.Key)
+			if err != nil || !ok || !keys.Equal(v, p.Value) {
+				t.Fatalf("snapshot %d: Get(%x) = %x %v %v, scan said %x", s, p.Key, v, ok, err, p.Value)
+			}
+			k := keys.DecodeUint64(p.Key)
+			ver := keys.DecodeUint64(p.Value)
+			if ver > ceil[k] {
+				t.Fatalf("snapshot %d: key %d shows version %d from the future (ceil %d)", s, k, ver, ceil[k])
+			}
+			if floor := prev[k]; ver < floor {
+				t.Fatalf("snapshot %d: key %d went backwards: %d < earlier snapshot's %d", s, k, ver, floor)
+			}
+			prev[k] = ver
+		}
+		snap.Close()
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final quiesced snapshot must match the oracle's published floor.
+	snap, err := db.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	for k := 0; k < nKeys; k++ {
+		want := upperBound[k].Load()
+		if want == 0 {
+			continue
+		}
+		v, ok, err := snap.Get(bg, keys.EncodeUint64(uint64(k)))
+		if err != nil || !ok {
+			t.Fatalf("key %d missing after quiesce (%v %v)", k, ok, err)
+		}
+		got := keys.DecodeUint64(v)
+		// The final value is the last version any writer issued for k,
+		// which is >= the published bound (a racing writer may have
+		// issued-but-not-yet-published when the bound was read).
+		if got < want {
+			t.Fatalf("key %d: final snapshot has version %d < published %d", k, got, want)
+		}
+	}
+}
+
+// TestSnapshotReleased asserts the typed error taxonomy on released
+// snapshots.
+func TestSnapshotReleased(t *testing.T) {
+	db := openPublic(t)
+	db.Put(bg, []byte("k"), []byte("v"))
+	snap, err := db.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, _, err := snap.Get(bg, []byte("k")); !errors.Is(err, flodb.ErrSnapshotReleased) {
+		t.Fatalf("Get on released snapshot: %v", err)
+	}
+	if _, err := snap.Scan(bg, nil, nil); !errors.Is(err, flodb.ErrSnapshotReleased) {
+		t.Fatalf("Scan on released snapshot: %v", err)
+	}
+	if _, err := snap.NewIterator(bg, nil, nil); !errors.Is(err, flodb.ErrSnapshotReleased) {
+		t.Fatalf("NewIterator on released snapshot: %v", err)
+	}
+}
+
+// TestSnapshotIteratorSurvivesClose: iterators hold their own pin.
+func TestSnapshotIteratorSurvivesClose(t *testing.T) {
+	db := openPublic(t)
+	for i := 0; i < 100; i++ {
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
+	}
+	snap, err := db.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := snap.NewIterator(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.First() {
+		t.Fatal("empty iterator")
+	}
+	snap.Close() // must not invalidate it
+	n := 1
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("iterator after snapshot Close saw %d pairs", n)
+	}
+}
+
+// TestCheckpointCrashConsistency checkpoints mid-write-storm and reopens
+// the copy: it must open as a valid store containing exactly a
+// prefix-consistent state — keys seq:0..seq:m present for some m, nothing
+// beyond, no holes.
+func TestCheckpointCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	// Small memory component so the storm forces real persist cycles
+	// (WAL turnover) while checkpoints race them.
+	db, err := flodb.Open(dir, flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	var written atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // single sequential writer: WAL order == key order
+		defer wg.Done()
+		val := make([]byte, 128)
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Put(bg, []byte(fmt.Sprintf("seq:%08d", i)), val); err != nil {
+				t.Errorf("storm writer: %v", err)
+				return
+			}
+			written.Store(i + 1)
+		}
+	}()
+
+	// Let the storm build up state, then checkpoint mid-flight, twice.
+	for round := 0; round < 2; round++ {
+		for written.Load() < uint64(2000*(round+1)) {
+			time.Sleep(time.Millisecond)
+		}
+		ckdir := fmt.Sprintf("%s-ck%d", dir, round)
+		before := written.Load()
+		if err := db.Checkpoint(bg, ckdir); err != nil {
+			t.Fatal(err)
+		}
+		after := written.Load()
+
+		ck, err := flodb.Open(ckdir)
+		if err != nil {
+			t.Fatalf("checkpoint does not reopen: %v", err)
+		}
+		pairs, err := ck.Scan(bg, []byte("seq:"), []byte("seq:\xff"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ck.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		m := uint64(len(pairs))
+		// Prefix-consistency: exactly seq:0..seq:m-1, in order, no holes.
+		for i, p := range pairs {
+			want := fmt.Sprintf("seq:%08d", i)
+			if string(p.Key) != want {
+				t.Fatalf("round %d: pair %d is %q, want %q (hole or reorder)", round, i, p.Key, want)
+			}
+		}
+		// And the prefix length brackets the writer's progress: at least
+		// everything synced before the call started minus the unsynced
+		// window is impossible to bound tightly, but m can never exceed
+		// what was written when the checkpoint finished.
+		if m > after+1 {
+			t.Fatalf("round %d: checkpoint contains %d keys, writer had only written %d", round, m, after)
+		}
+		t.Logf("round %d: checkpoint holds %d keys (writer: %d before, %d after)", round, m, before, after)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCheckpointRejectsNonEmptyDir guards the destination contract.
+func TestCheckpointRejectsNonEmptyDir(t *testing.T) {
+	db := openPublic(t)
+	db.Put(bg, []byte("k"), []byte("v"))
+	dst := t.TempDir() // exists AND will be non-empty
+	if err := db.Checkpoint(bg, dst); err != nil {
+		t.Fatalf("empty existing dir should be accepted: %v", err)
+	}
+	if err := db.Checkpoint(bg, dst); err == nil {
+		t.Fatal("non-empty destination accepted")
+	}
+}
+
+// TestContextCanceledScan: a deadline/cancel mid-scan surfaces promptly
+// via errors.Is(err, context.Canceled) on the public API.
+func TestContextCanceledScan(t *testing.T) {
+	db := openPublic(t)
+	for i := 0; i < 2000; i++ {
+		db.Put(bg, keys.EncodeUint64(uint64(i)), []byte("v"))
+	}
+	ctx, cancel := context.WithCancel(bg)
+	defer cancel()
+	it, err := db.NewIterator(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	n := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		n++
+		if n == 300 { // more than one refill chunk in, then cut it off
+			cancel()
+		}
+	}
+	if err := it.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("iterator after cancel: err=%v after %d pairs", err, n)
+	}
+	if n >= 2000 {
+		t.Fatal("iterator ran to completion despite cancellation")
+	}
+	// Already-expired contexts refuse new operations outright.
+	if _, err := db.Scan(ctx, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Scan with canceled ctx: %v", err)
+	}
+	if err := db.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put with canceled ctx: %v", err)
+	}
+	if _, err := db.Snapshot(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Snapshot with canceled ctx: %v", err)
+	}
+}
