@@ -23,12 +23,13 @@ type WriteBatch = kv.Batch
 func NewWriteBatch() *WriteBatch { return kv.NewBatch() }
 
 // Apply commits every operation in b atomically. The batch is logged as
-// ONE write-ahead-log record — with WithSyncWAL that is a single fsync
-// regardless of the batch size — and after a crash either every operation
-// in the batch is recovered or none is. Concurrent scans and iterators
-// never observe a partially applied batch; racing point Gets may.
+// ONE write-ahead-log record — under DurabilitySync that is a single
+// group-committed fsync regardless of the batch size — and after a crash
+// either every operation in the batch is recovered or none is. Concurrent
+// scans and iterators never observe a partially applied batch; racing
+// point Gets may. Durability options apply to the whole batch.
 //
 // An empty or nil batch is a no-op.
-func (db *DB) Apply(ctx context.Context, b *WriteBatch) error {
-	return db.inner.Apply(ctx, b)
+func (db *DB) Apply(ctx context.Context, b *WriteBatch, opts ...WriteOption) error {
+	return db.inner.Apply(ctx, b, opts...)
 }

@@ -5,9 +5,14 @@
 //	flodb -db /tmp/db del <key>
 //	flodb -db /tmp/db scan <low> <high>
 //	flodb -db /tmp/db batch put k1 v1 del k2 put k3 v3 ...   atomic batch
+//	flodb -db /tmp/db sync               durability barrier over acked writes
 //	flodb -db /tmp/db checkpoint <dir>   online openable copy of the store
 //	flodb -db /tmp/db fill <n>        load n sequential keys
 //	flodb -db /tmp/db stats
+//
+// The -durability flag sets the store's default class for every write the
+// command performs: none (not logged), buffered (logged, no fsync — the
+// default), or sync (group-committed fsync per write).
 package main
 
 import (
@@ -18,23 +23,28 @@ import (
 
 	"flodb"
 	"flodb/internal/keys"
+	"flodb/internal/kv"
 )
 
 func main() {
 	dir := flag.String("db", "", "database directory (required)")
 	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
-	sync := flag.Bool("sync", false, "fsync the WAL on every update")
+	durability := flag.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> {put k v | get k | del k | scan lo hi | batch ops... | checkpoint dir | fill n | stats}")
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
 		os.Exit(2)
 	}
 	var opts []flodb.Option
 	if *mem > 0 {
 		opts = append(opts, flodb.WithMemory(*mem))
 	}
-	if *sync {
-		opts = append(opts, flodb.WithSyncWAL())
+	if *durability != "" {
+		d, err := kv.ParseDurability(*durability)
+		if err != nil {
+			fail(err)
+		}
+		opts = append(opts, flodb.WithDurability(d))
 	}
 	db, err := flodb.Open(*dir, opts...)
 	if err != nil {
@@ -118,6 +128,13 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("applied %d ops atomically\n", b.Len())
+	case "sync":
+		need(args, 1)
+		if err := db.Sync(ctx); err != nil {
+			fail(err)
+		}
+		s := db.Stats()
+		fmt.Printf("durable through commit index %d (acked %d)\n", s.DurableSeq, s.AckedSeq)
 	case "checkpoint":
 		need(args, 2)
 		if err := db.Checkpoint(ctx, args[1]); err != nil {
@@ -143,6 +160,8 @@ func main() {
 		fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", s.MembufferHits, s.MemtableWrites)
 		fmt.Printf("scan-restarts=%d fallback-scans=%d flushes=%d compactions=%d\n",
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)
+		fmt.Printf("acked-seq=%d durable-seq=%d wal-syncs=%d wal-sync-requests=%d sync-barriers=%d\n",
+			s.AckedSeq, s.DurableSeq, s.WALSyncs, s.WALSyncRequests, s.SyncBarriers)
 	default:
 		fmt.Fprintf(os.Stderr, "flodb: unknown command %q\n", args[0])
 		os.Exit(2)

@@ -20,7 +20,7 @@ func main() {
 
 	// No options = paper-style defaults; tune with functional options,
 	// e.g. flodb.WithMemory(128<<20), flodb.WithDrainThreads(4),
-	// flodb.WithSyncWAL().
+	// flodb.WithDurability(flodb.DurabilitySync).
 	db, err := flodb.Open(dir)
 	if err != nil {
 		log.Fatal(err)
@@ -50,8 +50,8 @@ func main() {
 		fmt.Println("city:zurich deleted")
 	}
 
-	// Write batches commit atomically: one WAL record, one fsync under
-	// WithSyncWAL, all-or-nothing recovery after a crash.
+	// Write batches commit atomically: one WAL record, one group-committed
+	// fsync under flodb.WithSync(), all-or-nothing recovery after a crash.
 	b := flodb.NewWriteBatch()
 	b.Put([]byte("city:dresden"), []byte("EuroSys 2019"))
 	b.Put([]byte("city:rennes"), []byte("EuroSys 2022"))

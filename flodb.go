@@ -45,6 +45,21 @@
 //	b.Delete([]byte("k2"))
 //	if err := db.Apply(ctx, b); err != nil { ... }
 //
+// Durability is a per-operation choice. Writes default to Buffered
+// (logged, no fsync — the store's open-time default, tunable with
+// WithDurability); any single write can demand more or less, and Sync is
+// a store-wide barrier that promotes everything already acknowledged:
+//
+//	db.Put(ctx, k, v)                  // buffered: logged, no fsync
+//	db.Put(ctx, k, v, flodb.WithSync()) // group-committed fsync before return
+//	db.Put(ctx, k, v, flodb.WithDurability(flodb.DurabilityNone)) // not logged
+//	db.Sync(ctx)                       // barrier: everything acked is now durable
+//
+// Concurrent Sync-class writers share disk barriers through the WAL's
+// group-commit queue: one fsync acknowledges many writers, so turning
+// durability on does not re-serialize the memory-speed write path behind
+// the log.
+//
 // Named read views give multi-request consistency and online backup:
 //
 //	snap, err := db.Snapshot(ctx)  // repeatable-read handle
@@ -74,6 +89,26 @@ type Stats = kv.Stats
 // point in time. See the kv package for the full contract.
 type View = kv.View
 
+// Durability classifies how durable a write is when its call returns:
+// None (not logged; lost on crash), Buffered (staged in the log, no
+// flush/fsync; a crash may lose a recent suffix of acked writes, never a
+// middle slice), Sync (group-committed fsync before the call returns).
+// The store's default is set at Open with WithDurability; each Put,
+// Delete and Apply may override it.
+type Durability = kv.Durability
+
+// The durability classes. DurabilityDefault defers to the store default.
+const (
+	DurabilityDefault  = kv.DurabilityDefault
+	DurabilityNone     = kv.DurabilityNone
+	DurabilityBuffered = kv.DurabilityBuffered
+	DurabilitySync     = kv.DurabilitySync
+)
+
+// WriteOption tunes a single Put, Delete or Apply call; WithSync and
+// WithDurability produce them.
+type WriteOption = kv.WriteOption
+
 // The error taxonomy. Implementations wrap these, so always test with
 // errors.Is.
 var (
@@ -98,17 +133,22 @@ type DB struct {
 //	db, err := flodb.Open(dir,
 //		flodb.WithMemory(128<<20),
 //		flodb.WithDrainThreads(4),
-//		flodb.WithSyncWAL(),
+//		flodb.WithDurability(flodb.DurabilitySync),
 //	)
 //
 // With no options the store uses the paper's defaults scaled for a
-// development machine.
+// development machine. Out-of-range option values (a non-positive memory
+// budget, a Membuffer fraction outside (0,1), ...) are rejected with a
+// descriptive error.
 func Open(dir string, opts ...Option) (*DB, error) {
 	var o options
 	for _, opt := range opts {
 		if opt != nil {
 			opt.apply(&o)
 		}
+	}
+	if o.err != nil {
+		return nil, o.err
 	}
 	inner, err := core.Open(core.Config{
 		Dir:               dir,
@@ -118,7 +158,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		DrainThreads:      o.drainThreads,
 		RestartThreshold:  o.restartThreshold,
 		DisableWAL:        o.disableWAL,
-		SyncWAL:           o.syncWAL,
+		Durability:        o.durability,
 	})
 	if err != nil {
 		return nil, err
@@ -127,14 +167,28 @@ func Open(dir string, opts ...Option) (*DB, error) {
 }
 
 // Put inserts or overwrites key with value. The slices are copied; the
-// caller may reuse them.
-func (db *DB) Put(ctx context.Context, key, value []byte) error {
-	return db.inner.Put(ctx, key, value)
+// caller may reuse them. By default the write commits under the store's
+// durability class; WithSync / WithDurability override it for this call.
+func (db *DB) Put(ctx context.Context, key, value []byte, opts ...WriteOption) error {
+	return db.inner.Put(ctx, key, value, opts...)
 }
 
-// Delete removes key. Deleting an absent key is not an error.
-func (db *DB) Delete(ctx context.Context, key []byte) error {
-	return db.inner.Delete(ctx, key)
+// Delete removes key. Deleting an absent key is not an error. Durability
+// options apply as in Put.
+func (db *DB) Delete(ctx context.Context, key []byte, opts ...WriteOption) error {
+	return db.inner.Delete(ctx, key, opts...)
+}
+
+// Sync is the durability barrier: it blocks until every write
+// acknowledged before the call — on any goroutine — is crash-durable,
+// promoting the whole acked-but-buffered window with one group-committed
+// disk barrier per live WAL segment. A batch-load pattern: stream
+// thousands of Buffered writes at memory speed, then Sync once.
+//
+// Stats reports the boundary: writes up to DurableSeq are durable,
+// (DurableSeq, AckedSeq] is the window Sync closes.
+func (db *DB) Sync(ctx context.Context) error {
+	return db.inner.Sync(ctx)
 }
 
 // Get returns the current value of key. found is false if the key is

@@ -34,9 +34,14 @@ type Config struct {
 	MemBytes int64
 	// MemKind selects skiplist or hash memtable.
 	MemKind MemKind
-	// DisableWAL / SyncWAL as in FloDB.
+	// DisableWAL skips commit logging entirely; every write is then
+	// DurabilityNone and per-op logged classes fail with
+	// kv.ErrNotSupported, as in FloDB.
 	DisableWAL bool
-	SyncWAL    bool
+	// Durability is the default class for writes that don't override it
+	// per operation (DurabilityDefault resolves to Buffered, or None when
+	// the WAL is disabled).
+	Durability kv.Durability
 	// PersistLimiter models a slower disk (shared with FloDB benches).
 	PersistLimiter *diskenv.Limiter
 	// Storage configures the shared disk component.
@@ -47,8 +52,22 @@ func (c *Config) fillDefaults() error {
 	if c.Dir == "" {
 		return fmt.Errorf("baseline: Config.Dir is required")
 	}
-	if c.MemBytes <= 0 {
+	if c.MemBytes < 0 {
+		return fmt.Errorf("baseline: MemBytes %d is negative; want > 0 (or 0 for the 64 MiB default)", c.MemBytes)
+	}
+	if c.MemBytes == 0 {
 		c.MemBytes = 64 << 20
+	}
+	if !c.Durability.Valid() {
+		return fmt.Errorf("baseline: invalid Durability %v", c.Durability)
+	}
+	if c.DisableWAL {
+		if c.Durability == kv.DurabilityBuffered || c.Durability == kv.DurabilitySync {
+			return fmt.Errorf("baseline: default Durability %v requires the WAL, but the WAL is disabled: %w", c.Durability, kv.ErrNotSupported)
+		}
+		c.Durability = kv.DurabilityNone
+	} else if c.Durability == kv.DurabilityDefault {
+		c.Durability = kv.DurabilityBuffered
 	}
 	return nil
 }
@@ -91,10 +110,15 @@ type base struct {
 	wg       sync.WaitGroup
 	flushErr atomic.Pointer[error]
 
+	// walMetrics is shared by every WAL segment, so the acked-vs-durable
+	// boundary spans memtable switches.
+	walMetrics wal.Metrics
+
 	stats struct {
 		puts, gets, deletes, scans   atomic.Uint64
 		batches, batchOps, iterators atomic.Uint64
 		snapshots, checkpoints       atomic.Uint64
+		syncBarriers                 atomic.Uint64
 	}
 }
 
@@ -147,7 +171,7 @@ func (b *base) newMemHandle() (*memHandle, error) {
 		return h, nil
 	}
 	h.walNum = b.store.NewFileNum()
-	w, err := wal.Create(storage.WALFileName(b.cfg.Dir, h.walNum), wal.Options{SyncEvery: b.cfg.SyncWAL})
+	w, err := wal.Create(storage.WALFileName(b.cfg.Dir, h.walNum), wal.Options{Metrics: &b.walMetrics})
 	if err != nil {
 		return nil, err
 	}
@@ -202,17 +226,66 @@ func (b *base) recoverWALs() error {
 
 // --- Write-side mechanism -----------------------------------------------------
 
-// insertLocked assigns a sequence number and inserts into the current
-// memtable, logging first. Caller holds mu; the actual memtable insert
-// happens under mu (used by the LevelDB write leader).
-func (b *base) insertLocked(kind keys.Kind, key, value []byte) error {
-	if err := b.logRecord(b.mem, kind, key, value); err != nil {
+// resolveDurability folds per-op options over the configured default and
+// rejects logged classes on a store that has no log to back them.
+func (b *base) resolveDurability(opts []kv.WriteOption) (kv.Durability, error) {
+	d := b.cfg.Durability
+	if len(opts) > 0 {
+		d = kv.ResolveWriteOptions(b.cfg.Durability, opts...).Durability
+	}
+	if !d.Valid() {
+		return 0, fmt.Errorf("baseline: invalid durability %v", d)
+	}
+	if d != kv.DurabilityNone && b.cfg.DisableWAL {
+		return 0, fmt.Errorf("baseline: %v durability without a WAL: %w", d, kv.ErrNotSupported)
+	}
+	return d, nil
+}
+
+// commitSync is the commit point of a Sync-class write: it blocks until
+// the group-commit queue covers the record appended at off. Durability is
+// prefix-ordered: a live sealed segment's tail is synced FIRST, so a
+// Sync-acked write never survives a crash that loses an earlier acked
+// write (no holes in commit order). A writer closed underneath us was
+// retired by a completed flush, so its contents are durable through
+// sstables and the barrier is satisfied.
+func (b *base) commitSync(w *wal.Writer, off int64) error {
+	if w == nil {
+		return nil
+	}
+	b.mu.Lock()
+	imm := b.imm
+	b.mu.Unlock()
+	if imm != nil && imm.wal != nil && imm.wal != w {
+		if err := imm.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+	}
+	if err := w.SyncTo(off); err != nil && !errors.Is(err, wal.ErrClosed) {
 		return err
+	}
+	return nil
+}
+
+// insertLocked assigns a sequence number and inserts into the current
+// memtable, logging first (unless the op is DurabilityNone). Caller holds
+// mu; the actual memtable insert happens under mu (used by the LevelDB
+// write leader). It returns the commit-record position for a Sync-class
+// caller to group-commit AFTER releasing mu.
+func (b *base) insertLocked(kind keys.Kind, key, value []byte, logged bool) (*wal.Writer, int64, error) {
+	var w *wal.Writer
+	var off int64
+	if logged {
+		var err error
+		w, off, err = b.logRecord(b.mem, kind, key, value)
+		if err != nil {
+			return nil, 0, err
+		}
 	}
 	b.lastSeq++
 	b.mem.mem.Insert(key, b.lastSeq, kind, value)
 	b.maybeScheduleFlushLocked()
-	return nil
+	return w, off, nil
 }
 
 // beginConcurrentInsert allocates a sequence number and returns the target
@@ -223,11 +296,15 @@ func (b *base) beginConcurrentInsertLocked() (*memHandle, uint64) {
 	return b.mem, b.lastSeq
 }
 
-func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) error {
+func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) (*wal.Writer, int64, error) {
 	if h.wal == nil {
-		return nil
+		return nil, 0, nil
 	}
-	return h.wal.Append(kv.EncodeRecord(kind, key, value))
+	off, err := h.wal.Append(kv.EncodeRecord(kind, key, value))
+	if err != nil {
+		return nil, 0, err
+	}
+	return h.wal, off, nil
 }
 
 // applyBatch is the shared Apply mechanism for the mutex-ordered variants
@@ -235,8 +312,9 @@ func (b *base) logRecord(h *memHandle, kind keys.Kind, key, value []byte) error 
 // then every operation inserted under the global mutex with consecutive
 // sequence numbers. Atomicity falls out of the multi-versioned design —
 // the batch's version range is contiguous, and recovery replays the single
-// record all-or-nothing.
-func (b *base) applyBatch(ctx context.Context, batch *kv.Batch) error {
+// record all-or-nothing. Under DurabilitySync the whole batch costs one
+// group-committed fsync, issued after the global mutex is released.
+func (b *base) applyBatch(ctx context.Context, batch *kv.Batch, opts []kv.WriteOption) error {
 	if b.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -246,26 +324,81 @@ func (b *base) applyBatch(ctx context.Context, batch *kv.Batch) error {
 	if err := b.loadFlushErr(); err != nil {
 		return err
 	}
+	d, err := b.resolveDurability(opts)
+	if err != nil {
+		return err
+	}
 	if batch == nil || batch.Len() == 0 {
 		return nil
 	}
 	b.stats.batches.Add(1)
 	b.stats.batchOps.Add(uint64(batch.Len()))
+	w, off, err := b.applyBatchLocked(ctx, batch, d)
+	if err != nil {
+		return err
+	}
+	if d == kv.DurabilitySync {
+		return b.commitSync(w, off)
+	}
+	return nil
+}
+
+func (b *base) applyBatchLocked(ctx context.Context, batch *kv.Batch, d kv.Durability) (*wal.Writer, int64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err := b.waitRoomCtxLocked(ctx); err != nil {
-		return err
+		return nil, 0, err
 	}
-	if b.mem.wal != nil {
-		if err := b.mem.wal.Append(kv.EncodeBatchRecord(batch)); err != nil {
-			return err
+	var w *wal.Writer
+	var off int64
+	if d != kv.DurabilityNone && b.mem.wal != nil {
+		var err error
+		off, err = b.mem.wal.Append(kv.EncodeBatchRecord(batch))
+		if err != nil {
+			return nil, 0, err
 		}
+		w = b.mem.wal
 	}
 	for _, op := range batch.Ops() {
 		b.lastSeq++
 		b.mem.mem.Insert(op.Key, b.lastSeq, op.Kind, op.Value)
 	}
 	b.maybeScheduleFlushLocked()
+	return w, off, nil
+}
+
+// Sync is the durability barrier of the kv.Store contract: it blocks
+// until every mutation acknowledged before the call is crash-durable,
+// promoting the acked-but-buffered window with at most one group-
+// committed fsync per live segment (sealed first, then active — prefix
+// order). Without a WAL there is nothing buffered to promote.
+func (b *base) Sync(ctx context.Context) error {
+	if b.closed.Load() {
+		return ErrClosedBaseline
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.stats.syncBarriers.Add(1)
+	if b.cfg.DisableWAL {
+		return nil
+	}
+	// A failed flush means sealed-segment records may be neither in
+	// sstables nor syncable — don't claim a durable barrier over them.
+	if err := b.loadFlushErr(); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	mem, imm := b.mem, b.imm
+	b.mu.Unlock()
+	for _, h := range []*memHandle{imm, mem} {
+		if h == nil || h.wal == nil {
+			continue
+		}
+		if err := h.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -295,7 +428,18 @@ func (b *base) waitRoomCtxLocked(ctx context.Context) error {
 }
 
 // switchMemLocked seals the current memtable and installs a fresh one.
+// The sealed segment's staging buffer is flushed to the OS before the
+// successor takes its first append, so the cross-segment replay order
+// stays a clean prefix after a crash.
 func (b *base) switchMemLocked() error {
+	// Seal-flush first: if it fails, no successor handle (WAL file + fd)
+	// has been created yet, so a persistently failing disk doesn't leak
+	// one orphan segment per retry.
+	if b.mem.wal != nil {
+		if err := b.mem.wal.Flush(); err != nil {
+			return err
+		}
+	}
 	h, err := b.newMemHandle()
 	if err != nil {
 		return err
@@ -357,6 +501,10 @@ func (b *base) flushHandle(h *memHandle) error {
 		return err
 	}
 	if h.wal != nil {
+		// The handle's contents just reached sstables: its records are
+		// durable regardless of fsync coverage. Advance the boundary
+		// before retiring the segment.
+		h.wal.MarkContentsDurable()
 		h.wal.Close()
 		os.Remove(storage.WALFileName(b.cfg.Dir, h.walNum))
 	}
@@ -617,7 +765,10 @@ func (b *base) Checkpoint(ctx context.Context, dir string) error {
 	return fmt.Errorf("baseline: checkpoint %s: memtable turnover outpaced the copy %d times", dir, retries)
 }
 
-// closeCommon shuts down the flush loop and persists what remains.
+// closeCommon shuts down the flush loop and persists what remains. Any
+// segment whose contents do NOT reach sstables here (flush failure paths)
+// has its tail synced before closing — wal.Writer.Close does not fsync,
+// and a clean shutdown must never widen the acked-but-lost window.
 func (b *base) closeCommon() error {
 	if b.closed.Swap(true) {
 		return nil
@@ -626,26 +777,51 @@ func (b *base) closeCommon() error {
 	b.wg.Wait()
 
 	firstErr := b.loadFlushErr()
+	memFlushed := false
 	if firstErr == nil {
 		if b.imm != nil {
 			if err := b.flushHandle(b.imm); err != nil {
-				firstErr = err
+				firstErr = err // imm stays stranded; its tail is synced below
+			} else {
+				b.imm = nil
 			}
-			b.imm = nil
 		}
-		if b.mem.mem.Len() > 0 && firstErr == nil {
-			newLog := b.mem.walNum + 1
-			if b.cfg.DisableWAL {
-				newLog = b.store.NewFileNum()
-			}
-			if _, err := b.store.Flush(b.mem.mem.NewIterator(), newLog, b.lastSeq); err != nil {
-				firstErr = err
-			} else if b.mem.wal != nil {
-				os.Remove(storage.WALFileName(b.cfg.Dir, b.mem.walNum))
+		if firstErr == nil {
+			if b.mem.mem.Len() > 0 {
+				newLog := b.mem.walNum + 1
+				if b.cfg.DisableWAL {
+					newLog = b.store.NewFileNum()
+				}
+				if _, err := b.store.Flush(b.mem.mem.NewIterator(), newLog, b.lastSeq); err != nil {
+					firstErr = err
+				} else {
+					memFlushed = true
+					if b.mem.wal != nil {
+						b.mem.wal.MarkContentsDurable()
+						os.Remove(storage.WALFileName(b.cfg.Dir, b.mem.walNum))
+					}
+				}
+			} else {
+				memFlushed = true // nothing unpersisted; the tail is redundant
 			}
 		}
 	}
+	// A stranded sealed handle (flush failure) still holds acked records:
+	// sync and close its segment too.
+	if b.imm != nil && b.imm.wal != nil {
+		if err := b.imm.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) && firstErr == nil {
+			firstErr = err
+		}
+		if err := b.imm.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	if b.mem.wal != nil {
+		if !memFlushed {
+			if err := b.mem.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) && firstErr == nil {
+				firstErr = err
+			}
+		}
 		if err := b.mem.wal.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -654,6 +830,32 @@ func (b *base) closeCommon() error {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// CrashForTesting abandons the store the way a crash would: background
+// threads stop, every live WAL segment is Abandoned (its unflushed
+// staging tail is LOST), and no close-time flush or sync runs. Durability
+// tests use it to open the acked-but-lost window deliberately; production
+// code must use Close.
+func (b *base) CrashForTesting() {
+	if b.closed.Swap(true) {
+		return
+	}
+	close(b.closing)
+	// Writers parked in waitRoomCtxLocked wait on immCond for a flush
+	// loop that is now gone; the sticky error wakes and fails them.
+	b.setFlushErr(ErrClosedBaseline)
+	b.wg.Wait()
+	b.mu.Lock()
+	mem, imm := b.mem, b.imm
+	b.mu.Unlock()
+	if imm != nil && imm.wal != nil {
+		imm.wal.Abandon()
+	}
+	if mem.wal != nil {
+		mem.wal.Abandon()
+	}
+	b.store.Close()
 }
 
 // WaitDiskQuiesce blocks until the pending flush and all compactions
@@ -674,16 +876,22 @@ func (b *base) WaitDiskQuiesce() {
 // Stats reports shared counters.
 func (b *base) Stats() kv.Stats {
 	s := kv.Stats{
-		Puts:        b.stats.puts.Load(),
-		Gets:        b.stats.gets.Load(),
-		Deletes:     b.stats.deletes.Load(),
-		Scans:       b.stats.scans.Load(),
-		Batches:     b.stats.batches.Load(),
-		BatchOps:    b.stats.batchOps.Load(),
-		Iterators:   b.stats.iterators.Load(),
-		Snapshots:   b.stats.snapshots.Load(),
-		Checkpoints: b.stats.checkpoints.Load(),
+		Puts:         b.stats.puts.Load(),
+		Gets:         b.stats.gets.Load(),
+		Deletes:      b.stats.deletes.Load(),
+		Scans:        b.stats.scans.Load(),
+		Batches:      b.stats.batches.Load(),
+		BatchOps:     b.stats.batchOps.Load(),
+		Iterators:    b.stats.iterators.Load(),
+		Snapshots:    b.stats.snapshots.Load(),
+		Checkpoints:  b.stats.checkpoints.Load(),
+		SyncBarriers: b.stats.syncBarriers.Load(),
 	}
+	ws := b.walMetrics.Snapshot()
+	s.AckedSeq = ws.Appends
+	s.DurableSeq = ws.Durable
+	s.WALSyncs = ws.Syncs
+	s.WALSyncRequests = ws.SyncRequests
 	m := b.store.Metrics()
 	s.Flushes = m.Flushes
 	s.Compactions = m.Compactions

@@ -7,6 +7,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/wal"
 )
 
 // CLSM models the cLSM algorithm as integrated into RocksDB
@@ -53,11 +54,15 @@ func NewCLSM(cfg Config) (*CLSM, error) {
 	return db, nil
 }
 
-func (db *CLSM) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
+func (db *CLSM) write(ctx context.Context, kind keys.Kind, key, value []byte, opts []kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
 	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
 		return err
 	}
 	for {
@@ -75,13 +80,23 @@ func (db *CLSM) write(ctx context.Context, kind keys.Kind, key, value []byte) er
 			}
 			continue
 		}
-		if err := db.logRecord(v.mem, kind, key, value); err != nil {
-			db.rw.RUnlock()
-			return err
+		var w *wal.Writer
+		var off int64
+		if d != kv.DurabilityNone {
+			if w, off, err = db.logRecord(v.mem, kind, key, value); err != nil {
+				db.rw.RUnlock()
+				return err
+			}
 		}
 		seq := db.seq.Add(1)
 		v.mem.mem.Insert(key, seq, kind, value)
 		db.rw.RUnlock()
+		// Group commit outside the RW lock: sync committers coalesce in
+		// the commit queue instead of holding cLSM's writer side hostage
+		// to the disk barrier.
+		if d == kv.DurabilitySync {
+			return db.commitSync(w, off)
+		}
 		return nil
 	}
 }
@@ -115,15 +130,15 @@ func (db *CLSM) switchOrWait() error {
 }
 
 // Put proceeds under the read side of the global RW lock.
-func (db *CLSM) Put(ctx context.Context, key, value []byte) error {
+func (db *CLSM) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
 	db.stats.puts.Add(1)
-	return db.write(ctx, keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value, opts)
 }
 
 // Delete writes a tombstone version.
-func (db *CLSM) Delete(ctx context.Context, key []byte) error {
+func (db *CLSM) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
 	db.stats.deletes.Add(1)
-	return db.write(ctx, keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil, opts)
 }
 
 // Get is lock-free: atomic view capture, atomic snapshot sequence.
@@ -209,11 +224,15 @@ func (db *CLSM) Snapshot(ctx context.Context) (kv.View, error) {
 // pre-existing caveat that WAL append order and sequence order are not
 // atomic across concurrent writers, so recovery's replay order may
 // resolve a same-key race differently than pre-crash readers saw.
-func (db *CLSM) Apply(ctx context.Context, b *kv.Batch) error {
+func (db *CLSM) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
 	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
 		return err
 	}
 	if b == nil || b.Len() == 0 {
@@ -234,11 +253,14 @@ func (db *CLSM) Apply(ctx context.Context, b *kv.Batch) error {
 			}
 			continue
 		}
-		if v.mem.wal != nil {
-			if err := v.mem.wal.Append(kv.EncodeBatchRecord(b)); err != nil {
+		var w *wal.Writer
+		var off int64
+		if d != kv.DurabilityNone && v.mem.wal != nil {
+			if off, err = v.mem.wal.Append(kv.EncodeBatchRecord(b)); err != nil {
 				db.rw.RUnlock()
 				return err
 			}
+			w = v.mem.wal
 		}
 		// One contiguous range, reserved up front: a reader whose
 		// snapshot predates the batch (snap < start) sees none of it.
@@ -249,6 +271,11 @@ func (db *CLSM) Apply(ctx context.Context, b *kv.Batch) error {
 			v.mem.mem.Insert(op.Key, start+uint64(i), op.Kind, op.Value)
 		}
 		db.rw.RUnlock()
+		// One group-committed barrier for the whole batch, outside the
+		// RW lock.
+		if d == kv.DurabilitySync {
+			return db.commitSync(w, off)
+		}
 		return nil
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/wal"
 )
 
 // HyperLevelDB models HyperDex's LevelDB fork (§2.2, §6): it "replaces
@@ -29,7 +30,7 @@ func NewHyperLevelDB(cfg Config) (*HyperLevelDB, error) {
 	return db, nil
 }
 
-func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
+func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte, opts []kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -37,6 +38,10 @@ func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []
 		return err
 	}
 	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
 		return err
 	}
 	// Critical section #1: room check, version-number (seq) allocation,
@@ -49,10 +54,14 @@ func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []
 		db.snapMu.RUnlock()
 		return err
 	}
-	if err := db.logRecord(db.mem, kind, key, value); err != nil {
-		db.mu.Unlock()
-		db.snapMu.RUnlock()
-		return err
+	var w *wal.Writer
+	var off int64
+	if d != kv.DurabilityNone {
+		if w, off, err = db.logRecord(db.mem, kind, key, value); err != nil {
+			db.mu.Unlock()
+			db.snapMu.RUnlock()
+			return err
+		}
 	}
 	h, seq := db.beginConcurrentInsertLocked()
 	db.mu.Unlock()
@@ -65,19 +74,25 @@ func (db *HyperLevelDB) write(ctx context.Context, kind keys.Kind, key, value []
 	db.mu.Lock()
 	db.maybeScheduleFlushLocked()
 	db.mu.Unlock()
+	// The fsync wait of a Sync-class write runs outside every lock:
+	// concurrent committers coalesce in the WAL's group-commit queue
+	// rather than serializing the global mutex behind the disk.
+	if d == kv.DurabilitySync {
+		return db.commitSync(w, off)
+	}
 	return nil
 }
 
 // Put inserts concurrently between two global critical sections.
-func (db *HyperLevelDB) Put(ctx context.Context, key, value []byte) error {
+func (db *HyperLevelDB) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
 	db.stats.puts.Add(1)
-	return db.write(ctx, keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value, opts)
 }
 
 // Delete writes a tombstone version.
-func (db *HyperLevelDB) Delete(ctx context.Context, key []byte) error {
+func (db *HyperLevelDB) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
 	db.stats.deletes.Add(1)
-	return db.write(ctx, keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil, opts)
 }
 
 // Get retains LevelDB's read-side critical sections.
@@ -160,7 +175,9 @@ func (db *HyperLevelDB) Snapshot(ctx context.Context) (kv.View, error) {
 
 // Apply commits the batch atomically: version numbers for the whole batch
 // are allocated in one critical section.
-func (db *HyperLevelDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
+func (db *HyperLevelDB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	return db.applyBatch(ctx, b, opts)
+}
 
 // Close flushes and shuts down.
 func (db *HyperLevelDB) Close() error { return db.closeCommon() }

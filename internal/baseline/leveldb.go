@@ -5,6 +5,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/wal"
 )
 
 // LevelDB models Google's LevelDB concurrency design (§2.2):
@@ -25,10 +26,11 @@ type LevelDB struct {
 }
 
 type writeReq struct {
-	kind  keys.Kind
-	key   []byte
-	value []byte
-	done  chan error
+	kind       keys.Kind
+	key        []byte
+	value      []byte
+	durability kv.Durability
+	done       chan error
 }
 
 // chanWaiter is a tiny one-goroutine waitgroup (avoids embedding another
@@ -56,11 +58,23 @@ func NewLevelDB(cfg Config) (*LevelDB, error) {
 	return db, nil
 }
 
+// pendingSync is a combined-pass write awaiting its group-committed
+// fsync: the leader acks it only after the barrier covers its record.
+type pendingSync struct {
+	req *writeReq
+	w   *wal.Writer
+	off int64
+}
+
 // writeLeader drains the queue, applying writes sequentially under the
-// global mutex — the single-writer bottleneck of Fig 9.
+// global mutex — the single-writer bottleneck of Fig 9. Sync-class writes
+// get LevelDB's natural group commit: the whole combined pass shares ONE
+// fsync, issued after the mutex is released, and only then are the
+// sync writers acknowledged (buffered writers were acked under the lock).
 func (db *LevelDB) writeLeader() {
 	defer db.writerWg.done()
 	var batch []*writeReq
+	var pending []*pendingSync
 	for {
 		select {
 		case <-db.closing:
@@ -85,20 +99,33 @@ func (db *LevelDB) writeLeader() {
 					break drain
 				}
 			}
+			pending = pending[:0]
 			db.mu.Lock()
 			for _, r := range batch {
 				err := db.waitRoomLocked()
+				var w *wal.Writer
+				var off int64
 				if err == nil {
-					err = db.insertLocked(r.kind, r.key, r.value)
+					w, off, err = db.insertLocked(r.kind, r.key, r.value, r.durability != kv.DurabilityNone)
+				}
+				if err == nil && r.durability == kv.DurabilitySync && w != nil {
+					pending = append(pending, &pendingSync{req: r, w: w, off: off})
+					continue // acked after the shared barrier
 				}
 				r.done <- err
 			}
 			db.mu.Unlock()
+			// One barrier per segment the pass touched (normally one; a
+			// memtable switch mid-pass adds a second). commitSync's fast
+			// path makes the later laps free.
+			for _, p := range pending {
+				p.req.done <- db.commitSync(p.w, p.off)
+			}
 		}
 	}
 }
 
-func (db *LevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
+func (db *LevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte, opts []kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -108,7 +135,11 @@ func (db *LevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte)
 	if err := db.loadFlushErr(); err != nil {
 		return err
 	}
-	req := &writeReq{kind: kind, key: key, value: value, done: make(chan error, 1)}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
+		return err
+	}
+	req := &writeReq{kind: kind, key: key, value: value, durability: d, done: make(chan error, 1)}
 	select {
 	case db.writeCh <- req:
 	case <-db.closing:
@@ -128,15 +159,15 @@ func (db *LevelDB) write(ctx context.Context, kind keys.Kind, key, value []byte)
 }
 
 // Put queues the update for the write leader.
-func (db *LevelDB) Put(ctx context.Context, key, value []byte) error {
+func (db *LevelDB) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
 	db.stats.puts.Add(1)
-	return db.write(ctx, keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value, opts)
 }
 
 // Delete queues a tombstone.
-func (db *LevelDB) Delete(ctx context.Context, key []byte) error {
+func (db *LevelDB) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
 	db.stats.deletes.Add(1)
-	return db.write(ctx, keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil, opts)
 }
 
 // Get takes the global mutex at the start (to capture the view) and again
@@ -216,7 +247,9 @@ func (db *LevelDB) Snapshot(ctx context.Context) (kv.View, error) {
 
 // Apply commits the batch atomically under the global mutex — the same
 // single-writer application the leader performs for combined queues.
-func (db *LevelDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
+func (db *LevelDB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	return db.applyBatch(ctx, b, opts)
+}
 
 // Close shuts down the leader and flushes.
 func (db *LevelDB) Close() error {

@@ -5,6 +5,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/wal"
 )
 
 // RocksDB models Facebook's RocksDB (§2.2, §6): it improves on LevelDB by
@@ -33,7 +34,7 @@ func NewRocksDB(cfg Config) (*RocksDB, error) {
 	return db, nil
 }
 
-func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte) error {
+func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte, opts []kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosedBaseline
 	}
@@ -41,6 +42,10 @@ func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte)
 		return err
 	}
 	if err := db.loadFlushErr(); err != nil {
+		return err
+	}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
 		return err
 	}
 	// Single short critical section: room check, seq, log, size trigger.
@@ -53,10 +58,14 @@ func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte)
 		db.snapMu.RUnlock()
 		return err
 	}
-	if err := db.logRecord(db.mem, kind, key, value); err != nil {
-		db.mu.Unlock()
-		db.snapMu.RUnlock()
-		return err
+	var w *wal.Writer
+	var off int64
+	if d != kv.DurabilityNone {
+		if w, off, err = db.logRecord(db.mem, kind, key, value); err != nil {
+			db.mu.Unlock()
+			db.snapMu.RUnlock()
+			return err
+		}
 	}
 	h, seq := db.beginConcurrentInsertLocked()
 	db.maybeScheduleFlushLocked()
@@ -64,19 +73,25 @@ func (db *RocksDB) write(ctx context.Context, kind keys.Kind, key, value []byte)
 
 	h.mem.Insert(key, seq, kind, value)
 	db.snapMu.RUnlock()
+	// Group commit outside every lock — the shape of RocksDB's write
+	// group: one leader's fsync acknowledges the whole wave of
+	// WriteOptions.sync committers.
+	if d == kv.DurabilitySync {
+		return db.commitSync(w, off)
+	}
 	return nil
 }
 
 // Put inserts with one short global critical section.
-func (db *RocksDB) Put(ctx context.Context, key, value []byte) error {
+func (db *RocksDB) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
 	db.stats.puts.Add(1)
-	return db.write(ctx, keys.KindSet, key, value)
+	return db.write(ctx, keys.KindSet, key, value, opts)
 }
 
 // Delete writes a tombstone version.
-func (db *RocksDB) Delete(ctx context.Context, key []byte) error {
+func (db *RocksDB) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
 	db.stats.deletes.Add(1)
-	return db.write(ctx, keys.KindDelete, key, nil)
+	return db.write(ctx, keys.KindDelete, key, nil, opts)
 }
 
 // Get takes one short critical section to capture the view ("caching
@@ -150,7 +165,9 @@ func (db *RocksDB) Snapshot(ctx context.Context) (kv.View, error) {
 
 // Apply commits the batch atomically with one critical section — the shape
 // of RocksDB's WriteBatch, whose group commit this models.
-func (db *RocksDB) Apply(ctx context.Context, b *kv.Batch) error { return db.applyBatch(ctx, b) }
+func (db *RocksDB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	return db.applyBatch(ctx, b, opts)
+}
 
 // Close flushes and shuts down.
 func (db *RocksDB) Close() error { return db.closeCommon() }

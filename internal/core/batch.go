@@ -6,6 +6,7 @@ import (
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 	"flodb/internal/skiplist"
+	"flodb/internal/wal"
 )
 
 // Apply commits every mutation in b atomically.
@@ -13,9 +14,10 @@ import (
 // Durability and recovery are all-or-nothing: the whole batch is appended
 // as ONE WAL record (kv.EncodeBatchRecord), so the log's per-record CRC
 // framing guarantees that after a crash either every operation replays or
-// none does — and with SyncWAL the batch costs a single fsync, amortized
-// across its operations the way the paper's drain threads amortize
-// skiplist traversals across a multi-insert batch (§4.2).
+// none does — and under DurabilitySync the batch costs a single
+// group-committed fsync, amortized across its operations the way the
+// paper's drain threads amortize skiplist traversals across a
+// multi-insert batch (§4.2).
 //
 // The memory-component application runs under drainMu, which serializes it
 // with generation switches (persist seals, master scans, fallback scans).
@@ -33,7 +35,7 @@ import (
 // and sees every entry. Point Gets racing with Apply may observe a prefix
 // of the batch — the atomicity contract is about durability and scans, not
 // read isolation.
-func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
+func (db *DB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -41,6 +43,10 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 		return err
 	}
 	if err := db.loadPersistErr(); err != nil {
+		return err
+	}
+	d, err := db.resolveDurability(opts)
+	if err != nil {
 		return err
 	}
 	if b == nil || b.Len() == 0 {
@@ -54,6 +60,12 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 	// Each lap is a cancellation point — this wait is unbounded.
 	for spins := 0; ; spins++ {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if db.closed.Load() {
+			return ErrClosed
+		}
+		if err := db.loadPersistErr(); err != nil {
 			return err
 		}
 		g := db.gen.Load()
@@ -72,10 +84,27 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 		break
 	}
 
+	syncW, syncOff, err := db.applyLocked(b, d)
+	if err != nil {
+		return err
+	}
+	// The fsync wait of a Sync-class batch runs AFTER drainMu is
+	// released: the batch is already applied and logged, and holding the
+	// store's switch/scan lock across a disk barrier would hand every
+	// scanner and the persister the fsync's latency.
+	if d == kv.DurabilitySync {
+		return db.commitSync(syncW, syncOff)
+	}
+	return nil
+}
+
+// applyLocked logs and applies the batch under drainMu, returning the
+// commit-record position for a Sync-class caller to group-commit.
+func (db *DB) applyLocked(b *kv.Batch, d kv.Durability) (*wal.Writer, int64, error) {
 	db.drainMu.Lock()
 	defer db.drainMu.Unlock()
 	if db.closed.Load() {
-		return ErrClosed
+		return nil, 0, ErrClosed
 	}
 
 	// Under drainMu, pauseWriters is stably false and immMbf stably nil:
@@ -88,10 +117,14 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 	defer h.Exit()
 
 	g := db.gen.Load()
-	if g.mtb.wal != nil {
-		if err := g.mtb.wal.Append(kv.EncodeBatchRecord(b)); err != nil {
-			return err
+	var syncW *wal.Writer
+	var syncOff int64
+	if d != kv.DurabilityNone && g.mtb.wal != nil {
+		off, err := g.mtb.wal.Append(kv.EncodeBatchRecord(b))
+		if err != nil {
+			return nil, 0, err
 		}
+		syncW, syncOff = g.mtb.wal, off
 	}
 
 	ops := b.Ops()
@@ -123,5 +156,5 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch) error {
 	if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
 		db.signalPersist()
 	}
-	return nil
+	return syncW, syncOff, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flodb/internal/diskenv"
+	"flodb/internal/kv"
 	"flodb/internal/membuffer"
 	"flodb/internal/storage"
 )
@@ -52,12 +53,16 @@ type Config struct {
 	// Default 8.
 	MaxPiggybackChain int
 
-	// DisableWAL skips commit logging (the paper's benchmarks, like
-	// LevelDB's defaults, run without synchronous logging; the WAL is on
-	// by default here and fsync is opt-in via SyncWAL).
+	// DisableWAL skips commit logging entirely (the paper's benchmarks,
+	// like LevelDB's defaults, run without a per-write log). Without a
+	// log every write is DurabilityNone; requesting a logged class per
+	// operation fails with kv.ErrNotSupported.
 	DisableWAL bool
-	// SyncWAL fsyncs the log on every update.
-	SyncWAL bool
+	// Durability is the default durability class for writes that don't
+	// override it per operation. DurabilityDefault resolves to Buffered
+	// (log without fsync) — or None when the WAL is disabled. Sync makes
+	// every write group-commit an fsync before acknowledging.
+	Durability kv.Durability
 
 	// DropPersist discards immutable Memtables instead of flushing them —
 	// the memory-component-only mode of Fig 17. Implies no recovery of
@@ -73,39 +78,76 @@ type Config struct {
 	Storage storage.Options
 }
 
+// fillDefaults validates the configuration and resolves zero values to
+// the paper's defaults. Out-of-range values are REJECTED with a
+// descriptive error, never silently clamped: a store that opens with a
+// different geometry than the caller asked for is a misconfiguration
+// nobody notices until the performance (or durability) is wrong.
 func (c *Config) fillDefaults() error {
 	if c.Dir == "" && !c.DropPersist {
 		return fmt.Errorf("core: Config.Dir is required")
 	}
-	if c.MemoryBytes <= 0 {
+	if c.MemoryBytes < 0 {
+		return fmt.Errorf("core: MemoryBytes %d is negative; want > 0 (or 0 for the 64 MiB default)", c.MemoryBytes)
+	}
+	if c.MemoryBytes == 0 {
 		c.MemoryBytes = 64 << 20
 	}
-	if c.MembufferFraction <= 0 || c.MembufferFraction >= 1 {
+	if c.MembufferFraction < 0 || c.MembufferFraction >= 1 {
+		return fmt.Errorf("core: MembufferFraction %v outside (0,1); want the Membuffer's share of MemoryBytes (or 0 for the default 0.25)", c.MembufferFraction)
+	}
+	if c.MembufferFraction == 0 {
 		c.MembufferFraction = 0.25
+	}
+	if c.PartitionBits > 16 {
+		return fmt.Errorf("core: PartitionBits %d exceeds 16 (2^16 partitions is the supported maximum)", c.PartitionBits)
 	}
 	if c.PartitionBits == 0 {
 		c.PartitionBits = 6
 	}
-	if c.PartitionBits > 16 {
-		c.PartitionBits = 16
+	if c.EntryBytesHint < 0 {
+		return fmt.Errorf("core: EntryBytesHint %d is negative; want an approximate key+value size (or 0 for the default 264)", c.EntryBytesHint)
 	}
-	if c.EntryBytesHint <= 0 {
+	if c.EntryBytesHint == 0 {
 		c.EntryBytesHint = 264
 	}
-	if c.DrainThreads <= 0 {
+	if c.DrainThreads < 0 {
+		return fmt.Errorf("core: DrainThreads %d is negative; want > 0 (or 0 for the default 2)", c.DrainThreads)
+	}
+	if c.DrainThreads == 0 {
 		c.DrainThreads = 2
 	}
-	if c.DrainBatch <= 0 {
+	if c.DrainBatch < 0 {
+		return fmt.Errorf("core: DrainBatch %d is negative; want > 0 (or 0 for the default 64)", c.DrainBatch)
+	}
+	if c.DrainBatch == 0 {
 		c.DrainBatch = 64
 	}
-	if c.RestartThreshold <= 0 {
+	if c.RestartThreshold < 0 {
+		return fmt.Errorf("core: RestartThreshold %d is negative; want > 0 (or 0 for the default 3)", c.RestartThreshold)
+	}
+	if c.RestartThreshold == 0 {
 		c.RestartThreshold = 3
 	}
-	if c.MaxPiggybackChain <= 0 {
+	if c.MaxPiggybackChain < 0 {
+		return fmt.Errorf("core: MaxPiggybackChain %d is negative; want > 0 (or 0 for the default 8)", c.MaxPiggybackChain)
+	}
+	if c.MaxPiggybackChain == 0 {
 		c.MaxPiggybackChain = 8
 	}
 	if c.DropPersist {
 		c.DisableWAL = true
+	}
+	if !c.Durability.Valid() {
+		return fmt.Errorf("core: invalid Durability %v", c.Durability)
+	}
+	if c.DisableWAL {
+		if c.Durability == kv.DurabilityBuffered || c.Durability == kv.DurabilitySync {
+			return fmt.Errorf("core: default Durability %v requires the WAL, but the WAL is disabled: %w", c.Durability, kv.ErrNotSupported)
+		}
+		c.Durability = kv.DurabilityNone
+	} else if c.Durability == kv.DurabilityDefault {
+		c.Durability = kv.DurabilityBuffered
 	}
 	return nil
 }

@@ -36,6 +36,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -105,6 +106,11 @@ type DB struct {
 	// on subsequent writes and Close.
 	persistErr atomic.Pointer[error]
 
+	// walMetrics is shared by every WAL segment the store creates, so
+	// the acked-vs-durable boundary (Stats.AckedSeq/DurableSeq) spans
+	// generation switches.
+	walMetrics wal.Metrics
+
 	// handles recycles RCU reader handles across operations.
 	handles *sync.Pool
 
@@ -125,6 +131,7 @@ type statCounters struct {
 	persists                      atomic.Uint64
 	masterScans, piggybackScans   atomic.Uint64
 	helpDrains                    atomic.Uint64
+	syncBarriers                  atomic.Uint64
 }
 
 // Open creates or opens a FloDB store.
@@ -190,7 +197,7 @@ func (db *DB) newMemtable() (*memtable, error) {
 		return m, nil
 	}
 	m.walNum = db.store.NewFileNum()
-	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{SyncEvery: db.cfg.SyncWAL})
+	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{Metrics: &db.walMetrics})
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +270,7 @@ func (db *DB) Close() error {
 	firstErr := db.loadPersistErr()
 
 	g := db.gen.Load()
+	flushed := false
 	if db.store != nil && firstErr == nil {
 		// Final persist: drain the membuffer into the memtable and flush.
 		if g.mbf != nil {
@@ -277,13 +285,40 @@ func (db *DB) Close() error {
 			}
 			if _, err := db.store.Flush(newMemtableIter(g.mtb), newLog, db.seq.Load()); err != nil {
 				firstErr = err
-			} else if !db.cfg.DisableWAL {
-				os.Remove(storage.WALFileName(db.cfg.Dir, g.mtb.walNum))
+			} else {
+				flushed = true
+				if !db.cfg.DisableWAL {
+					if g.mtb.wal != nil {
+						g.mtb.wal.MarkContentsDurable()
+					}
+					os.Remove(storage.WALFileName(db.cfg.Dir, g.mtb.walNum))
+				}
 			}
+		} else {
+			flushed = true // nothing unpersisted; the WAL tail is redundant
+		}
+	}
+	// When the final flush was skipped (background persist failure) or
+	// failed, the WAL tail is the only copy of acked writes — and
+	// wal.Writer.Close does not fsync. Sync it so a clean shutdown never
+	// widens the acked-but-lost window, then close. A persist failure may
+	// also strand the sealed generation: its segment still holds acked
+	// records, so it gets the same sync-then-close treatment.
+	if !flushed {
+		if err := g.mtb.syncWAL(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
 	if err := g.mtb.closeWAL(); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	if imm := db.immMtb.Load(); imm != nil && imm.wal != nil {
+		if err := imm.syncWAL(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := imm.closeWAL(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if db.store != nil {
 		if err := db.store.Close(); err != nil && firstErr == nil {
@@ -291,6 +326,42 @@ func (db *DB) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// Sync is the durability barrier of the kv.Store contract: it blocks
+// until every mutation acknowledged before the call is crash-durable.
+// One group-committed fsync per live WAL segment (at most two: the sealed
+// generation's and the active one's) promotes the whole acked-but-
+// buffered window; concurrent barriers and Sync-class writes coalesce in
+// the commit queue. With the WAL disabled there is no buffered window to
+// promote and the barrier is a no-op.
+func (db *DB) Sync(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	db.stats.syncBarriers.Add(1)
+	if db.store == nil || db.cfg.DisableWAL {
+		return nil
+	}
+	// A failed persist means sealed-generation records may be neither in
+	// sstables nor syncable — don't claim a durable barrier over them.
+	if err := db.loadPersistErr(); err != nil {
+		return err
+	}
+	// Active generation loaded first: if a switch races us, the pair we
+	// loaded becomes the sealed one and we still sync the segment that
+	// holds every pre-call record. Segments retired meanwhile are durable
+	// through their sstable flush (syncWAL maps ErrClosed to nil).
+	g := db.gen.Load()
+	if imm := db.immMtb.Load(); imm != nil {
+		if err := imm.syncWAL(); err != nil {
+			return err
+		}
+	}
+	return g.mtb.syncWAL()
 }
 
 func (db *DB) loadPersistErr() error {
@@ -305,6 +376,29 @@ func (db *DB) setPersistErr(err error) {
 		return
 	}
 	db.persistErr.CompareAndSwap(nil, &err)
+}
+
+// CrashForTesting abandons the store the way a crash would: background
+// threads stop, every live WAL segment is Abandoned (its unflushed
+// staging tail is LOST, modeling the buffers a crash takes), and no
+// close-time flush or sync runs. The directory is left exactly as a
+// post-crash recovery would find it. Durability tests use it to open the
+// acked-but-lost window deliberately; production code must use Close.
+func (db *DB) CrashForTesting() {
+	if db.closed.Swap(true) {
+		return
+	}
+	close(db.closing)
+	db.wg.Wait()
+	if imm := db.immMtb.Load(); imm != nil && imm.wal != nil {
+		imm.wal.Abandon()
+	}
+	if g := db.gen.Load(); g.mtb.wal != nil {
+		g.mtb.wal.Abandon()
+	}
+	if db.store != nil {
+		db.store.Close()
+	}
 }
 
 // Stats returns a snapshot of operation counters.
@@ -323,7 +417,13 @@ func (db *DB) Stats() kv.Stats {
 		FallbackScans:  db.stats.fallbackScans.Load(),
 		MembufferHits:  db.stats.membufferHits.Load(),
 		MemtableWrites: db.stats.memtableWrites.Load(),
+		SyncBarriers:   db.stats.syncBarriers.Load(),
 	}
+	ws := db.walMetrics.Snapshot()
+	s.AckedSeq = ws.Appends
+	s.DurableSeq = ws.Durable
+	s.WALSyncs = ws.Syncs
+	s.WALSyncRequests = ws.SyncRequests
 	if db.store != nil {
 		m := db.store.Metrics()
 		s.Flushes = m.Flushes

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"flodb/internal/keys"
 	"flodb/internal/skiplist"
 	"flodb/internal/storage"
@@ -31,6 +33,19 @@ func (m *memtable) closeWAL() error {
 		return nil
 	}
 	return m.wal.Close()
+}
+
+// syncWAL forces the segment's tail durable (nil-safe). A segment closed
+// by a completed persist is already durable through its sstable flush, so
+// wal.ErrClosed reports success.
+func (m *memtable) syncWAL() error {
+	if m.wal == nil {
+		return nil
+	}
+	if err := m.wal.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 // memtableIter adapts the skiplist iterator to storage.InternalIterator

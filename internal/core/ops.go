@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"flodb/internal/kv"
 	"flodb/internal/rcu"
 	"flodb/internal/skiplist"
+	"flodb/internal/wal"
 )
 
 // ErrClosed is returned by operations on a closed DB. It wraps
@@ -92,16 +94,65 @@ func (db *DB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 // every slice it is handed (Membuffer slots and skiplist nodes alias
 // their inputs), so ownership must be taken here, exactly as LevelDB-
 // lineage memtables copy into an arena.
-func (db *DB) Put(ctx context.Context, key, value []byte) error {
+func (db *DB) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
 	db.stats.puts.Add(1)
-	return db.update(ctx, keys.Clone(key), keys.Clone(value), false)
+	d, err := db.resolveDurability(opts)
+	if err != nil {
+		return err
+	}
+	return db.update(ctx, keys.Clone(key), keys.Clone(value), false, d)
 }
 
 // Delete writes a tombstone for key (§3.2: "a Put with a special tombstone
 // value"). The key is copied.
-func (db *DB) Delete(ctx context.Context, key []byte) error {
+func (db *DB) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
 	db.stats.deletes.Add(1)
-	return db.update(ctx, keys.Clone(key), tombstoneMarker, true)
+	d, err := db.resolveDurability(opts)
+	if err != nil {
+		return err
+	}
+	return db.update(ctx, keys.Clone(key), tombstoneMarker, true, d)
+}
+
+// resolveDurability folds per-op options over the configured default and
+// rejects logged classes on a store that has no log to back them.
+func (db *DB) resolveDurability(opts []kv.WriteOption) (kv.Durability, error) {
+	d := db.cfg.Durability
+	if len(opts) > 0 {
+		d = kv.ResolveWriteOptions(db.cfg.Durability, opts...).Durability
+	}
+	if !d.Valid() {
+		return 0, fmt.Errorf("flodb: invalid durability %v", d)
+	}
+	if d != kv.DurabilityNone && (db.cfg.DisableWAL || db.store == nil) {
+		return 0, fmt.Errorf("flodb: %v durability without a WAL: %w", d, kv.ErrNotSupported)
+	}
+	return d, nil
+}
+
+// commitSync is the commit point of a Sync-class write: it blocks until
+// the group-commit queue covers the record appended at off. Durability is
+// prefix-ordered: if a sealed generation's segment is still live, its
+// tail is synced FIRST, so a Sync-acked write never survives a crash
+// that loses an earlier acked write (no holes in commit order). A
+// segment closed underneath us was retired by a completed persist, so
+// its contents are durable through sstables and the barrier is satisfied.
+func (db *DB) commitSync(w *wal.Writer, off int64) error {
+	if w == nil {
+		return nil
+	}
+	// persistCycle publishes immMtb before the new generation, so a
+	// writer whose record landed in the successor segment is guaranteed
+	// to see the sealed one here while it is still live.
+	if imm := db.immMtb.Load(); imm != nil && imm.wal != nil && imm.wal != w {
+		if err := imm.syncWAL(); err != nil {
+			return err
+		}
+	}
+	if err := w.SyncTo(off); err != nil && !errors.Is(err, wal.ErrClosed) {
+		return err
+	}
+	return nil
 }
 
 // update is Algorithm 2's Put. The fast path tries the Membuffer; if the
@@ -109,7 +160,13 @@ func (db *DB) Delete(ctx context.Context, key []byte) error {
 // directly to the Memtable, first honoring pauseWriters (helping with the
 // drain) and Memtable backpressure. key and value are owned by the store
 // (Put/Delete clone at entry).
-func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) error {
+//
+// Durability routing: DurabilityNone skips the WAL append entirely;
+// Buffered appends and returns; Sync appends, completes the memory-
+// component insert, and only then joins the group-commit queue — the
+// fsync wait happens OUTSIDE the RCU read section, so a stalled disk
+// barrier never delays a generation switch's grace period.
+func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d kv.Durability) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
@@ -124,7 +181,14 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) err
 	if tombstone {
 		kind = keys.KindDelete
 	}
-	var rec []byte // encoded lazily, only when a WAL exists
+	logged := d != kv.DurabilityNone
+	var rec []byte // encoded lazily, only when a WAL append happens
+	// The last successful append is the op's commit record (the fast
+	// path's append may be superseded by the slow path's re-log; replay
+	// applies both, idempotently, and the later one alone reconstructs
+	// the op).
+	var syncW *wal.Writer
+	var syncOff int64
 
 	h := db.handle()
 	defer db.putHandle(h)
@@ -133,16 +197,21 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) err
 	h.Enter()
 	g := db.gen.Load()
 	if g.mbf != nil {
-		if g.mtb.wal != nil {
+		if logged && g.mtb.wal != nil {
 			rec = kv.EncodeRecord(kind, key, value)
-			if err := g.mtb.wal.Append(rec); err != nil {
+			off, err := g.mtb.wal.Append(rec)
+			if err != nil {
 				h.Exit()
 				return err
 			}
+			syncW, syncOff = g.mtb.wal, off
 		}
 		if g.mbf.Add(key, value, tombstone) {
 			h.Exit()
 			db.stats.membufferHits.Add(1)
+			if d == kv.DurabilitySync {
+				return db.commitSync(syncW, syncOff)
+			}
 			return nil
 		}
 		// Bucket full or buffer frozen: fall through to the Memtable. The
@@ -156,8 +225,16 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) err
 	// --- Slow path: write to the Memtable (Algorithm 2 lines 12–20).
 	for spins := 0; ; spins++ {
 		// Honest cancellation point: the slow path can wait out drains and
-		// backpressure indefinitely, so every lap re-checks the context.
+		// backpressure indefinitely, so every lap re-checks the context —
+		// and the store's liveness, so a writer stalled on backpressure
+		// is not stranded when the store dies under it.
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if db.closed.Load() {
+			return ErrClosed
+		}
+		if err := db.loadPersistErr(); err != nil {
 			return err
 		}
 		// While a scan or persist drains the immutable Membuffer, writers
@@ -196,14 +273,16 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) err
 			continue
 		}
 		g = db.gen.Load()
-		if g.mtb.wal != nil {
+		if logged && g.mtb.wal != nil {
 			if rec == nil {
 				rec = kv.EncodeRecord(kind, key, value)
 			}
-			if err := g.mtb.wal.Append(rec); err != nil {
+			off, err := g.mtb.wal.Append(rec)
+			if err != nil {
 				h.Exit()
 				return err
 			}
+			syncW, syncOff = g.mtb.wal, off
 		}
 		seq := db.seq.Add(1)
 		g.mtb.list.Insert(key, &skiplist.Entry{Value: value, Seq: seq, Tombstone: tombstone})
@@ -211,6 +290,9 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool) err
 		db.stats.memtableWrites.Add(1)
 		if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
 			db.signalPersist()
+		}
+		if d == kv.DurabilitySync {
+			return db.commitSync(syncW, syncOff)
 		}
 		return nil
 	}

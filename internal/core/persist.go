@@ -83,13 +83,30 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 
 	db.pauseWriters.Store(true)
 	db.pauseDraining.Store(true)
-	db.gen.Store(g)
+	// The immutable components are published BEFORE the new pair: any
+	// writer that reaches the new generation's WAL segment observes the
+	// sealed generation through immMtb, which is what lets a Sync-class
+	// commit in the new segment extend its barrier over the sealed
+	// segment's tail (commitSync's prefix rule). Readers tolerate the
+	// transient double-publication (the same table reachable as both
+	// active and immutable) because the Get order just checks it twice.
 	if old.mbf != nil {
 		old.mbf.Freeze()
 		db.immMbf.Store(old.mbf)
 	}
 	db.immMtb.Store(old.mtb)
+	db.gen.Store(g)
 	db.domain.Synchronize()
+
+	// Seal-time flush: push the sealed segment's staging buffer to the
+	// OS before the successor accumulates enough to flush its own. A
+	// crash then never recovers later records while earlier ones are
+	// still trapped in a lost bufio tail — the replay prefix has no
+	// cross-segment holes.
+	var sealErr error
+	if old.mtb.wal != nil {
+		sealErr = old.mtb.wal.Flush()
+	}
 
 	if old.mbf != nil {
 		db.drainBufferInto(old.mbf, old.mtb, 0)
@@ -102,6 +119,9 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 	db.pauseWriters.Store(false)
 	db.pauseDraining.Store(false)
 	db.drainMu.Unlock()
+	if sealErr != nil {
+		return 0, sealErr
+	}
 
 	db.stats.persists.Add(1)
 
@@ -130,6 +150,13 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 	// keeps the Get order sensible).
 	db.domain.Synchronize()
 	db.immMtb.Store(nil)
+	if old.mtb.wal != nil {
+		// The generation's contents just reached sstables: every record
+		// in its segment is durable through the flush, whether or not an
+		// fsync ever covered it. Advance the acked-vs-durable boundary
+		// before retiring the segment.
+		old.mtb.wal.MarkContentsDurable()
+	}
 	if err := old.mtb.closeWAL(); err != nil {
 		return 0, err
 	}

@@ -118,37 +118,43 @@ func storageOpts(memBytes int64) storage.Options {
 }
 
 // openSystem builds one of the five stores. Benchmarks run with the WAL
-// disabled, like the paper's db_bench-style loaders (no fsync per write).
+// disabled, like the paper's db_bench-style loaders (no fsync per write);
+// cells that measure the durable write path use openSystemDurable.
 func openSystem(sys System, dir string, memBytes int64, lim *diskenv.Limiter) (kv.Store, error) {
+	return openSystemMode(sys, dir, memBytes, lim, false)
+}
+
+// openSystemDurable builds one of the five stores with the commit log ON
+// (Buffered default durability) — the configuration the durable-write
+// apibench column and the durability conformance suite measure.
+func openSystemDurable(sys System, dir string, memBytes int64, lim *diskenv.Limiter) (kv.Store, error) {
+	return openSystemMode(sys, dir, memBytes, lim, true)
+}
+
+func openSystemMode(sys System, dir string, memBytes int64, lim *diskenv.Limiter, walOn bool) (kv.Store, error) {
 	switch sys {
 	case SysFloDB:
 		return core.Open(core.Config{
 			Dir:            dir,
 			MemoryBytes:    memBytes,
-			DisableWAL:     true,
+			DisableWAL:     !walOn,
 			PersistLimiter: lim,
 			Storage:        storageOpts(memBytes),
 		})
+	}
+	cfg := baseline.Config{
+		Dir: dir, MemBytes: memBytes, DisableWAL: !walOn,
+		PersistLimiter: lim, Storage: storageOpts(memBytes),
+	}
+	switch sys {
 	case SysRocks:
-		return baseline.NewRocksDB(baseline.Config{
-			Dir: dir, MemBytes: memBytes, DisableWAL: true,
-			PersistLimiter: lim, Storage: storageOpts(memBytes),
-		})
+		return baseline.NewRocksDB(cfg)
 	case SysCLSM:
-		return baseline.NewCLSM(baseline.Config{
-			Dir: dir, MemBytes: memBytes, DisableWAL: true,
-			PersistLimiter: lim, Storage: storageOpts(memBytes),
-		})
+		return baseline.NewCLSM(cfg)
 	case SysHyper:
-		return baseline.NewHyperLevelDB(baseline.Config{
-			Dir: dir, MemBytes: memBytes, DisableWAL: true,
-			PersistLimiter: lim, Storage: storageOpts(memBytes),
-		})
+		return baseline.NewHyperLevelDB(cfg)
 	case SysLevel:
-		return baseline.NewLevelDB(baseline.Config{
-			Dir: dir, MemBytes: memBytes, DisableWAL: true,
-			PersistLimiter: lim, Storage: storageOpts(memBytes),
-		})
+		return baseline.NewLevelDB(cfg)
 	default:
 		return nil, fmt.Errorf("figures: unknown system %q", sys)
 	}

@@ -40,6 +40,11 @@ type RunOptions struct {
 	// Scan: the range streams through the cursor without materializing,
 	// measuring the iterator path of the contract.
 	IteratorScans bool
+	// SyncWrites makes every mutation (OpInsert, OpDelete, OpBatch) a
+	// Sync-class commit (kv.WithSync()): the op is acknowledged only
+	// after a group-committed disk barrier covers it — the durable-write
+	// column of apibench.
+	SyncWrites bool
 	// MeasureLatency enables per-op histograms (adds two clock reads per
 	// op; off for pure throughput numbers, as in db_bench).
 	MeasureLatency bool
@@ -87,6 +92,7 @@ type Result struct {
 	Writes       uint64
 	Scans        uint64
 	Snapshots    uint64
+	Syncs        uint64 // Sync barrier ops (OpSync)
 	KeysAccessed uint64 // scans count each returned key (§5.2)
 	Elapsed      time.Duration
 	ReadLat      *Histogram
@@ -145,10 +151,17 @@ func Run(store kv.Store, opts RunOptions) Result {
 		writes   atomic.Uint64
 		scans    atomic.Uint64
 		snaps    atomic.Uint64
+		syncs    atomic.Uint64
 		keysAcc  atomic.Uint64
 		errCount atomic.Uint64
 		wg       sync.WaitGroup
 	)
+
+	// One shared option slice: the write options are immutable values.
+	var writeOpts []kv.WriteOption
+	if opts.SyncWrites {
+		writeOpts = []kv.WriteOption{kv.WithSync()}
+	}
 
 	// Scan window width covering ~ScanLength keys of a uniformly spread
 	// keyspace.
@@ -203,7 +216,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 					}
 				case workload.OpInsert:
 					valBuf = workload.Value(valBuf, opts.ValueSize, myOps)
-					if err := store.Put(ctx, key, valBuf); err != nil {
+					if err := store.Put(ctx, key, valBuf, writeOpts...); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -213,7 +226,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 						res.WriteLat.Record(time.Since(begin))
 					}
 				case workload.OpDelete:
-					if err := store.Delete(ctx, key); err != nil {
+					if err := store.Delete(ctx, key, writeOpts...); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -267,7 +280,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 						valBuf = workload.Value(valBuf, opts.ValueSize, myOps+uint64(i))
 						batch.Put(key, valBuf)
 					}
-					if err := store.Apply(ctx, batch); err != nil {
+					if err := store.Apply(ctx, batch, writeOpts...); err != nil {
 						errCount.Add(1)
 						continue
 					}
@@ -305,6 +318,16 @@ func Run(store kv.Store, opts RunOptions) Result {
 					if opts.MeasureLatency {
 						res.ReadLat.Record(time.Since(begin))
 					}
+				case workload.OpSync:
+					// Durability barrier: promote everything acked so far.
+					if err := store.Sync(ctx); err != nil {
+						errCount.Add(1)
+						continue
+					}
+					syncs.Add(1)
+					if opts.MeasureLatency {
+						res.WriteLat.Record(time.Since(begin))
+					}
 				}
 				ops.Add(1)
 			}
@@ -320,6 +343,7 @@ func Run(store kv.Store, opts RunOptions) Result {
 	res.Writes = writes.Load()
 	res.Scans = scans.Load()
 	res.Snapshots = snaps.Load()
+	res.Syncs = syncs.Load()
 	res.KeysAccessed = keysAcc.Load()
 	res.Errors = errCount.Load()
 	return res

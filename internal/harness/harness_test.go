@@ -22,18 +22,19 @@ type mapStore struct {
 
 func newMapStore() *mapStore { return &mapStore{m: make(map[string][]byte)} }
 
-func (s *mapStore) Put(_ context.Context, k, v []byte) error {
+func (s *mapStore) Put(_ context.Context, k, v []byte, _ ...kv.WriteOption) error {
 	s.mu.Lock()
 	s.m[string(k)] = append([]byte(nil), v...)
 	s.mu.Unlock()
 	return nil
 }
-func (s *mapStore) Delete(_ context.Context, k []byte) error {
+func (s *mapStore) Delete(_ context.Context, k []byte, _ ...kv.WriteOption) error {
 	s.mu.Lock()
 	delete(s.m, string(k))
 	s.mu.Unlock()
 	return nil
 }
+func (s *mapStore) Sync(context.Context) error { return nil }
 func (s *mapStore) Get(_ context.Context, k []byte) ([]byte, bool, error) {
 	s.mu.RLock()
 	v, ok := s.m[string(k)]
@@ -67,7 +68,7 @@ func (s *mapStore) NewIterator(ctx context.Context, low, high []byte) (kv.Iterat
 	return &mapIter{pairs: pairs, i: -1}, nil
 }
 
-func (s *mapStore) Apply(_ context.Context, b *kv.Batch) error {
+func (s *mapStore) Apply(_ context.Context, b *kv.Batch, _ ...kv.WriteOption) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, op := range b.Ops() {

@@ -1,0 +1,48 @@
+package kv
+
+import (
+	"testing"
+)
+
+func TestResolveWriteOptions(t *testing.T) {
+	cases := []struct {
+		name string
+		def  Durability
+		opts []WriteOption
+		want Durability
+	}{
+		{"default default resolves to buffered", DurabilityDefault, nil, DurabilityBuffered},
+		{"store default none", DurabilityNone, nil, DurabilityNone},
+		{"store default sync", DurabilitySync, nil, DurabilitySync},
+		{"per-op sync overrides buffered", DurabilityBuffered, []WriteOption{WithSync()}, DurabilitySync},
+		{"per-op none overrides sync default", DurabilitySync, []WriteOption{WithDurability(DurabilityNone)}, DurabilityNone},
+		{"per-op default keeps store default", DurabilityNone, []WriteOption{WithDurability(DurabilityDefault)}, DurabilityNone},
+		{"later option wins", DurabilityBuffered, []WriteOption{WithSync(), WithDurability(DurabilityNone)}, DurabilityNone},
+		{"nil option ignored", DurabilityBuffered, []WriteOption{nil, WithSync()}, DurabilitySync},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ResolveWriteOptions(tc.def, tc.opts...); got.Durability != tc.want {
+				t.Fatalf("resolved %v, want %v", got.Durability, tc.want)
+			}
+		})
+	}
+}
+
+func TestDurabilityStringParseRoundTrip(t *testing.T) {
+	for _, d := range []Durability{DurabilityNone, DurabilityBuffered, DurabilitySync} {
+		got, err := ParseDurability(d.String())
+		if err != nil || got != d {
+			t.Fatalf("round trip %v: got %v, %v", d, got, err)
+		}
+		if !d.Valid() {
+			t.Fatalf("%v reported invalid", d)
+		}
+	}
+	if _, err := ParseDurability("fsync-always"); err == nil {
+		t.Fatal("bogus spelling parsed")
+	}
+	if Durability(99).Valid() {
+		t.Fatal("out-of-range durability reported valid")
+	}
+}

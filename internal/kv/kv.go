@@ -62,21 +62,36 @@ type View interface {
 // get, remove, and range reads with point-in-time (serializable)
 // semantics — extended with the entry points a production store serving
 // concurrent request threads needs: atomic multi-op write batches,
-// named repeatable-read snapshots, online checkpoints, and
-// context-aware cancellation on every operation.
+// named repeatable-read snapshots, online checkpoints, per-operation
+// durability classes with a Sync barrier, and context-aware cancellation
+// on every operation.
 //
 // The embedded View is the live read half: Get/Scan/NewIterator observe
 // the freshest data, and Close closes the whole store.
+//
+// Durability: every mutation commits under a Durability class — the
+// store's open-time default unless the call overrides it with a
+// WriteOption (WithSync, WithDurability). Requesting a logged class
+// (Buffered or Sync) on a store configured without a commit log fails
+// with ErrNotSupported rather than silently downgrading.
 type Store interface {
 	View
 	// Put inserts or overwrites key with value.
-	Put(ctx context.Context, key, value []byte) error
+	Put(ctx context.Context, key, value []byte, opts ...WriteOption) error
 	// Delete removes key (by writing a tombstone).
-	Delete(ctx context.Context, key []byte) error
+	Delete(ctx context.Context, key []byte, opts ...WriteOption) error
 	// Apply commits every mutation in b atomically: after a crash either
 	// all of b's operations are recovered or none are. The batch is
-	// logged as one WAL record, amortizing framing and fsync cost.
-	Apply(ctx context.Context, b *Batch) error
+	// logged as one WAL record, amortizing framing — and, under
+	// DurabilitySync, the whole batch costs one group-committed fsync.
+	Apply(ctx context.Context, b *Batch, opts ...WriteOption) error
+	// Sync is the durability barrier: it blocks until every mutation
+	// acknowledged before the call is crash-durable, promoting the
+	// acked-but-buffered window to durable in one group-committed disk
+	// barrier. On a store without a commit log it returns nil — there is
+	// no buffered window to promote (writes are DurabilityNone and only
+	// flushes make data durable).
+	Sync(ctx context.Context) error
 	// Snapshot returns a read-only View pinned at the current state: a
 	// repeatable-read handle whose Gets, Scans and iterators observe
 	// exactly the data committed before the call, however long the handle
@@ -139,12 +154,6 @@ type Iterator interface {
 	Close() error
 }
 
-// Syncer is implemented by stores that can force all buffered state to
-// stable storage.
-type Syncer interface {
-	Sync() error
-}
-
 // Stats are point-in-time counters exposed by stores for the harness.
 type Stats struct {
 	Puts, Gets, Deletes, Scans uint64
@@ -161,6 +170,24 @@ type Stats struct {
 	MemtableWrites uint64 // updates that fell through to the Memtable
 	Flushes        uint64
 	Compactions    uint64
+
+	// The acked-vs-durable boundary, in commit-log order. AckedSeq is the
+	// commit index of the last acknowledged logged record; DurableSeq is
+	// the highest commit index known crash-durable (fsync-covered, or in
+	// a generation whose contents reached sstables). Records in
+	// (DurableSeq, AckedSeq] are the buffered window a crash can lose and
+	// Sync closes; DurabilityNone writes are never logged and appear in
+	// neither counter. Both are session-relative (reset at Open).
+	AckedSeq   uint64
+	DurableSeq uint64
+	// WALSyncs counts fsyncs issued by the group-commit queue;
+	// WALSyncRequests counts the durability requests they served. Their
+	// ratio is the group-commit coalescing factor: requests/fsyncs > 1
+	// means one disk barrier acknowledged many writers.
+	WALSyncs        uint64
+	WALSyncRequests uint64
+	// SyncBarriers counts Store.Sync calls.
+	SyncBarriers uint64
 }
 
 // StatsProvider is implemented by stores that report Stats.

@@ -168,7 +168,7 @@ func (vs *versionSet) rewriteManifest() error {
 		w.Close()
 		return err
 	}
-	if err := w.Append(rec); err != nil {
+	if _, err := w.Append(rec); err != nil {
 		w.Close()
 		return err
 	}
@@ -221,7 +221,7 @@ func (vs *versionSet) logAndApply(e *VersionEdit) error {
 	if err != nil {
 		return err
 	}
-	if err := vs.manifest.Append(rec); err != nil {
+	if _, err := vs.manifest.Append(rec); err != nil {
 		return err
 	}
 	if err := vs.manifest.Sync(); err != nil {

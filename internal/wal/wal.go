@@ -8,6 +8,21 @@
 // too. Reads tolerate a truncated final record (the normal crash shape for
 // an append-only file) by reporting ErrTruncated, which recovery treats as
 // end-of-log; any other inconsistency is ErrCorrupt.
+//
+// # Group commit
+//
+// Durability is decoupled from appending. Append never fsyncs: it stages
+// the record (bufio) under a short mutex and returns the log offset the
+// record ends at. A committer that needs durability calls SyncTo with that
+// offset; concurrent committers coalesce into a leader/follower commit
+// queue: the first caller through becomes the leader, flushes and fsyncs
+// once on behalf of EVERYONE whose record was appended by then, and the
+// followers — which were blocked behind the in-flight barrier — observe
+// that the durable horizon already covers them and return without touching
+// the disk. One disk barrier thus acknowledges many writers, which is what
+// keeps a memory-speed ingest path (the paper's whole point) alive when
+// durability is turned on: N concurrent sync committers cost O(1), not
+// O(N), fsyncs.
 package wal
 
 import (
@@ -19,6 +34,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 var (
@@ -38,25 +54,105 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const headerSize = 8
 
+// Metrics aggregates commit-log counters across every segment of one
+// store. All of a store's Writers share one Metrics (via Options), so the
+// counters describe the store's whole log stream in commit order, across
+// generation switches.
+//
+// The acked-vs-durable boundary: records with commit index <= Durable are
+// crash-durable (covered by an fsync, or marked durable by the store when
+// their segment's contents reached sstables); the records in
+// (Durable, Appends] are acknowledged but still buffered — the window a
+// crash can lose and a Sync barrier closes.
+type Metrics struct {
+	appends      atomic.Uint64 // records appended, in commit order
+	durable      atomic.Uint64 // high-water commit index known crash-durable
+	syncs        atomic.Uint64 // fsyncs issued by the commit queue
+	syncRequests atomic.Uint64 // durability requests served (coalescing denominator)
+}
+
+// MetricsSnapshot is a point-in-time copy of a Metrics.
+type MetricsSnapshot struct {
+	// Appends is the commit index of the last acked record.
+	Appends uint64
+	// Durable is the highest commit index known crash-durable.
+	Durable uint64
+	// Syncs counts fsyncs issued; SyncRequests counts the durability
+	// requests they served. SyncRequests/Syncs is the group-commit
+	// coalescing factor.
+	Syncs        uint64
+	SyncRequests uint64
+}
+
+// Snapshot reads the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	if m == nil {
+		return MetricsSnapshot{}
+	}
+	return MetricsSnapshot{
+		Appends:      m.appends.Load(),
+		Durable:      m.durable.Load(),
+		Syncs:        m.syncs.Load(),
+		SyncRequests: m.syncRequests.Load(),
+	}
+}
+
+// advanceDurable raises the durable high-water mark to idx (never lowers).
+func (m *Metrics) advanceDurable(idx uint64) {
+	if m == nil {
+		return
+	}
+	for {
+		cur := m.durable.Load()
+		if cur >= idx || m.durable.CompareAndSwap(cur, idx) {
+			return
+		}
+	}
+}
+
 // Writer appends framed records to a log file. Safe for concurrent use.
+//
+// Append stages a record and returns immediately; SyncTo (or Sync) makes
+// staged records durable through the group-commit queue described in the
+// package comment. Close does NOT fsync — callers that need the tail
+// durable must Sync first (DB close paths do).
 type Writer struct {
-	mu     sync.Mutex
-	f      *os.File
-	bw     *bufio.Writer
-	closed bool
-	// syncEvery, when true, fsyncs after each Append (durable mode). The
-	// paper's benchmarks, like LevelDB's defaults, run without per-write
-	// fsync; the option exists for the recovery tests and for users.
-	syncEvery bool
-	written   int64
+	// mu guards staging: the bufio writer, the appended offset, and
+	// closed. It is held only for memory-speed work (never across an
+	// fsync), so appenders are not serialized behind disk barriers.
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	closed  bool
+	written int64  // bytes appended (logical end offset, incl. framing)
+	lastRec uint64 // commit index (Metrics.appends) of the last record
+
+	// commitMu is the commit queue: holders are sync leaders, waiters are
+	// followers. synced is the durable offset; it is atomic so the
+	// fast path can check it without any lock.
+	commitMu sync.Mutex
+	synced   atomic.Int64
+	// syncErr is sticky: once an fsync fails the log's durable horizon
+	// can no longer advance, and every subsequent durability request
+	// must fail rather than falsely ack.
+	syncErr atomic.Pointer[error]
+
+	metrics *Metrics
+
+	// fsyncGate, when non-nil, runs inside the leader's commit (after the
+	// flush, before the fsync). Tests use it to hold a leader in the
+	// barrier and observe followers coalescing behind it.
+	fsyncGate func()
 }
 
 // Options configure a Writer.
 type Options struct {
-	// SyncEvery forces an fsync after every Append.
-	SyncEvery bool
 	// BufferSize is the bufio size; 0 means 64 KiB.
 	BufferSize int
+	// Metrics, when non-nil, receives this writer's counters. Share one
+	// Metrics across a store's segments to track the store-wide
+	// acked-vs-durable boundary.
+	Metrics *Metrics
 }
 
 // Create creates (truncating) a log file at path.
@@ -69,14 +165,16 @@ func Create(path string, opts Options) (*Writer, error) {
 	if bs <= 0 {
 		bs = 64 << 10
 	}
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, bs), syncEvery: opts.SyncEvery}, nil
+	return &Writer{f: f, bw: bufio.NewWriterSize(f, bs), metrics: opts.Metrics}, nil
 }
 
-// Append writes one record. The record is durable only after Sync unless
-// SyncEvery is set.
-func (w *Writer) Append(rec []byte) error {
+// Append stages one record and returns the log offset it ends at — the
+// token a committer hands to SyncTo when it needs the record durable. The
+// record is acknowledged into the commit order (Metrics.Appends) but NOT
+// durable until an fsync covers the returned offset.
+func (w *Writer) Append(rec []byte) (int64, error) {
 	if len(rec) > MaxRecordSize {
-		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(rec))
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit", len(rec))
 	}
 	var hdr [headerSize]byte
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(rec)))
@@ -87,39 +185,118 @@ func (w *Writer) Append(rec []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
-		return ErrClosed
+		return 0, ErrClosed
 	}
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := w.bw.Write(rec); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	w.written += int64(headerSize + len(rec))
-	if w.syncEvery {
-		return w.syncLocked()
+	if w.metrics != nil {
+		w.lastRec = w.metrics.appends.Add(1)
+	}
+	return w.written, nil
+}
+
+// SyncTo blocks until every record at offset <= off is durable, issuing at
+// most one fsync and coalescing with concurrent committers (see the
+// package comment). It is the commit point of a Sync-durability write.
+func (w *Writer) SyncTo(off int64) error {
+	if w.metrics != nil {
+		w.metrics.syncRequests.Add(1)
+	}
+	// Fast path: a previous leader's barrier already covers us. (synced
+	// only advances over fsync-verified bytes, so no error check needed.)
+	if w.synced.Load() >= off {
+		return nil
+	}
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
+	if err := w.loadSyncErr(); err != nil {
+		return err
+	}
+	// Follower path: the leader we queued behind captured its target
+	// AFTER our Append (we held off until it left the barrier), so its
+	// fsync covered our record.
+	if w.synced.Load() >= off {
+		return nil
+	}
+	// Leader path: flush the staging buffer under mu (memory-speed),
+	// capture the horizon, then fsync with mu RELEASED so appenders and
+	// future followers keep streaming while the barrier runs.
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.mu.Unlock()
+		err = fmt.Errorf("wal: flush: %w", err)
+		w.storeSyncErr(err)
+		return err
+	}
+	target := w.written
+	targetRec := w.lastRec
+	w.mu.Unlock()
+
+	if w.fsyncGate != nil {
+		w.fsyncGate()
+	}
+	if err := w.f.Sync(); err != nil {
+		err = fmt.Errorf("wal: fsync: %w", err)
+		w.storeSyncErr(err)
+		return err
+	}
+	w.synced.Store(target)
+	if w.metrics != nil {
+		w.metrics.syncs.Add(1)
+		w.metrics.advanceDurable(targetRec)
 	}
 	return nil
 }
 
-// Sync flushes buffers and fsyncs the file.
-func (w *Writer) Sync() error {
+// Flush pushes the staging buffer to the OS (no disk barrier): appended
+// records survive a process crash past this point, though a machine
+// crash can still lose them. Segment rotation seals call it so that the
+// cross-segment replay order stays a clean prefix — a sealed segment
+// never holds unflushed records behind a successor segment that is
+// already accumulating flushed ones.
+func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return ErrClosed
 	}
-	return w.syncLocked()
-}
-
-func (w *Writer) syncLocked() error {
 	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync: %w", err)
+	return nil
+}
+
+// Sync is the durability barrier over the whole segment: it blocks until
+// everything appended before the call is durable.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	off := w.written
+	w.mu.Unlock()
+	return w.SyncTo(off)
+}
+
+func (w *Writer) loadSyncErr() error {
+	if p := w.syncErr.Load(); p != nil {
+		return *p
 	}
 	return nil
+}
+
+func (w *Writer) storeSyncErr(err error) {
+	w.syncErr.CompareAndSwap(nil, &err)
 }
 
 // Size returns bytes appended so far (including framing).
@@ -127,6 +304,24 @@ func (w *Writer) Size() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.written
+}
+
+// Durable returns the offset covered by the last disk barrier. The bytes
+// in (Durable, Size] are staged but would be lost by a crash.
+func (w *Writer) Durable() int64 { return w.synced.Load() }
+
+// MarkContentsDurable records that every record in this segment is
+// crash-durable through some OTHER channel — the store calls it after the
+// segment's memtable reached sstables (at which point the log file itself
+// is obsolete). It only moves the metrics horizon; it does not touch the
+// file.
+func (w *Writer) MarkContentsDurable() {
+	w.mu.Lock()
+	idx := w.lastRec
+	w.mu.Unlock()
+	if w.metrics != nil {
+		w.metrics.advanceDurable(idx)
+	}
 }
 
 // Close flushes and closes the file. It does not fsync; call Sync first if
@@ -142,6 +337,21 @@ func (w *Writer) Close() error {
 		w.f.Close()
 		return fmt.Errorf("wal: close: %w", err)
 	}
+	return w.f.Close()
+}
+
+// Abandon closes the file WITHOUT flushing the staging buffer, discarding
+// every record since the last flush — the write-loss shape of a machine
+// crash (records acked-buffered but never flushed). Crash-recovery tests
+// use it to open the acked-but-lost window deliberately; production code
+// has no reason to call it.
+func (w *Writer) Abandon() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
 	return w.f.Close()
 }
 

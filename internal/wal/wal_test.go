@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -29,7 +30,7 @@ func TestRoundTrip(t *testing.T) {
 		[]byte("last"),
 	}
 	for _, rec := range records {
-		if err := w.Append(rec); err != nil {
+		if _, err := w.Append(rec); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -169,7 +170,7 @@ func TestAppendAfterClose(t *testing.T) {
 	path := tempLog(t)
 	w, _ := Create(path, Options{})
 	w.Close()
-	if err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+	if _, err := w.Append([]byte("x")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 	if err := w.Sync(); !errors.Is(err, ErrClosed) {
@@ -187,18 +188,23 @@ func TestOversizeRecordRejected(t *testing.T) {
 	// Don't allocate MaxRecordSize; fake a slice header over a small array
 	// is unsafe — instead just check the boundary arithmetic with a
 	// moderately large record and the documented limit.
-	if err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
+	if _, err := w.Append(make([]byte, MaxRecordSize+1)); err == nil {
 		t.Fatal("oversize record accepted")
 	}
 }
 
-func TestSyncEvery(t *testing.T) {
+func TestSyncToMakesRecordDurable(t *testing.T) {
 	path := tempLog(t)
-	w, err := Create(path, Options{SyncEvery: true})
+	var m Metrics
+	w, err := Create(path, Options{Metrics: &m})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Append([]byte("durable")); err != nil {
+	off, err := w.Append([]byte("durable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SyncTo(off); err != nil {
 		t.Fatal(err)
 	}
 	// Without Close, the record must already be on disk.
@@ -206,7 +212,172 @@ func TestSyncEvery(t *testing.T) {
 	if err := ReplayAll(path, func([]byte) error { n++; return nil }); err != nil || n != 1 {
 		t.Fatalf("err=%v n=%d", err, n)
 	}
+	if w.Durable() < off {
+		t.Fatalf("Durable = %d, want >= %d", w.Durable(), off)
+	}
+	s := m.Snapshot()
+	if s.Appends != 1 || s.Durable != 1 || s.Syncs != 1 || s.SyncRequests != 1 {
+		t.Fatalf("metrics after one sync write: %+v", s)
+	}
+	// A second SyncTo over the same offset is the coalesced fast path: no
+	// new fsync.
+	if err := w.SyncTo(off); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Snapshot().Syncs; got != 1 {
+		t.Fatalf("covered SyncTo issued an fsync: syncs=%d", got)
+	}
 	w.Close()
+}
+
+// TestGroupCommitCoalesces drives N committers through the commit queue in
+// two phases — everyone appends, then everyone requests durability
+// concurrently — and asserts the leader's single barrier acknowledged all
+// of them: strictly fewer fsyncs than committers.
+func TestGroupCommitCoalesces(t *testing.T) {
+	path := tempLog(t)
+	var m Metrics
+	w, err := Create(path, Options{Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const n = 16
+	offs := make([]int64, n)
+	for i := range offs {
+		off, err := w.Append([]byte("rec"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = off
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w.SyncTo(offs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	s := m.Snapshot()
+	if s.SyncRequests != n {
+		t.Fatalf("sync requests = %d, want %d", s.SyncRequests, n)
+	}
+	if s.Syncs >= n {
+		t.Fatalf("group commit did not coalesce: %d fsyncs for %d committers", s.Syncs, n)
+	}
+	if s.Durable != n {
+		t.Fatalf("durable horizon = %d, want %d", s.Durable, n)
+	}
+}
+
+// TestGroupCommitLeaderFollower holds a leader inside the disk barrier via
+// the test gate while followers append and queue behind it, proving the
+// follower path: the NEXT leader's one fsync covers every queued follower.
+func TestGroupCommitLeaderFollower(t *testing.T) {
+	path := tempLog(t)
+	var m Metrics
+	w, err := Create(path, Options{Metrics: &m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	const followers = 8
+	gateEntered := make(chan struct{})
+	gateRelease := make(chan struct{})
+	var once sync.Once
+	w.fsyncGate = func() {
+		// Only the first leader is held; later barriers pass through.
+		once.Do(func() {
+			close(gateEntered)
+			<-gateRelease
+		})
+	}
+
+	leadOff, err := w.Append([]byte("leader"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.SyncTo(leadOff); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-gateEntered
+
+	// While the leader is stalled in its fsync, followers append and
+	// request durability; they block on the commit queue.
+	for i := 0; i < followers; i++ {
+		off, err := w.Append([]byte("follower"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(off int64) {
+			defer wg.Done()
+			if err := w.SyncTo(off); err != nil {
+				t.Error(err)
+			}
+		}(off)
+	}
+	close(gateRelease)
+	wg.Wait()
+
+	s := m.Snapshot()
+	// The stalled leader's fsync covers only itself; one successor leader
+	// covers all the followers appended meanwhile: exactly 2 barriers for
+	// 1+followers committers.
+	if s.Syncs != 2 {
+		t.Fatalf("fsyncs = %d for %d committers, want 2", s.Syncs, followers+1)
+	}
+	if s.SyncRequests != followers+1 || s.Durable != followers+1 {
+		t.Fatalf("metrics: %+v", s)
+	}
+}
+
+// TestAbandonLosesStagedTail simulates the crash shape: appended-but-
+// unflushed records vanish, fsync-covered records survive.
+func TestAbandonLosesStagedTail(t *testing.T) {
+	path := tempLog(t)
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := w.Append([]byte("kept"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SyncTo(off); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := ReplayAll(path, func(rec []byte) error {
+		got = append(got, string(rec))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "kept" {
+		t.Fatalf("after abandon: %q, want only the synced record", got)
+	}
 }
 
 func TestSizeAccounting(t *testing.T) {
@@ -227,7 +398,7 @@ func TestPropertyRoundTripRandomRecords(t *testing.T) {
 			return false
 		}
 		for _, r := range recs {
-			if err := w.Append(r); err != nil {
+			if _, err := w.Append(r); err != nil {
 				return false
 			}
 		}

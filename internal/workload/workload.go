@@ -43,6 +43,10 @@ const (
 	// the multi-request repeatable-read shape of a session pinned to one
 	// view.
 	OpSnapshot
+	// OpSync calls Store.Sync — the durability barrier promoting every
+	// previously-acked buffered write to durable in one group-committed
+	// disk barrier.
+	OpSync
 )
 
 func (o Op) String() string {
@@ -59,6 +63,8 @@ func (o Op) String() string {
 		return "batch"
 	case OpSnapshot:
 		return "snapshot"
+	case OpSync:
+		return "sync"
 	default:
 		return "op?"
 	}
@@ -72,6 +78,7 @@ type Mix struct {
 	ScanPct   int
 	BatchPct  int
 	SnapPct   int
+	SyncPct   int
 }
 
 // The paper's workload mixes.
@@ -99,6 +106,16 @@ var (
 	// materializes the memory component (a flush) — exactly the API cost
 	// asymmetry the apibench figure exists to expose.
 	SnapshotRead = Mix{GetPct: 48, InsertPct: 50, SnapPct: 2}
+	// DurableWrite models a commit-heavy ingest where every mutation must
+	// be crash-durable before it is acknowledged: a write-only stream with
+	// RunOptions.SyncWrites making each insert a Sync-class commit. With
+	// group commit the concurrent committers coalesce onto shared fsyncs;
+	// without it this mix flattens every store to disk-barrier speed.
+	DurableWrite = Mix{InsertPct: 100}
+	// BufferedSyncWrite is the batch-load shape: a stream of Buffered
+	// inserts punctuated by Sync barriers (5% of ops) that promote the
+	// acked window wholesale.
+	BufferedSyncWrite = Mix{InsertPct: 95, SyncPct: 5}
 )
 
 // ScanWithPct builds an update/scan mix with the given scan percentage
@@ -109,7 +126,7 @@ func ScanWithPct(scanPct int) Mix {
 
 // Valid reports whether the mix sums to 100%.
 func (m Mix) Valid() bool {
-	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct+m.BatchPct+m.SnapPct == 100
+	return m.GetPct+m.InsertPct+m.DeletePct+m.ScanPct+m.BatchPct+m.SnapPct+m.SyncPct == 100
 }
 
 // Sample draws an operation.
@@ -134,7 +151,11 @@ func (m Mix) Sample(rng *rand.Rand) Op {
 	if r < m.BatchPct {
 		return OpBatch
 	}
-	return OpSnapshot
+	r -= m.BatchPct
+	if r < m.SnapPct {
+		return OpSnapshot
+	}
+	return OpSync
 }
 
 // KeyGen produces keys from a keyspace of Keys() distinct values. NextKey

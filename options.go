@@ -1,13 +1,19 @@
 package flodb
 
+import (
+	"fmt"
+
+	"flodb/internal/kv"
+)
+
 // An Option tunes a store at Open. Options are applied in order, so later
 // options override earlier ones. The zero configuration (no options) gives
 // the defaults the paper's evaluation uses, scaled for a development
 // machine: 64 MiB of memory split 1/4 Membuffer : 3/4 Memtable, two drain
-// threads, WAL on without per-write fsync.
+// threads, WAL on with Buffered durability (logged, no per-write fsync).
 //
-// (The deprecated *Options struct shim from the previous release has been
-// removed; pass functional options directly.)
+// Out-of-range values are rejected by Open with a descriptive error —
+// never silently clamped.
 type Option interface {
 	apply(*options)
 }
@@ -20,7 +26,16 @@ type options struct {
 	drainThreads      int
 	restartThreshold  int
 	disableWAL        bool
-	syncWAL           bool
+	durability        Durability
+
+	// err records the first invalid option; Open surfaces it.
+	err error
+}
+
+func (o *options) fail(err error) {
+	if o.err == nil {
+		o.err = err
+	}
 }
 
 // optionFunc adapts a closure to Option.
@@ -30,43 +45,106 @@ func (f optionFunc) apply(o *options) { f(o) }
 
 // WithMemory sets the total memory-component budget in bytes, split
 // 1/4 Membuffer : 3/4 Memtable as in the paper (§5.1). Default 64 MiB.
+// Non-positive budgets are rejected by Open.
 func WithMemory(bytes int64) Option {
-	return optionFunc(func(o *options) { o.memoryBytes = bytes })
+	return optionFunc(func(o *options) {
+		if bytes <= 0 {
+			o.fail(fmt.Errorf("flodb: WithMemory(%d): budget must be positive", bytes))
+			return
+		}
+		o.memoryBytes = bytes
+	})
 }
 
 // WithMembufferFraction overrides the Membuffer's share of the memory
-// budget (0 < f < 1). Default 0.25, the paper's empirically chosen split.
+// budget. Default 0.25, the paper's empirically chosen split. Fractions
+// outside (0,1) are rejected by Open.
 func WithMembufferFraction(f float64) Option {
-	return optionFunc(func(o *options) { o.membufferFraction = f })
+	return optionFunc(func(o *options) {
+		if f <= 0 || f >= 1 {
+			o.fail(fmt.Errorf("flodb: WithMembufferFraction(%v): fraction must be in (0,1)", f))
+			return
+		}
+		o.membufferFraction = f
+	})
 }
 
 // WithPartitionBits sets ℓ: the Membuffer has 2^ℓ partitions selected by
-// the most significant key bits (§4.3). Default 6.
+// the most significant key bits (§4.3). Default 6; values above 16 are
+// rejected by Open.
 func WithPartitionBits(bits uint) Option {
-	return optionFunc(func(o *options) { o.partitionBits = bits })
+	return optionFunc(func(o *options) {
+		if bits > 16 {
+			o.fail(fmt.Errorf("flodb: WithPartitionBits(%d): at most 16 bits supported", bits))
+			return
+		}
+		o.partitionBits = bits
+	})
 }
 
 // WithDrainThreads sets the number of background draining threads (§4.2).
-// Default 2.
+// Default 2. Non-positive counts are rejected by Open.
 func WithDrainThreads(n int) Option {
-	return optionFunc(func(o *options) { o.drainThreads = n })
+	return optionFunc(func(o *options) {
+		if n <= 0 {
+			o.fail(fmt.Errorf("flodb: WithDrainThreads(%d): count must be positive", n))
+			return
+		}
+		o.drainThreads = n
+	})
 }
 
 // WithRestartThreshold bounds scan restarts before the fallback scan
-// blocks writers (Algorithm 3). Default 3.
+// blocks writers (Algorithm 3). Default 3. Non-positive thresholds are
+// rejected by Open.
 func WithRestartThreshold(n int) Option {
-	return optionFunc(func(o *options) { o.restartThreshold = n })
+	return optionFunc(func(o *options) {
+		if n <= 0 {
+			o.fail(fmt.Errorf("flodb: WithRestartThreshold(%d): threshold must be positive", n))
+			return
+		}
+		o.restartThreshold = n
+	})
 }
 
-// WithoutWAL turns off commit logging: faster writes, no crash durability
-// for the memory component. Checkpoints of a WAL-less store capture only
-// the flushed state.
+// WithoutWAL turns off commit logging: every write is DurabilityNone
+// (fastest, no crash durability for the memory component), and requesting
+// a logged durability class per operation fails with ErrNotSupported.
+// Checkpoints of a WAL-less store capture only the flushed state.
 func WithoutWAL() Option {
 	return optionFunc(func(o *options) { o.disableWAL = true })
 }
 
-// WithSyncWAL fsyncs the commit log on every update (and once per applied
-// WriteBatch, however many operations it carries).
-func WithSyncWAL() Option {
-	return optionFunc(func(o *options) { o.syncWAL = true })
+// DurabilityOption is both an Option (the store's default durability at
+// Open) and a WriteOption (a per-operation override), so one constructor
+// serves both sites:
+//
+//	db, _ := flodb.Open(dir, flodb.WithDurability(flodb.DurabilitySync))
+//	db.Put(ctx, k, v, flodb.WithDurability(flodb.DurabilityNone))
+type DurabilityOption struct{ d Durability }
+
+func (o DurabilityOption) apply(opts *options) {
+	if !o.d.Valid() {
+		opts.fail(fmt.Errorf("flodb: WithDurability(%v): unknown class", o.d))
+		return
+	}
+	opts.durability = o.d
 }
+
+// ApplyWrite implements kv.WriteOption for per-operation use.
+func (o DurabilityOption) ApplyWrite(w *kv.WriteOptions) {
+	if o.d != DurabilityDefault {
+		w.Durability = o.d
+	}
+}
+
+// WithDurability sets the durability class — the store-wide default when
+// passed to Open (replacing the removed all-or-nothing WithSyncWAL), or a
+// single operation's class when passed to Put, Delete or Apply. See
+// Durability for the classes and their crash guarantees.
+func WithDurability(d Durability) DurabilityOption { return DurabilityOption{d: d} }
+
+// WithSync is shorthand for WithDurability(DurabilitySync): at Open it
+// makes every write group-commit an fsync before acknowledging; on a
+// single Put, Delete or Apply it makes just that operation Sync-durable.
+func WithSync() DurabilityOption { return DurabilityOption{d: DurabilitySync} }
