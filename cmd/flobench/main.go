@@ -43,8 +43,11 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	"fig17":     figures.Fig17,
 	"scanstats": figures.ScanStats,
 	// Contract surface beyond the paper: atomic batches + streaming
-	// iterators across the five systems.
+	// iterators across the six systems.
 	"apibench": figures.APIBench,
+	// Shard scaling: write throughput vs shard count under uniform,
+	// zipfian, and hot-shard key distributions.
+	"shardbench": figures.ShardBench,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,

@@ -13,6 +13,12 @@
 // The -durability flag sets the store's default class for every write the
 // command performs: none (not logged), buffered (logged, no fsync — the
 // default), or sync (group-committed fsync per write).
+//
+// The -shards flag range-partitions the store across N independent
+// engines (fixed at creation; reopening needs the same value — or read
+// it off the SHARDS manifest in the store root). With shards, the stats
+// command appends a per-shard breakdown table, the imbalance signal
+// under skewed workloads.
 package main
 
 import (
@@ -30,14 +36,18 @@ func main() {
 	dir := flag.String("db", "", "database directory (required)")
 	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
 	durability := flag.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
+	shards := flag.Int("shards", 0, "range-partition across n shards (0/1 = unsharded; fixed at creation)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-shards n] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
 		os.Exit(2)
 	}
 	var opts []flodb.Option
 	if *mem > 0 {
 		opts = append(opts, flodb.WithMemory(*mem))
+	}
+	if *shards > 0 {
+		opts = append(opts, flodb.WithShards(*shards))
 	}
 	if *durability != "" {
 		d, err := kv.ParseDurability(*durability)
@@ -162,6 +172,15 @@ func main() {
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)
 		fmt.Printf("acked-seq=%d durable-seq=%d wal-syncs=%d wal-sync-requests=%d sync-barriers=%d\n",
 			s.AckedSeq, s.DurableSeq, s.WALSyncs, s.WALSyncRequests, s.SyncBarriers)
+		if per := db.ShardStats(); len(per) > 0 {
+			fmt.Printf("\n%d shards (aggregate above; per-shard breakdown below)\n", len(per))
+			fmt.Printf("%5s %10s %10s %10s %10s %10s %12s %12s\n",
+				"shard", "puts", "gets", "deletes", "flushes", "compact", "acked-seq", "durable-seq")
+			for i, ss := range per {
+				fmt.Printf("%5d %10d %10d %10d %10d %10d %12d %12d\n",
+					i, ss.Puts, ss.Gets, ss.Deletes, ss.Flushes, ss.Compactions, ss.AckedSeq, ss.DurableSeq)
+			}
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "flodb: unknown command %q\n", args[0])
 		os.Exit(2)

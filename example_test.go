@@ -247,3 +247,38 @@ func ExampleDB_NewIterator_deadline() {
 	// Output:
 	// stopped early: true (read true pairs before the full 10000)
 }
+
+// ExampleDB_shards opens a range-sharded store: four independent FloDB
+// engines — each with its own WAL, memory component and compactor —
+// behind one DB. Writes route by key range, scans merge the shards in
+// global key order, and the shard count is fixed at creation (recorded
+// in the SHARDS manifest, so a reopen must match).
+func ExampleDB_shards() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-shards")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir, flodb.WithShards(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for _, k := range []string{"delta", "alpha", "charlie", "bravo"} {
+		if err := db.Put(bg, []byte(k), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pairs, err := db.Scan(bg, nil, nil) // one ordered stream across shards
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range pairs {
+		fmt.Println(string(p.Key))
+	}
+	fmt.Println("shards:", db.Shards())
+	// Output:
+	// alpha
+	// bravo
+	// charlie
+	// delta
+	// shards: 4
+}

@@ -68,6 +68,17 @@
 //	v1, _, _ := snap.Get(ctx, []byte("k"))  // repeats identically
 //
 //	err = db.Checkpoint(ctx, "/backups/mydb-2026-07-25")  // openable copy
+//
+// Past a single memory component, the store range-partitions across N
+// independent engines — per-shard WALs, drain pools, flush pipelines and
+// group-commit queues — behind the same API:
+//
+//	db, err := flodb.Open(dir, flodb.WithShards(4))
+//
+// Scans and iterators merge the shards in global key order, Snapshot
+// pins one consistent cut across all of them, and Checkpoint fans out
+// into per-shard copies. See the README's sharding section for the
+// cross-shard atomicity caveats.
 package flodb
 
 import (
@@ -76,6 +87,7 @@ import (
 	"flodb/internal/core"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/shard"
 )
 
 // Pair is a key-value pair returned by Scan.
@@ -122,10 +134,12 @@ var (
 	ErrNotSupported = kv.ErrNotSupported
 )
 
-// DB is a FloDB store. All methods are safe for concurrent use; Close must
+// DB is a FloDB store — a single engine by default, or a
+// range-partitioned set of engines behind the same surface when opened
+// with WithShards. All methods are safe for concurrent use; Close must
 // not race with other operations.
 type DB struct {
-	inner *core.DB
+	inner kv.Store
 }
 
 // Open opens (creating if needed) a store in dir, tuned by opts.
@@ -150,7 +164,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	if o.err != nil {
 		return nil, o.err
 	}
-	inner, err := core.Open(core.Config{
+	cfg := core.Config{
 		Dir:               dir,
 		MemoryBytes:       o.memoryBytes,
 		MembufferFraction: o.membufferFraction,
@@ -159,7 +173,29 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		RestartThreshold:  o.restartThreshold,
 		DisableWAL:        o.disableWAL,
 		Durability:        o.durability,
-	})
+	}
+	// A sharded root must never be shadowed by a fresh unsharded engine:
+	// detect the SHARDS manifest and adopt its count when the caller
+	// didn't pass WithShards. An explicit mismatching count (including
+	// WithShards(1) on a sharded root) is rejected by shard.Open.
+	detected, err := shard.DetectShards(dir)
+	if err != nil {
+		return nil, err
+	}
+	n := o.shards
+	if n == 0 {
+		n = detected
+	}
+	if n > 1 || detected > 0 {
+		// Sharded engine: cfg becomes the per-shard template (shard.Open
+		// assigns the subdirectories and splits the memory budget).
+		inner, err := shard.Open(shard.Config{Dir: dir, Shards: n, Core: cfg})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{inner: inner}, nil
+	}
+	inner, err := core.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +258,10 @@ func (db *DB) Scan(ctx context.Context, low, high []byte) ([]Pair, error) {
 // costs a memtable flush; reads through it are pure sstable reads and
 // never restart. The handle pins sstables until Close, so holding
 // snapshots delays space reclamation, not writers.
+//
+// On a sharded store the per-shard snapshots are pinned under a brief
+// cross-shard write barrier, so the handle is one globally consistent
+// cut — at the cost of one forced flush per shard while writers wait.
 func (db *DB) Snapshot(ctx context.Context) (View, error) {
 	return db.inner.Snapshot(ctx)
 }
@@ -241,8 +281,29 @@ func (db *DB) Checkpoint(ctx context.Context, dir string) error {
 // It must not run concurrently with other operations.
 func (db *DB) Close() error { return db.inner.Close() }
 
-// Stats returns a snapshot of operation counters.
-func (db *DB) Stats() Stats { return db.inner.Stats() }
+// Stats returns a snapshot of operation counters. On a sharded store the
+// counters aggregate across shards (ShardStats has the breakdown).
+func (db *DB) Stats() Stats { return db.inner.(kv.StatsProvider).Stats() }
+
+// Shards returns the number of shards the store was opened with: 1 for
+// the default unsharded engine.
+func (db *DB) Shards() int {
+	if s, ok := db.inner.(*shard.Store); ok {
+		return s.Count()
+	}
+	return 1
+}
+
+// ShardStats returns each shard's own counters, indexed by shard, when
+// the store was opened with WithShards(n > 1) — the per-shard breakdown
+// behind Stats, and the imbalance signal under skewed workloads. It
+// returns nil for an unsharded store.
+func (db *DB) ShardStats() []Stats {
+	if s, ok := db.inner.(*shard.Store); ok {
+		return s.PerShard()
+	}
+	return nil
+}
 
 var (
 	_ kv.Store         = (*DB)(nil)

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 
@@ -107,9 +108,26 @@ func (a *skipMemIter) Err() error    { return nil }
 // --- Unsorted (hash table) versioned memtable --------------------------------
 
 // hashMem is the RocksDB hash-based memtable of Figs 3–4: O(1) writes, but
-// flushing requires sorting every stored version first.
+// flushing requires sorting every stored version first. The table is
+// striped into lock shards sized from GOMAXPROCS — a fixed 64-way array
+// serializes writers once core counts pass it.
 type hashMem struct {
-	shards [64]hashShard
+	shards []hashShard
+	mask   uint64
+}
+
+// hashMemShards picks the stripe count: 4× GOMAXPROCS rounded up to a
+// power of two (the mask needs one), floored at the historical 64 so
+// small machines keep their collision behavior, and capped so a
+// many-core machine doesn't pay thousands of mostly-empty maps per
+// memtable generation.
+func hashMemShards() int {
+	n := 4 * runtime.GOMAXPROCS(0)
+	p := 64
+	for p < n && p < 4096 {
+		p <<= 1
+	}
+	return p
 }
 
 type hashShard struct {
@@ -126,7 +144,8 @@ type hashVersion struct {
 }
 
 func newHashMem() *hashMem {
-	h := &hashMem{}
+	n := hashMemShards()
+	h := &hashMem{shards: make([]hashShard, n), mask: uint64(n - 1)}
 	for i := range h.shards {
 		h.shards[i].m = make(map[string][]hashVersion)
 	}
@@ -140,7 +159,7 @@ func (h *hashMem) shard(ukey []byte) *hashShard {
 		sum *= 1099511628211
 	}
 	sum ^= sum >> 33
-	return &h.shards[sum&63]
+	return &h.shards[sum&h.mask]
 }
 
 func (h *hashMem) Insert(ukey []byte, seq uint64, kind keys.Kind, value []byte) {

@@ -1,0 +1,112 @@
+package figures
+
+import (
+	"fmt"
+	"runtime"
+
+	"flodb/internal/harness"
+	"flodb/internal/shard"
+	"flodb/internal/workload"
+)
+
+// ShardBench measures how write throughput scales with shard count — the
+// scaling axis past a single memory component. Each column opens a fresh
+// sharded store of N range-partitioned FloDB instances sharing the SAME
+// total memory budget, so the sweep isolates partitioning itself; each
+// row is a key distribution:
+//
+//	uniform:   the paper's spread draws — every shard carries an equal
+//	           slice, the best case; throughput should rise with N until
+//	           cores or the disk saturate
+//	zipf:      Zipfian popularity skew with SPREAD keys (hashed-ID
+//	           shape) — hot keys scatter across shards, so scaling holds
+//	hot-shard: Zipfian skew CLUSTERED into one contiguous range — the
+//	           adversarial case where most writes land on one shard and
+//	           added shards mostly idle (F2's partitioned-design losing
+//	           case); the per-shard imbalance is reported as a note
+func ShardBench(c Config) (*harness.Table, error) {
+	c.Defaults()
+	threads := c.Threads[len(c.Threads)/2]
+	counts := []int{1, 2, 4, 8}
+	if c.Quick {
+		counts = []int{1, 2, 4}
+	}
+	// Every column gets the same TOTAL memory — sized so the largest
+	// fan-out still has a workable per-shard budget (at bench scale,
+	// splitting the base budget N ways would drown the parallelism
+	// signal in per-shard flush churn).
+	totalMem := c.MemBytes * int64(counts[len(counts)-1])
+
+	type row struct {
+		name string
+		mix  workload.Mix
+		gen  func(thread int) workload.KeyGen // nil = uniform default
+	}
+	keyCount := c.Keys
+	rows := []row{
+		{name: "uniform write", mix: workload.WriteOnly},
+		{name: "zipf write", mix: workload.WriteOnly,
+			gen: func(int) workload.KeyGen { return workload.NewZipfian(keyCount, workload.DefaultZipfS) }},
+		{name: "hot-shard write", mix: workload.HotShardWrite,
+			gen: func(int) workload.KeyGen { return workload.NewHotShardZipfian(keyCount, workload.DefaultZipfS) }},
+	}
+
+	cols := make([]string, len(counts))
+	for i, n := range counts {
+		cols[i] = fmt.Sprintf("%d", n)
+	}
+	rowNames := make([]string, len(rows))
+	for i, r := range rows {
+		rowNames[i] = r.name
+	}
+	tbl := harness.NewTable("Shard scaling: write throughput vs shard count (equal total memory)",
+		fmt.Sprintf("shards (%d threads)", threads), "write Mops/s", cols, rowNames)
+
+	for ri, r := range rows {
+		for ci, n := range counts {
+			dir, err := c.cellDir(fmt.Sprintf("shardbench-%d-%d", ri, ci))
+			if err != nil {
+				return nil, err
+			}
+			store, err := openShard(dir, n, totalMem, c.limiter(), false)
+			if err != nil {
+				return nil, err
+			}
+			res := harness.Run(store, harness.RunOptions{
+				Mix:      r.mix,
+				KeyGen:   r.gen,
+				Threads:  threads,
+				Duration: c.Duration,
+				Keys:     c.Keys,
+			})
+			// Imbalance: the hottest shard's share of puts. 1/n is a
+			// perfect spread; ~1.0 is a single hot shard.
+			if ss, ok := store.(*shard.Store); ok && n == counts[len(counts)-1] {
+				var total, hottest uint64
+				for _, st := range ss.PerShard() {
+					total += st.Puts
+					if st.Puts > hottest {
+						hottest = st.Puts
+					}
+				}
+				if total > 0 {
+					tbl.AddNote("%s @ %d shards: hottest shard carried %.0f%% of puts (even = %.0f%%)",
+						r.name, n, 100*float64(hottest)/float64(total), 100/float64(n))
+				}
+			}
+			if err := store.Close(); err != nil {
+				return nil, err
+			}
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("shardbench: %s shards=%d: %d errors", r.name, n, res.Errors)
+			}
+			tbl.Set(ri, ci, res.WriteMopsPerSec())
+			c.logf("shardbench %s shards=%d -> %.3f Mops/s", r.name, n, res.WriteMopsPerSec())
+		}
+	}
+	tbl.AddNote("every cell shares one total memory budget split across its shards; WAL off (loader shape)")
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		tbl.AddNote("GOMAXPROCS=%d: shard parallelism cannot manifest — columns only scale on multi-core runners", p)
+	}
+	return tbl, nil
+}

@@ -24,24 +24,34 @@ import (
 	"flodb/internal/diskenv"
 	"flodb/internal/harness"
 	"flodb/internal/kv"
+	"flodb/internal/shard"
 	"flodb/internal/storage"
 	"flodb/internal/workload"
 )
 
-// System identifies one of the paper's five evaluated stores.
+// System identifies one of the evaluated stores.
 type System string
 
-// The five systems of §5.1.
+// The five systems of §5.1, plus the sharded engine (ShardCount
+// independent FloDB instances behind one kv.Store — the scaling axis
+// past a single memory component).
 const (
 	SysFloDB System = "FloDB"
+	SysShard System = "FloDB/4shards"
 	SysRocks System = "RocksDB"
 	SysCLSM  System = "RocksDB/cLSM"
 	SysHyper System = "HyperLevelDB"
 	SysLevel System = "LevelDB"
 )
 
-// AllSystems lists the systems in the paper's legend order.
-var AllSystems = []System{SysFloDB, SysRocks, SysCLSM, SysHyper, SysLevel}
+// ShardCount is the shard fan-out SysShard runs with. Its memory budget
+// is the same TOTAL the other systems get, split across shards, so the
+// comparison isolates partitioning, not extra memory.
+const ShardCount = 4
+
+// AllSystems lists the systems in legend order: the paper's five plus
+// the sharded sixth, so every conformance suite and figure sweeps it too.
+var AllSystems = []System{SysFloDB, SysShard, SysRocks, SysCLSM, SysHyper, SysLevel}
 
 // Config scales an experiment run.
 type Config struct {
@@ -117,14 +127,14 @@ func storageOpts(memBytes int64) storage.Options {
 	return storage.Options{BaseLevelBytes: base, TargetFileSize: target}
 }
 
-// openSystem builds one of the five stores. Benchmarks run with the WAL
+// openSystem builds one of the six stores. Benchmarks run with the WAL
 // disabled, like the paper's db_bench-style loaders (no fsync per write);
 // cells that measure the durable write path use openSystemDurable.
 func openSystem(sys System, dir string, memBytes int64, lim *diskenv.Limiter) (kv.Store, error) {
 	return openSystemMode(sys, dir, memBytes, lim, false)
 }
 
-// openSystemDurable builds one of the five stores with the commit log ON
+// openSystemDurable builds one of the six stores with the commit log ON
 // (Buffered default durability) — the configuration the durable-write
 // apibench column and the durability conformance suite measure.
 func openSystemDurable(sys System, dir string, memBytes int64, lim *diskenv.Limiter) (kv.Store, error) {
@@ -141,6 +151,8 @@ func openSystemMode(sys System, dir string, memBytes int64, lim *diskenv.Limiter
 			PersistLimiter: lim,
 			Storage:        storageOpts(memBytes),
 		})
+	case SysShard:
+		return openShard(dir, ShardCount, memBytes, lim, walOn)
 	}
 	cfg := baseline.Config{
 		Dir: dir, MemBytes: memBytes, DisableWAL: !walOn,
@@ -158,6 +170,23 @@ func openSystemMode(sys System, dir string, memBytes int64, lim *diskenv.Limiter
 	default:
 		return nil, fmt.Errorf("figures: unknown system %q", sys)
 	}
+}
+
+// openShard builds the sharded engine: shards × core.DB behind one
+// kv.Store, range-partitioned uniformly, sharing the total memory budget
+// and the disk limiter (one physical disk however many shards).
+func openShard(dir string, shards int, memBytes int64, lim *diskenv.Limiter, walOn bool) (kv.Store, error) {
+	perShard := memBytes / int64(shards)
+	return shard.Open(shard.Config{
+		Dir:    dir,
+		Shards: shards,
+		Core: core.Config{
+			MemoryBytes:    memBytes,
+			DisableWAL:     !walOn,
+			PersistLimiter: lim,
+			Storage:        storageOpts(perShard),
+		},
+	})
 }
 
 // cellDir allocates a fresh store directory.

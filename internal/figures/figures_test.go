@@ -28,15 +28,16 @@ func TestEveryFigureRuns(t *testing.T) {
 		t.Skip("integration smoke test")
 	}
 	figs := map[string]func(Config) (*harness.Table, error){
-		"fig5":      Fig5,
-		"fig7":      Fig7,
-		"fig8":      Fig8,
-		"fig9":      Fig9,
-		"fig11":     Fig11,
-		"fig12":     Fig12,
-		"fig14":     Fig14,
-		"fig17":     Fig17,
-		"scanstats": ScanStats,
+		"fig5":       Fig5,
+		"fig7":       Fig7,
+		"fig8":       Fig8,
+		"fig9":       Fig9,
+		"fig11":      Fig11,
+		"fig12":      Fig12,
+		"fig14":      Fig14,
+		"fig17":      Fig17,
+		"scanstats":  ScanStats,
+		"shardbench": ShardBench,
 	}
 	for name, fn := range figs {
 		name, fn := name, fn

@@ -39,6 +39,8 @@ func openSysWAL(t *testing.T, sys System, dir string) kv.Store {
 	switch sys {
 	case SysFloDB:
 		s, err = core.Open(core.Config{Dir: dir, MemoryBytes: 1 << 20, Storage: storageOpts(1 << 20)})
+	case SysShard:
+		s, err = openShard(dir, ShardCount, 1<<20, nil, true)
 	default:
 		cfg := baseline.Config{Dir: dir, MemBytes: 1 << 20, Storage: storageOpts(1 << 20)}
 		switch sys {

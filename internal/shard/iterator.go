@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// mergedIter k-way-merges per-shard iterators into one ascending cursor.
+// Routing guarantees the sources hold pairwise-disjoint key sets, so the
+// merge never has to break ties; under range routing the sources are
+// additionally ordered end-to-end and the merge degenerates into a
+// concatenation for free (at any moment only one source is the minimum).
+//
+// Error contract: the first error any source reports (a context cancel,
+// a read failure) invalidates the whole merge — positioning calls return
+// false and Err surfaces it.
+type mergedIter struct {
+	subs  []kv.Iterator
+	valid []bool // subs[i] is positioned on a live pair
+	cur   int    // index of the current minimum, -1 when unpositioned/done
+	err   error
+	done  bool // exhausted or failed: positioning calls short-circuit
+}
+
+var _ kv.Iterator = (*mergedIter)(nil)
+
+func newMergedIter(subs []kv.Iterator) *mergedIter {
+	return &mergedIter{subs: subs, valid: make([]bool, len(subs)), cur: -1}
+}
+
+// position records the outcome of a positioning call on source i,
+// capturing a source error as the merge's error.
+func (m *mergedIter) position(i int, ok bool) {
+	m.valid[i] = ok
+	if !ok {
+		if err := m.subs[i].Err(); err != nil && m.err == nil {
+			m.err = err
+		}
+	}
+}
+
+// pickMin scans the live sources for the smallest key. Linear in shard
+// count, which is small; a heap would only pay past dozens of shards.
+func (m *mergedIter) pickMin() bool {
+	if m.err != nil {
+		m.cur = -1
+		m.done = true
+		return false
+	}
+	m.cur = -1
+	for i := range m.subs {
+		if !m.valid[i] {
+			continue
+		}
+		if m.cur < 0 || keys.Compare(m.subs[i].Key(), m.subs[m.cur].Key()) < 0 {
+			m.cur = i
+		}
+	}
+	if m.cur < 0 {
+		m.done = true
+		return false
+	}
+	m.done = false
+	return true
+}
+
+// First positions every source at its first pair and yields the global
+// minimum.
+func (m *mergedIter) First() bool {
+	if m.err != nil {
+		return false
+	}
+	for i, it := range m.subs {
+		m.position(i, it.First())
+	}
+	return m.pickMin()
+}
+
+// Seek positions at the first pair with key >= the given key.
+func (m *mergedIter) Seek(key []byte) bool {
+	if m.err != nil {
+		return false
+	}
+	for i, it := range m.subs {
+		m.position(i, it.Seek(key))
+	}
+	return m.pickMin()
+}
+
+// Next advances past the current pair; on an unpositioned iterator it is
+// First.
+func (m *mergedIter) Next() bool {
+	if m.err != nil || m.done {
+		return false
+	}
+	if m.cur < 0 {
+		return m.First()
+	}
+	m.position(m.cur, m.subs[m.cur].Next())
+	return m.pickMin()
+}
+
+// Key returns the current key (valid after a positioning call returned
+// true, until the next one).
+func (m *mergedIter) Key() []byte {
+	if m.cur < 0 {
+		return nil
+	}
+	return m.subs[m.cur].Key()
+}
+
+// Value returns the current value under the same aliasing rule as Key.
+func (m *mergedIter) Value() []byte {
+	if m.cur < 0 {
+		return nil
+	}
+	return m.subs[m.cur].Value()
+}
+
+// Err returns the first error any source encountered.
+func (m *mergedIter) Err() error { return m.err }
+
+// Close releases every source. Idempotent; returns the first close error.
+func (m *mergedIter) Close() error {
+	var firstErr error
+	for _, it := range m.subs {
+		if err := it.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.cur = -1
+	m.done = true
+	return firstErr
+}

@@ -1,0 +1,773 @@
+// Package shard implements a range-partitioned sharded engine: one
+// kv.Store served by N independent FloDB (core.DB) instances, each with
+// its own directory, WAL, two-level memory component, and compactor.
+//
+// FloDB's thesis is scaling the memory component across cores; sharding
+// is the next step past a single memory component. Partitioning the
+// keyspace lets writers, background drains, memtable flushes and WAL
+// group-commits proceed independently per shard: N shards mean N
+// uncontended Membuffers, N drain pools, N persist pipelines and N
+// group-commit fsync queues, so write throughput scales with shard count
+// until the disk itself saturates.
+//
+// # Routing
+//
+// Keys route by RANGE: a Splitter chooses n-1 ascending boundary keys,
+// shard i owning [boundary[i-1], boundary[i]). Range partitioning keeps
+// each shard's keys contiguous, so a bounded Scan touches only the
+// shards its range overlaps and a full iteration is a cheap k-way merge
+// of already-disjoint sorted streams. The default UniformSplitter cuts
+// the 8-byte big-endian keyspace into n equal slices — balanced for the
+// spread key encodings internal/workload produces. A Splitter that
+// returns nil boundaries selects the HASH fallback (FNV-1a mod n) for
+// keyspaces with no exploitable order: balance under arbitrary skew, at
+// the cost of every Scan consulting every shard.
+//
+// The layout is persisted in a SHARDS manifest at the store root; a
+// reopen (or a checkpoint reopen) reads the manifest, so the routing a
+// store was created with is the routing it keeps for life.
+//
+// # Cross-shard semantics (the honest caveats)
+//
+//   - Put/Delete/Get touch exactly one shard and keep core.DB's
+//     single-shard guarantees unchanged.
+//   - Apply splits a batch by shard and commits the sub-batches
+//     CONCURRENTLY. Each sub-batch is one WAL record on its shard —
+//     atomic per shard across a crash — but there is no cross-shard
+//     commit protocol: a crash mid-Apply may recover some shards' slices
+//     of the batch and not others. What recovery guarantees is that each
+//     shard individually holds a hole-free prefix of ITS commit order,
+//     with each surviving sub-batch intact (all-or-nothing per shard).
+//   - Sync fans out and waits until every shard's DurableSeq covers its
+//     AckedSeq: after Sync returns, everything previously acked on every
+//     shard is crash-durable.
+//   - Snapshot takes a brief cross-shard WRITE BARRIER (writers pause,
+//     readers do not) while it pins all N per-shard snapshots, so the
+//     handle is one globally consistent cut: repeatable reads hold
+//     across shard boundaries, not just within one shard.
+//   - Checkpoint fans out into per-shard subdirectories plus a copied
+//     manifest. Each shard's copy is prefix-consistent in its own commit
+//     order; there is no cross-shard cut (no write barrier — the store
+//     stays fully online). The manifest is written LAST, so a partial
+//     checkpoint is unopenable rather than silently missing shards.
+package shard
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flodb/internal/core"
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/storage"
+)
+
+// ErrClosed wraps kv.ErrClosed for operations on a closed sharded store.
+var ErrClosed = fmt.Errorf("shard: %w", kv.ErrClosed)
+
+// A Splitter chooses the shard boundaries at store creation.
+type Splitter interface {
+	// Boundaries returns the n-1 strictly ascending boundary keys that
+	// cut the keyspace into n ranges: shard 0 owns keys < b[0], shard i
+	// owns [b[i-1], b[i]), shard n-1 owns keys >= b[n-2]. Returning nil
+	// selects hash routing instead (the fallback for keyspaces whose
+	// order carries no balance information).
+	Boundaries(n int) [][]byte
+}
+
+// UniformSplitter cuts the 8-byte big-endian keyspace into n equal
+// ranges. It is the default: balanced for uniformly spread fixed-width
+// keys (the paper's workload shape), and for anything hashed into the
+// 64-bit space before use as a key.
+type UniformSplitter struct{}
+
+// Boundaries returns n-1 evenly spaced 8-byte keys.
+func (UniformSplitter) Boundaries(n int) [][]byte {
+	step := ^uint64(0)/uint64(n) + 1
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, keys.EncodeUint64(step*uint64(i)))
+	}
+	return out
+}
+
+// HashSplitter declines to pick boundaries, selecting the hash-routing
+// fallback: keys route by FNV-1a hash mod n. Balanced under arbitrary
+// key skew, but every Scan and iterator must consult all shards.
+type HashSplitter struct{}
+
+// Boundaries returns nil: hash routing.
+func (HashSplitter) Boundaries(int) [][]byte { return nil }
+
+// Config parameterizes a sharded store.
+type Config struct {
+	// Dir is the store root. Shard i lives in Dir/shard-NNN; the SHARDS
+	// manifest at the root records the layout.
+	Dir string
+	// Shards is the number of partitions. Reopening a directory whose
+	// manifest records a different count is an error (the on-disk layout
+	// is a property of the data, not of the open call).
+	Shards int
+	// Splitter chooses the boundaries at creation; nil means
+	// UniformSplitter. Ignored on reopen — the manifest wins.
+	Splitter Splitter
+	// Core is the per-shard template. Dir is ignored (each shard gets
+	// its subdirectory) and MemoryBytes is the TOTAL memory budget,
+	// split evenly across shards so a sharded store competes against an
+	// unsharded one at equal memory. Zero means each shard takes the
+	// core default.
+	Core core.Config
+}
+
+const (
+	manifestName    = "SHARDS"
+	manifestVersion = 1
+
+	routingRange = "range"
+	routingHash  = "hash"
+)
+
+// manifest is the JSON layout record at the store root.
+type manifest struct {
+	Version    int      `json:"version"`
+	Shards     int      `json:"shards"`
+	Routing    string   `json:"routing"`
+	Boundaries []string `json:"boundaries,omitempty"` // hex, len Shards-1 for range routing
+}
+
+// Store is a sharded FloDB: one kv.Store over N core.DB instances.
+// All methods are safe for concurrent use; Close must not race with
+// other operations.
+type Store struct {
+	dir        string
+	shards     []*core.DB
+	boundaries [][]byte // len(shards)-1; nil iff hash routing
+	hashed     bool
+
+	// snapMu is the cross-shard write barrier: writers hold it shared
+	// for the duration of one mutation, Snapshot holds it exclusive
+	// while pinning all per-shard snapshots, freezing one global cut.
+	snapMu sync.RWMutex
+
+	closed atomic.Bool
+
+	// Logical operation counters. Physical counters (WAL boundary,
+	// flushes, memory-component traffic) aggregate from the shards; the
+	// logical ones live here so a single fanned-out call counts once —
+	// one Snapshot is one snapshot, not N.
+	scans, iterators       atomic.Uint64
+	snapshots, checkpoints atomic.Uint64
+	batches, batchOps      atomic.Uint64
+	syncBarriers           atomic.Uint64
+}
+
+// Open creates or reopens a sharded store in cfg.Dir.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shard: Config.Dir is required")
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shard: Shards %d is negative; want >= 1", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	m, err := loadManifest(cfg.Dir)
+	switch {
+	case err != nil:
+		return nil, err
+	case m != nil:
+		// Reopen: the manifest is the layout.
+		if m.Shards != cfg.Shards {
+			return nil, fmt.Errorf("shard: %s holds %d shards, opened with %d: shard count is fixed at creation", cfg.Dir, m.Shards, cfg.Shards)
+		}
+	default:
+		// Fresh store. Refuse to overlay sharding onto a directory that
+		// already holds something else (an unsharded store, a torn
+		// checkpoint): routing its keys would silently shadow its data.
+		entries, err := os.ReadDir(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) > 0 {
+			return nil, fmt.Errorf("shard: %s is non-empty but has no %s manifest: not a sharded store", cfg.Dir, manifestName)
+		}
+		m, err = buildManifest(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeManifest(cfg.Dir, m); err != nil {
+			return nil, err
+		}
+	}
+
+	boundaries, err := m.boundaryKeys()
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s/%s: %w", cfg.Dir, manifestName, err)
+	}
+	s := &Store{
+		dir:        cfg.Dir,
+		boundaries: boundaries,
+		hashed:     m.Routing == routingHash,
+	}
+	for i := 0; i < m.Shards; i++ {
+		sc := cfg.Core
+		sc.Dir = filepath.Join(cfg.Dir, shardDirName(i))
+		if cfg.Core.MemoryBytes > 0 {
+			sc.MemoryBytes = max(cfg.Core.MemoryBytes/int64(m.Shards), 1)
+		}
+		db, err := core.Open(sc)
+		if err != nil {
+			for _, open := range s.shards {
+				open.Close()
+			}
+			return nil, fmt.Errorf("shard: open shard %d: %w", i, err)
+		}
+		s.shards = append(s.shards, db)
+	}
+	return s, nil
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// buildManifest resolves the splitter into a validated layout record.
+func buildManifest(cfg Config) (*manifest, error) {
+	split := cfg.Splitter
+	if split == nil {
+		split = UniformSplitter{}
+	}
+	m := &manifest{Version: manifestVersion, Shards: cfg.Shards, Routing: routingRange}
+	if cfg.Shards == 1 {
+		return m, nil
+	}
+	bs := split.Boundaries(cfg.Shards)
+	if bs == nil {
+		m.Routing = routingHash
+		return m, nil
+	}
+	if len(bs) != cfg.Shards-1 {
+		return nil, fmt.Errorf("shard: splitter returned %d boundaries for %d shards; want %d", len(bs), cfg.Shards, cfg.Shards-1)
+	}
+	for i, b := range bs {
+		if i > 0 && keys.Compare(bs[i-1], b) >= 0 {
+			return nil, fmt.Errorf("shard: splitter boundaries not strictly ascending at %d", i)
+		}
+		m.Boundaries = append(m.Boundaries, hex.EncodeToString(b))
+	}
+	return m, nil
+}
+
+func (m *manifest) boundaryKeys() ([][]byte, error) {
+	if m.Routing == routingHash {
+		return nil, nil
+	}
+	if len(m.Boundaries) != m.Shards-1 {
+		return nil, fmt.Errorf("manifest holds %d boundaries for %d shards", len(m.Boundaries), m.Shards)
+	}
+	out := make([][]byte, 0, len(m.Boundaries))
+	for _, h := range m.Boundaries {
+		b, err := hex.DecodeString(h)
+		if err != nil {
+			return nil, fmt.Errorf("bad boundary %q: %w", h, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// DetectShards reports the shard count recorded in dir's SHARDS
+// manifest, or 0 when dir is not a sharded store root. Callers that
+// default to an unsharded engine use it to adopt (or refuse to shadow)
+// an existing sharded layout.
+func DetectShards(dir string) (int, error) {
+	m, err := loadManifest(dir)
+	if err != nil || m == nil {
+		return 0, err
+	}
+	return m.Shards, nil
+}
+
+// loadManifest returns the layout record, or nil when none exists.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse %s: %w", manifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("shard: %s version %d not supported", manifestName, m.Version)
+	}
+	if m.Shards < 1 {
+		return nil, fmt.Errorf("shard: %s records %d shards", manifestName, m.Shards)
+	}
+	if m.Routing != routingRange && m.Routing != routingHash {
+		return nil, fmt.Errorf("shard: %s records unknown routing %q", manifestName, m.Routing)
+	}
+	return &m, nil
+}
+
+// writeManifest persists the layout atomically: temp file, fsync,
+// rename, directory fsync. Its presence is the store's (and a
+// checkpoint's) commit point, so the rename itself must be durable —
+// without the directory sync a power loss could leave fsynced shard
+// data behind an unopenable root.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return storage.SyncDir(dir)
+}
+
+// --- Routing -----------------------------------------------------------------
+
+// ShardFor returns the index of the shard that owns key.
+func (s *Store) ShardFor(key []byte) int {
+	if s.hashed {
+		var sum uint64 = 14695981039346656037
+		for _, c := range key {
+			sum ^= uint64(c)
+			sum *= 1099511628211
+		}
+		sum ^= sum >> 33
+		return int(sum % uint64(len(s.shards)))
+	}
+	// First boundary strictly above key names the owning shard; keys at
+	// or past the last boundary fall through to the final shard.
+	return sort.Search(len(s.boundaries), func(i int) bool {
+		return keys.Compare(key, s.boundaries[i]) < 0
+	})
+}
+
+// Count returns the number of shards.
+func (s *Store) Count() int { return len(s.shards) }
+
+// Routing names the routing mode: "range" or "hash".
+func (s *Store) Routing() string {
+	if s.hashed {
+		return routingHash
+	}
+	return routingRange
+}
+
+// shardRange returns the [lo, hi] shard indices a key range overlaps.
+// Only meaningful for range routing; hash routing spans every shard.
+func (s *Store) shardRange(low, high []byte) (int, int) {
+	if s.hashed {
+		return 0, len(s.shards) - 1
+	}
+	lo := 0
+	if low != nil {
+		lo = s.ShardFor(low)
+	}
+	hi := len(s.shards) - 1
+	if high != nil {
+		// high is exclusive; ShardFor(high) may point one shard past the
+		// last key actually in range, which then contributes nothing.
+		hi = s.ShardFor(high)
+	}
+	if hi < lo {
+		// Inverted bounds: collapse to one shard, whose own bounds check
+		// yields the empty result a single engine returns.
+		hi = lo
+	}
+	return lo, hi
+}
+
+// fanout runs fn once per shard concurrently and returns the first error
+// in shard order.
+func (s *Store) fanout(fn func(i int, db *core.DB) error) error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, db := range s.shards {
+		wg.Add(1)
+		go func(i int, db *core.DB) {
+			defer wg.Done()
+			errs[i] = fn(i, db)
+		}(i, db)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Writes ------------------------------------------------------------------
+
+// Put routes key to its shard. The cross-shard write barrier is held
+// shared for the call, so an in-flight Snapshot briefly excludes it.
+func (s *Store) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	return s.shards[s.ShardFor(key)].Put(ctx, key, value, opts...)
+}
+
+// Delete routes key to its shard.
+func (s *Store) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	return s.shards[s.ShardFor(key)].Delete(ctx, key, opts...)
+}
+
+// Apply splits b by shard and commits the sub-batches concurrently, each
+// as one WAL record on its shard.
+//
+// Atomicity is PER SHARD, not cross-shard: a crash mid-Apply may recover
+// the slice of the batch that landed on one shard and not another's.
+// Each surviving slice is all-or-nothing, and each shard recovers a
+// hole-free prefix of its own commit order. Under DurabilitySync the
+// call returns only after every touched shard's group-committed fsync
+// covers its slice — the fsyncs run in parallel, one queue per shard.
+func (s *Store) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if b == nil || b.Len() == 0 {
+		return nil
+	}
+	s.batches.Add(1)
+	s.batchOps.Add(uint64(b.Len()))
+
+	ops := b.Ops()
+	owners := make([]int, len(ops))
+	single, uniform := s.ShardFor(ops[0].Key), true
+	for i := range ops {
+		owners[i] = s.ShardFor(ops[i].Key)
+		uniform = uniform && owners[i] == single
+	}
+
+	s.snapMu.RLock()
+	defer s.snapMu.RUnlock()
+	if uniform {
+		// Whole batch on one shard: full single-store atomicity, no split.
+		return s.shards[single].Apply(ctx, b, opts...)
+	}
+	subs := make([]*kv.Batch, len(s.shards))
+	for i := range ops {
+		sub := subs[owners[i]]
+		if sub == nil {
+			sub = kv.NewBatch()
+			subs[owners[i]] = sub
+		}
+		// Insertion order is preserved within a shard, so a later op on
+		// the same key still wins its sub-batch.
+		if ops[i].Kind == keys.KindDelete {
+			sub.Delete(ops[i].Key)
+		} else {
+			sub.Put(ops[i].Key, ops[i].Value)
+		}
+	}
+	return s.fanout(func(i int, db *core.DB) error {
+		if subs[i] == nil {
+			return nil
+		}
+		return db.Apply(ctx, subs[i], opts...)
+	})
+}
+
+// Sync is the cross-shard durability barrier: it fans out and waits
+// until every shard's acked writes are crash-durable — one
+// group-committed disk barrier per shard WAL, run in parallel.
+func (s *Store) Sync(ctx context.Context) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.syncBarriers.Add(1)
+	return s.fanout(func(_ int, db *core.DB) error {
+		return db.Sync(ctx)
+	})
+}
+
+// --- Reads -------------------------------------------------------------------
+
+// Get routes key to its shard.
+func (s *Store) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if s.closed.Load() {
+		return nil, false, ErrClosed
+	}
+	return s.shards[s.ShardFor(key)].Get(ctx, key)
+}
+
+// Scan returns all pairs with low <= key < high in global key order.
+// Under range routing only the overlapping shards run, concurrently,
+// and their results concatenate (shard ranges are ordered and disjoint);
+// under hash routing every shard scans and the results merge by key.
+// Each shard's slice is a consistent snapshot of that shard; like the
+// live iterator, the cut is per shard, not global — use Snapshot for a
+// cross-shard point-in-time read.
+func (s *Store) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.scans.Add(1)
+	lo, hi := s.shardRange(low, high)
+	if lo == hi {
+		return s.shards[lo].Scan(ctx, low, high)
+	}
+	parts := make([][]kv.Pair, hi-lo+1)
+	var wg sync.WaitGroup
+	errs := make([]error, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i-lo], errs[i-lo] = s.shards[i].Scan(ctx, low, high)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []kv.Pair
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if s.hashed {
+		// Hash-routed shards interleave; restore global key order. The
+		// slices are pairwise disjoint, so an ordinary sort suffices.
+		sort.Slice(out, func(i, j int) bool { return keys.Compare(out[i].Key, out[j].Key) < 0 })
+	}
+	return out, nil
+}
+
+// NewIterator returns a streaming cursor merging the overlapping shards'
+// iterators into one ascending stream. Consistency is per shard (each
+// sub-iterator serves consistent chunks of its shard); there is no
+// cross-shard cut — snapshots provide that.
+func (s *Store) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.iterators.Add(1)
+	lo, hi := s.shardRange(low, high)
+	subs := make([]kv.Iterator, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		it, err := s.shards[i].NewIterator(ctx, low, high)
+		if err != nil {
+			for _, open := range subs {
+				open.Close()
+			}
+			return nil, err
+		}
+		subs = append(subs, it)
+	}
+	return newMergedIter(subs), nil
+}
+
+// Snapshot pins a globally consistent repeatable-read view: a brief
+// cross-shard write barrier blocks mutations while all N per-shard
+// snapshots are taken (concurrently), so the handle observes one cut of
+// the whole keyspace. Each per-shard snapshot is FloDB's materializing
+// kind — a forced drain-and-flush — so the barrier lasts N parallel
+// memtable flushes: milliseconds at bench scale, but writers stall for
+// all of it. The multi-versioned baselines pin snapshots for free; this
+// is the same cost asymmetry, scaled by fan-out.
+func (s *Store) Snapshot(ctx context.Context) (kv.View, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.snapshots.Add(1)
+
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	views := make([]kv.View, len(s.shards))
+	err := s.fanout(func(i int, db *core.DB) error {
+		v, err := db.Snapshot(ctx)
+		if err == nil {
+			views[i] = v
+		}
+		return err
+	})
+	if err != nil {
+		for _, v := range views {
+			if v != nil {
+				v.Close()
+			}
+		}
+		return nil, err
+	}
+	return &snapView{s: s, views: views}, nil
+}
+
+// Checkpoint writes an openable copy of the whole sharded store into
+// dir: one per-shard checkpoint in dir/shard-NNN (fanned out
+// concurrently, each hard-links + WAL tail) plus the SHARDS manifest,
+// written last as the commit point. The store stays online — there is
+// no cross-shard barrier, so each shard's copy is prefix-consistent in
+// its OWN commit order; a write racing the call may appear on one shard
+// and not another.
+func (s *Store) Checkpoint(ctx context.Context, dir string) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.checkpoints.Add(1)
+	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+		return fmt.Errorf("shard: checkpoint dir %s is not empty", dir)
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.fanout(func(i int, db *core.DB) error {
+		return db.Checkpoint(ctx, filepath.Join(dir, shardDirName(i)))
+	}); err != nil {
+		return err
+	}
+	m := &manifest{Version: manifestVersion, Shards: len(s.shards), Routing: s.Routing()}
+	for _, b := range s.boundaries {
+		m.Boundaries = append(m.Boundaries, hex.EncodeToString(b))
+	}
+	return writeManifest(dir, m)
+}
+
+// Close closes every shard. It must not race with other operations.
+func (s *Store) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, db := range s.shards {
+		if err := db.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// --- Diagnostics -------------------------------------------------------------
+
+// Stats aggregates the shards. Physical counters (memory-component
+// traffic, flushes, compactions, and the WAL acked/durable boundary) sum
+// across shards — AckedSeq and DurableSeq are sums of per-shard commit
+// indices, so DurableSeq == AckedSeq still means "no buffered window
+// anywhere". Logical counters for fanned-out operations (Scans,
+// Iterators, Snapshots, Checkpoints, Batches, SyncBarriers) count calls
+// on THIS store, not the N per-shard calls each one fans into.
+func (s *Store) Stats() kv.Stats {
+	agg := kv.Stats{
+		Scans:        s.scans.Load(),
+		Iterators:    s.iterators.Load(),
+		Snapshots:    s.snapshots.Load(),
+		Checkpoints:  s.checkpoints.Load(),
+		Batches:      s.batches.Load(),
+		BatchOps:     s.batchOps.Load(),
+		SyncBarriers: s.syncBarriers.Load(),
+	}
+	for _, st := range s.PerShard() {
+		agg.Puts += st.Puts
+		agg.Gets += st.Gets
+		agg.Deletes += st.Deletes
+		agg.ScanRestarts += st.ScanRestarts
+		agg.FallbackScans += st.FallbackScans
+		agg.MembufferHits += st.MembufferHits
+		agg.MemtableWrites += st.MemtableWrites
+		agg.Flushes += st.Flushes
+		agg.Compactions += st.Compactions
+		agg.AckedSeq += st.AckedSeq
+		agg.DurableSeq += st.DurableSeq
+		agg.WALSyncs += st.WALSyncs
+		agg.WALSyncRequests += st.WALSyncRequests
+	}
+	return agg
+}
+
+// PerShard returns each shard's own counters, indexed by shard — the
+// breakdown behind Stats, and the imbalance signal under skew: a hot
+// shard shows up as one row carrying most of the Puts and Flushes.
+func (s *Store) PerShard() []kv.Stats {
+	out := make([]kv.Stats, len(s.shards))
+	for i, db := range s.shards {
+		out[i] = db.Stats()
+	}
+	return out
+}
+
+// WaitDiskQuiesce waits out pending persists and compactions on every
+// shard (the harness quiesce point).
+func (s *Store) WaitDiskQuiesce() {
+	for _, db := range s.shards {
+		db.WaitDiskQuiesce()
+	}
+}
+
+// CrashForTesting abandons every shard the way a crash would: staged WAL
+// tails are lost, no close-time flush runs. Durability tests use it to
+// open the per-shard acked-but-lost windows deliberately.
+func (s *Store) CrashForTesting() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, db := range s.shards {
+		db.CrashForTesting()
+	}
+}
+
+var (
+	_ kv.Store         = (*Store)(nil)
+	_ kv.StatsProvider = (*Store)(nil)
+)

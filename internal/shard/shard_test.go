@@ -1,0 +1,688 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flodb/internal/core"
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/storage"
+)
+
+var bg = context.Background()
+
+// spreadKey maps a dense index onto the 64-bit keyspace (the workload
+// package's bijection), so test keys cover every shard of a uniform
+// range split.
+func spreadKey(i uint64) []byte {
+	return keys.EncodeUint64(i * 0x9e3779b97f4a7c15)
+}
+
+// tinyCore keeps per-shard stores small enough that tests exercise
+// drains and flushes without writing much data.
+func tinyCore(walOn bool) core.Config {
+	return core.Config{
+		MemoryBytes: 256 << 10,
+		DisableWAL:  !walOn,
+		Storage:     storage.Options{BaseLevelBytes: 1 << 20, TargetFileSize: 256 << 10},
+	}
+}
+
+func openN(t *testing.T, dir string, n int, walOn bool) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, Shards: n, Core: tinyCore(walOn)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestUniformSplitterRouting(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, false)
+	defer s.Close()
+	if got := s.Routing(); got != "range" {
+		t.Fatalf("Routing() = %q, want range", got)
+	}
+	if got := s.Count(); got != 4 {
+		t.Fatalf("Count() = %d, want 4", got)
+	}
+	// Routing is monotone in key order and covers every shard.
+	hit := make(map[int]int)
+	prev := -1
+	for b := 0; b < 256; b++ {
+		sh := s.ShardFor([]byte{byte(b), 0xff})
+		if sh < prev {
+			t.Fatalf("routing not monotone: key %#x -> shard %d after shard %d", b, sh, prev)
+		}
+		prev = sh
+		hit[sh]++
+	}
+	if len(hit) != 4 {
+		t.Fatalf("256 leading bytes hit %d of 4 shards", len(hit))
+	}
+	// The uniform split of 4 cuts exactly at the top two bits of the
+	// 8-byte keyspace; a boundary key itself belongs to the upper shard.
+	for _, tc := range []struct {
+		key   uint64
+		shard int
+	}{
+		{0, 0}, {1<<62 - 1, 0}, {1 << 62, 1}, {1<<63 - 1, 1},
+		{1 << 63, 2}, {3<<62 - 1, 2}, {3 << 62, 3}, {^uint64(0), 3},
+	} {
+		if got := s.ShardFor(keys.EncodeUint64(tc.key)); got != tc.shard {
+			t.Fatalf("ShardFor(%#x) = %d, want %d", tc.key, got, tc.shard)
+		}
+	}
+	// Keys shorter than a boundary sort before it: a bare {0x40} is
+	// strictly below the 0x4000..00 boundary, so it stays in shard 0.
+	if got := s.ShardFor([]byte{0x40}); got != 0 {
+		t.Fatalf("ShardFor(short 0x40) = %d, want 0", got)
+	}
+}
+
+func TestHashFallbackRouting(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 4, Splitter: HashSplitter{}, Core: tinyCore(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Routing(); got != "hash" {
+		t.Fatalf("Routing() = %q, want hash", got)
+	}
+	hit := make(map[int]bool)
+	const n = 512
+	for i := uint64(0); i < n; i++ {
+		k := spreadKey(i)
+		hit[s.ShardFor(k)] = true
+		if err := s.Put(bg, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(hit) != 4 {
+		t.Fatalf("hash routing used %d of 4 shards", len(hit))
+	}
+	// Hash-routed shards interleave keys, but merged iteration and Scan
+	// must still come back in global key order, complete.
+	pairs, err := s.Scan(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != n {
+		t.Fatalf("scan returned %d pairs, want %d", len(pairs), n)
+	}
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Compare(pairs[i-1].Key, pairs[i].Key) >= 0 {
+			t.Fatalf("scan out of order at %d: %x >= %x", i, pairs[i-1].Key, pairs[i].Key)
+		}
+	}
+}
+
+func TestBadSplitterRejected(t *testing.T) {
+	for name, split := range map[string]Splitter{
+		"wrong-count": splitterFunc(func(n int) [][]byte { return [][]byte{{1}} }),
+		"descending":  splitterFunc(func(n int) [][]byte { return [][]byte{{9}, {5}, {1}} }),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Open(Config{Dir: t.TempDir(), Shards: 4, Splitter: split, Core: tinyCore(false)}); err == nil {
+				t.Fatal("invalid splitter accepted")
+			}
+		})
+	}
+}
+
+type splitterFunc func(n int) [][]byte
+
+func (f splitterFunc) Boundaries(n int) [][]byte { return f(n) }
+
+func TestManifestReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openN(t, dir, 4, true)
+	const n = 300
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(bg, spreadKey(i), keys.EncodeUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening with a mismatched count must fail — the layout is data.
+	if _, err := Open(Config{Dir: dir, Shards: 8, Core: tinyCore(true)}); err == nil {
+		t.Fatal("reopen with wrong shard count accepted")
+	}
+
+	r := openN(t, dir, 4, true)
+	defer r.Close()
+	for i := uint64(0); i < n; i++ {
+		v, ok, err := r.Get(bg, spreadKey(i))
+		if err != nil || !ok || keys.DecodeUint64(v) != i {
+			t.Fatalf("key %d after reopen: %x %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestNonShardedDirRejected(t *testing.T) {
+	// A directory holding a plain (unsharded) store must not be silently
+	// overlaid with shard routing.
+	dir := t.TempDir()
+	db, err := core.Open(core.Config{Dir: dir, MemoryBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put(bg, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, Shards: 4, Core: tinyCore(false)}); err == nil {
+		t.Fatal("non-sharded directory accepted as a sharded store")
+	}
+}
+
+func TestMergedIteratorGlobalOrder(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, false)
+	defer s.Close()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(bg, spreadKey(i), keys.EncodeUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := s.NewIterator(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var prev []byte
+	count := 0
+	for ok := it.First(); ok; ok = it.Next() {
+		if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+			t.Fatalf("iterator out of order at %d: %x >= %x", count, prev, it.Key())
+		}
+		prev = append(prev[:0], it.Key()...)
+		count++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("iterated %d pairs, want %d", count, n)
+	}
+
+	// Seek lands on the first key >= target, in any shard — including
+	// seeking backward after the cursor advanced past it.
+	sorted := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		sorted = append(sorted, spreadKey(i))
+	}
+	sortKeys(sorted)
+	for _, idx := range []int{0, 1, n / 3, n / 2, n - 2, n - 1} {
+		if !it.Seek(sorted[idx]) {
+			t.Fatalf("Seek(%x) found nothing", sorted[idx])
+		}
+		if !bytes.Equal(it.Key(), sorted[idx]) {
+			t.Fatalf("Seek(%x) landed on %x", sorted[idx], it.Key())
+		}
+	}
+	// Seek past everything is exhaustion, not an error.
+	if it.Seek(bytes.Repeat([]byte{0xff}, 9)) {
+		t.Fatal("Seek past the last key succeeded")
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortKeys(ks [][]byte) {
+	for i := 1; i < len(ks); i++ {
+		for j := i; j > 0 && bytes.Compare(ks[j-1], ks[j]) > 0; j-- {
+			ks[j-1], ks[j] = ks[j], ks[j-1]
+		}
+	}
+}
+
+func TestScanAcrossBoundaries(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, false)
+	defer s.Close()
+	// One key per leading byte: 256 keys evenly over the 4 shards.
+	for b := 0; b < 256; b++ {
+		k := []byte{byte(b), 0, 0, 0, 0, 0, 0, 0}
+		if err := s.Put(bg, k, []byte{byte(b)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A window spanning the shard-1/shard-2 boundary (0x80).
+	low := []byte{0x70, 0, 0, 0, 0, 0, 0, 0}
+	high := []byte{0x90, 0, 0, 0, 0, 0, 0, 0}
+	pairs, err := s.Scan(bg, low, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0x90-0x70 {
+		t.Fatalf("boundary scan returned %d pairs, want %d", len(pairs), 0x90-0x70)
+	}
+	for i, p := range pairs {
+		if p.Key[0] != byte(0x70+i) {
+			t.Fatalf("boundary scan pair %d has key %x", i, p.Key)
+		}
+	}
+}
+
+// TestSnapshotSpansShards is the cross-shard repeatable-read model test:
+// a snapshot taken mid write-storm must observe one globally consistent
+// cut — identical on every read, every recovered value intact — while
+// the live store keeps moving under it.
+func TestSnapshotSpansShards(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, true)
+	defer s.Close()
+	const keyspace = 1 << 12
+
+	ctx, cancel := context.WithCancel(bg)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for ctx.Err() == nil {
+				i := uint64(rng.Intn(keyspace))
+				k := spreadKey(i)
+				// Value always equals the key, so any state a reader can
+				// observe is self-consistent per key.
+				if err := s.Put(ctx, k, k); err != nil && ctx.Err() == nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Let the storm touch all shards, then cut.
+	for warm := 0; warm < 1000; warm++ {
+		if warm%100 == 0 {
+			if _, _, err := s.Get(bg, spreadKey(uint64(warm))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap, err := s.Snapshot(bg)
+	if err != nil {
+		cancel()
+		wg.Wait()
+		t.Fatal(err)
+	}
+	first, err := snap.Scan(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		again, err := snap.Scan(bg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("pass %d: snapshot scan length changed %d -> %d", pass, len(first), len(again))
+		}
+		for i := range again {
+			if !bytes.Equal(again[i].Key, first[i].Key) || !bytes.Equal(again[i].Value, first[i].Value) {
+				t.Fatalf("pass %d: snapshot drifted at %d: %x=%x vs %x=%x",
+					pass, i, again[i].Key, again[i].Value, first[i].Key, first[i].Value)
+			}
+			if !bytes.Equal(again[i].Key, again[i].Value) {
+				t.Fatalf("pass %d: corrupt pair %x=%x", pass, again[i].Key, again[i].Value)
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+
+	// Released handles return the typed error.
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := snap.Get(bg, spreadKey(1)); !errors.Is(err, kv.ErrSnapshotReleased) {
+		t.Fatalf("released snapshot Get: %v", err)
+	}
+}
+
+// TestCrossShardBatchCrashRecovery opens the documented cross-shard
+// atomicity caveat for real: a batch spanning every shard is committed
+// Buffered, ONE shard's WAL is then promoted by a Sync-class write, and
+// the store crashes. The promoted shard must recover its whole slice of
+// the batch; every shard must recover its slice all-or-nothing (a
+// consistent prefix of its own commit order) — a partially applied
+// sub-batch is the bug.
+func TestCrossShardBatchCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openN(t, dir, 4, true)
+
+	const perShard = 8
+	b := kv.NewBatch()
+	var shardKeys [4][][]byte
+	for sh := 0; sh < 4; sh++ {
+		for i := 0; i < perShard; i++ {
+			// Leading byte pins the shard under the uniform 4-way split.
+			k := []byte{byte(sh << 6), byte(i), 0, 0, 0, 0, 0, 1}
+			if got := s.ShardFor(k); got != sh {
+				t.Fatalf("test key %x routed to shard %d, want %d", k, got, sh)
+			}
+			shardKeys[sh] = append(shardKeys[sh], k)
+			b.Put(k, k)
+		}
+	}
+	if err := s.Apply(bg, b); err != nil {
+		t.Fatal(err)
+	}
+	// Promote shard 2 only: a Sync-class write on the same shard fsyncs
+	// the WAL prefix holding its slice of the batch.
+	promote := []byte{0x80, 0xff, 0, 0, 0, 0, 0, 2}
+	if got := s.ShardFor(promote); got != 2 {
+		t.Fatalf("promote key routed to shard %d, want 2", got)
+	}
+	if err := s.Put(bg, promote, promote, kv.WithSync()); err != nil {
+		t.Fatal(err)
+	}
+	s.CrashForTesting()
+
+	r := openN(t, dir, 4, true)
+	defer r.Close()
+	for sh := 0; sh < 4; sh++ {
+		present := 0
+		for _, k := range shardKeys[sh] {
+			v, ok, err := r.Get(bg, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok {
+				if !bytes.Equal(v, k) {
+					t.Fatalf("shard %d key %x recovered corrupt: %x", sh, k, v)
+				}
+				present++
+			}
+		}
+		if present != 0 && present != perShard {
+			t.Fatalf("shard %d recovered %d of %d batch ops: sub-batch atomicity broken", sh, present, perShard)
+		}
+		if sh == 2 && present != perShard {
+			t.Fatalf("shard 2 lost its batch slice despite the Sync promotion (recovered %d)", present)
+		}
+	}
+}
+
+// TestStatsAggregation checks the logical-vs-physical counter split: a
+// fanned-out call counts once at the store level, while routed writes
+// sum across shards, and the per-shard breakdown accounts for every put.
+func TestStatsAggregation(t *testing.T) {
+	s := openN(t, t.TempDir(), 2, true)
+	defer s.Close()
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(bg, spreadKey(i), keys.EncodeUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := s.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Close()
+	if _, err := s.Scan(bg, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	b := kv.NewBatch()
+	b.Put(spreadKey(0), []byte("x"))
+	b.Put(spreadKey(1), []byte("y"))
+	if err := s.Apply(bg, b); err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.Puts != n {
+		t.Fatalf("Puts = %d, want %d", st.Puts, n)
+	}
+	if st.SyncBarriers != 1 || st.Snapshots != 1 || st.Scans != 1 {
+		t.Fatalf("logical counters fanned out: %+v", st)
+	}
+	if st.Batches != 1 || st.BatchOps != 2 {
+		t.Fatalf("batch counters: batches=%d ops=%d", st.Batches, st.BatchOps)
+	}
+	if st.DurableSeq > st.AckedSeq {
+		t.Fatalf("durable %d > acked %d", st.DurableSeq, st.AckedSeq)
+	}
+
+	per := s.PerShard()
+	if len(per) != 2 {
+		t.Fatalf("PerShard returned %d rows", len(per))
+	}
+	var sum uint64
+	for _, ss := range per {
+		sum += ss.Puts
+	}
+	if sum != n {
+		t.Fatalf("per-shard puts sum to %d, want %d", sum, n)
+	}
+	for i, ss := range per {
+		if ss.Puts == 0 {
+			t.Fatalf("shard %d saw no puts: spread keys should hit both shards", i)
+		}
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := openN(t, t.TempDir(), 2, false)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bg, []byte("k"), []byte("v")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Put on closed store: %v", err)
+	}
+	if _, _, err := s.Get(bg, []byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Get on closed store: %v", err)
+	}
+	if _, err := s.Scan(bg, nil, nil); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Scan on closed store: %v", err)
+	}
+	if _, err := s.Snapshot(bg); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("Snapshot on closed store: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second Close not idempotent")
+	}
+}
+
+// TestShardStress drives every entry point of the sharded store from
+// concurrent goroutines — the -race CI target. Routed writes, merged
+// scans and iterators, cross-shard batches, snapshots and barriers all
+// interleave; the assertions are "no error, no deadlock, values intact".
+func TestShardStress(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, true)
+	defer func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	const (
+		workers = 8
+		opsEach = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 977))
+			for op := 0; op < opsEach; op++ {
+				i := uint64(rng.Intn(1 << 10))
+				k := spreadKey(i)
+				switch op % 8 {
+				case 0, 1, 2:
+					if err := s.Put(bg, k, k); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if v, ok, err := s.Get(bg, k); err != nil {
+						t.Error(err)
+						return
+					} else if ok && !bytes.Equal(v, k) {
+						t.Errorf("corrupt read: %x = %x", k, v)
+						return
+					}
+				case 4:
+					if err := s.Delete(bg, k); err != nil {
+						t.Error(err)
+						return
+					}
+				case 5:
+					b := kv.NewBatch()
+					for j := 0; j < 8; j++ {
+						kk := spreadKey(uint64(rng.Intn(1 << 10)))
+						b.Put(kk, kk)
+					}
+					if err := s.Apply(bg, b); err != nil {
+						t.Error(err)
+						return
+					}
+				case 6:
+					it, err := s.NewIterator(bg, k, nil)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var prev []byte
+					for n, ok := 0, it.First(); ok && n < 50; n, ok = n+1, it.Next() {
+						if prev != nil && bytes.Compare(prev, it.Key()) >= 0 {
+							t.Errorf("stress iterator out of order: %x >= %x", prev, it.Key())
+							it.Close()
+							return
+						}
+						prev = append(prev[:0], it.Key()...)
+					}
+					if err := it.Err(); err != nil {
+						t.Error(err)
+					}
+					it.Close()
+				case 7:
+					if w == 0 && op%64 == 7 {
+						snap, err := s.Snapshot(bg)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						if _, _, err := snap.Get(bg, k); err != nil {
+							t.Error(err)
+						}
+						snap.Close()
+					} else {
+						if err := s.Sync(bg); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The store is still coherent: a full merged scan is globally sorted
+	// and every surviving value equals its key.
+	pairs, err := s.Scan(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		if i > 0 && bytes.Compare(pairs[i-1].Key, p.Key) >= 0 {
+			t.Fatalf("post-stress scan out of order at %d", i)
+		}
+		if !bytes.Equal(p.Key, p.Value) {
+			t.Fatalf("post-stress corrupt pair %x=%x", p.Key, p.Value)
+		}
+	}
+}
+
+// TestCheckpointReopensSharded covers the fan-out checkpoint layout:
+// per-shard subdirectories plus the SHARDS manifest, reopening as a
+// sharded store with identical contents and routing.
+func TestCheckpointReopensSharded(t *testing.T) {
+	base := t.TempDir()
+	s := openN(t, fmt.Sprintf("%s/src", base), 4, true)
+	defer s.Close()
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(bg, spreadKey(i), keys.EncodeUint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck := fmt.Sprintf("%s/ck", base)
+	if err := s.Checkpoint(bg, ck); err != nil {
+		t.Fatal(err)
+	}
+	// A second checkpoint into the same directory must refuse.
+	if err := s.Checkpoint(bg, ck); err == nil {
+		t.Fatal("checkpoint into a non-empty dir accepted")
+	}
+
+	r := openN(t, ck, 4, true)
+	defer r.Close()
+	if r.Routing() != s.Routing() {
+		t.Fatalf("checkpoint routing %q != source %q", r.Routing(), s.Routing())
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok, err := r.Get(bg, spreadKey(i))
+		if err != nil || !ok || keys.DecodeUint64(v) != i {
+			t.Fatalf("checkpoint key %d: %x %v %v", i, v, ok, err)
+		}
+	}
+}
+
+// TestInvertedBoundsReturnEmpty pins the kv.Store contract corner a
+// single engine already satisfies: low > high is an empty range, not a
+// crash, on live scans, iterators, and snapshot reads.
+func TestInvertedBoundsReturnEmpty(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, false)
+	defer s.Close()
+	for i := uint64(0); i < 64; i++ {
+		if err := s.Put(bg, spreadKey(i), spreadKey(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := []byte{0xf0, 0, 0, 0, 0, 0, 0, 0}
+	high := []byte{0x10, 0, 0, 0, 0, 0, 0, 0}
+	pairs, err := s.Scan(bg, low, high)
+	if err != nil || len(pairs) != 0 {
+		t.Fatalf("inverted Scan = %d pairs, %v; want empty, nil", len(pairs), err)
+	}
+	it, err := s.NewIterator(bg, low, high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.First() {
+		t.Fatalf("inverted iterator yielded %x", it.Key())
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	snap, err := s.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	if pairs, err := snap.Scan(bg, low, high); err != nil || len(pairs) != 0 {
+		t.Fatalf("inverted snapshot Scan = %d pairs, %v; want empty, nil", len(pairs), err)
+	}
+}

@@ -1,0 +1,96 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// ErrSnapshotReleased wraps kv.ErrSnapshotReleased for reads on a closed
+// cross-shard snapshot.
+var ErrSnapshotReleased = fmt.Errorf("shard: %w", kv.ErrSnapshotReleased)
+
+// snapView is a cross-shard repeatable-read handle: N per-shard snapshot
+// views pinned under one write barrier, so together they are a single
+// globally consistent cut. Reads route and merge exactly like the live
+// store's, but against the pinned views.
+type snapView struct {
+	s      *Store
+	views  []kv.View
+	closed atomic.Bool
+}
+
+var _ kv.View = (*snapView)(nil)
+
+func (v *snapView) check(ctx context.Context) error {
+	if v.closed.Load() {
+		return ErrSnapshotReleased
+	}
+	if v.s.closed.Load() {
+		return ErrClosed
+	}
+	return ctx.Err()
+}
+
+// Get returns the value key had at the snapshot point.
+func (v *snapView) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := v.check(ctx); err != nil {
+		return nil, false, err
+	}
+	return v.views[v.s.ShardFor(key)].Get(ctx, key)
+}
+
+// Scan materializes low <= key < high at the snapshot point, in global
+// key order.
+func (v *snapView) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
+	it, err := v.NewIterator(ctx, low, high)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []kv.Pair
+	for ok := it.First(); ok; ok = it.Next() {
+		out = append(out, kv.Pair{Key: keys.Clone(it.Key()), Value: keys.Clone(it.Value())})
+	}
+	return out, it.Err()
+}
+
+// NewIterator streams the snapshot's range, merging the overlapping
+// shards' pinned views. Like core snapshots, iterators hold their own
+// pins, so they stay valid if the handle is Closed mid-iteration.
+func (v *snapView) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	if err := v.check(ctx); err != nil {
+		return nil, err
+	}
+	lo, hi := v.s.shardRange(low, high)
+	subs := make([]kv.Iterator, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		it, err := v.views[i].NewIterator(ctx, low, high)
+		if err != nil {
+			for _, open := range subs {
+				open.Close()
+			}
+			return nil, err
+		}
+		subs = append(subs, it)
+	}
+	return newMergedIter(subs), nil
+}
+
+// Close releases every per-shard snapshot. Reads after Close return
+// ErrSnapshotReleased. Idempotent.
+func (v *snapView) Close() error {
+	if v.closed.Swap(true) {
+		return nil
+	}
+	var firstErr error
+	for _, view := range v.views {
+		if err := view.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

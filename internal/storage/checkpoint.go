@@ -130,7 +130,7 @@ func writeCheckpoint(srcDir, dst string, v *Version, logNum, lastSeq, nextFileNu
 	// entries (links, copies, manifest, CURRENT) need the directory
 	// itself synced, or a crash can silently truncate the "completed"
 	// backup to an empty or partial directory.
-	return syncDir(dst)
+	return SyncDir(dst)
 }
 
 // copyWALTail copies every WAL segment >= logNum from srcDir to dst.
@@ -247,8 +247,8 @@ func copyFile(src, dst string) error {
 	return out.Close()
 }
 
-// syncDir fsyncs a directory's entries.
-func syncDir(dir string) error {
+// SyncDir fsyncs a directory's entries, making renames into it durable.
+func SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return err

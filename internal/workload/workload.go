@@ -116,6 +116,13 @@ var (
 	// inserts punctuated by Sync barriers (5% of ops) that promote the
 	// acked window wholesale.
 	BufferedSyncWrite = Mix{InsertPct: 95, SyncPct: 5}
+	// HotShardWrite is the write-heavy mix for the sharded-engine skew
+	// experiments: paired with a clustered generator (NewHotShardZipfian,
+	// or HotSet's contiguous hot range) it concentrates the write stream
+	// on one shard of a range-partitioned store, making skew-induced
+	// shard imbalance measurable — the workload where partitioned designs
+	// win or lose (F2, Kanellis et al.).
+	HotShardWrite = Mix{InsertPct: 90, GetPct: 10}
 )
 
 // ScanWithPct builds an update/scan mix with the given scan percentage
@@ -267,6 +274,70 @@ func (h *HotSet) Keys() uint64 { return h.n }
 
 // HotKeys returns the hot-set cardinality.
 func (h *HotSet) HotKeys() uint64 { return h.hotKeys }
+
+// Zipfian draws keys with Zipf-distributed popularity: rank r is drawn
+// with probability ∝ 1/(1+r)^s (the YCSB-style skew shape), so a small
+// head of keys absorbs most operations. By default ranks are SPREAD over
+// the 64-bit key space (popular keys scatter uniformly, like hashed user
+// IDs): heavy popularity skew with no range locality, the case range
+// partitioning handles gracefully. NewHotShardZipfian instead maps rank
+// r to key r directly, clustering the hot head into one contiguous range
+// — and therefore onto one shard of a range-partitioned store — the
+// adversarial skew shape for sharding (and for FloDB's own Membuffer
+// partitions, §4.3).
+type Zipfian struct {
+	n         uint64
+	s         float64
+	clustered bool
+
+	// The stdlib Zipf sampler binds to one *rand.Rand; the harness hands
+	// NextKey the per-thread rng, so the sampler is built lazily on
+	// first use and rebuilt if a different rng ever appears.
+	rng *rand.Rand
+	z   *rand.Zipf
+}
+
+// DefaultZipfS is the default Zipf exponent: a YCSB-like heavy skew
+// (~theta 0.99 in YCSB terms corresponds to s just above 1).
+const DefaultZipfS = 1.1
+
+// NewZipfian builds a spread Zipfian generator over n keys with exponent
+// s (s <= 1 takes DefaultZipfS; the stdlib sampler requires s > 1).
+func NewZipfian(n uint64, s float64) *Zipfian {
+	if s <= 1 {
+		s = DefaultZipfS
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Zipfian{n: n, s: s}
+}
+
+// NewHotShardZipfian builds a clustered Zipfian generator: rank == key,
+// so the popular head occupies one contiguous range at the bottom of the
+// keyspace and lands on a single shard under range partitioning.
+func NewHotShardZipfian(n uint64, s float64) *Zipfian {
+	z := NewZipfian(n, s)
+	z.clustered = true
+	return z
+}
+
+// NextKey draws a key. Not safe for concurrent use — the harness gives
+// each thread its own generator.
+func (z *Zipfian) NextKey(rng *rand.Rand, dst []byte) []byte {
+	if z.z == nil || z.rng != rng {
+		z.rng = rng
+		z.z = rand.NewZipf(rng, z.s, 1, z.n-1)
+	}
+	rank := z.z.Uint64()
+	if z.clustered {
+		return PutUint64(dst, rank)
+	}
+	return PutUint64(dst, spreadIndex(rank))
+}
+
+// Keys returns the keyspace size.
+func (z *Zipfian) Keys() uint64 { return z.n }
 
 // Neighborhood draws batches of keys within a bounded distance of each
 // other — Fig 8's neighborhood experiment, where "a neighborhood size of n

@@ -27,6 +27,7 @@ type options struct {
 	restartThreshold  int
 	disableWAL        bool
 	durability        Durability
+	shards            int
 
 	// err records the first invalid option; Open surfaces it.
 	err error
@@ -104,6 +105,30 @@ func WithRestartThreshold(n int) Option {
 			return
 		}
 		o.restartThreshold = n
+	})
+}
+
+// WithShards range-partitions the store across n independent FloDB
+// instances, each with its own directory (dir/shard-NNN), WAL, memory
+// component and compactor, behind the same DB surface. Writers, drains,
+// flushes and group-commit fsyncs proceed per shard, so write throughput
+// scales with n on multi-core machines. The memory budget (WithMemory)
+// is the TOTAL, split evenly across shards.
+//
+// n is fixed at creation: it is recorded in a SHARDS manifest at the
+// store root, and reopening with a different count is an error.
+// Reopening WITHOUT WithShards adopts the recorded layout, so plain
+// Open(dir) on a sharded store just works. WithShards(1) is the default
+// unsharded store. See the README's sharding section for the
+// cross-shard semantics (per-shard batch atomicity, the snapshot write
+// barrier, checkpoint layout).
+func WithShards(n int) Option {
+	return optionFunc(func(o *options) {
+		if n < 1 {
+			o.fail(fmt.Errorf("flodb: WithShards(%d): count must be >= 1", n))
+			return
+		}
+		o.shards = n
 	})
 }
 

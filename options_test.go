@@ -108,3 +108,20 @@ func TestPerOpDurabilityAndSyncBarrier(t *testing.T) {
 		}
 	}
 }
+
+func TestWithShardsRejectsBadCounts(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if _, err := flodb.Open(t.TempDir(), flodb.WithShards(n)); err == nil {
+			t.Fatalf("WithShards(%d) accepted", n)
+		}
+	}
+	// WithShards(1) is the explicit spelling of the default.
+	db, err := flodb.Open(t.TempDir(), flodb.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if db.Shards() != 1 {
+		t.Fatalf("Shards() = %d", db.Shards())
+	}
+}
