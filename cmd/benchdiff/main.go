@@ -1,0 +1,139 @@
+// Command benchdiff compares two flobench -json documents and reports
+// cells that drifted beyond a threshold — the memory of the CI bench
+// trajectory. CI runs it against the committed BENCH_BASELINE.json on
+// every PR:
+//
+//	flobench -quick -json bench.json apibench shardbench adaptive
+//	benchdiff -threshold 0.25 BENCH_BASELINE.json bench.json
+//
+// Output is one line per drifted cell, formatted as a GitHub Actions
+// warning annotation (::warning ...) so drift surfaces on the PR
+// without gating it — shared runners are noisy, so drift is a prompt to
+// look, not a failure. Cells present on only one side are reported as
+// notices (a renamed figure or series silently dropping out of the
+// trajectory would otherwise look like a pass). The exit code is 0
+// whenever both documents parse; only usage, I/O and schema errors are
+// fatal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"flodb/internal/harness"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "relative drift that triggers a warning (0.25 = ±25%)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.25] <baseline.json> <current.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := harness.ReadBenchDoc(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := harness.ReadBenchDoc(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+
+	var compared, drifted, skipped int
+	for _, figName := range sortedKeys(base.Figures) {
+		bf := base.Figures[figName]
+		cf, ok := cur.Figures[figName]
+		if !ok {
+			fmt.Printf("::notice::benchdiff: figure %q in baseline but not in current run\n", figName)
+			continue
+		}
+		// Cells match by COLUMN NAME, not position: figures grow columns
+		// mid-row across PRs (apibench has, twice), and a positional
+		// comparison would silently misalign every cell after the
+		// insertion point.
+		curCol := map[string]int{}
+		for i, c := range cf.Cols {
+			curCol[c] = i
+		}
+		for _, c := range cf.Cols {
+			if !contains(bf.Cols, c) {
+				fmt.Printf("::notice::benchdiff: %s: column %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, c)
+			}
+		}
+		for _, series := range sortedKeys(cf.Series) {
+			if _, ok := bf.Series[series]; !ok {
+				fmt.Printf("::notice::benchdiff: %s: series %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, series)
+			}
+		}
+		for _, series := range sortedKeys(bf.Series) {
+			bRow := bf.Series[series]
+			cRow, ok := cf.Series[series]
+			if !ok {
+				fmt.Printf("::notice::benchdiff: %s: series %q in baseline but not in current run\n", figName, series)
+				continue
+			}
+			for i, b := range bRow {
+				if i >= len(bf.Cols) {
+					break // malformed row tail: no column name to match on
+				}
+				col := bf.Cols[i]
+				ci, ok := curCol[col]
+				if !ok || ci >= len(cRow) {
+					fmt.Printf("::notice::benchdiff: %s %s[%s]: missing from current run\n", figName, series, col)
+					continue
+				}
+				c := cRow[ci]
+				if b <= 0 {
+					// A zero baseline has no meaningful relative drift
+					// (empty cell or a metric that legitimately bottoms
+					// out); count it so silent shrinkage is visible.
+					skipped++
+					continue
+				}
+				compared++
+				rel := (c - b) / b
+				if rel >= *threshold || rel <= -*threshold {
+					drifted++
+					fmt.Printf("::warning title=bench drift::%s %s[%s]: %.4g -> %.4g (%+.0f%% vs baseline, threshold ±%.0f%%)\n",
+						figName, series, col, b, c, 100*rel, 100**threshold)
+				}
+			}
+		}
+	}
+	for _, figName := range sortedKeys(cur.Figures) {
+		if _, ok := base.Figures[figName]; !ok {
+			fmt.Printf("::notice::benchdiff: figure %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName)
+		}
+	}
+	fmt.Printf("benchdiff: %d cells compared, %d beyond ±%.0f%%, %d zero-baseline cells skipped\n",
+		compared, drifted, 100**threshold, skipped)
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -7,7 +7,12 @@
 //	flobench -quick all
 //
 // Figures: fig3 fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
-// fig15 fig16 fig17 scanstats, or "all".
+// fig15 fig16 fig17 scanstats, the contract/scaling extras (apibench,
+// shardbench, adaptive, ablate-*), or "all". An unknown figure name is
+// an error (exit 2) listing the valid names.
+//
+// -json writes the machine-readable per-figure results consumed by
+// cmd/benchdiff — the CI bench-trajectory format (BENCH_BASELINE.json).
 //
 // Sizes default to 1/1024 of the paper's (the column labels report the
 // paper-scale sizes); see DESIGN.md §3 and EXPERIMENTS.md for the scaling
@@ -48,6 +53,9 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	// Shard scaling: write throughput vs shard count under uniform,
 	// zipfian, and hot-shard key distributions.
 	"shardbench": figures.ShardBench,
+	// Adaptive memory sizing (§4.4): adaptive vs fixed Membuffer
+	// fractions across a phase-shifting workload.
+	"adaptive": figures.FigAdaptive,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,
@@ -64,6 +72,7 @@ func main() {
 		scratch  = flag.String("scratch", "", "scratch directory (default under TMPDIR)")
 		diskBps  = flag.Float64("disk-bytes-per-sec", 0, "rate-limit persists to model a slower disk (0 = unlimited)")
 		csvPath  = flag.String("csv", "", "also append CSV output to this file")
+		jsonPath = flag.String("json", "", "also write machine-readable per-figure results to this file (the CI bench-trajectory format)")
 		verbose  = flag.Bool("v", false, "log per-cell progress")
 	)
 	flag.Usage = func() {
@@ -83,7 +92,11 @@ func main() {
 			break
 		}
 		if _, ok := figureFuncs[arg]; !ok {
-			fmt.Fprintf(os.Stderr, "flobench: unknown figure %q\n", arg)
+			// Exit non-zero AND name the valid figures: a CI bench step
+			// must fail loudly on a typo, never green-pass having run
+			// nothing.
+			fmt.Fprintf(os.Stderr, "flobench: unknown figure %q\nvalid figures: %s all\n",
+				arg, strings.Join(figureNames(), " "))
 			os.Exit(2)
 		}
 		names = append(names, arg)
@@ -112,6 +125,7 @@ func main() {
 		defer f.Close()
 	}
 
+	doc := harness.NewBenchDoc()
 	start := time.Now()
 	for _, name := range names {
 		fn := figureFuncs[name]
@@ -125,6 +139,13 @@ func main() {
 		tbl.Render(os.Stdout)
 		if csv != nil {
 			tbl.RenderCSV(csv)
+		}
+		doc.AddTable(name, tbl)
+	}
+	if *jsonPath != "" {
+		if err := doc.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "flobench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
 		}
 	}
 	fmt.Printf("\nflobench: %d figure(s) in %v\n", len(names), time.Since(start).Round(time.Second))

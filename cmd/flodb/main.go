@@ -19,6 +19,10 @@
 // it off the SHARDS manifest in the store root). With shards, the stats
 // command appends a per-shard breakdown table, the imbalance signal
 // under skewed workloads.
+//
+// The -adaptive flag turns on workload-adaptive sizing of the
+// Membuffer/Memtable split (§4.4); stats reports the live fraction,
+// resize count and the sensor's window rates.
 package main
 
 import (
@@ -37,14 +41,18 @@ func main() {
 	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
 	durability := flag.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
 	shards := flag.Int("shards", 0, "range-partition across n shards (0/1 = unsharded; fixed at creation)")
+	adaptive := flag.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4)")
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-shards n] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
+		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-shards n] [-adaptive] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
 		os.Exit(2)
 	}
 	var opts []flodb.Option
 	if *mem > 0 {
 		opts = append(opts, flodb.WithMemory(*mem))
+	}
+	if *adaptive {
+		opts = append(opts, flodb.WithAdaptiveMemory())
 	}
 	if *shards > 0 {
 		opts = append(opts, flodb.WithShards(*shards))
@@ -172,6 +180,9 @@ func main() {
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)
 		fmt.Printf("acked-seq=%d durable-seq=%d wal-syncs=%d wal-sync-requests=%d sync-barriers=%d\n",
 			s.AckedSeq, s.DurableSeq, s.WALSyncs, s.WALSyncRequests, s.SyncBarriers)
+		fmt.Printf("membuffer-fraction=%.3f resizes=%d sensor-put/s=%.0f sensor-get/s=%.0f sensor-scan/s=%.0f stall=%.1f%%\n",
+			s.MembufferFraction, s.MembufferResizes,
+			s.SensorPutRate, s.SensorGetRate, s.SensorScanRate, s.SensorStallPct)
 		if per := db.ShardStats(); len(per) > 0 {
 			fmt.Printf("\n%d shards (aggregate above; per-shard breakdown below)\n", len(per))
 			fmt.Printf("%5s %10s %10s %10s %10s %10s %12s %12s\n",

@@ -79,6 +79,14 @@
 // pins one consistent cut across all of them, and Checkpoint fans out
 // into per-shard copies. See the README's sharding section for the
 // cross-shard atomicity caveats.
+//
+// The memory split itself can self-tune: WithAdaptiveMemory lets a
+// workload sensor resize the Membuffer↔Memtable byte split as workload
+// phases shift (§4.4) — large Membuffer under write bursts, small under
+// scan-heavy phases — with the live split, resize count and sensor
+// rates reported through Stats:
+//
+//	db, err := flodb.Open(dir, flodb.WithAdaptiveMemory())
 package flodb
 
 import (
@@ -165,14 +173,18 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		return nil, o.err
 	}
 	cfg := core.Config{
-		Dir:               dir,
-		MemoryBytes:       o.memoryBytes,
-		MembufferFraction: o.membufferFraction,
-		PartitionBits:     o.partitionBits,
-		DrainThreads:      o.drainThreads,
-		RestartThreshold:  o.restartThreshold,
-		DisableWAL:        o.disableWAL,
-		Durability:        o.durability,
+		Dir:                 dir,
+		MemoryBytes:         o.memoryBytes,
+		MembufferFraction:   o.membufferFraction,
+		PartitionBits:       o.partitionBits,
+		DrainThreads:        o.drainThreads,
+		RestartThreshold:    o.restartThreshold,
+		DisableWAL:          o.disableWAL,
+		Durability:          o.durability,
+		AdaptiveMemory:      o.adaptive,
+		AdaptiveMinFraction: o.adaptiveMin,
+		AdaptiveMaxFraction: o.adaptiveMax,
+		AdaptiveWindow:      o.adaptiveWindow,
 	}
 	// A sharded root must never be shadowed by a fresh unsharded engine:
 	// detect the SHARDS manifest and adopt its count when the caller

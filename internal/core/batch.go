@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"time"
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
@@ -57,7 +58,10 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) er
 
 	// Backpressure outside the lock, mirroring update's slow path: wait
 	// out a full Memtable with a pending persist, and an overloaded L0.
-	// Each lap is a cancellation point — this wait is unbounded.
+	// Each lap is a cancellation point — this wait is unbounded. As in
+	// update, the time spent stalled on memory-component backpressure
+	// feeds the adaptive sensor (§4.4).
+	var stallStart time.Time
 	for spins := 0; ; spins++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -69,9 +73,12 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) er
 			return err
 		}
 		g := db.gen.Load()
-		if over := g.mtb.approxBytes(); over > db.cfg.memtableTargetBytes() {
+		if over := g.mtb.approxBytes(); over > db.memtableTarget() {
 			db.signalPersist()
-			if db.immMtb.Load() != nil || over > 2*db.cfg.memtableTargetBytes() {
+			if db.immMtb.Load() != nil || over > 2*db.memtableTarget() {
+				if stallStart.IsZero() {
+					stallStart = time.Now()
+				}
 				db.backoff(spins)
 				continue
 			}
@@ -82,6 +89,9 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) er
 			continue
 		}
 		break
+	}
+	if !stallStart.IsZero() {
+		db.stats.stallNanos.Add(uint64(time.Since(stallStart)))
 	}
 
 	syncW, syncOff, err := db.applyLocked(b, d)
@@ -136,9 +146,14 @@ func (db *DB) applyLocked(b *kv.Batch, d kv.Durability) (*wal.Writer, int64, err
 		if tomb {
 			val = tombstoneMarker
 		}
-		if g.mbf != nil && g.mbf.Add(op.Key, val, tomb) {
-			db.stats.membufferHits.Add(1)
-			continue
+		if g.mbf != nil {
+			if ok, inPlace := g.mbf.Put(op.Key, val, tomb); ok {
+				db.stats.membufferHits.Add(1)
+				if inPlace {
+					db.stats.inPlaceHits.Add(1)
+				}
+				continue
+			}
 		}
 		direct = append(direct, skiplist.KV{Key: op.Key, Entry: &skiplist.Entry{Value: val, Tombstone: tomb}})
 	}
@@ -153,7 +168,7 @@ func (db *DB) applyLocked(b *kv.Batch, d kv.Durability) (*wal.Writer, int64, err
 		g.mtb.list.MultiInsert(direct)
 		db.stats.memtableWrites.Add(uint64(len(direct)))
 	}
-	if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+	if g.mtb.approxBytes() >= db.memtableTarget() {
 		db.signalPersist()
 	}
 	return syncW, syncOff, nil

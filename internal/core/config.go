@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"flodb/internal/diskenv"
 	"flodb/internal/kv"
@@ -23,7 +24,28 @@ type Config struct {
 	MemoryBytes int64
 	// MembufferFraction is the share of MemoryBytes given to the
 	// Membuffer. Default 0.25 (the paper's empirically chosen 1:4 split).
+	// With AdaptiveMemory it is the STARTING fraction; the controller
+	// moves the live split from there.
 	MembufferFraction float64
+
+	// AdaptiveMemory enables workload-adaptive resizing of the
+	// Membuffer↔Memtable split (§4.4): a windowed sensor measures the
+	// put/get/scan mix and drain-stall time, and a controller shifts the
+	// byte budget between the two levels inside MemoryBytes —
+	// update-heavy phases grow the Membuffer (more O(1) absorption),
+	// scan/read-heavy phases shrink it (cheaper master-scan drains, the
+	// skiplist stays authoritative). A resize is one generation switch
+	// through the existing immutable-Membuffer drain path: seal at the
+	// old capacity, open at the new one — never a stop-the-world rehash.
+	AdaptiveMemory bool
+	// AdaptiveMinFraction / AdaptiveMaxFraction bound the controller.
+	// Defaults 0.05 and 0.60. The starting MembufferFraction must lie
+	// inside [min, max].
+	AdaptiveMinFraction float64
+	AdaptiveMaxFraction float64
+	// AdaptiveWindow is the sensor window: the controller re-evaluates
+	// the split once per window. Default 100ms.
+	AdaptiveWindow time.Duration
 	// PartitionBits is ℓ, the number of most-significant key bits that
 	// select a Membuffer partition (§4.3). Default 6 (64 partitions).
 	PartitionBits uint
@@ -96,8 +118,49 @@ func (c *Config) fillDefaults() error {
 	if c.MembufferFraction < 0 || c.MembufferFraction >= 1 {
 		return fmt.Errorf("core: MembufferFraction %v outside (0,1); want the Membuffer's share of MemoryBytes (or 0 for the default 0.25)", c.MembufferFraction)
 	}
-	if c.MembufferFraction == 0 {
+	fracDefaulted := c.MembufferFraction == 0
+	if fracDefaulted {
 		c.MembufferFraction = 0.25
+	}
+	if c.AdaptiveMinFraction < 0 || c.AdaptiveMinFraction >= 1 {
+		return fmt.Errorf("core: AdaptiveMinFraction %v outside (0,1); want the smallest Membuffer share the controller may choose (or 0 for the default 0.05)", c.AdaptiveMinFraction)
+	}
+	if c.AdaptiveMaxFraction < 0 || c.AdaptiveMaxFraction >= 1 {
+		return fmt.Errorf("core: AdaptiveMaxFraction %v outside (0,1); want the largest Membuffer share the controller may choose (or 0 for the default 0.60)", c.AdaptiveMaxFraction)
+	}
+	if c.AdaptiveWindow < 0 {
+		return fmt.Errorf("core: AdaptiveWindow %v is negative; want the sensor window (or 0 for the default 100ms)", c.AdaptiveWindow)
+	}
+	if c.AdaptiveMemory {
+		if c.DisableMembuffer {
+			return fmt.Errorf("core: AdaptiveMemory resizes the Membuffer, but DisableMembuffer removes it")
+		}
+		if c.AdaptiveMinFraction == 0 {
+			c.AdaptiveMinFraction = 0.05
+		}
+		if c.AdaptiveMaxFraction == 0 {
+			c.AdaptiveMaxFraction = 0.60
+		}
+		if c.AdaptiveMinFraction >= c.AdaptiveMaxFraction {
+			return fmt.Errorf("core: AdaptiveMinFraction %v >= AdaptiveMaxFraction %v; want min < max", c.AdaptiveMinFraction, c.AdaptiveMaxFraction)
+		}
+		if c.MembufferFraction < c.AdaptiveMinFraction || c.MembufferFraction > c.AdaptiveMaxFraction {
+			// The DEFAULT starting fraction follows the caller's range
+			// (clamped in); only an explicitly chosen fraction that
+			// contradicts an explicitly chosen range is a
+			// misconfiguration worth rejecting.
+			if !fracDefaulted {
+				return fmt.Errorf("core: starting MembufferFraction %v outside the adaptive range [%v, %v]", c.MembufferFraction, c.AdaptiveMinFraction, c.AdaptiveMaxFraction)
+			}
+			if c.MembufferFraction < c.AdaptiveMinFraction {
+				c.MembufferFraction = c.AdaptiveMinFraction
+			} else {
+				c.MembufferFraction = c.AdaptiveMaxFraction
+			}
+		}
+		if c.AdaptiveWindow == 0 {
+			c.AdaptiveWindow = 100 * time.Millisecond
+		}
 	}
 	if c.PartitionBits > 16 {
 		return fmt.Errorf("core: PartitionBits %d exceeds 16 (2^16 partitions is the supported maximum)", c.PartitionBits)
@@ -152,17 +215,20 @@ func (c *Config) fillDefaults() error {
 	return nil
 }
 
-// membufferBytes returns the Membuffer budget.
-func (c *Config) membufferBytes() int64 {
-	return int64(float64(c.MemoryBytes) * c.MembufferFraction)
+// membufferBytesAt returns the Membuffer budget at the given fraction.
+// The fraction is a parameter, not a field read, because the adaptive
+// controller moves the live split at runtime (DB.membufferFraction).
+func (c *Config) membufferBytesAt(frac float64) int64 {
+	return int64(float64(c.MemoryBytes) * frac)
 }
 
-// memtableTargetBytes returns the Memtable size that triggers persisting.
-func (c *Config) memtableTargetBytes() int64 {
-	return c.MemoryBytes - c.membufferBytes()
+// memtableTargetBytesAt returns the Memtable size that triggers
+// persisting when the Membuffer holds the given fraction.
+func (c *Config) memtableTargetBytesAt(frac float64) int64 {
+	return c.MemoryBytes - c.membufferBytesAt(frac)
 }
 
-// newMembuffer builds a Membuffer per the config.
-func (c *Config) newMembuffer() *membuffer.Buffer {
-	return membuffer.New(membuffer.ConfigForBytes(c.membufferBytes(), c.EntryBytesHint, c.PartitionBits))
+// newMembufferAt builds a Membuffer sized at the given fraction.
+func (c *Config) newMembufferAt(frac float64) *membuffer.Buffer {
+	return membuffer.New(membuffer.ConfigForBytes(c.membufferBytesAt(frac), c.EntryBytesHint, c.PartitionBits))
 }

@@ -38,6 +38,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -75,6 +76,14 @@ type DB struct {
 	gen    atomic.Pointer[generation]
 	immMbf atomic.Pointer[membuffer.Buffer]
 	immMtb atomic.Pointer[memtable]
+
+	// mbfFrac is the LIVE Membuffer share of MemoryBytes (float64 bits):
+	// cfg.MembufferFraction at Open, then whatever the adaptive
+	// controller or SetMembufferFraction last installed (§4.4). The
+	// Memtable persist target is derived from it (memtableTarget).
+	mbfFrac atomic.Uint64
+	// sensor publishes the workload sensor's last-window rates.
+	sensor sensorRates
 
 	// domain covers every operation that loads gen and writes through it;
 	// switches synchronize on it.
@@ -132,6 +141,16 @@ type statCounters struct {
 	masterScans, piggybackScans   atomic.Uint64
 	helpDrains                    atomic.Uint64
 	syncBarriers                  atomic.Uint64
+	// resizes counts completed Membuffer resize epochs; stallNanos
+	// accumulates time WRITERS (Put/Delete/Apply) spent stalled on
+	// drains and memory-component backpressure — the sensor's
+	// drain-stall input (background drainers' own sleeps are excluded).
+	// inPlaceHits counts Membuffer updates that overwrote a resident
+	// key in place (no new drain debt) — the sensor's working-set-fits
+	// signal.
+	resizes     atomic.Uint64
+	stallNanos  atomic.Uint64
+	inPlaceHits atomic.Uint64
 }
 
 // Open creates or opens a FloDB store.
@@ -167,9 +186,10 @@ func Open(cfg Config) (*DB, error) {
 		}
 		return nil, err
 	}
+	db.mbfFrac.Store(math.Float64bits(cfg.MembufferFraction))
 	g := &generation{mtb: mt}
 	if !cfg.DisableMembuffer {
-		g.mbf = cfg.newMembuffer()
+		g.mbf = db.newMembufferNow()
 	}
 	db.gen.Store(g)
 	if db.store != nil && !cfg.DisableWAL {
@@ -183,6 +203,10 @@ func Open(cfg Config) (*DB, error) {
 		for i := 0; i < cfg.DrainThreads; i++ {
 			db.wg.Add(1)
 			go db.drainLoop()
+		}
+		if cfg.AdaptiveMemory {
+			db.wg.Add(1)
+			go db.adaptLoop()
 		}
 	}
 	db.wg.Add(1)
@@ -419,6 +443,14 @@ func (db *DB) Stats() kv.Stats {
 		MemtableWrites: db.stats.memtableWrites.Load(),
 		SyncBarriers:   db.stats.syncBarriers.Load(),
 	}
+	if !db.cfg.DisableMembuffer {
+		s.MembufferFraction = db.membufferFraction()
+	}
+	s.MembufferResizes = db.stats.resizes.Load()
+	s.SensorPutRate = loadFloat(&db.sensor.putRate)
+	s.SensorGetRate = loadFloat(&db.sensor.getRate)
+	s.SensorScanRate = loadFloat(&db.sensor.scanRate)
+	s.SensorStallPct = loadFloat(&db.sensor.stallPct)
 	ws := db.walMetrics.Snapshot()
 	s.AckedSeq = ws.Appends
 	s.DurableSeq = ws.Durable
@@ -444,6 +476,10 @@ type InternalStats struct {
 	MembufferLen       int
 	MemtableBytes      int64
 	MembufferOccupancy float64
+	// InPlaceHits counts Membuffer updates that overwrote a resident
+	// key in place — writes absorbed with no drain debt, the adaptive
+	// sensor's working-set-fits signal (§4.4).
+	InPlaceHits uint64
 }
 
 // Internal returns FloDB-internal counters.
@@ -455,6 +491,7 @@ func (db *DB) Internal() InternalStats {
 		MasterScans:    db.stats.masterScans.Load(),
 		PiggybackScans: db.stats.piggybackScans.Load(),
 		HelpDrains:     db.stats.helpDrains.Load(),
+		InPlaceHits:    db.stats.inPlaceHits.Load(),
 	}
 	g := db.gen.Load()
 	if g.mbf != nil {

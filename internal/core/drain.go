@@ -49,8 +49,10 @@ func (db *DB) drainLoop() {
 		}
 		// Backpressure: when the Memtable is far over target, stop feeding
 		// it — the bounded Membuffer then rejects writers into the stalled
-		// slow path until the persister catches up.
-		if g.mtb.approxBytes() > 2*db.cfg.memtableTargetBytes() {
+		// slow path until the persister catches up. (Those writers' stall
+		// time feeds the adaptive sensor, §4.4 — the drainer's own sleep
+		// does not: SensorStallPct measures blocked WRITERS.)
+		if g.mtb.approxBytes() > 2*db.memtableTarget() {
 			db.signalPersist()
 			time.Sleep(50 * time.Microsecond)
 			continue
@@ -80,7 +82,7 @@ func (db *DB) drainLoop() {
 			}
 		} else {
 			idle = 0
-			if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+			if g.mtb.approxBytes() >= db.memtableTarget() {
 				db.signalPersist()
 			}
 		}

@@ -206,9 +206,12 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 			}
 			syncW, syncOff = g.mtb.wal, off
 		}
-		if g.mbf.Add(key, value, tombstone) {
+		if ok, inPlace := g.mbf.Put(key, value, tombstone); ok {
 			h.Exit()
 			db.stats.membufferHits.Add(1)
+			if inPlace {
+				db.stats.inPlaceHits.Add(1)
+			}
 			if d == kv.DurabilitySync {
 				return db.commitSync(syncW, syncOff)
 			}
@@ -223,6 +226,9 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 	h.Exit()
 
 	// --- Slow path: write to the Memtable (Algorithm 2 lines 12–20).
+	// stallStart times the drain/backpressure waits below; the total
+	// feeds the adaptive sensor's drain-stall input (§4.4).
+	var stallStart time.Time
 	for spins := 0; ; spins++ {
 		// Honest cancellation point: the slow path can wait out drains and
 		// backpressure indefinitely, so every lap re-checks the context —
@@ -240,6 +246,9 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 		// While a scan or persist drains the immutable Membuffer, writers
 		// must not update the Memtable; they help drain instead.
 		if db.pauseWriters.Load() {
+			if stallStart.IsZero() {
+				stallStart = time.Now()
+			}
 			if t := db.fullDrain.Load(); t != nil {
 				db.stats.helpDrains.Add(1)
 				db.helpDrain(t)
@@ -254,9 +263,12 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 		// overshot badly (the persister has not yet switched), and when
 		// L0 is overloaded.
 		g = db.gen.Load()
-		if over := g.mtb.approxBytes(); over > db.cfg.memtableTargetBytes() {
+		if over := g.mtb.approxBytes(); over > db.memtableTarget() {
 			db.signalPersist()
-			if db.immMtb.Load() != nil || over > 2*db.cfg.memtableTargetBytes() {
+			if db.immMtb.Load() != nil || over > 2*db.memtableTarget() {
+				if stallStart.IsZero() {
+					stallStart = time.Now()
+				}
 				db.backoff(spins)
 				continue
 			}
@@ -288,7 +300,10 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 		g.mtb.list.Insert(key, &skiplist.Entry{Value: value, Seq: seq, Tombstone: tombstone})
 		h.Exit()
 		db.stats.memtableWrites.Add(1)
-		if g.mtb.approxBytes() >= db.cfg.memtableTargetBytes() {
+		if !stallStart.IsZero() {
+			db.stats.stallNanos.Add(uint64(time.Since(stallStart)))
+		}
+		if g.mtb.approxBytes() >= db.memtableTarget() {
 			db.signalPersist()
 		}
 		if d == kv.DurabilitySync {

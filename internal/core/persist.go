@@ -33,7 +33,7 @@ func (db *DB) persistLoop() {
 }
 
 func (db *DB) needsPersist() bool {
-	return db.gen.Load().mtb.approxBytes() >= db.cfg.memtableTargetBytes()
+	return db.gen.Load().mtb.approxBytes() >= db.memtableTarget()
 }
 
 // persistOnce runs one seal→drain→flush cycle under persistMu, which
@@ -78,7 +78,7 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 	}
 	g := &generation{mtb: next}
 	if old.mbf != nil {
-		g.mbf = db.cfg.newMembuffer()
+		g.mbf = db.newMembufferNow()
 	}
 
 	db.pauseWriters.Store(true)

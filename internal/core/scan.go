@@ -94,7 +94,7 @@ func (db *DB) leadMasterScan() (*scanState, bool) {
 
 	old := db.gen.Load()
 	if old.mbf != nil {
-		db.gen.Store(&generation{mbf: db.cfg.newMembuffer(), mtb: old.mtb}) // lines 6–7
+		db.gen.Store(&generation{mbf: db.newMembufferNow(), mtb: old.mtb}) // lines 6–7
 		old.mbf.Freeze()
 		db.immMbf.Store(old.mbf)
 		db.domain.Synchronize()                 // lines 8–9: MemBufferRCUWait + MemTableRCUWait
@@ -234,7 +234,7 @@ func (db *DB) fallbackChunk(ctx context.Context, from []byte, fromExcl bool, hig
 
 	old := db.gen.Load()
 	if old.mbf != nil {
-		db.gen.Store(&generation{mbf: db.cfg.newMembuffer(), mtb: old.mtb})
+		db.gen.Store(&generation{mbf: db.newMembufferNow(), mtb: old.mtb})
 		old.mbf.Freeze()
 		db.immMbf.Store(old.mbf)
 		db.domain.Synchronize()

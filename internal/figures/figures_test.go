@@ -38,6 +38,7 @@ func TestEveryFigureRuns(t *testing.T) {
 		"fig17":      Fig17,
 		"scanstats":  ScanStats,
 		"shardbench": ShardBench,
+		"adaptive":   FigAdaptive,
 	}
 	for name, fn := range figs {
 		name, fn := name, fn

@@ -38,7 +38,9 @@ func openSysWAL(t *testing.T, sys System, dir string) kv.Store {
 	var err error
 	switch sys {
 	case SysFloDB:
-		s, err = core.Open(core.Config{Dir: dir, MemoryBytes: 1 << 20, Storage: storageOpts(1 << 20)})
+		cfg := core.Config{Dir: dir, MemoryBytes: 1 << 20, Storage: storageOpts(1 << 20)}
+		applyAdaptiveForTest(&cfg)
+		s, err = core.Open(cfg)
 	case SysShard:
 		s, err = openShard(dir, ShardCount, 1<<20, nil, true)
 	default:

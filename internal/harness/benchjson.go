@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// BenchDoc is the machine-readable form of a flobench run: per figure,
+// per series (system or variant), the row of cell values in column
+// order. It is what `flobench -json` writes, what BENCH_BASELINE.json
+// commits, and what cmd/benchdiff compares — the CI bench trajectory's
+// wire format.
+type BenchDoc struct {
+	Schema  int                    `json:"schema"`
+	Figures map[string]BenchFigure `json:"figures"`
+}
+
+// BenchFigure is one table's data.
+type BenchFigure struct {
+	Title  string               `json:"title"`
+	YLabel string               `json:"ylabel,omitempty"`
+	Cols   []string             `json:"cols"`
+	Series map[string][]float64 `json:"series"`
+}
+
+// BenchSchemaVersion bumps when the document layout changes
+// incompatibly; benchdiff refuses mismatched schemas rather than
+// comparing apples to reorganized oranges.
+const BenchSchemaVersion = 1
+
+// NewBenchDoc returns an empty document at the current schema.
+func NewBenchDoc() *BenchDoc {
+	return &BenchDoc{Schema: BenchSchemaVersion, Figures: map[string]BenchFigure{}}
+}
+
+// AddTable records one figure's table under name.
+func (d *BenchDoc) AddTable(name string, t *Table) {
+	fig := BenchFigure{
+		Title:  t.Title,
+		YLabel: t.YLabel,
+		Cols:   append([]string(nil), t.Cols...),
+		Series: map[string][]float64{},
+	}
+	for i, row := range t.Rows {
+		fig.Series[row] = append([]float64(nil), t.Cells[i]...)
+	}
+	d.Figures[name] = fig
+}
+
+// WriteFile writes the document as indented JSON (stable key order via
+// encoding/json's map sorting, so committed baselines diff cleanly).
+func (d *BenchDoc) WriteFile(path string) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchDoc parses a document written by WriteFile.
+func ReadBenchDoc(path string) (*BenchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d BenchDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if d.Schema != BenchSchemaVersion {
+		return nil, fmt.Errorf("%s: schema %d, this tool speaks %d", path, d.Schema, BenchSchemaVersion)
+	}
+	return &d, nil
+}

@@ -158,8 +158,18 @@ func (b *Buffer) bucketFor(key []byte) int {
 // fall through to the Memtable — if the buffer is frozen or the target
 // bucket is full.
 func (b *Buffer) Add(key, value []byte, tombstone bool) bool {
+	ok, _ := b.Put(key, value, tombstone)
+	return ok
+}
+
+// Put is Add distinguishing its two success modes: inPlace reports that
+// the key was already resident and was overwritten in its slot. An
+// in-place update absorbs a write with NO new drain debt — the signal
+// the adaptive-sizing sensor uses to tell "the working set fits this
+// buffer" (grow it) from "everything flows through" (§4.4).
+func (b *Buffer) Put(key, value []byte, tombstone bool) (stored, inPlace bool) {
 	if b.frozen.Load() {
-		return false
+		return false, false
 	}
 	bk := &b.buckets[b.bucketFor(key)]
 	np := &pair{key: key, value: value, tombstone: tombstone}
@@ -168,7 +178,7 @@ func (b *Buffer) Add(key, value []byte, tombstone bool) bool {
 	// the cheap double check keeps helpers honest in tests.
 	if b.frozen.Load() {
 		bk.mu.Unlock()
-		return false
+		return false, false
 	}
 	free := -1
 	for i := range bk.slots {
@@ -185,19 +195,19 @@ func (b *Buffer) Add(key, value []byte, tombstone bool) bool {
 			bk.slots[i].Store(np)
 			b.bytes.Add(int64(len(value)) - int64(len(p.value)))
 			bk.mu.Unlock()
-			return true
+			return true, true
 		}
 	}
 	if free < 0 {
 		bk.mu.Unlock()
 		b.fullFailures.Add(1)
-		return false
+		return false, false
 	}
 	bk.slots[free].Store(np)
 	b.live.Add(1)
 	b.bytes.Add(int64(len(key)) + int64(len(value)))
 	bk.mu.Unlock()
-	return true
+	return true, false
 }
 
 // Get returns the freshest value for key in this buffer. ok is false if the

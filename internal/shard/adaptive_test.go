@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestAdaptiveHotShardResizeWithPinnedSnapshot opens a sharded store
+// with per-shard adaptive controllers, pins a globally consistent
+// snapshot, then hammers ONE shard with a skewed write stream until its
+// controller resizes its Membuffer — while the other shards idle. The
+// pinned snapshot must keep its cut through the hot shard's resize
+// epochs, the hot shard alone should carry the resizes, and the
+// aggregate Stats must report the mean fraction and summed resizes.
+func TestAdaptiveHotShardResizeWithPinnedSnapshot(t *testing.T) {
+	cfg := tinyCore(false)
+	cfg.AdaptiveMemory = true
+	cfg.AdaptiveWindow = 5 * time.Millisecond
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 4, Core: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Seed one key per shard, then pin the global cut.
+	marker := []byte("before")
+	for i := 0; i < 4; i++ {
+		if err := s.Put(bg, shardLocalKey(s, i, 0), marker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+
+	// Hot shard: shard 0 takes a resident-working-set overwrite storm
+	// (the §4.4 grow signal); its neighbors see nothing.
+	hot := 0
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		val := make([]byte, 64)
+		for !stop.Load() {
+			for i := uint64(0); i < 256; i++ {
+				if err := s.Put(bg, shardLocalKey(s, hot, i), val); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		per := s.PerShard()
+		if per[hot].MembufferResizes >= 1 && per[hot].MembufferFraction > 0.25 {
+			break
+		}
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("hot shard never resized: %+v", per[hot])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	per := s.PerShard()
+	for i := 1; i < 4; i++ {
+		if per[i].MembufferResizes != 0 {
+			t.Fatalf("idle shard %d resized %d times", i, per[i].MembufferResizes)
+		}
+		if per[i].MembufferFraction != 0.25 {
+			t.Fatalf("idle shard %d fraction %v, want the 0.25 start", i, per[i].MembufferFraction)
+		}
+	}
+
+	// Aggregate: resizes sum, fraction is the mean of the per-shard
+	// live fractions.
+	agg := s.Stats()
+	var wantMean float64
+	var wantResizes uint64
+	for _, st := range per {
+		wantMean += st.MembufferFraction
+		wantResizes += st.MembufferResizes
+	}
+	wantMean /= float64(len(per))
+	if agg.MembufferResizes != wantResizes {
+		t.Fatalf("aggregate resizes %d, want %d", agg.MembufferResizes, wantResizes)
+	}
+	if diff := agg.MembufferFraction - wantMean; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("aggregate fraction %v, want mean %v", agg.MembufferFraction, wantMean)
+	}
+
+	// The pinned snapshot still reads the pre-storm cut on every shard,
+	// hot one included.
+	for i := 0; i < 4; i++ {
+		v, ok, err := snap.Get(bg, shardLocalKey(s, i, 0))
+		if err != nil || !ok || string(v) != "before" {
+			t.Fatalf("snapshot shard %d read %q/%v/%v across hot-shard resizes", i, v, ok, err)
+		}
+	}
+}
+
+// shardLocalKey returns the i-th spread key owned by the given shard:
+// spread keys are probed until one routes there, keeping the write
+// stream strictly inside one shard whatever the boundary layout.
+func shardLocalKey(s *Store, shard int, i uint64) []byte {
+	for probe := i; ; probe += 1 << 32 {
+		k := spreadKey(probe)
+		if s.ShardFor(k) == shard {
+			return k
+		}
+	}
+}

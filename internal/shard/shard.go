@@ -122,7 +122,10 @@ type Config struct {
 	// its subdirectory) and MemoryBytes is the TOTAL memory budget,
 	// split evenly across shards so a sharded store competes against an
 	// unsharded one at equal memory. Zero means each shard takes the
-	// core default.
+	// core default. With Core.AdaptiveMemory set, every shard runs its
+	// OWN resize controller over its slice of the budget — a hot shard
+	// grows its Membuffer for its write stream while a scan-heavy
+	// neighbor shrinks its own, independently, under the shared total.
 	Core core.Config
 }
 
@@ -718,7 +721,8 @@ func (s *Store) Stats() kv.Stats {
 		BatchOps:     s.batchOps.Load(),
 		SyncBarriers: s.syncBarriers.Load(),
 	}
-	for _, st := range s.PerShard() {
+	per := s.PerShard()
+	for _, st := range per {
 		agg.Puts += st.Puts
 		agg.Gets += st.Gets
 		agg.Deletes += st.Deletes
@@ -732,6 +736,18 @@ func (s *Store) Stats() kv.Stats {
 		agg.DurableSeq += st.DurableSeq
 		agg.WALSyncs += st.WALSyncs
 		agg.WALSyncRequests += st.WALSyncRequests
+		// Adaptive sizing: resize epochs and sensor rates sum; the
+		// fraction averages (each shard holds an equal slice of the
+		// budget, so the mean is the budget-weighted live share).
+		agg.MembufferResizes += st.MembufferResizes
+		agg.SensorPutRate += st.SensorPutRate
+		agg.SensorGetRate += st.SensorGetRate
+		agg.SensorScanRate += st.SensorScanRate
+		agg.SensorStallPct += st.SensorStallPct
+		agg.MembufferFraction += st.MembufferFraction
+	}
+	if len(per) > 0 {
+		agg.MembufferFraction /= float64(len(per))
 	}
 	return agg
 }

@@ -2,6 +2,7 @@ package flodb
 
 import (
 	"fmt"
+	"time"
 
 	"flodb/internal/kv"
 )
@@ -28,6 +29,11 @@ type options struct {
 	disableWAL        bool
 	durability        Durability
 	shards            int
+
+	adaptive       bool
+	adaptiveMin    float64
+	adaptiveMax    float64
+	adaptiveWindow time.Duration
 
 	// err records the first invalid option; Open surfaces it.
 	err error
@@ -67,6 +73,52 @@ func WithMembufferFraction(f float64) Option {
 			return
 		}
 		o.membufferFraction = f
+	})
+}
+
+// WithAdaptiveMemory enables workload-adaptive sizing of the
+// Membuffer↔Memtable split (§4.4): a windowed sensor measures the
+// put/get/scan mix and drain-stall time, and a controller moves the
+// Membuffer's share of the memory budget — up under update-heavy phases
+// (more O(1) absorption), down under scan/read-heavy phases (cheaper
+// master-scan drains). Each resize is one generation switch through the
+// existing drain path, never a stop-the-world rehash. The controller
+// stays inside [0.05, 0.60] by default (WithAdaptiveMemoryRange tunes
+// it) and re-evaluates every 100ms (WithAdaptiveMemoryWindow).
+//
+// WithMembufferFraction still sets the STARTING split; without
+// WithAdaptiveMemory it stays pinned there for the store's lifetime.
+// Stats reports the live split (MembufferFraction), the resize count
+// (MembufferResizes) and the sensor's window rates.
+func WithAdaptiveMemory() Option {
+	return optionFunc(func(o *options) { o.adaptive = true })
+}
+
+// WithAdaptiveMemoryRange bounds the adaptive controller to
+// [min, max] ⊂ (0,1) and implies WithAdaptiveMemory. Open rejects
+// min >= max and values outside (0,1).
+func WithAdaptiveMemoryRange(min, max float64) Option {
+	return optionFunc(func(o *options) {
+		if min <= 0 || min >= 1 || max <= 0 || max >= 1 || min >= max {
+			o.fail(fmt.Errorf("flodb: WithAdaptiveMemoryRange(%v, %v): want 0 < min < max < 1", min, max))
+			return
+		}
+		o.adaptive = true
+		o.adaptiveMin, o.adaptiveMax = min, max
+	})
+}
+
+// WithAdaptiveMemoryWindow sets the sensor window — how often the
+// controller re-evaluates the split — and implies WithAdaptiveMemory.
+// Default 100ms; non-positive windows are rejected by Open.
+func WithAdaptiveMemoryWindow(d time.Duration) Option {
+	return optionFunc(func(o *options) {
+		if d <= 0 {
+			o.fail(fmt.Errorf("flodb: WithAdaptiveMemoryWindow(%v): window must be positive", d))
+			return
+		}
+		o.adaptive = true
+		o.adaptiveWindow = d
 	})
 }
 
