@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -36,13 +37,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := harness.ReadBenchDoc(flag.Arg(0))
-	if err != nil {
+	if err := diff(*threshold, flag.Arg(0), flag.Arg(1), os.Stdout); err != nil {
 		fatal(err)
 	}
-	cur, err := harness.ReadBenchDoc(flag.Arg(1))
+}
+
+// diff compares two bench documents and writes annotations to out. The
+// returned error is non-nil only for I/O and schema problems — drift,
+// new figures and missing cells are report lines, never failures.
+func diff(threshold float64, basePath, curPath string, out io.Writer) error {
+	base, err := harness.ReadBenchDoc(basePath)
 	if err != nil {
-		fatal(err)
+		return err
+	}
+	cur, err := harness.ReadBenchDoc(curPath)
+	if err != nil {
+		return err
 	}
 
 	var compared, drifted, skipped int
@@ -50,7 +60,7 @@ func main() {
 		bf := base.Figures[figName]
 		cf, ok := cur.Figures[figName]
 		if !ok {
-			fmt.Printf("::notice::benchdiff: figure %q in baseline but not in current run\n", figName)
+			fmt.Fprintf(out, "::notice::benchdiff: figure %q in baseline but not in current run\n", figName)
 			continue
 		}
 		// Cells match by COLUMN NAME, not position: figures grow columns
@@ -63,19 +73,19 @@ func main() {
 		}
 		for _, c := range cf.Cols {
 			if !contains(bf.Cols, c) {
-				fmt.Printf("::notice::benchdiff: %s: column %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, c)
+				fmt.Fprintf(out, "::notice::benchdiff: %s: column %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, c)
 			}
 		}
 		for _, series := range sortedKeys(cf.Series) {
 			if _, ok := bf.Series[series]; !ok {
-				fmt.Printf("::notice::benchdiff: %s: series %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, series)
+				fmt.Fprintf(out, "::notice::benchdiff: %s: series %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName, series)
 			}
 		}
 		for _, series := range sortedKeys(bf.Series) {
 			bRow := bf.Series[series]
 			cRow, ok := cf.Series[series]
 			if !ok {
-				fmt.Printf("::notice::benchdiff: %s: series %q in baseline but not in current run\n", figName, series)
+				fmt.Fprintf(out, "::notice::benchdiff: %s: series %q in baseline but not in current run\n", figName, series)
 				continue
 			}
 			for i, b := range bRow {
@@ -85,7 +95,7 @@ func main() {
 				col := bf.Cols[i]
 				ci, ok := curCol[col]
 				if !ok || ci >= len(cRow) {
-					fmt.Printf("::notice::benchdiff: %s %s[%s]: missing from current run\n", figName, series, col)
+					fmt.Fprintf(out, "::notice::benchdiff: %s %s[%s]: missing from current run\n", figName, series, col)
 					continue
 				}
 				c := cRow[ci]
@@ -98,21 +108,25 @@ func main() {
 				}
 				compared++
 				rel := (c - b) / b
-				if rel >= *threshold || rel <= -*threshold {
+				if rel >= threshold || rel <= -threshold {
 					drifted++
-					fmt.Printf("::warning title=bench drift::%s %s[%s]: %.4g -> %.4g (%+.0f%% vs baseline, threshold ±%.0f%%)\n",
-						figName, series, col, b, c, 100*rel, 100**threshold)
+					fmt.Fprintf(out, "::warning title=bench drift::%s %s[%s]: %.4g -> %.4g (%+.0f%% vs baseline, threshold ±%.0f%%)\n",
+						figName, series, col, b, c, 100*rel, 100*threshold)
 				}
 			}
 		}
 	}
 	for _, figName := range sortedKeys(cur.Figures) {
 		if _, ok := base.Figures[figName]; !ok {
-			fmt.Printf("::notice::benchdiff: figure %q is new (not in baseline) — consider refreshing BENCH_BASELINE.json\n", figName)
+			// Deliberately not an error: a PR that ADDS a figure must not
+			// need a baseline for it in the same change. The trajectory
+			// picks it up when the baseline is next refreshed.
+			fmt.Fprintf(out, "::notice::benchdiff: %s: new figure, no baseline — comparison starts once BENCH_BASELINE.json is refreshed\n", figName)
 		}
 	}
-	fmt.Printf("benchdiff: %d cells compared, %d beyond ±%.0f%%, %d zero-baseline cells skipped\n",
-		compared, drifted, 100**threshold, skipped)
+	fmt.Fprintf(out, "benchdiff: %d cells compared, %d beyond ±%.0f%%, %d zero-baseline cells skipped\n",
+		compared, drifted, 100*threshold, skipped)
+	return nil
 }
 
 func contains(ss []string, s string) bool {

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flodb/internal/harness"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc harness.BenchDoc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestNewFigureIsNoticeNotError: a figure present in the current run but
+// absent from the baseline must produce a "new figure, no baseline" line
+// and a nil error — adding a figure must not require a baseline for it
+// in the same change.
+func TestNewFigureIsNoticeNotError(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", harness.BenchDoc{
+		Schema: 1,
+		Figures: map[string]harness.BenchFigure{
+			"apibench": {Title: "t", Cols: []string{"1"}, Series: map[string][]float64{"FloDB": {1.0}}},
+		},
+	})
+	cur := writeDoc(t, dir, "cur.json", harness.BenchDoc{
+		Schema: 1,
+		Figures: map[string]harness.BenchFigure{
+			"apibench": {Title: "t", Cols: []string{"1"}, Series: map[string][]float64{"FloDB": {1.1}}},
+			"netbench": {Title: "n", Cols: []string{"4"}, Series: map[string][]float64{"throughput Kops/s": {50}}},
+		},
+	})
+	var out strings.Builder
+	if err := diff(0.25, base, cur, &out); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !strings.Contains(out.String(), "netbench: new figure, no baseline") {
+		t.Fatalf("missing new-figure notice in output:\n%s", out.String())
+	}
+}
+
+// TestDriftWarnsWithoutFailing: drifted cells are warnings, not errors.
+func TestDriftWarnsWithoutFailing(t *testing.T) {
+	dir := t.TempDir()
+	fig := func(v float64) harness.BenchFigure {
+		return harness.BenchFigure{Title: "t", Cols: []string{"1"}, Series: map[string][]float64{"FloDB": {v}}}
+	}
+	base := writeDoc(t, dir, "base.json", harness.BenchDoc{Schema: 1,
+		Figures: map[string]harness.BenchFigure{"apibench": fig(1.0)}})
+	cur := writeDoc(t, dir, "cur.json", harness.BenchDoc{Schema: 1,
+		Figures: map[string]harness.BenchFigure{"apibench": fig(2.0)}})
+	var out strings.Builder
+	if err := diff(0.25, base, cur, &out); err != nil {
+		t.Fatalf("diff: %v", err)
+	}
+	if !strings.Contains(out.String(), "::warning title=bench drift::") {
+		t.Fatalf("missing drift warning:\n%s", out.String())
+	}
+}

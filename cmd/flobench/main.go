@@ -56,6 +56,9 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	// Adaptive memory sizing (§4.4): adaptive vs fixed Membuffer
 	// fractions across a phase-shifting workload.
 	"adaptive": figures.FigAdaptive,
+	// Service tier: throughput and latency through flodbd's wire
+	// protocol vs client connection-pool size.
+	"netbench": figures.NetBench,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,

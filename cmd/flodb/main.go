@@ -23,6 +23,14 @@
 // The -adaptive flag turns on workload-adaptive sizing of the
 // Membuffer/Memtable split (§4.4); stats reports the live fraction,
 // resize count and the sensor's window rates.
+//
+// The -remote flag points every command at a running flodbd server
+// instead of opening a store directory: `flodb -remote :4380 get k`
+// performs the same operation over the wire protocol. With -remote,
+// -durability applies per operation (the server keeps its own default),
+// the store-shape flags (-mem, -shards, -adaptive) belong to the server
+// process, and checkpoint's directory is a path on the SERVER's
+// filesystem.
 package main
 
 import (
@@ -32,41 +40,69 @@ import (
 	"os"
 
 	"flodb"
+	"flodb/internal/client"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
 
 func main() {
-	dir := flag.String("db", "", "database directory (required)")
-	mem := flag.Int64("mem", 0, "memory component bytes (0 = default)")
-	durability := flag.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
-	shards := flag.Int("shards", 0, "range-partition across n shards (0/1 = unsharded; fixed at creation)")
-	adaptive := flag.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4)")
+	dir := flag.String("db", "", "database directory (required unless -remote)")
+	remote := flag.String("remote", "", "flodbd server address; run the command over the wire instead of opening -db")
+	mem := flag.Int64("mem", 0, "memory component bytes (0 = default; local only)")
+	durability := flag.String("durability", "", "write durability: none|buffered|sync (local: store default; remote: per-op class)")
+	shards := flag.Int("shards", 0, "range-partition across n shards (0/1 = unsharded; fixed at creation; local only)")
+	adaptive := flag.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4; local only)")
 	flag.Parse()
-	if *dir == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: flodb -db <dir> [-shards n] [-adaptive] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
+	if (*dir == "" && *remote == "") || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flodb {-db <dir> | -remote <addr>} [-shards n] [-adaptive] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
 		os.Exit(2)
 	}
-	var opts []flodb.Option
-	if *mem > 0 {
-		opts = append(opts, flodb.WithMemory(*mem))
-	}
-	if *adaptive {
-		opts = append(opts, flodb.WithAdaptiveMemory())
-	}
-	if *shards > 0 {
-		opts = append(opts, flodb.WithShards(*shards))
-	}
-	if *durability != "" {
-		d, err := kv.ParseDurability(*durability)
+
+	var (
+		db         kv.Store          // local engine or remote client — same contract
+		writeOpts  []kv.WriteOption  // per-op durability override (remote mode)
+		shardStats func() []kv.Stats // per-shard breakdown, local sharded stores only
+	)
+	if *remote != "" {
+		if *dir != "" {
+			fail(fmt.Errorf("-db and -remote are mutually exclusive"))
+		}
+		if *durability != "" {
+			d, err := kv.ParseDurability(*durability)
+			if err != nil {
+				fail(err)
+			}
+			writeOpts = append(writeOpts, kv.WithDurability(d))
+		}
+		cl, err := client.Dial(*remote)
 		if err != nil {
 			fail(err)
 		}
-		opts = append(opts, flodb.WithDurability(d))
-	}
-	db, err := flodb.Open(*dir, opts...)
-	if err != nil {
-		fail(err)
+		db = cl
+	} else {
+		var opts []flodb.Option
+		if *mem > 0 {
+			opts = append(opts, flodb.WithMemory(*mem))
+		}
+		if *adaptive {
+			opts = append(opts, flodb.WithAdaptiveMemory())
+		}
+		if *shards > 0 {
+			opts = append(opts, flodb.WithShards(*shards))
+		}
+		if *durability != "" {
+			d, err := kv.ParseDurability(*durability)
+			if err != nil {
+				fail(err)
+			}
+			opts = append(opts, flodb.WithDurability(d))
+		}
+		ldb, err := flodb.Open(*dir, opts...)
+		if err != nil {
+			fail(err)
+		}
+		db = ldb
+		shardStats = ldb.ShardStats
 	}
 	defer func() {
 		if err := db.Close(); err != nil {
@@ -79,7 +115,7 @@ func main() {
 	switch args[0] {
 	case "put":
 		need(args, 3)
-		if err := db.Put(ctx, []byte(args[1]), []byte(args[2])); err != nil {
+		if err := db.Put(ctx, []byte(args[1]), []byte(args[2]), writeOpts...); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
@@ -96,7 +132,7 @@ func main() {
 		}
 	case "del":
 		need(args, 2)
-		if err := db.Delete(ctx, []byte(args[1])); err != nil {
+		if err := db.Delete(ctx, []byte(args[1]), writeOpts...); err != nil {
 			fail(err)
 		}
 		fmt.Println("ok")
@@ -142,7 +178,7 @@ func main() {
 		if b.Len() == 0 {
 			fail(fmt.Errorf("batch: no operations"))
 		}
-		if err := db.Apply(ctx, b); err != nil {
+		if err := db.Apply(ctx, b, writeOpts...); err != nil {
 			fail(err)
 		}
 		fmt.Printf("applied %d ops atomically\n", b.Len())
@@ -151,7 +187,7 @@ func main() {
 		if err := db.Sync(ctx); err != nil {
 			fail(err)
 		}
-		s := db.Stats()
+		s := statsOf(db)
 		fmt.Printf("durable through commit index %d (acked %d)\n", s.DurableSeq, s.AckedSeq)
 	case "checkpoint":
 		need(args, 2)
@@ -166,13 +202,13 @@ func main() {
 			fail(err)
 		}
 		for i := uint64(0); i < n; i++ {
-			if err := db.Put(ctx, keys.EncodeUint64(i), keys.EncodeUint64(i)); err != nil {
+			if err := db.Put(ctx, keys.EncodeUint64(i), keys.EncodeUint64(i), writeOpts...); err != nil {
 				fail(err)
 			}
 		}
 		fmt.Printf("filled %d keys\n", n)
 	case "stats":
-		s := db.Stats()
+		s := statsOf(db)
 		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d iterators=%d batches=%d (%d ops) snapshots=%d checkpoints=%d\n",
 			s.Puts, s.Gets, s.Deletes, s.Scans, s.Iterators, s.Batches, s.BatchOps, s.Snapshots, s.Checkpoints)
 		fmt.Printf("membuffer-hits=%d memtable-writes=%d\n", s.MembufferHits, s.MemtableWrites)
@@ -183,7 +219,12 @@ func main() {
 		fmt.Printf("membuffer-fraction=%.3f resizes=%d sensor-put/s=%.0f sensor-get/s=%.0f sensor-scan/s=%.0f stall=%.1f%%\n",
 			s.MembufferFraction, s.MembufferResizes,
 			s.SensorPutRate, s.SensorGetRate, s.SensorScanRate, s.SensorStallPct)
-		if per := db.ShardStats(); len(per) > 0 {
+		if s.ServerRequests > 0 {
+			fmt.Printf("server: conns=%d/%d-lifetime in-flight=%d requests=%d bytes-in=%d bytes-out=%d slow=%d\n",
+				s.ServerConnsOpen, s.ServerConnsTotal, s.ServerInFlight,
+				s.ServerRequests, s.ServerBytesIn, s.ServerBytesOut, s.ServerSlowRequests)
+		}
+		if per := perShard(shardStats); len(per) > 0 {
 			fmt.Printf("\n%d shards (aggregate above; per-shard breakdown below)\n", len(per))
 			fmt.Printf("%5s %10s %10s %10s %10s %10s %12s %12s\n",
 				"shard", "puts", "gets", "deletes", "flushes", "compact", "acked-seq", "durable-seq")
@@ -196,6 +237,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flodb: unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+func statsOf(db kv.Store) kv.Stats {
+	if sp, ok := db.(kv.StatsProvider); ok {
+		return sp.Stats()
+	}
+	return kv.Stats{}
+}
+
+func perShard(fn func() []kv.Stats) []kv.Stats {
+	if fn == nil {
+		return nil
+	}
+	return fn()
 }
 
 func need(args []string, n int) {

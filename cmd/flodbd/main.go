@@ -1,0 +1,145 @@
+// Command flodbd serves a FloDB store over the wire protocol to remote
+// clients (internal/client, or flodb -remote):
+//
+//	flodbd -db /var/lib/flodb -addr :4380
+//	flodbd -db /var/lib/flodb -addr :4380 -shards 4 -adaptive
+//
+// One process owns the store directory; any number of clients share the
+// engine through it — the pipelined dispatch means a single client
+// connection can still saturate the Membuffer's parallel write path.
+//
+// Shutdown is a drain: on SIGINT or SIGTERM the daemon stops accepting,
+// lets every in-flight request finish and flush its response, then
+// closes the store. The close-time WAL sync makes every acknowledged
+// Buffered write durable, so a clean `kill -TERM` never loses an acked
+// write. -drain-timeout bounds how long a stuck request can hold the
+// process; past it in-flight work is canceled and the store still
+// closes cleanly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flodb"
+	"flodb/internal/kv"
+	"flodb/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "flodbd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a termination signal has been
+// handled and the drain finished. notify, when non-nil, receives the
+// bound listen address once the server is accepting — the in-process
+// test hook (and the reason main's body lives here).
+func run(args []string, logw io.Writer, notify func(addr string)) error {
+	fs := flag.NewFlagSet("flodbd", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	var (
+		dir        = fs.String("db", "", "database directory (required)")
+		addr       = fs.String("addr", ":4380", "listen address")
+		mem        = fs.Int64("mem", 0, "memory component bytes (0 = default)")
+		shards     = fs.Int("shards", 0, "range-partition across n shards (0/1 = unsharded)")
+		adaptive   = fs.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4)")
+		durability = fs.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
+		maxConns   = fs.Int("max-conns", 0, "max concurrent connections (0 = default 1024)")
+		maxInFl    = fs.Int("max-inflight", 0, "max in-flight requests per connection (0 = default 128)")
+		leaseIdle  = fs.Duration("lease-idle", 0, "idle snapshot/iterator lease expiry (0 = default 5m)")
+		slow       = fs.Duration("slow", 0, "slow-request accounting threshold (0 = default 1s)")
+		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		verbose    = fs.Bool("v", false, "log per-connection diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-db is required")
+	}
+
+	var opts []flodb.Option
+	if *mem > 0 {
+		opts = append(opts, flodb.WithMemory(*mem))
+	}
+	if *shards > 0 {
+		opts = append(opts, flodb.WithShards(*shards))
+	}
+	if *adaptive {
+		opts = append(opts, flodb.WithAdaptiveMemory())
+	}
+	if *durability != "" {
+		d, err := kv.ParseDurability(*durability)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, flodb.WithDurability(d))
+	}
+	db, err := flodb.Open(*dir, opts...)
+	if err != nil {
+		return err
+	}
+
+	logger := log.New(logw, "flodbd: ", log.LstdFlags)
+	cfg := server.Config{
+		Store:       db,
+		MaxConns:    *maxConns,
+		MaxInFlight: *maxInFl,
+		LeaseIdle:   *leaseIdle,
+		SlowRequest: *slow,
+	}
+	if *verbose {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(cfg)
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		db.Close()
+		return err
+	}
+	logger.Printf("serving %s on %s", *dir, l.Addr())
+	if notify != nil {
+		notify(l.Addr().String())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigCh:
+		logger.Printf("%v: draining", sig)
+	case err := <-serveErr:
+		// The listener died under us; still drain what's in flight.
+		logger.Printf("accept loop stopped: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("drain cut off: %v", err)
+	}
+	// Close after the drain: the store's close-time WAL sync is what makes
+	// acked Buffered writes durable across a clean shutdown.
+	if err := db.Close(); err != nil {
+		return fmt.Errorf("close store: %w", err)
+	}
+	logger.Printf("drained and closed")
+	return nil
+}

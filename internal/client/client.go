@@ -1,0 +1,495 @@
+// Package client is a remote kv.Store: a connection-pooled client for a
+// flodbd server that implements the FULL store contract — Get, Put,
+// Delete, Apply, Scan, NewIterator, Snapshot, Sync, Checkpoint, Stats —
+// with per-operation WriteOptions and honest context handling, so every
+// conformance suite, harness mix and figure that drives a kv.Store runs
+// against a network round trip unmodified.
+//
+// Context mapping: a context deadline becomes the request's wire timeout
+// (remaining time at send, enforced server-side too), and cancellation is
+// honest — the blocked call returns ctx.Err() immediately while a
+// best-effort OpCancel tells the server to abandon the work; the late
+// response, if any, is discarded by the reader.
+//
+// Pooling and affinity: stateless requests round-robin across the pool's
+// connections; stateful handles (snapshots, iterators) are pinned to the
+// connection that created them, because the server's lease table is
+// per-connection. Pipelining falls out of the design: every in-flight
+// request owns a response channel keyed by request id, so many goroutines
+// share one connection without head-of-line blocking in the client.
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flodb/internal/kv"
+	"flodb/internal/wire"
+)
+
+// Option tunes Dial.
+type Option func(*options)
+
+type options struct {
+	conns       int
+	dialTimeout time.Duration
+	chunkPairs  int
+}
+
+// WithConns sets the connection-pool size (default 4).
+func WithConns(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.conns = n
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// WithChunkPairs sets how many pairs an iterator requests per refill
+// round trip (default 512) — the client half of scan flow control.
+func WithChunkPairs(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.chunkPairs = n
+		}
+	}
+}
+
+// Client is a remote kv.Store over a pool of flodbd connections.
+type Client struct {
+	opts   options
+	addr   string
+	conns  []*conn
+	next   atomic.Uint64
+	closed atomic.Bool
+}
+
+// Dial connects the pool to a flodbd server.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := options{conns: 4, dialTimeout: 5 * time.Second, chunkPairs: 512}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	cl := &Client{opts: o, addr: addr}
+	for i := 0; i < o.conns; i++ {
+		c, err := cl.dialConn()
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, c)
+	}
+	return cl, nil
+}
+
+func (cl *Client) dialConn() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", cl.addr, cl.opts.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", cl.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // request/response frames must not wait on Nagle
+	}
+	c := &conn{nc: nc, pending: map[uint64]chan wire.Response{}, done: make(chan struct{})}
+	go c.readLoop()
+	return c, nil
+}
+
+// pick returns a pool connection for a stateless request.
+func (cl *Client) pick() *conn {
+	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+}
+
+// Close closes every pooled connection. Subsequent operations return
+// kv.ErrClosed. Server-side leases the client still holds die with their
+// connections.
+func (cl *Client) Close() error {
+	if cl.closed.Swap(true) {
+		return nil
+	}
+	for _, c := range cl.conns {
+		c.close(fmt.Errorf("client: %w", kv.ErrClosed))
+	}
+	return nil
+}
+
+// --- Connection --------------------------------------------------------------
+
+type conn struct {
+	nc  net.Conn
+	wmu sync.Mutex // serializes request frames
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	nextID  uint64
+	err     error // set once, before done closes
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+func (c *conn) close(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.doneOnce.Do(func() { close(c.done) })
+	c.nc.Close()
+}
+
+// brokenErr reports why the connection died.
+func (c *conn) brokenErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return fmt.Errorf("client: connection closed")
+}
+
+// readLoop dispatches response frames to their pending request channels.
+func (c *conn) readLoop() {
+	br := bufio.NewReader(c.nc)
+	for {
+		body, err := wire.ReadFrame(br, nil)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("client: server closed the connection")
+			}
+			c.close(err)
+			return
+		}
+		resp, err := wire.ParseResponse(body)
+		if err != nil {
+			c.close(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered: never blocks the reader
+		}
+		// else: a canceled request's late response — discarded.
+	}
+}
+
+// register assigns a request id and a response channel.
+func (c *conn) register(req *wire.Request) (chan wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan wire.Response, 1)
+	c.pending[req.ID] = ch
+	return ch, nil
+}
+
+func (c *conn) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *conn) write(frame []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err := c.nc.Write(frame)
+	return err
+}
+
+// call performs one round trip on this connection: register, frame,
+// write, wait. Context deadlines ride the request as a relative wire
+// timeout; cancellation abandons the wait and best-effort-cancels the
+// server-side work.
+func (c *conn) call(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	if err := ctx.Err(); err != nil {
+		return wire.Response{}, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return wire.Response{}, context.DeadlineExceeded
+		}
+		req.TimeoutNanos = uint64(remain)
+	}
+	ch, err := c.register(req)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	if err := c.write(wire.AppendRequest(nil, req)); err != nil {
+		c.unregister(req.ID)
+		c.close(fmt.Errorf("client: write: %w", err))
+		return wire.Response{}, c.brokenErr()
+	}
+	select {
+	case resp := <-ch:
+		if resp.Status != wire.StatusOK {
+			return resp, wire.ErrOf(resp.Status, string(resp.Payload))
+		}
+		return resp, nil
+	case <-ctx.Done():
+		c.unregister(req.ID)
+		// Best-effort server-side cancel; the late response is discarded.
+		cancelFrame := wire.AppendRequest(nil, &wire.Request{
+			Op:      wire.OpCancel,
+			Payload: binary.AppendUvarint(nil, req.ID),
+		})
+		c.write(cancelFrame)
+		return wire.Response{}, ctx.Err()
+	case <-c.done:
+		return wire.Response{}, c.brokenErr()
+	}
+}
+
+// --- kv.Store ----------------------------------------------------------------
+
+func (cl *Client) call(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	if cl.closed.Load() {
+		return wire.Response{}, fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	return cl.pick().call(ctx, req)
+}
+
+func durabilityOf(opts []kv.WriteOption) kv.Durability {
+	// The wire carries the resolved per-op CLASS, not the option values:
+	// DurabilityDefault means "use the server store's default".
+	var o kv.WriteOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt.ApplyWrite(&o)
+		}
+	}
+	return o.Durability
+}
+
+// Get returns the value of key from the server's live view.
+func (cl *Client) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	return getVia(ctx, cl, 0, key)
+}
+
+func (cl *Client) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
+	payload := wire.AppendBytes(make([]byte, 0, len(key)+len(value)+4), key)
+	payload = append(payload, value...)
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpPut, Durability: durabilityOf(opts), Payload: payload})
+	return err
+}
+
+func (cl *Client) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpDelete, Durability: durabilityOf(opts), Payload: key})
+	return err
+}
+
+// Apply commits b atomically on the server: the batch crosses the wire in
+// its WAL record encoding, one frame however many mutations it carries.
+func (cl *Client) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpApply, Durability: durabilityOf(opts), Payload: kv.EncodeBatchRecord(b)})
+	return err
+}
+
+func (cl *Client) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
+	return scanVia(ctx, cl, 0, low, high)
+}
+
+// NewIterator opens a server-side cursor and streams it in chunks; see
+// remoteIter.
+func (cl *Client) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	if cl.closed.Load() {
+		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	return openIter(ctx, cl.pick(), 0, low, high, cl.opts.chunkPairs)
+}
+
+// Snapshot pins a server-side repeatable-read view and returns its
+// handle. The view is tied to one pooled connection (the server's lease
+// table is per-connection) and must be Closed to release the lease.
+func (cl *Client) Snapshot(ctx context.Context) (kv.View, error) {
+	if cl.closed.Load() {
+		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	cn := cl.pick()
+	resp, err := cn.call(ctx, &wire.Request{Op: wire.OpSnapOpen})
+	if err != nil {
+		return nil, err
+	}
+	h, n := binary.Uvarint(resp.Payload)
+	if n <= 0 {
+		return nil, fmt.Errorf("client: bad snapshot handle")
+	}
+	return &remoteView{cl: cl, cn: cn, handle: h}, nil
+}
+
+// Sync raises the durability barrier on the server.
+func (cl *Client) Sync(ctx context.Context) error {
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpSync})
+	return err
+}
+
+// Checkpoint asks the server to write an openable copy into dir — a path
+// on the SERVER's filesystem.
+func (cl *Client) Checkpoint(ctx context.Context, dir string) error {
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpCheckpoint, Payload: []byte(dir)})
+	return err
+}
+
+// Ping round-trips an empty request (health checks, tests).
+func (cl *Client) Ping(ctx context.Context) error {
+	_, err := cl.call(ctx, &wire.Request{Op: wire.OpPing})
+	return err
+}
+
+// Stats fetches the server's stats snapshot: the store's own counters
+// with the service-tier observability (conns, in-flight, bytes, slow
+// requests) folded into the Server* fields. Wire failures return zero
+// Stats — the StatsProvider contract has no error channel.
+func (cl *Client) Stats() kv.Stats {
+	st, _, err := cl.FullStats(context.Background())
+	if err != nil {
+		return kv.Stats{}
+	}
+	return st
+}
+
+// FullStats returns the store stats plus the server's per-opcode
+// breakdown.
+func (cl *Client) FullStats(ctx context.Context) (kv.Stats, wire.ServerInfo, error) {
+	resp, err := cl.call(ctx, &wire.Request{Op: wire.OpStats})
+	if err != nil {
+		return kv.Stats{}, wire.ServerInfo{}, err
+	}
+	var payload wire.StatsPayload
+	if err := json.Unmarshal(resp.Payload, &payload); err != nil {
+		return kv.Stats{}, wire.ServerInfo{}, fmt.Errorf("client: stats payload: %w", err)
+	}
+	st := payload.Store
+	st.ServerConnsOpen = payload.Server.ConnsOpen
+	st.ServerConnsTotal = payload.Server.ConnsTotal
+	st.ServerInFlight = payload.Server.InFlight
+	st.ServerRequests = payload.Server.Requests
+	st.ServerBytesIn = payload.Server.BytesIn
+	st.ServerBytesOut = payload.Server.BytesOut
+	st.ServerSlowRequests = payload.Server.SlowRequests
+	return st, payload.Server, nil
+}
+
+// --- Shared view plumbing ----------------------------------------------------
+
+// caller abstracts "who do I send through": the pooled client (live view)
+// or a pinned connection (snapshot view).
+type caller interface {
+	call(ctx context.Context, req *wire.Request) (wire.Response, error)
+}
+
+func getVia(ctx context.Context, c caller, handle uint64, key []byte) ([]byte, bool, error) {
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpGet, Handle: handle, Payload: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(resp.Payload) < 1 {
+		return nil, false, fmt.Errorf("client: bad get response")
+	}
+	if resp.Payload[0] == 0 {
+		return nil, false, nil
+	}
+	return append([]byte(nil), resp.Payload[1:]...), true, nil
+}
+
+func scanVia(ctx context.Context, c caller, handle uint64, low, high []byte) ([]kv.Pair, error) {
+	payload := wire.AppendBound(nil, low)
+	payload = wire.AppendBound(payload, high)
+	resp, err := c.call(ctx, &wire.Request{Op: wire.OpScan, Handle: handle, Payload: payload})
+	if err != nil {
+		return nil, err
+	}
+	pairs, _, err := wire.ReadPairs(resp.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+// --- Snapshot view -----------------------------------------------------------
+
+// remoteView is a snapshot handle: reads pinned at the server-side lease,
+// routed through the connection that owns it.
+type remoteView struct {
+	cl       *Client
+	cn       *conn
+	handle   uint64
+	released atomic.Bool
+}
+
+func (v *remoteView) check() error {
+	if v.released.Load() {
+		return fmt.Errorf("client: %w", kv.ErrSnapshotReleased)
+	}
+	if v.cl.closed.Load() {
+		return fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	return nil
+}
+
+func (v *remoteView) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if err := v.check(); err != nil {
+		return nil, false, err
+	}
+	return getVia(ctx, v.cn, v.handle, key)
+}
+
+func (v *remoteView) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
+	if err := v.check(); err != nil {
+		return nil, err
+	}
+	return scanVia(ctx, v.cn, v.handle, low, high)
+}
+
+func (v *remoteView) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
+	if err := v.check(); err != nil {
+		return nil, err
+	}
+	return openIter(ctx, v.cn, v.handle, low, high, v.cl.opts.chunkPairs)
+}
+
+// Close releases the server-side lease. Idempotent.
+func (v *remoteView) Close() error {
+	if v.released.Swap(true) {
+		return nil
+	}
+	if v.cl.closed.Load() {
+		return nil // connection is gone; the lease died with it
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := v.cn.call(ctx, &wire.Request{Op: wire.OpSnapClose, Handle: v.handle})
+	return err
+}
+
+var (
+	_ kv.Store         = (*Client)(nil)
+	_ kv.StatsProvider = (*Client)(nil)
+	_ kv.View          = (*remoteView)(nil)
+)

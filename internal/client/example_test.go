@@ -1,0 +1,75 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flodb/internal/client"
+	"flodb/internal/core"
+	"flodb/internal/kv"
+	"flodb/internal/server"
+)
+
+// ExampleClient drives the full kv.Store contract over the wire: an
+// in-process server (what cmd/flodbd wraps) on a loopback socket, and a
+// pooled client doing point ops, an atomic batch, a snapshot read and a
+// durability barrier — the same calls a local store takes, each paying
+// one TCP round trip.
+func ExampleClient() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-client")
+	os.RemoveAll(dir)
+	store, err := core.Open(core.Config{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store})
+	go srv.Serve(l)
+
+	cl, err := client.Dial(l.Addr().String(), client.WithConns(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	cl.Put(ctx, []byte("a"), []byte("1"))
+	b := kv.NewBatch()
+	b.Put([]byte("b"), []byte("2"))
+	b.Put([]byte("c"), []byte("3"))
+	cl.Apply(ctx, b) // one frame, atomic on the server
+
+	snap, _ := cl.Snapshot(ctx) // server-side lease, pinned to one conn
+	cl.Put(ctx, []byte("a"), []byte("overwritten"))
+	if v, found, _ := snap.Get(ctx, []byte("a")); found {
+		fmt.Printf("snapshot a=%s\n", v)
+	}
+	snap.Close()
+
+	if v, found, _ := cl.Get(ctx, []byte("a")); found {
+		fmt.Printf("live a=%s\n", v)
+	}
+	pairs, _ := cl.Scan(ctx, []byte("b"), nil)
+	for _, p := range pairs {
+		fmt.Printf("%s=%s\n", p.Key, p.Value)
+	}
+	cl.Sync(ctx) // everything acked is now crash-durable
+
+	cl.Close()
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutdownCtx)
+	store.Close()
+	// Output:
+	// snapshot a=1
+	// live a=overwritten
+	// b=2
+	// c=3
+}

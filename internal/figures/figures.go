@@ -34,10 +34,13 @@ type System string
 
 // The five systems of §5.1, plus the sharded engine (ShardCount
 // independent FloDB instances behind one kv.Store — the scaling axis
-// past a single memory component).
+// past a single memory component) and the networked engine (a FloDB
+// instance behind an in-process flodbd server, every operation paying a
+// loopback round trip through internal/wire).
 const (
 	SysFloDB System = "FloDB"
 	SysShard System = "FloDB/4shards"
+	SysNet   System = "FloDB/net"
 	SysRocks System = "RocksDB"
 	SysCLSM  System = "RocksDB/cLSM"
 	SysHyper System = "HyperLevelDB"
@@ -50,8 +53,9 @@ const (
 const ShardCount = 4
 
 // AllSystems lists the systems in legend order: the paper's five plus
-// the sharded sixth, so every conformance suite and figure sweeps it too.
-var AllSystems = []System{SysFloDB, SysShard, SysRocks, SysCLSM, SysHyper, SysLevel}
+// the sharded sixth and the networked seventh, so every conformance
+// suite and figure sweeps them too.
+var AllSystems = []System{SysFloDB, SysShard, SysNet, SysRocks, SysCLSM, SysHyper, SysLevel}
 
 // Config scales an experiment run.
 type Config struct {
@@ -168,6 +172,8 @@ func openSystemMode(sys System, dir string, memBytes int64, lim *diskenv.Limiter
 		return core.Open(cfg)
 	case SysShard:
 		return openShard(dir, ShardCount, memBytes, lim, walOn)
+	case SysNet:
+		return openNet(dir, memBytes, lim, walOn)
 	}
 	cfg := baseline.Config{
 		Dir: dir, MemBytes: memBytes, DisableWAL: !walOn,

@@ -204,6 +204,19 @@ type Stats struct {
 	SensorGetRate     float64
 	SensorScanRate    float64
 	SensorStallPct    float64
+
+	// Service-tier observability (flodbd; zero on in-process stores).
+	// Populated by the remote client from the server's side of the
+	// connection: open/lifetime connection counts, requests currently
+	// executing, lifetime request and byte totals, and requests that
+	// exceeded the server's slow-request threshold.
+	ServerConnsOpen    uint64
+	ServerConnsTotal   uint64
+	ServerInFlight     uint64
+	ServerRequests     uint64
+	ServerBytesIn      uint64
+	ServerBytesOut     uint64
+	ServerSlowRequests uint64
 }
 
 // StatsProvider is implemented by stores that report Stats.

@@ -1,0 +1,852 @@
+// Package server is flodbd's service tier: it exposes one shared kv.Store
+// over the internal/wire protocol to many network clients.
+//
+// Concurrency model: one reader goroutine per connection decodes frames
+// and dispatches EACH request into its own handler goroutine, so
+// independent requests pipelined on a single connection execute
+// concurrently against the store — the group-commit WAL and the
+// Membuffer's parallel write path only pay off when many requests are in
+// flight at once. Two backpressure valves bound the fan-out: a
+// per-connection in-flight semaphore (the reader stops draining the
+// socket when a client pipelines past it, pushing back through TCP) and a
+// max-connections cap at accept time.
+//
+// Server-side state: snapshots and iterators live in a per-connection
+// lease table keyed by the handle the open call returned. A janitor
+// expires leases idle past Config.LeaseIdle — a client that vanished
+// without closing its handles must not pin sstables (or a FloDB
+// materialized snapshot) forever. Expired or closed handles answer
+// StatusSnapshotReleased, which the client maps back onto
+// kv.ErrSnapshotReleased.
+//
+// Shutdown is a drain, not a guillotine: stop accepting, stop READING
+// new requests, let every in-flight request finish and flush its
+// response, then close the connections. The store itself is closed by
+// the caller (cmd/flodbd) after the drain, so acked Buffered writes get
+// the close-time WAL sync the durability contract promises.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/wire"
+)
+
+// Config tunes a Server. The zero value of every field gets a sane
+// default from New.
+type Config struct {
+	// Store is the engine every connection shares. Required.
+	Store kv.Store
+	// MaxConns caps concurrent connections; further accepts are closed
+	// immediately (and counted in Info().ConnsRejected). Default 1024.
+	MaxConns int
+	// MaxInFlight caps concurrently executing requests per connection;
+	// past it the connection's reader blocks, pushing back through TCP.
+	// Default 128.
+	MaxInFlight int
+	// LeaseIdle is how long an untouched snapshot/iterator lease survives
+	// before the janitor releases it. Default 5m.
+	LeaseIdle time.Duration
+	// SlowRequest is the duration past which a request counts as slow in
+	// Info(). Default 1s.
+	SlowRequest time.Duration
+	// MaxChunkPairs clamps the client-requested pairs per iterator chunk.
+	// Default 4096.
+	MaxChunkPairs int
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server serves one kv.Store over the wire protocol.
+type Server struct {
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	draining  bool
+	closed    bool
+
+	reqWG sync.WaitGroup // every in-flight request handler
+
+	// Observability (Info / OpStats).
+	connsOpen     atomic.Int64
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+	inFlight      atomic.Int64
+	bytesIn       atomic.Uint64
+	bytesOut      atomic.Uint64
+	slowRequests  atomic.Uint64
+	leasesExpired atomic.Uint64
+	requestsByOp  [wire.OpMax]atomic.Uint64
+
+	janitorStop chan struct{}
+	janitorOnce sync.Once
+}
+
+// New builds a Server over cfg.Store.
+func New(cfg Config) *Server {
+	if cfg.Store == nil {
+		panic("server: Config.Store is required")
+	}
+	if cfg.MaxConns <= 0 {
+		cfg.MaxConns = 1024
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 128
+	}
+	if cfg.LeaseIdle <= 0 {
+		cfg.LeaseIdle = 5 * time.Minute
+	}
+	if cfg.SlowRequest <= 0 {
+		cfg.SlowRequest = time.Second
+	}
+	if cfg.MaxChunkPairs <= 0 {
+		cfg.MaxChunkPairs = 4096
+	}
+	return &Server{
+		cfg:         cfg,
+		listeners:   map[net.Listener]struct{}{},
+		conns:       map[*serverConn]struct{}{},
+		janitorStop: make(chan struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until Shutdown or Close. It returns nil
+// on a clean shutdown, or the accept error that stopped it.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.draining || s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	s.janitorOnce.Do(func() { go s.janitor() })
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			return err
+		}
+		if int(s.connsOpen.Load()) >= s.cfg.MaxConns {
+			s.connsRejected.Add(1)
+			nc.Close()
+			continue
+		}
+		c := s.newConn(nc)
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connsOpen.Add(1)
+		s.connsTotal.Add(1)
+		go c.run()
+	}
+}
+
+// Shutdown drains the server: listeners close, connections stop reading
+// new requests, in-flight requests finish and flush their responses, and
+// only then do connections close. If ctx expires first the remaining work
+// is cut off (in-flight contexts canceled, connections closed) and ctx's
+// error returned. The store is NOT closed — that is the caller's job,
+// after the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.stopReading()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.forceClose()
+	if err == nil {
+		// Connections are closed; drained handlers have flushed.
+		<-done
+	}
+	return err
+}
+
+// Close force-stops the server without draining: listeners and
+// connections close immediately and in-flight requests are canceled.
+// Used by tests modeling a server crash; production paths use Shutdown.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+	s.forceClose()
+}
+
+func (s *Server) forceClose() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.janitorStop)
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+func (s *Server) removeConn(c *serverConn) {
+	s.mu.Lock()
+	_, present := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if present {
+		s.connsOpen.Add(-1)
+	}
+}
+
+// janitor expires idle snapshot/iterator leases.
+func (s *Server) janitor() {
+	tick := time.NewTicker(s.cfg.LeaseIdle / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.LeaseIdle)
+		s.mu.Lock()
+		conns := make([]*serverConn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.mu.Unlock()
+		for _, c := range conns {
+			s.leasesExpired.Add(uint64(c.expireLeases(cutoff)))
+		}
+	}
+}
+
+// Info snapshots the server-side observability counters.
+func (s *Server) Info() wire.ServerInfo {
+	info := wire.ServerInfo{
+		ConnsOpen:     uint64(maxInt64(s.connsOpen.Load(), 0)),
+		ConnsTotal:    s.connsTotal.Load(),
+		ConnsRejected: s.connsRejected.Load(),
+		InFlight:      uint64(maxInt64(s.inFlight.Load(), 0)),
+		BytesIn:       s.bytesIn.Load(),
+		BytesOut:      s.bytesOut.Load(),
+		SlowRequests:  s.slowRequests.Load(),
+		LeasesExpired: s.leasesExpired.Load(),
+		RequestsByOp:  map[string]uint64{},
+	}
+	for op := wire.Op(1); op < wire.OpMax; op++ {
+		if n := s.requestsByOp[op].Load(); n > 0 {
+			info.RequestsByOp[op.String()] = n
+			info.Requests += n
+		}
+	}
+	return info
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- Connection --------------------------------------------------------------
+
+type lease struct {
+	mu       sync.Mutex // serializes iterator positioning vs close/expiry
+	snap     kv.View    // snapshot lease (nil for iterators)
+	iter     kv.Iterator
+	lastUsed time.Time // guarded by serverConn.mu
+	busy     bool      // guarded by serverConn.mu: in use by a handler, janitor must skip
+}
+
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes response frames
+
+	sem chan struct{} // in-flight tokens
+
+	mu         sync.Mutex
+	leases     map[uint64]*lease
+	inflight   map[uint64]context.CancelFunc
+	nextHandle uint64
+	closed     bool
+
+	connWG sync.WaitGroup // this connection's in-flight handlers
+
+	// baseCtx outlives individual requests (iterators opened through one
+	// request are positioned by later ones); canceled when the conn dies.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+func (s *Server) newConn(nc net.Conn) *serverConn {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &serverConn{
+		srv:      s,
+		nc:       nc,
+		sem:      make(chan struct{}, s.cfg.MaxInFlight),
+		leases:   map[uint64]*lease{},
+		inflight: map[uint64]context.CancelFunc{},
+		baseCtx:  ctx,
+		cancel:   cancel,
+	}
+}
+
+// stopReading makes the reader loop return without killing in-flight
+// requests: the drain half of Shutdown.
+func (c *serverConn) stopReading() {
+	c.nc.SetReadDeadline(time.Now())
+}
+
+// close tears the connection down: cancels in-flight requests, releases
+// leases, closes the socket.
+func (c *serverConn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	cancels := make([]context.CancelFunc, 0, len(c.inflight))
+	for _, cf := range c.inflight {
+		cancels = append(cancels, cf)
+	}
+	leases := make([]*lease, 0, len(c.leases))
+	for _, l := range c.leases {
+		leases = append(leases, l)
+	}
+	c.leases = map[uint64]*lease{}
+	c.mu.Unlock()
+
+	c.cancel()
+	for _, cf := range cancels {
+		cf()
+	}
+	c.nc.Close()
+	// Handlers may still be running; leases close under their own mutex
+	// so an in-flight positioning call finishes before the iterator dies.
+	for _, l := range leases {
+		releaseLease(l)
+	}
+	c.srv.removeConn(c)
+}
+
+func releaseLease(l *lease) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.iter != nil {
+		l.iter.Close()
+		l.iter = nil
+	}
+	if l.snap != nil {
+		l.snap.Close()
+		l.snap = nil
+	}
+}
+
+// expireLeases releases leases untouched since cutoff, returning how many.
+func (c *serverConn) expireLeases(cutoff time.Time) int {
+	c.mu.Lock()
+	var victims []*lease
+	for h, l := range c.leases {
+		if !l.busy && l.lastUsed.Before(cutoff) {
+			victims = append(victims, l)
+			delete(c.leases, h)
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range victims {
+		releaseLease(l)
+	}
+	return len(victims)
+}
+
+// run is the reader loop: frame -> request -> handler goroutine.
+func (c *serverConn) run() {
+	defer func() {
+		// Drain path: the read deadline popped while requests were still
+		// executing. Let them finish and flush before the socket closes.
+		c.connWG.Wait()
+		c.close()
+	}()
+	br := bufio.NewReader(c.nc)
+	var buf []byte
+	for {
+		body, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			if err != io.EOF && !isClosedErr(err) {
+				c.srv.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = body[:cap(body)] // reuse: handlers get a copy of the payload
+		c.srv.bytesIn.Add(uint64(len(body)) + uint64(uvarintLen(uint64(len(body)))))
+		req, err := wire.ParseRequest(body)
+		if err != nil {
+			// A malformed frame poisons the stream (framing may be lost):
+			// answer if the id parsed, then drop the connection.
+			c.srv.logf("server: %s: %v", c.nc.RemoteAddr(), err)
+			c.writeResponse(&wire.Response{ID: req.ID, Status: wire.StatusBadRequest, Payload: []byte(err.Error())})
+			return
+		}
+		c.srv.requestsByOp[req.Op].Add(1)
+		if req.Op == wire.OpCancel {
+			// Handled inline: a cancel must not queue behind the very
+			// requests it is trying to cancel.
+			c.handleCancel(req.Payload)
+			continue
+		}
+		// The payload aliases the read buffer, which the next ReadFrame
+		// reuses once the handler runs concurrently — copy it out.
+		req.Payload = append([]byte(nil), req.Payload...)
+		c.sem <- struct{}{} // backpressure: cap in-flight per connection
+		c.srv.reqWG.Add(1)
+		c.connWG.Add(1)
+		c.srv.inFlight.Add(1)
+		go c.handle(req)
+	}
+}
+
+func isClosedErr(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+func (c *serverConn) handleCancel(payload []byte) {
+	id, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	cf := c.inflight[id]
+	c.mu.Unlock()
+	if cf != nil {
+		cf()
+	}
+}
+
+// handle executes one request and writes its response.
+func (c *serverConn) handle(req wire.Request) {
+	start := time.Now()
+	defer func() {
+		if d := time.Since(start); d >= c.srv.cfg.SlowRequest {
+			c.srv.slowRequests.Add(1)
+		}
+		c.srv.inFlight.Add(-1)
+		c.connWG.Done()
+		c.srv.reqWG.Done()
+		<-c.sem
+	}()
+
+	ctx := c.baseCtx
+	var cancel context.CancelFunc
+	if req.TimeoutNanos > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cancel()
+		return
+	}
+	c.inflight[req.ID] = cancel
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, req.ID)
+		c.mu.Unlock()
+		cancel()
+	}()
+
+	payload, err := c.dispatch(ctx, &req)
+	resp := wire.Response{ID: req.ID}
+	if err != nil {
+		var msg string
+		resp.Status, msg = wire.StatusOf(err)
+		resp.Payload = []byte(msg)
+	} else {
+		resp.Payload = payload
+	}
+	c.writeResponse(&resp)
+}
+
+func (c *serverConn) writeResponse(r *wire.Response) {
+	frame := wire.AppendResponse(nil, r)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.nc.Write(frame); err != nil {
+		return
+	}
+	c.srv.bytesOut.Add(uint64(len(frame)))
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// view resolves a request's handle to its read view: 0 is the live
+// store, anything else a snapshot lease. Touching the lease refreshes
+// its idle clock and marks it busy until release(.)
+func (c *serverConn) view(handle uint64) (kv.View, func(), error) {
+	if handle == 0 {
+		return c.srv.cfg.Store, func() {}, nil
+	}
+	l, release, err := c.touchLease(handle)
+	if err != nil {
+		return nil, nil, err
+	}
+	if l.snap == nil {
+		release()
+		return nil, nil, badRequestf("handle %d is not a snapshot", handle)
+	}
+	return l.snap, release, nil
+}
+
+// touchLease looks a lease up, refreshes lastUsed, and pins it against
+// the janitor until the returned release runs.
+func (c *serverConn) touchLease(handle uint64) (*lease, func(), error) {
+	c.mu.Lock()
+	l, ok := c.leases[handle]
+	if !ok {
+		c.mu.Unlock()
+		// The handle was closed or expired: the kv contract's
+		// use-after-release error.
+		return nil, nil, kv.ErrSnapshotReleased
+	}
+	l.lastUsed = time.Now()
+	l.busy = true
+	c.mu.Unlock()
+	release := func() {
+		c.mu.Lock()
+		l.busy = false
+		l.lastUsed = time.Now()
+		c.mu.Unlock()
+	}
+	return l, release, nil
+}
+
+func (c *serverConn) addLease(l *lease) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextHandle++
+	h := c.nextHandle
+	l.lastUsed = time.Now()
+	c.leases[h] = l
+	return h
+}
+
+func (c *serverConn) dropLease(handle uint64) *lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.leases[handle]
+	delete(c.leases, handle)
+	return l
+}
+
+func (c *serverConn) dispatch(ctx context.Context, req *wire.Request) ([]byte, error) {
+	store := c.srv.cfg.Store
+	var wopts []kv.WriteOption
+	if req.Durability != kv.DurabilityDefault {
+		wopts = []kv.WriteOption{kv.WithDurability(req.Durability)}
+	}
+	switch req.Op {
+	case wire.OpPing:
+		return nil, nil
+
+	case wire.OpGet:
+		view, release, err := c.view(req.Handle)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		v, found, err := view.Get(ctx, req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return []byte{0}, nil
+		}
+		out := make([]byte, 0, 1+len(v))
+		out = append(out, 1)
+		return append(out, v...), nil
+
+	case wire.OpPut:
+		if req.Handle != 0 {
+			return nil, badRequestf("write through a snapshot handle")
+		}
+		key, rest, err := wire.ReadBytes(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, store.Put(ctx, key, rest, wopts...)
+
+	case wire.OpDelete:
+		if req.Handle != 0 {
+			return nil, badRequestf("write through a snapshot handle")
+		}
+		return nil, store.Delete(ctx, req.Payload, wopts...)
+
+	case wire.OpApply:
+		if req.Handle != 0 {
+			return nil, badRequestf("write through a snapshot handle")
+		}
+		b := kv.NewBatch()
+		err := kv.ForEachOp(req.Payload, func(kind keys.Kind, key, value []byte) error {
+			if kind == keys.KindDelete {
+				b.Delete(key)
+			} else {
+				b.Put(key, value)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, badRequestf("batch: %v", err)
+		}
+		return nil, store.Apply(ctx, b, wopts...)
+
+	case wire.OpScan:
+		view, release, err := c.view(req.Handle)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		low, rest, err := wire.ReadBound(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		high, _, err := wire.ReadBound(rest)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := view.Scan(ctx, low, high)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendPairs(nil, pairs), nil
+
+	case wire.OpIterOpen:
+		return c.handleIterOpen(req)
+
+	case wire.OpIterNext:
+		return c.handleIterNext(ctx, req)
+
+	case wire.OpIterClose:
+		if l := c.dropLease(req.Handle); l != nil {
+			releaseLease(l)
+		}
+		return nil, nil // idempotent, like kv.Iterator.Close
+
+	case wire.OpSnapOpen:
+		if req.Handle != 0 {
+			return nil, badRequestf("snapshot of a snapshot")
+		}
+		snap, err := store.Snapshot(ctx)
+		if err != nil {
+			return nil, err
+		}
+		h := c.addLease(&lease{snap: snap})
+		return binary.AppendUvarint(nil, h), nil
+
+	case wire.OpSnapClose:
+		if l := c.dropLease(req.Handle); l != nil {
+			releaseLease(l)
+		}
+		return nil, nil // idempotent, like kv.View.Close
+
+	case wire.OpSync:
+		return nil, store.Sync(ctx)
+
+	case wire.OpStats:
+		payload := wire.StatsPayload{Server: c.srv.Info()}
+		if sp, ok := store.(kv.StatsProvider); ok {
+			payload.Store = sp.Stats()
+		}
+		return json.Marshal(payload)
+
+	case wire.OpCheckpoint:
+		if req.Handle != 0 {
+			return nil, badRequestf("checkpoint through a snapshot handle")
+		}
+		if len(req.Payload) == 0 {
+			return nil, badRequestf("checkpoint: empty directory")
+		}
+		return nil, store.Checkpoint(ctx, string(req.Payload))
+
+	default:
+		return nil, badRequestf("opcode %s", req.Op)
+	}
+}
+
+// handleIterOpen opens a streaming cursor over the live view or a
+// snapshot lease. The iterator captures the CONNECTION's context, not the
+// request's: it outlives this request and is positioned by later
+// OpIterNext calls, dying with the connection (or its lease expiry).
+func (c *serverConn) handleIterOpen(req *wire.Request) ([]byte, error) {
+	low, rest, err := wire.ReadBound(req.Payload)
+	if err != nil {
+		return nil, err
+	}
+	high, _, err := wire.ReadBound(rest)
+	if err != nil {
+		return nil, err
+	}
+	view, release, err := c.view(req.Handle)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	it, err := view.NewIterator(c.baseCtx, low, high)
+	if err != nil {
+		return nil, err
+	}
+	h := c.addLease(&lease{iter: it})
+	return binary.AppendUvarint(nil, h), nil
+}
+
+// handleIterNext streams one chunk: up to maxPairs pairs from the leased
+// iterator, positioned by cmd. Response layout:
+//
+//	done(1) | count(uvarint) | count × (key | value)
+//
+// done=1 means the iterator is exhausted (no further chunks will yield
+// pairs). The client drives chunk size — flow control belongs to the
+// consumer — and the server clamps it to MaxChunkPairs.
+func (c *serverConn) handleIterNext(ctx context.Context, req *wire.Request) ([]byte, error) {
+	maxPairs, n := binary.Uvarint(req.Payload)
+	if n <= 0 || len(req.Payload) < n+1 {
+		return nil, badRequestf("iter-next header")
+	}
+	cmd := req.Payload[n]
+	seekKey := req.Payload[n+1:]
+	if maxPairs == 0 || maxPairs > uint64(c.srv.cfg.MaxChunkPairs) {
+		maxPairs = uint64(c.srv.cfg.MaxChunkPairs)
+	}
+	l, release, err := c.touchLease(req.Handle)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	it := l.iter
+	if it == nil {
+		return nil, badRequestf("handle %d is not an iterator", req.Handle)
+	}
+
+	var pairs []kv.Pair
+	var ok bool
+	switch cmd {
+	case wire.IterCmdFirst:
+		ok = it.First()
+	case wire.IterCmdSeek:
+		ok = it.Seek(seekKey)
+	case wire.IterCmdNext:
+		ok = it.Next()
+	default:
+		return nil, badRequestf("iter command %d", cmd)
+	}
+	for ok {
+		// Key/Value are valid only until the next positioning call: copy
+		// into the chunk.
+		pairs = append(pairs, kv.Pair{
+			Key:   append([]byte(nil), it.Key()...),
+			Value: append([]byte(nil), it.Value()...),
+		})
+		if uint64(len(pairs)) >= maxPairs {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		ok = it.Next()
+	}
+	done := byte(0)
+	if !ok {
+		if err := it.Err(); err != nil {
+			return nil, err
+		}
+		done = 1
+	}
+	out := append(make([]byte, 0, 64), done)
+	return wire.AppendPairs(out, pairs), nil
+}
+
+func uvarintLen(v uint64) int {
+	var b [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(b[:], v)
+}

@@ -1,0 +1,441 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"flodb/internal/client"
+	"flodb/internal/core"
+	"flodb/internal/kv"
+	"flodb/internal/server"
+)
+
+// startServer opens a small FloDB store and serves it on a loopback
+// listener. Returns the address and the store (for reopen assertions).
+func startServer(t *testing.T, cfg server.Config) (addr string, store *core.DB, srv *server.Server, dir string) {
+	t.Helper()
+	dir = t.TempDir()
+	store, err := core.Open(core.Config{Dir: dir, MemoryBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = store
+	srv = server.New(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Close()
+		store.Close()
+	})
+	return l.Addr().String(), store, srv, dir
+}
+
+func dial(t *testing.T, addr string, opts ...client.Option) *client.Client {
+	t.Helper()
+	cl, err := client.Dial(addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestRoundTrip(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	cl := dial(t, addr)
+	ctx := context.Background()
+
+	if err := cl.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(ctx, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := cl.Get(ctx, []byte("k1"))
+	if err != nil || !found || string(v) != "v1" {
+		t.Fatalf("get: %q %v %v", v, found, err)
+	}
+	if _, found, err = cl.Get(ctx, []byte("absent")); err != nil || found {
+		t.Fatalf("absent get: %v %v", found, err)
+	}
+	if err := cl.Delete(ctx, []byte("k1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ = cl.Get(ctx, []byte("k1")); found {
+		t.Fatal("deleted key still present")
+	}
+
+	b := kv.NewBatch()
+	b.Put([]byte("a"), []byte("1"))
+	b.Put([]byte("b"), []byte("2"))
+	b.Delete([]byte("a"))
+	if err := cl.Apply(ctx, b); err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := cl.Scan(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || string(pairs[0].Key) != "b" || string(pairs[0].Value) != "2" {
+		t.Fatalf("scan after batch: %v", pairs)
+	}
+	if err := cl.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := cl.Stats()
+	if st.Puts == 0 || st.ServerRequests == 0 || st.ServerConnsOpen == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+}
+
+func TestIteratorStreamsInChunks(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	// A 7-pair chunk over 100 keys forces many refill round trips.
+	cl := dial(t, addr, client.WithChunkPairs(7))
+	ctx := context.Background()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := cl.Put(ctx, []byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := cl.NewIterator(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	var got int
+	var prev []byte
+	for ok := it.First(); ok; ok = it.Next() {
+		if prev != nil && bytes.Compare(it.Key(), prev) <= 0 {
+			t.Fatalf("out of order: %q after %q", it.Key(), prev)
+		}
+		prev = append(prev[:0], it.Key()...)
+		got++
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("iterated %d keys, want %d", got, n)
+	}
+	// Seek repositions the server-side cursor.
+	if !it.Seek([]byte("k050")) || string(it.Key()) != "k050" {
+		t.Fatalf("seek: %q, err %v", it.Key(), it.Err())
+	}
+	if !it.Next() || string(it.Key()) != "k051" {
+		t.Fatalf("next after seek: %q", it.Key())
+	}
+}
+
+func TestIteratorCancelMidStream(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	cl := dial(t, addr, client.WithChunkPairs(4))
+	ctx := context.Background()
+	for i := 0; i < 64; i++ {
+		if err := cl.Put(ctx, []byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	itCtx, cancel := context.WithCancel(ctx)
+	it, err := cl.NewIterator(itCtx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if !it.First() {
+		t.Fatalf("first: %v", it.Err())
+	}
+	for i := 0; i < 10; i++ {
+		if !it.Next() {
+			t.Fatalf("next %d: %v", i, it.Err())
+		}
+	}
+	cancel()
+	// The buffered tail may still serve a few Next calls; a refill must
+	// fail with the context error.
+	for i := 0; i < 16 && it.Next(); i++ {
+	}
+	if !errors.Is(it.Err(), context.Canceled) {
+		t.Fatalf("after cancel: %v, want context.Canceled", it.Err())
+	}
+}
+
+func TestSnapshotIsolationOverWire(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	cl := dial(t, addr)
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(ctx, []byte("k"), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := snap.Get(ctx, []byte("k"))
+	if err != nil || !found || string(v) != "old" {
+		t.Fatalf("snapshot get: %q %v %v", v, found, err)
+	}
+	if v, _, _ := cl.Get(ctx, []byte("k")); string(v) != "new" {
+		t.Fatalf("live get: %q", v)
+	}
+	if err := snap.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := snap.Get(ctx, []byte("k")); !errors.Is(err, kv.ErrSnapshotReleased) {
+		t.Fatalf("use after close: %v, want ErrSnapshotReleased", err)
+	}
+}
+
+func TestLeaseExpiry(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{LeaseIdle: 50 * time.Millisecond})
+	cl := dial(t, addr)
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cl.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	// Idle long past LeaseIdle: the janitor must collect the lease.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, err = snap.Get(ctx, []byte("k"))
+		if errors.Is(err, kv.ErrSnapshotReleased) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never expired")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func TestPipelinedRequestsShareOneConnection(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	cl := dial(t, addr, client.WithConns(1))
+	ctx := context.Background()
+	const workers, perWorker = 16, 50
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := []byte(fmt.Sprintf("w%02d-%03d", w, i))
+				if err := cl.Put(ctx, key, key); err != nil {
+					errCh <- err
+					return
+				}
+				v, found, err := cl.Get(ctx, key)
+				if err != nil || !found || !bytes.Equal(v, key) {
+					errCh <- fmt.Errorf("get %q: %q %v %v", key, v, found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	pairs, err := cl.Scan(ctx, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != workers*perWorker {
+		t.Fatalf("scan found %d keys, want %d", len(pairs), workers*perWorker)
+	}
+}
+
+func TestClientCloseReturnsErrClosed(t *testing.T) {
+	addr, _, _, _ := startServer(t, server.Config{})
+	cl := dial(t, addr)
+	ctx := context.Background()
+	if err := cl.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := cl.Put(ctx, []byte("k"), []byte("v")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("put after close: %v, want ErrClosed", err)
+	}
+	if _, _, err := cl.Get(ctx, []byte("k")); !errors.Is(err, kv.ErrClosed) {
+		t.Fatalf("get after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestDrainFlushesInFlight asserts the Shutdown contract: requests
+// accepted before the drain complete and flush their responses, and
+// acked Buffered writes survive the drain + store close + reopen.
+func TestDrainFlushesInFlight(t *testing.T) {
+	dir := t.TempDir()
+	store, err := core.Open(core.Config{Dir: dir, MemoryBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Store: store})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	cl, err := client.Dial(l.Addr().String(), client.WithConns(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	const n = 200
+	acked := make([][]byte, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := []byte(fmt.Sprintf("d%04d", i))
+			// Buffered class: logged, acked without fsync. The ack is a
+			// promise that a CLEAN shutdown preserves the write.
+			if err := cl.Put(ctx, key, key, kv.WithDurability(kv.DurabilityBuffered)); err == nil {
+				mu.Lock()
+				acked = append(acked, key)
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	sctx, scancel := context.WithTimeout(ctx, 10*time.Second)
+	defer scancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := core.Open(core.Config{Dir: dir, MemoryBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	for _, key := range acked {
+		if _, found, err := re.Get(ctx, key); err != nil || !found {
+			t.Fatalf("acked write %q lost across drain: found=%v err=%v", key, found, err)
+		}
+	}
+	if len(acked) != n {
+		t.Fatalf("only %d/%d puts acked before drain", len(acked), n)
+	}
+}
+
+// TestServerStress is the nightly -race exercise: concurrent clients,
+// pipelined batches, snapshots, iterators with mid-stream cancels, all
+// against one server, ending in a drain.
+func TestServerStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped with -short")
+	}
+	addr, _, srv, _ := startServer(t, server.Config{MaxInFlight: 32})
+	ctx := context.Background()
+
+	const clients = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*4)
+	for cnum := 0; cnum < clients; cnum++ {
+		cl := dial(t, addr, client.WithConns(2), client.WithChunkPairs(16))
+		// Pipelined batch writers.
+		wg.Add(1)
+		go func(cnum int, cl *client.Client) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				b := kv.NewBatch()
+				for j := 0; j < 8; j++ {
+					b.Put([]byte(fmt.Sprintf("c%d-b%03d-%d", cnum, i, j)), []byte("v"))
+				}
+				if err := cl.Apply(ctx, b); err != nil {
+					errCh <- fmt.Errorf("apply: %w", err)
+					return
+				}
+			}
+		}(cnum, cl)
+		// Scanning readers with mid-stream cancels.
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ictx, cancel := context.WithCancel(ctx)
+				it, err := cl.NewIterator(ictx, nil, nil)
+				if err != nil {
+					cancel()
+					errCh <- fmt.Errorf("iter open: %w", err)
+					return
+				}
+				for ok, n := it.First(), 0; ok && n < 30; ok, n = it.Next(), n+1 {
+					if n == 15 && i%2 == 0 {
+						cancel() // mid-stream cancel half the time
+					}
+				}
+				if err := it.Err(); err != nil && !errors.Is(err, context.Canceled) {
+					cancel()
+					errCh <- fmt.Errorf("iter: %w", err)
+					return
+				}
+				it.Close()
+				cancel()
+			}
+		}(cl)
+		// Snapshot open/read/close churn.
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				snap, err := cl.Snapshot(ctx)
+				if err != nil {
+					errCh <- fmt.Errorf("snapshot: %w", err)
+					return
+				}
+				if _, err := snap.Scan(ctx, nil, []byte("c1")); err != nil {
+					errCh <- fmt.Errorf("snap scan: %w", err)
+					snap.Close()
+					return
+				}
+				snap.Close()
+			}
+		}(cl)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("drain after stress: %v", err)
+	}
+}

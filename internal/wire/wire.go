@@ -1,0 +1,420 @@
+// Package wire defines flodbd's hand-rolled binary protocol: the frame
+// format, request/response layout, opcodes, and the status codes that
+// carry the kv error taxonomy across a connection. It is deliberately
+// dependency-free (stdlib only) and symmetric — internal/server decodes
+// what internal/client encodes and vice versa — so the two ends can never
+// drift apart without a test in this package failing.
+//
+// Framing: every message is one frame,
+//
+//	uvarint(len(body)) | body
+//
+// with body capped at MaxFrame. Inside a frame:
+//
+//	request:  uvarint(id) | op(1) | durability(1) | uvarint(timeoutNanos) | uvarint(handle) | payload
+//	response: uvarint(id) | status(1) | payload
+//
+// The id matches responses to pipelined requests: a client may have many
+// requests in flight on one connection, and the server answers each as it
+// completes, in any order. durability carries the per-operation
+// kv.Durability class (0 = the store default). timeoutNanos is the
+// REMAINING time of the client's context deadline at send time — relative,
+// not absolute, so the two ends need no clock agreement — and 0 means no
+// deadline. handle addresses server-side state: 0 is the live view, other
+// values name a snapshot or iterator lease returned by an earlier
+// OpSnapOpen/OpIterOpen on the same connection.
+//
+// Payload layouts are op-specific; the Append*/Read* helpers in this file
+// are the shared vocabulary. Scan bounds use a presence byte so a nil
+// (open) bound survives the trip distinct from an empty key.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"flodb/internal/kv"
+)
+
+// MaxFrame bounds one frame's body: oversized frames are a protocol
+// error, not an allocation. Large ranges must stream through iterator
+// chunks instead of one materializing Scan response.
+const MaxFrame = 64 << 20
+
+// Op identifies a request's operation.
+type Op uint8
+
+// The opcodes. OpCancel is special: it acknowledges nothing — it asks the
+// server to cancel the in-flight request whose id is in the payload, and
+// the canceled request itself answers (with StatusCanceled if the cancel
+// won the race).
+const (
+	OpPing Op = 1 + iota
+	OpGet
+	OpPut
+	OpDelete
+	OpApply
+	OpScan
+	OpIterOpen
+	OpIterNext
+	OpIterClose
+	OpSnapOpen
+	OpSnapClose
+	OpSync
+	OpStats
+	OpCheckpoint
+	OpCancel
+
+	// OpMax bounds the opcode space (for per-opcode counters).
+	OpMax
+)
+
+// String names the opcode (stats keys, log lines).
+func (op Op) String() string {
+	switch op {
+	case OpPing:
+		return "ping"
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpApply:
+		return "apply"
+	case OpScan:
+		return "scan"
+	case OpIterOpen:
+		return "iter-open"
+	case OpIterNext:
+		return "iter-next"
+	case OpIterClose:
+		return "iter-close"
+	case OpSnapOpen:
+		return "snap-open"
+	case OpSnapClose:
+		return "snap-close"
+	case OpSync:
+		return "sync"
+	case OpStats:
+		return "stats"
+	case OpCheckpoint:
+		return "checkpoint"
+	case OpCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Status classifies a response: OK, or which error crossed the wire.
+type Status uint8
+
+const (
+	StatusOK Status = iota
+	// StatusErr is a generic failure; the payload is the error message.
+	StatusErr
+	// StatusBadRequest reports a malformed or out-of-contract request.
+	StatusBadRequest
+	// StatusClosed maps kv.ErrClosed.
+	StatusClosed
+	// StatusSnapshotReleased maps kv.ErrSnapshotReleased (including a
+	// lease expired by the server's idle janitor).
+	StatusSnapshotReleased
+	// StatusNotSupported maps kv.ErrNotSupported.
+	StatusNotSupported
+	// StatusCanceled maps context.Canceled.
+	StatusCanceled
+	// StatusDeadline maps context.DeadlineExceeded (the wire deadline the
+	// client's context mapped onto, or the server's own enforcement).
+	StatusDeadline
+)
+
+// ErrBadFrame reports a structurally invalid frame or payload.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// Request is one decoded request frame.
+type Request struct {
+	ID           uint64
+	Op           Op
+	Durability   kv.Durability
+	TimeoutNanos uint64
+	Handle       uint64
+	Payload      []byte
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	ID      uint64
+	Status  Status
+	Payload []byte
+}
+
+// AppendRequest appends r as one complete frame (length prefix included).
+func AppendRequest(dst []byte, r *Request) []byte {
+	var body [2*binary.MaxVarintLen64 + 2 + binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(body[:], r.ID)
+	body[n] = byte(r.Op)
+	n++
+	body[n] = byte(r.Durability)
+	n++
+	n += binary.PutUvarint(body[n:], r.TimeoutNanos)
+	n += binary.PutUvarint(body[n:], r.Handle)
+	dst = binary.AppendUvarint(dst, uint64(n+len(r.Payload)))
+	dst = append(dst, body[:n]...)
+	return append(dst, r.Payload...)
+}
+
+// ParseRequest decodes a frame body produced by AppendRequest. The
+// returned Payload aliases body.
+func ParseRequest(body []byte) (Request, error) {
+	var r Request
+	id, n := binary.Uvarint(body)
+	if n <= 0 || len(body) < n+2 {
+		return r, fmt.Errorf("%w: request header", ErrBadFrame)
+	}
+	r.ID = id
+	r.Op = Op(body[n])
+	r.Durability = kv.Durability(body[n+1])
+	rest := body[n+2:]
+	if r.Op == 0 || r.Op >= OpMax {
+		return r, fmt.Errorf("%w: opcode %d", ErrBadFrame, body[n])
+	}
+	if !r.Durability.Valid() {
+		return r, fmt.Errorf("%w: durability %d", ErrBadFrame, body[n+1])
+	}
+	to, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, fmt.Errorf("%w: timeout", ErrBadFrame)
+	}
+	rest = rest[n:]
+	h, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, fmt.Errorf("%w: handle", ErrBadFrame)
+	}
+	r.TimeoutNanos = to
+	r.Handle = h
+	r.Payload = rest[n:]
+	return r, nil
+}
+
+// AppendResponse appends r as one complete frame (length prefix included).
+func AppendResponse(dst []byte, r *Response) []byte {
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[:], r.ID)
+	hdr[n] = byte(r.Status)
+	n++
+	dst = binary.AppendUvarint(dst, uint64(n+len(r.Payload)))
+	dst = append(dst, hdr[:n]...)
+	return append(dst, r.Payload...)
+}
+
+// ParseResponse decodes a frame body produced by AppendResponse. The
+// returned Payload aliases body.
+func ParseResponse(body []byte) (Response, error) {
+	var r Response
+	id, n := binary.Uvarint(body)
+	if n <= 0 || len(body) < n+1 {
+		return r, fmt.Errorf("%w: response header", ErrBadFrame)
+	}
+	r.ID = id
+	r.Status = Status(body[n])
+	r.Payload = body[n+1:]
+	return r, nil
+}
+
+// ReadFrame reads one frame body from br, reusing buf when it is large
+// enough. It returns io.EOF only on a clean boundary (no partial frame).
+func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read frame length: %w", err)
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrBadFrame, size, MaxFrame)
+	}
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("wire: read frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// --- Payload vocabulary ------------------------------------------------------
+
+// AppendBytes appends a uvarint-length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// ReadBytes consumes one AppendBytes field. The result aliases p.
+func ReadBytes(p []byte) (b, rest []byte, err error) {
+	l, n := binary.Uvarint(p)
+	if n <= 0 || uint64(len(p)-n) < l {
+		return nil, nil, fmt.Errorf("%w: byte field", ErrBadFrame)
+	}
+	p = p[n:]
+	return p[:l], p[l:], nil
+}
+
+// AppendBound appends a scan bound, preserving nil-ness: nil bounds are
+// open, and an empty non-nil bound is a real (empty) key.
+func AppendBound(dst, b []byte) []byte {
+	if b == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return AppendBytes(dst, b)
+}
+
+// ReadBound consumes one AppendBound field.
+func ReadBound(p []byte) (b, rest []byte, err error) {
+	if len(p) < 1 {
+		return nil, nil, fmt.Errorf("%w: bound presence", ErrBadFrame)
+	}
+	if p[0] == 0 {
+		return nil, p[1:], nil
+	}
+	return ReadBytes(p[1:])
+}
+
+// AppendPairs appends a count-prefixed run of key-value pairs.
+func AppendPairs(dst []byte, pairs []kv.Pair) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(pairs)))
+	for i := range pairs {
+		dst = AppendBytes(dst, pairs[i].Key)
+		dst = AppendBytes(dst, pairs[i].Value)
+	}
+	return dst
+}
+
+// ReadPairs decodes an AppendPairs run. The pairs are COPIES — safe to
+// retain after the frame buffer is reused.
+func ReadPairs(p []byte) ([]kv.Pair, []byte, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: pair count", ErrBadFrame)
+	}
+	p = p[n:]
+	pairs := make([]kv.Pair, 0, minUint64(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		k, rest, err := ReadBytes(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, rest, err := ReadBytes(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		p = rest
+		pairs = append(pairs, kv.Pair{
+			Key:   append([]byte(nil), k...),
+			Value: append([]byte(nil), v...),
+		})
+	}
+	return pairs, p, nil
+}
+
+func minUint64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Iterator positioning commands inside an OpIterNext payload:
+//
+//	uvarint(maxPairs) | cmd(1) | [seek key]
+const (
+	IterCmdNext  = 0 // advance from the current position
+	IterCmdFirst = 1 // (re)position at the range start
+	IterCmdSeek  = 2 // position at the first key >= the given key
+)
+
+// --- Error <-> status mapping ------------------------------------------------
+
+// StatusOf maps a handler error onto the wire: the status code plus the
+// message the payload carries. Order matters — the typed kv sentinels win
+// over the context classes so a wrapped error lands on its most specific
+// status.
+func StatusOf(err error) (Status, string) {
+	switch {
+	case err == nil:
+		return StatusOK, ""
+	case errors.Is(err, kv.ErrSnapshotReleased):
+		return StatusSnapshotReleased, err.Error()
+	case errors.Is(err, kv.ErrNotSupported):
+		return StatusNotSupported, err.Error()
+	case errors.Is(err, kv.ErrClosed):
+		return StatusClosed, err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline, err.Error()
+	case errors.Is(err, context.Canceled):
+		return StatusCanceled, err.Error()
+	default:
+		return StatusErr, err.Error()
+	}
+}
+
+// ErrOf reverses StatusOf on the client: the returned error wraps the
+// matching kv sentinel or context error so errors.Is holds across the
+// wire exactly as it would in-process.
+func ErrOf(status Status, msg string) error {
+	if msg == "" {
+		msg = "remote error"
+	}
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusClosed:
+		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrClosed)
+	case StatusSnapshotReleased:
+		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrSnapshotReleased)
+	case StatusNotSupported:
+		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrNotSupported)
+	case StatusCanceled:
+		return fmt.Errorf("flodbd: %s: %w", msg, context.Canceled)
+	case StatusDeadline:
+		return fmt.Errorf("flodbd: %s: %w", msg, context.DeadlineExceeded)
+	case StatusBadRequest:
+		return fmt.Errorf("flodbd: bad request: %s", msg)
+	default:
+		return fmt.Errorf("flodbd: %s", msg)
+	}
+}
+
+// --- Stats payload -----------------------------------------------------------
+
+// ServerInfo is the server-side observability snapshot an OpStats response
+// carries alongside the store's own kv.Stats. JSON-encoded on the wire:
+// stats is a cold diagnostic path whose schema grows with the server, so
+// self-describing encoding beats another hand-rolled layout here.
+type ServerInfo struct {
+	ConnsOpen     uint64            `json:"conns_open"`
+	ConnsTotal    uint64            `json:"conns_total"`
+	ConnsRejected uint64            `json:"conns_rejected"`
+	InFlight      uint64            `json:"in_flight"`
+	Requests      uint64            `json:"requests"`
+	RequestsByOp  map[string]uint64 `json:"requests_by_op,omitempty"`
+	BytesIn       uint64            `json:"bytes_in"`
+	BytesOut      uint64            `json:"bytes_out"`
+	SlowRequests  uint64            `json:"slow_requests"`
+	LeasesExpired uint64            `json:"leases_expired"`
+}
+
+// StatsPayload is the OpStats response body (JSON).
+type StatsPayload struct {
+	Store  kv.Stats   `json:"store"`
+	Server ServerInfo `json:"server"`
+}

@@ -1,0 +1,204 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"flodb/internal/kv"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{ID: 1, Op: OpPing},
+		{ID: 7, Op: OpPut, Durability: kv.DurabilitySync, TimeoutNanos: 123456789, Payload: []byte("klen-key-value")},
+		{ID: 1 << 40, Op: OpIterNext, Handle: 99, Payload: []byte{0}},
+		{ID: 0, Op: OpCancel, Payload: []byte{42}},
+	}
+	var frames []byte
+	for i := range reqs {
+		frames = AppendRequest(frames, &reqs[i])
+	}
+	br := bufio.NewReader(bytes.NewReader(frames))
+	var buf []byte
+	for i := range reqs {
+		body, err := ReadFrame(br, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := ParseRequest(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := reqs[i]
+		if got.ID != want.ID || got.Op != want.Op || got.Durability != want.Durability ||
+			got.TimeoutNanos != want.TimeoutNanos || got.Handle != want.Handle ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br, nil); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resps := []Response{
+		{ID: 1, Status: StatusOK, Payload: []byte("value")},
+		{ID: 2, Status: StatusSnapshotReleased, Payload: []byte("gone")},
+		{ID: 1 << 50, Status: StatusErr},
+	}
+	var frames []byte
+	for i := range resps {
+		frames = AppendResponse(frames, &resps[i])
+	}
+	br := bufio.NewReader(bytes.NewReader(frames))
+	for i := range resps {
+		body, err := ReadFrame(br, nil)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := ParseResponse(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		want := resps[i]
+		if got.ID != want.ID || got.Status != want.Status || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	frame := binary.AppendUvarint(nil, MaxFrame+1)
+	_, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)), nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversize frame: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestParseRequestRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                 // empty
+		{0x01},             // id only
+		{0x01, 0xFF, 0x00}, // bad opcode
+		{0x01, 0x02, 0x77}, // bad durability
+		{0x01, 0x02, 0x00}, // missing timeout/handle
+	}
+	for i, c := range cases {
+		if _, err := ParseRequest(c); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("case %d: %v, want ErrBadFrame", i, err)
+		}
+	}
+}
+
+func TestBoundsPreserveNil(t *testing.T) {
+	var p []byte
+	p = AppendBound(p, nil)
+	p = AppendBound(p, []byte{})
+	p = AppendBound(p, []byte("k"))
+	b, rest, err := ReadBound(p)
+	if err != nil || b != nil {
+		t.Fatalf("nil bound: %v %v", b, err)
+	}
+	b, rest, err = ReadBound(rest)
+	if err != nil || b == nil || len(b) != 0 {
+		t.Fatalf("empty bound: %v %v", b, err)
+	}
+	b, rest, err = ReadBound(rest)
+	if err != nil || string(b) != "k" {
+		t.Fatalf("real bound: %q %v", b, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %x", rest)
+	}
+}
+
+func TestPairsRoundTrip(t *testing.T) {
+	in := []kv.Pair{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("bb"), Value: nil},
+		{Key: []byte{}, Value: []byte("v")},
+	}
+	p := AppendPairs(nil, in)
+	out, rest, err := ReadPairs(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("trailing bytes: %x", rest)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d pairs, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i].Key, in[i].Key) || !bytes.Equal(out[i].Value, in[i].Value) {
+			t.Fatalf("pair %d: got %q=%q want %q=%q", i, out[i].Key, out[i].Value, in[i].Key, in[i].Value)
+		}
+	}
+	// The decoded pairs must be copies, not aliases of the frame buffer.
+	for i := range p {
+		p[i] = 0xAA
+	}
+	if !bytes.Equal(out[0].Key, []byte("a")) {
+		t.Fatal("decoded pair aliases the frame buffer")
+	}
+}
+
+func TestStatusErrorMapping(t *testing.T) {
+	cases := []struct {
+		err      error
+		status   Status
+		sentinel error
+	}{
+		{kv.ErrClosed, StatusClosed, kv.ErrClosed},
+		{kv.ErrSnapshotReleased, StatusSnapshotReleased, kv.ErrSnapshotReleased},
+		{kv.ErrNotSupported, StatusNotSupported, kv.ErrNotSupported},
+		{context.Canceled, StatusCanceled, context.Canceled},
+		{context.DeadlineExceeded, StatusDeadline, context.DeadlineExceeded},
+		{errors.New("boom"), StatusErr, nil},
+	}
+	for _, c := range cases {
+		status, msg := StatusOf(c.err)
+		if status != c.status {
+			t.Fatalf("StatusOf(%v) = %v, want %v", c.err, status, c.status)
+		}
+		back := ErrOf(status, msg)
+		if c.sentinel != nil && !errors.Is(back, c.sentinel) {
+			t.Fatalf("ErrOf(%v, %q) = %v, does not wrap %v", status, msg, back, c.sentinel)
+		}
+	}
+	// Wrapped sentinels map the same as bare ones.
+	wrapped := errorsJoin(kv.ErrClosed)
+	if s, _ := StatusOf(wrapped); s != StatusClosed {
+		t.Fatalf("wrapped ErrClosed: %v", s)
+	}
+	if s, _ := StatusOf(nil); s != StatusOK {
+		t.Fatalf("nil error: %v", s)
+	}
+	if ErrOf(StatusOK, "") != nil {
+		t.Fatal("ErrOf(StatusOK) != nil")
+	}
+}
+
+func errorsJoin(err error) error { return &wrapErr{err} }
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "ctx: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
+func TestOpStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for op := Op(1); op < OpMax; op++ {
+		s := op.String()
+		if s == "" || seen[s] {
+			t.Fatalf("op %d: duplicate or empty name %q", op, s)
+		}
+		seen[s] = true
+	}
+}
