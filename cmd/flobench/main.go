@@ -59,6 +59,9 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	// Service tier: throughput and latency through flodbd's wire
 	// protocol vs client connection-pool size.
 	"netbench": figures.NetBench,
+	// Distribution tier: quorum throughput/latency vs ring node count,
+	// plus the kill-one-replica availability series.
+	"clusterbench": figures.ClusterBench,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,

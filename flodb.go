@@ -180,6 +180,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		DrainThreads:        o.drainThreads,
 		RestartThreshold:    o.restartThreshold,
 		DisableWAL:          o.disableWAL,
+		WALWriteThrough:     o.walWriteThrough,
 		Durability:          o.durability,
 		AdaptiveMemory:      o.adaptive,
 		AdaptiveMinFraction: o.adaptiveMin,

@@ -17,6 +17,15 @@
 // per-connection. Pipelining falls out of the design: every in-flight
 // request owns a response channel keyed by request id, so many goroutines
 // share one connection without head-of-line blocking in the client.
+//
+// Failure handling: every connection starts with a protocol handshake (a
+// peer from another protocol generation is a typed wire.ErrVersionMismatch,
+// not a frame-decode failure). A pooled connection that breaks is redialed
+// in place with exponential backoff; while the node stays unreachable,
+// calls fail fast with an error satisfying errors.Is(err, kv.ErrUnavailable)
+// — the signal that distinguishes "node down" (retry elsewhere, queue a
+// hint) from "bad request". Stateful handles do not survive their
+// connection: the server-side lease died with it.
 package client
 
 import (
@@ -76,12 +85,14 @@ func WithChunkPairs(n int) Option {
 type Client struct {
 	opts   options
 	addr   string
-	conns  []*conn
+	slots  []*slot
 	next   atomic.Uint64
 	closed atomic.Bool
 }
 
-// Dial connects the pool to a flodbd server.
+// Dial connects the pool to a flodbd server. An unreachable server fails
+// with an error satisfying errors.Is(err, kv.ErrUnavailable); a server
+// from another protocol generation with wire.ErrVersionMismatch.
 func Dial(addr string, opts ...Option) (*Client, error) {
 	o := options{conns: 4, dialTimeout: 5 * time.Second, chunkPairs: 512}
 	for _, opt := range opts {
@@ -91,12 +102,14 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	cl := &Client{opts: o, addr: addr}
 	for i := 0; i < o.conns; i++ {
+		s := &slot{cl: cl}
 		c, err := cl.dialConn()
 		if err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.conns = append(cl.conns, c)
+		s.c.Store(c)
+		cl.slots = append(cl.slots, s)
 	}
 	return cl, nil
 }
@@ -104,19 +117,61 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 func (cl *Client) dialConn() (*conn, error) {
 	nc, err := net.DialTimeout("tcp", cl.addr, cl.opts.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", cl.addr, err)
+		return nil, fmt.Errorf("client: dial %s: %v: %w", cl.addr, err, kv.ErrUnavailable)
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // request/response frames must not wait on Nagle
 	}
-	c := &conn{nc: nc, pending: map[uint64]chan wire.Response{}, done: make(chan struct{})}
-	go c.readLoop()
+	// Handshake: our hello, their hello, negotiated frame cap. Bounded by
+	// the dial timeout — a mute peer is a failed dial, not a hung pool.
+	nc.SetDeadline(time.Now().Add(cl.opts.dialTimeout))
+	br := bufio.NewReaderSize(nc, 64<<10)
+	if _, err := nc.Write(wire.AppendHello(nil, wire.LocalHello(0))); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake %s: %v: %w", cl.addr, err, kv.ErrUnavailable)
+	}
+	body, err := wire.ReadFrameLimit(br, nil, 1024)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake %s: %v: %w", cl.addr, err, kv.ErrUnavailable)
+	}
+	remote, err := wire.ParseHello(body)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: %s: %w", cl.addr, err)
+	}
+	nc.SetDeadline(time.Time{})
+	_, maxFrame := wire.Negotiate(wire.LocalHello(0), remote)
+	c := &conn{
+		nc:       nc,
+		maxFrame: maxFrame,
+		pending:  map[uint64]chan wire.Response{},
+		done:     make(chan struct{}),
+	}
+	go c.readLoop(br)
 	return c, nil
 }
 
-// pick returns a pool connection for a stateless request.
-func (cl *Client) pick() *conn {
-	return cl.conns[cl.next.Add(1)%uint64(len(cl.conns))]
+// pickConn returns a live pool connection for a stateless request,
+// redialing a broken slot in place (with backoff) when it has to. With
+// the whole pool down it fails fast with a kv.ErrUnavailable-wrapped
+// error.
+func (cl *Client) pickConn() (*conn, error) {
+	start := cl.next.Add(1)
+	var lastErr error
+	for i := 0; i < len(cl.slots); i++ {
+		s := cl.slots[(start+uint64(i))%uint64(len(cl.slots))]
+		c, err := s.get()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return c, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("client: %s: no connections: %w", cl.addr, kv.ErrUnavailable)
+	}
+	return nil, lastErr
 }
 
 // Close closes every pooled connection. Subsequent operations return
@@ -126,17 +181,89 @@ func (cl *Client) Close() error {
 	if cl.closed.Swap(true) {
 		return nil
 	}
-	for _, c := range cl.conns {
-		c.close(fmt.Errorf("client: %w", kv.ErrClosed))
+	for _, s := range cl.slots {
+		if c := s.c.Load(); c != nil {
+			c.close(fmt.Errorf("client: %w", kv.ErrClosed))
+		}
 	}
 	return nil
+}
+
+// --- Pool slots (reconnect with backoff) -------------------------------------
+
+// reconnect backoff bounds: first retry after 50ms, doubling to 2s.
+const (
+	redialBackoffMin = 50 * time.Millisecond
+	redialBackoffMax = 2 * time.Second
+)
+
+// slot is one pool position. Its connection is replaced in place when it
+// breaks; between failed redials the slot fails fast (backoff), so a dead
+// node costs one dial timeout per backoff window, not per call.
+type slot struct {
+	cl *Client
+	c  atomic.Pointer[conn]
+
+	mu      sync.Mutex // guards redial state; held across a redial
+	nextTry time.Time
+	backoff time.Duration
+	lastErr error
+}
+
+func (s *slot) get() (*conn, error) {
+	if c := s.c.Load(); c != nil && c.alive() {
+		return c, nil
+	}
+	if s.cl.closed.Load() {
+		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	// One redial at a time per slot; concurrent callers fail fast to
+	// another slot rather than queueing behind the dial.
+	if !s.mu.TryLock() {
+		return nil, fmt.Errorf("client: %s: redial in flight: %w", s.cl.addr, kv.ErrUnavailable)
+	}
+	defer s.mu.Unlock()
+	if c := s.c.Load(); c != nil && c.alive() {
+		return c, nil // another caller already fixed it
+	}
+	if !s.nextTry.IsZero() && time.Now().Before(s.nextTry) {
+		err := s.lastErr
+		if err == nil {
+			err = fmt.Errorf("client: %s: down: %w", s.cl.addr, kv.ErrUnavailable)
+		}
+		return nil, err
+	}
+	c, err := s.cl.dialConn()
+	if err != nil {
+		if s.backoff == 0 {
+			s.backoff = redialBackoffMin
+		} else if s.backoff < redialBackoffMax {
+			s.backoff *= 2
+		}
+		s.nextTry = time.Now().Add(s.backoff)
+		s.lastErr = err
+		return nil, err
+	}
+	s.backoff = 0
+	s.nextTry = time.Time{}
+	s.lastErr = nil
+	if old := s.c.Swap(c); old != nil {
+		old.close(fmt.Errorf("client: %s: replaced by redial: %w", s.cl.addr, kv.ErrUnavailable))
+	}
+	if s.cl.closed.Load() {
+		// Lost the race with Close: don't leak the fresh connection.
+		c.close(fmt.Errorf("client: %w", kv.ErrClosed))
+		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
+	}
+	return c, nil
 }
 
 // --- Connection --------------------------------------------------------------
 
 type conn struct {
-	nc  net.Conn
-	wmu sync.Mutex // serializes request frames
+	nc       net.Conn
+	maxFrame uint64     // negotiated in the handshake
+	wmu      sync.Mutex // serializes request frames
 
 	mu      sync.Mutex
 	pending map[uint64]chan wire.Response
@@ -145,6 +272,16 @@ type conn struct {
 
 	done     chan struct{}
 	doneOnce sync.Once
+}
+
+// alive reports whether the connection is still usable.
+func (c *conn) alive() bool {
+	select {
+	case <-c.done:
+		return false
+	default:
+		return true
+	}
 }
 
 func (c *conn) close(err error) {
@@ -168,13 +305,15 @@ func (c *conn) brokenErr() error {
 }
 
 // readLoop dispatches response frames to their pending request channels.
-func (c *conn) readLoop() {
-	br := bufio.NewReader(c.nc)
+// It takes over the handshake's reader (which may hold buffered bytes).
+func (c *conn) readLoop(br *bufio.Reader) {
 	for {
-		body, err := wire.ReadFrame(br, nil)
+		body, err := wire.ReadFrameLimit(br, nil, c.maxFrame)
 		if err != nil {
 			if err == io.EOF {
-				err = fmt.Errorf("client: server closed the connection")
+				err = fmt.Errorf("client: server closed the connection: %w", kv.ErrUnavailable)
+			} else {
+				err = fmt.Errorf("client: read: %v: %w", err, kv.ErrUnavailable)
 			}
 			c.close(err)
 			return
@@ -243,7 +382,7 @@ func (c *conn) call(ctx context.Context, req *wire.Request) (wire.Response, erro
 	}
 	if err := c.write(wire.AppendRequest(nil, req)); err != nil {
 		c.unregister(req.ID)
-		c.close(fmt.Errorf("client: write: %w", err))
+		c.close(fmt.Errorf("client: write: %v: %w", err, kv.ErrUnavailable))
 		return wire.Response{}, c.brokenErr()
 	}
 	select {
@@ -272,7 +411,11 @@ func (cl *Client) call(ctx context.Context, req *wire.Request) (wire.Response, e
 	if cl.closed.Load() {
 		return wire.Response{}, fmt.Errorf("client: %w", kv.ErrClosed)
 	}
-	return cl.pick().call(ctx, req)
+	c, err := cl.pickConn()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return c.call(ctx, req)
 }
 
 func durabilityOf(opts []kv.WriteOption) kv.Durability {
@@ -321,7 +464,11 @@ func (cl *Client) NewIterator(ctx context.Context, low, high []byte) (kv.Iterato
 	if cl.closed.Load() {
 		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
 	}
-	return openIter(ctx, cl.pick(), 0, low, high, cl.opts.chunkPairs)
+	cn, err := cl.pickConn()
+	if err != nil {
+		return nil, err
+	}
+	return openIter(ctx, cn, 0, low, high, cl.opts.chunkPairs)
 }
 
 // Snapshot pins a server-side repeatable-read view and returns its
@@ -331,7 +478,10 @@ func (cl *Client) Snapshot(ctx context.Context) (kv.View, error) {
 	if cl.closed.Load() {
 		return nil, fmt.Errorf("client: %w", kv.ErrClosed)
 	}
-	cn := cl.pick()
+	cn, err := cl.pickConn()
+	if err != nil {
+		return nil, err
+	}
 	resp, err := cn.call(ctx, &wire.Request{Op: wire.OpSnapOpen})
 	if err != nil {
 		return nil, err
@@ -360,6 +510,64 @@ func (cl *Client) Checkpoint(ctx context.Context, dir string) error {
 func (cl *Client) Ping(ctx context.Context) error {
 	_, err := cl.call(ctx, &wire.Request{Op: wire.OpPing})
 	return err
+}
+
+// --- Replication plane (cluster coordinators) --------------------------------
+
+// VPut performs one version-gated conditional write on the server's local
+// plane: the record lands only if its version exceeds the stored copy's.
+// It reports whether the record was applied (false = stale, which for a
+// replication push or hint replay means "already superseded": success).
+func (cl *Client) VPut(ctx context.Context, rec wire.VRecord, opts ...kv.WriteOption) (bool, error) {
+	resp, err := cl.call(ctx, &wire.Request{
+		Op:         wire.OpVPut,
+		Durability: durabilityOf(opts),
+		Payload:    wire.AppendVRecord(nil, rec),
+	})
+	if err != nil {
+		return false, err
+	}
+	if len(resp.Payload) < 1 {
+		return false, fmt.Errorf("client: bad vput response")
+	}
+	return resp.Payload[0] == 1, nil
+}
+
+// VApply performs a batched conditional write: every winning record lands
+// in one engine batch. It returns how many records applied and how many
+// were stale (already superseded).
+func (cl *Client) VApply(ctx context.Context, recs []wire.VRecord, opts ...kv.WriteOption) (applied, stale int, err error) {
+	resp, err := cl.call(ctx, &wire.Request{
+		Op:         wire.OpVApply,
+		Durability: durabilityOf(opts),
+		Payload:    wire.AppendVRecords(nil, recs),
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	a, n := binary.Uvarint(resp.Payload)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("client: bad vapply response")
+	}
+	s, m := binary.Uvarint(resp.Payload[n:])
+	if m <= 0 {
+		return 0, 0, fmt.Errorf("client: bad vapply response")
+	}
+	return int(a), int(s), nil
+}
+
+// Health probes the node: identity and ring epoch. It is the heartbeat
+// the cluster prober marks nodes up and down with.
+func (cl *Client) Health(ctx context.Context) (wire.HealthInfo, error) {
+	resp, err := cl.call(ctx, &wire.Request{Op: wire.OpHealth})
+	if err != nil {
+		return wire.HealthInfo{}, err
+	}
+	var info wire.HealthInfo
+	if err := json.Unmarshal(resp.Payload, &info); err != nil {
+		return wire.HealthInfo{}, fmt.Errorf("client: health payload: %w", err)
+	}
+	return info, nil
 }
 
 // Stats fetches the server's stats snapshot: the store's own counters

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMultiProcessKillReplicaMidStorm is the cluster's acceptance
+// criterion run for real: three SEPARATE flodbd processes, a write storm
+// through a quorum coordinator, kill -9 of one replica mid-storm, and
+// the assertion that not one acknowledged write is lost — quorum-acked
+// writes because a second owner held them durably (WAL write-through),
+// degraded-acked writes because their hints drain into the replica when
+// it comes back. The in-process tests cover the same logic; this one
+// covers the actual failure mode (a process dying with its sockets and
+// page cache, not a polite Close).
+//
+// Skipped under -short: it builds and forks real binaries.
+func TestMultiProcessKillReplicaMidStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process crash suite (builds and kill -9s real flodbd processes)")
+	}
+
+	base := t.TempDir()
+	bin := filepath.Join(base, "flodbd")
+	build := exec.Command("go", "build", "-o", bin, "flodb/cmd/flodbd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building flodbd: %v\n%s", err, out)
+	}
+
+	// --- spawn the ring ---------------------------------------------------
+	type proc struct {
+		id   string
+		dir  string
+		addr string
+		cmd  *exec.Cmd
+	}
+	spawn := func(p *proc) {
+		t.Helper()
+		addrFile := filepath.Join(base, p.id+".addr")
+		os.Remove(addrFile)
+		listen := p.addr
+		if listen == "" {
+			listen = "127.0.0.1:0"
+		}
+		// Rebinding the same port right after SIGKILL can race the kernel
+		// reclaiming it; a dead-on-arrival process is retried, not fatal.
+		for attempt := 0; ; attempt++ {
+			cmd := exec.Command(bin,
+				"-db", p.dir, "-addr", listen, "-addr-file", addrFile,
+				"-node-id", p.id, "-wal-writethrough")
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			ok := false
+			for i := 0; i < 100; i++ {
+				if b, err := os.ReadFile(addrFile); err == nil {
+					p.addr, ok = string(b), true
+					break
+				}
+				if cmd.ProcessState != nil {
+					break
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if ok {
+				p.cmd = cmd
+				return
+			}
+			cmd.Process.Kill()
+			cmd.Wait()
+			if attempt >= 5 {
+				t.Fatalf("%s: server never published its address", p.id)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	procs := make([]*proc, 3)
+	for i := range procs {
+		p := &proc{id: fmt.Sprintf("n%d", i+1), dir: filepath.Join(base, fmt.Sprintf("n%d", i+1))}
+		procs[i] = p
+		spawn(p)
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.cmd != nil && p.cmd.ProcessState == nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	})
+
+	var members []Member
+	for _, p := range procs {
+		members = append(members, Member{ID: p.id, Addr: p.addr})
+	}
+	c, err := Open(Config{
+		Members:       members,
+		Replication:   2,
+		WriteQuorum:   2,
+		ReadQuorum:    1,
+		HintDir:       filepath.Join(base, "hints"),
+		ProbeInterval: 50 * time.Millisecond,
+		ProbeFailK:    2,
+		DialTimeout:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// --- the storm --------------------------------------------------------
+	// Writers record every key whose Put RETURNED NIL — the acked set. An
+	// ack during the outage is a degraded ack backed by a hint; it counts.
+	const writers = 4
+	stop := make(chan struct{})
+	acked := make([][]string, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("storm-%d-%06d", w, i)
+				if err := c.Put(bg, []byte(key), []byte("v-"+key)); err == nil {
+					acked[w] = append(acked[w], key)
+				}
+			}
+		}()
+	}
+
+	time.Sleep(400 * time.Millisecond) // healthy-phase writes
+	victim := procs[2]
+	if err := victim.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	victim.cmd.Wait()
+	t.Logf("killed %s (pid %d) mid-storm", victim.id, victim.cmd.Process.Pid)
+
+	time.Sleep(700 * time.Millisecond) // outage-phase writes: degraded acks + hints
+	spawn(victim)                      // same -db, same -node-id, same address
+	t.Logf("restarted %s on %s", victim.id, victim.addr)
+
+	// Storm continues through the recovery; stop once the prober has marked
+	// the victim up and the hint backlog has drained into it.
+	waitFor(t, "victim marked up and hints drained", 30*time.Second, func() bool {
+		return c.NodeStates()[victim.id] && c.HintsPending() == 0
+	})
+	close(stop)
+	wg.Wait()
+
+	st := c.Stats()
+	t.Logf("storm: %d quorum acks, %d degraded acks, %d hints queued, %d replayed",
+		st.ClusterQuorumWrites, st.ClusterDegradedWrites, st.ClusterHintsQueued, st.ClusterHintsReplayed)
+	if st.ClusterDegradedWrites == 0 || st.ClusterHintsReplayed == 0 {
+		t.Fatalf("storm never exercised the outage: degraded=%d replayed=%d",
+			st.ClusterDegradedWrites, st.ClusterHintsReplayed)
+	}
+
+	// --- every acked write must be readable after the heal ----------------
+	total := 0
+	for w := range acked {
+		total += len(acked[w])
+		for _, key := range acked[w] {
+			v, ok, err := c.Get(bg, []byte(key))
+			if err != nil {
+				t.Fatalf("get %s after heal: %v", key, err)
+			}
+			if !ok || string(v) != "v-"+key {
+				t.Fatalf("acked write %s lost (ok=%v val=%q)", key, ok, v)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("storm acked nothing")
+	}
+
+	// --- the healed replica must HOLD the hinted data, not just route -----
+	// Kill a surviving owner: keys co-owned by it and the victim are now
+	// served by the victim alone. If the hint drain had lied, this read
+	// pass would surface it.
+	survivor := procs[0]
+	if err := survivor.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	survivor.cmd.Wait()
+	waitFor(t, "survivor marked down", 10*time.Second, func() bool {
+		return !c.NodeStates()[survivor.id]
+	})
+	for w := range acked {
+		for _, key := range acked[w] {
+			v, ok, err := c.Get(bg, []byte(key))
+			if err != nil {
+				t.Fatalf("get %s with %s down: %v", key, survivor.id, err)
+			}
+			if !ok || string(v) != "v-"+key {
+				t.Fatalf("write %s lost once %s went down: healed replica missing it (ok=%v val=%q)",
+					key, survivor.id, ok, v)
+			}
+		}
+	}
+	t.Logf("all %d acked writes survived kill -9 and a second owner loss", total)
+}

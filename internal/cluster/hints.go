@@ -1,0 +1,165 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flodb/internal/kv"
+	"flodb/internal/wal"
+	"flodb/internal/wire"
+)
+
+// hintLog is the per-member hinted-handoff queue: every write a
+// coordinator could not deliver to one of the key's owners is appended
+// here (and mirrored in memory), then replayed through the versioned
+// plane when the member returns. Replay is safe to repeat and to race
+// with fresh writes because every record is version-gated on the
+// receiving node — a hint that was superseded simply lands stale.
+//
+// Persistence reuses the WAL framing in write-through mode, so queued
+// hints survive a coordinator crash: reopening the same hint directory
+// reloads the backlog.
+type hintLog struct {
+	path string
+
+	mu      sync.Mutex
+	w       *wal.Writer
+	backlog []hintRec
+}
+
+type hintRec struct {
+	durability kv.Durability
+	rec        wire.VRecord
+}
+
+// openHintLog loads any backlog persisted at path and reopens the log
+// for appending. The file is rewritten from the surviving backlog — a
+// hint log is small (it only holds the down-node window), so compaction
+// on open beats an append-reopen mode in the WAL layer.
+func openHintLog(path string) (*hintLog, error) {
+	h := &hintLog{path: path}
+	if _, err := os.Stat(path); err == nil {
+		err := wal.ReplayAll(path, func(rec []byte) error {
+			if len(rec) < 1 {
+				return fmt.Errorf("cluster: empty hint record")
+			}
+			vr, _, err := wire.ReadVRecord(rec[1:])
+			if err != nil {
+				return fmt.Errorf("cluster: hint record: %w", err)
+			}
+			vr.Key = append([]byte(nil), vr.Key...)
+			vr.Value = append([]byte(nil), vr.Value...)
+			h.backlog = append(h.backlog, hintRec{durability: kv.Durability(rec[0]), rec: vr})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := h.rewrite(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// rewrite replaces the file with the current backlog. Caller holds mu
+// (or has exclusive access during open).
+func (h *hintLog) rewrite() error {
+	if h.w != nil {
+		h.w.Close()
+	}
+	w, err := wal.Create(h.path, wal.Options{WriteThrough: true})
+	if err != nil {
+		return err
+	}
+	for i := range h.backlog {
+		if _, err := w.Append(encodeHint(h.backlog[i])); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	h.w = w
+	return nil
+}
+
+func encodeHint(hr hintRec) []byte {
+	buf := append(make([]byte, 0, 16+len(hr.rec.Key)+len(hr.rec.Value)), byte(hr.durability))
+	return wire.AppendVRecord(buf, hr.rec)
+}
+
+// append queues one missed write. The key/value are copied; the caller's
+// slices may be reused.
+func (h *hintLog) append(d kv.Durability, rec wire.VRecord) error {
+	rec.Key = append([]byte(nil), rec.Key...)
+	rec.Value = append([]byte(nil), rec.Value...)
+	hr := hintRec{durability: d, rec: rec}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.w == nil {
+		return fmt.Errorf("cluster: hint log closed")
+	}
+	if _, err := h.w.Append(encodeHint(hr)); err != nil {
+		return err
+	}
+	h.backlog = append(h.backlog, hr)
+	return nil
+}
+
+// pending reports how many hints await replay.
+func (h *hintLog) pending() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.backlog)
+}
+
+// snapshot copies the current backlog for a replay attempt.
+func (h *hintLog) snapshot() []hintRec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]hintRec(nil), h.backlog...)
+}
+
+// drop removes the first n records (a successfully replayed prefix) and
+// compacts the file. New hints appended during the replay stay queued.
+func (h *hintLog) drop(n int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if n <= 0 {
+		return nil
+	}
+	if n > len(h.backlog) {
+		n = len(h.backlog)
+	}
+	h.backlog = append([]hintRec(nil), h.backlog[n:]...)
+	return h.rewrite()
+}
+
+// sync fsyncs the queued hints: the durability barrier's hint-log half.
+func (h *hintLog) sync() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.w == nil || len(h.backlog) == 0 {
+		return nil
+	}
+	return h.w.Sync()
+}
+
+// close flushes and closes the log, keeping the backlog on disk for the
+// next open.
+func (h *hintLog) close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.w == nil {
+		return nil
+	}
+	err := h.w.Close()
+	h.w = nil
+	return err
+}
+
+// hintPath names a member's hint file.
+func hintPath(dir, memberID string) string {
+	return filepath.Join(dir, memberID+".hints")
+}

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"bytes"
+
+	"flodb/internal/kv"
+)
+
+// mergedIter is the k-way merge over per-member range cursors. Each
+// member yields the keys it owns in order with versioned stored values;
+// the merge emits each distinct key once, taking the highest version
+// among the sources that hold it and filtering tombstones. This is
+// read-repair's passive cousin: a scan never writes, but it always
+// RETURNS the repaired truth.
+type mergedIter struct {
+	srcs []kv.Iterator
+	// valid mirrors each source's positioned state.
+	valid []bool
+
+	key, val  []byte
+	ok        bool
+	started   bool
+	exhausted bool
+	err       error
+	closed    bool
+}
+
+func newMergedIter(srcs []kv.Iterator) *mergedIter {
+	return &mergedIter{srcs: srcs, valid: make([]bool, len(srcs))}
+}
+
+func (m *mergedIter) First() bool {
+	if m.closed || m.err != nil {
+		return false
+	}
+	m.started, m.exhausted = true, false
+	for i, s := range m.srcs {
+		m.valid[i] = s.First()
+	}
+	return m.settle()
+}
+
+func (m *mergedIter) Seek(key []byte) bool {
+	if m.closed || m.err != nil {
+		return false
+	}
+	m.started, m.exhausted = true, false
+	for i, s := range m.srcs {
+		m.valid[i] = s.Seek(key)
+	}
+	return m.settle()
+}
+
+func (m *mergedIter) Next() bool {
+	if m.closed || m.err != nil {
+		return false
+	}
+	if m.exhausted {
+		return false
+	}
+	if !m.started {
+		return m.First()
+	}
+	// settle() pre-advanced every source past the emitted key, so Next
+	// just settles again.
+	return m.settle()
+}
+
+// advancePast moves every source sitting on key off it.
+func (m *mergedIter) advancePast(key []byte) {
+	for i, s := range m.srcs {
+		if m.valid[i] && bytes.Equal(s.Key(), key) {
+			m.valid[i] = s.Next()
+		}
+	}
+}
+
+// settle finds the minimum key among the sources, merges the replicas'
+// copies newest-version-wins, and skips tombstoned keys by advancing and
+// retrying. Returns true positioned on a live pair.
+func (m *mergedIter) settle() bool {
+	for {
+		if err := m.firstErr(); err != nil {
+			m.err = err
+			m.ok = false
+			return false
+		}
+		min := -1
+		for i, s := range m.srcs {
+			if !m.valid[i] {
+				continue
+			}
+			if min == -1 || bytes.Compare(s.Key(), m.srcs[min].Key()) < 0 {
+				min = i
+			}
+		}
+		if min == -1 {
+			m.ok = false
+			m.exhausted = true
+			return false
+		}
+		key := m.srcs[min].Key()
+		var bestVer uint64
+		var bestVal []byte
+		bestTomb := false
+		first := true
+		for i, s := range m.srcs {
+			if !m.valid[i] || !bytes.Equal(s.Key(), key) {
+				continue
+			}
+			ver, tomb, payload := parseStored(s.Value())
+			if first || ver > bestVer {
+				bestVer, bestTomb, bestVal = ver, tomb, payload
+				first = false
+			}
+		}
+		if bestTomb {
+			m.advancePast(key)
+			continue
+		}
+		m.key = append(m.key[:0], key...)
+		m.val = append(m.val[:0], bestVal...)
+		m.advancePast(key)
+		m.ok = true
+		return true
+	}
+}
+
+func (m *mergedIter) firstErr() error {
+	for _, s := range m.srcs {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *mergedIter) Key() []byte {
+	if !m.ok {
+		return nil
+	}
+	return m.key
+}
+
+func (m *mergedIter) Value() []byte {
+	if !m.ok {
+		return nil
+	}
+	return m.val
+}
+
+func (m *mergedIter) Err() error { return m.err }
+
+func (m *mergedIter) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.ok = false
+	var firstErr error
+	for _, s := range m.srcs {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var _ kv.Iterator = (*mergedIter)(nil)

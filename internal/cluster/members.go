@@ -1,0 +1,34 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseMembers parses a CLI seed list: comma-separated members, each
+// "id=host:port" or a bare "host:port" (the address doubles as the ID —
+// fine as long as nodes keep their addresses; give explicit IDs when
+// they might move). Every cmd that joins a ring shares this syntax.
+func ParseMembers(s string) ([]Member, error) {
+	var members []Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := Member{Addr: part}
+		if id, addr, ok := strings.Cut(part, "="); ok {
+			m = Member{ID: strings.TrimSpace(id), Addr: strings.TrimSpace(addr)}
+			if m.ID == "" || m.Addr == "" {
+				return nil, fmt.Errorf("cluster: malformed member %q (want id=host:port)", part)
+			}
+		} else {
+			m.ID = m.Addr
+		}
+		members = append(members, m)
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: empty seed list")
+	}
+	return members, nil
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func testMembers(n int) []Member {
+	ms := make([]Member, n)
+	for i := range ms {
+		ms[i] = Member{ID: fmt.Sprintf("node-%c", 'a'+i), Addr: fmt.Sprintf("127.0.0.1:%d", 4380+i)}
+	}
+	return ms
+}
+
+// Same membership ⇒ same ring, whatever order the seed list arrives in
+// and whatever the addresses say: every coordinator routes identically
+// with no coordination.
+func TestRingDeterministicAcrossPermutationsAndAddresses(t *testing.T) {
+	base := testMembers(5)
+	ref, err := NewRing(base, DefaultVnodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]Member(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for i := range perm {
+			perm[i].Addr = fmt.Sprintf("10.0.0.%d:999", rng.Intn(255)) // addresses must not matter
+		}
+		r, err := NewRing(perm, DefaultVnodes, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Epoch() != ref.Epoch() {
+			t.Fatalf("trial %d: epoch %#x != %#x for the same membership", trial, r.Epoch(), ref.Epoch())
+		}
+		for k := 0; k < 200; k++ {
+			key := []byte(fmt.Sprintf("key-%d", k))
+			a, b := ref.Owners(key), r.Owners(key)
+			for i := range a {
+				if ref.Members()[a[i]].ID != r.Members()[b[i]].ID {
+					t.Fatalf("trial %d key %q: owners diverge: %v vs %v", trial, key, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestRingEpochChangesWithConfig(t *testing.T) {
+	ms := testMembers(3)
+	r1, _ := NewRing(ms, 128, 2)
+	r2, _ := NewRing(ms, 128, 3)
+	r3, _ := NewRing(ms, 64, 2)
+	r4, _ := NewRing(ms[:2], 128, 2)
+	if r1.Epoch() == r2.Epoch() || r1.Epoch() == r3.Epoch() || r1.Epoch() == r4.Epoch() {
+		t.Fatalf("epochs collide across configs: %#x %#x %#x %#x",
+			r1.Epoch(), r2.Epoch(), r3.Epoch(), r4.Epoch())
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 128, 1); err == nil {
+		t.Fatal("empty membership accepted")
+	}
+	if _, err := NewRing(testMembers(2), 128, 3); err == nil {
+		t.Fatal("R > members accepted")
+	}
+	dup := []Member{{ID: "a", Addr: "x"}, {ID: "a", Addr: "y"}}
+	if _, err := NewRing(dup, 128, 1); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+	if _, err := NewRing([]Member{{ID: "", Addr: "x"}}, 128, 1); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+}
+
+// Owners must be R DISTINCT members, primary first.
+func TestRingOwnersDistinct(t *testing.T) {
+	r, err := NewRing(testMembers(4), DefaultVnodes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 500; k++ {
+		owners := r.Owners([]byte(fmt.Sprintf("k%d", k)))
+		if len(owners) != 3 {
+			t.Fatalf("key k%d: %d owners, want 3", k, len(owners))
+		}
+		seen := map[int]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("key k%d: duplicate owner %d", k, o)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// At 128 vnodes the exact arc-length shares stay within the 1.5× max/min
+// balance the subsystem promises.
+func TestRingVnodeBalance(t *testing.T) {
+	for _, n := range []int{3, 5, 10} {
+		r, err := NewRing(testMembers(n), 128, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := r.Shares()
+		minS, maxS := 1.0, 0.0
+		total := 0.0
+		for _, s := range shares {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+			total += s
+		}
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("%d members: shares sum to %f, want 1", n, total)
+		}
+		if ratio := maxS / minS; ratio >= 1.5 {
+			t.Fatalf("%d members at 128 vnodes: max/min share %.3f/%.3f = %.2fx, want < 1.5x",
+				n, maxS, minS, ratio)
+		}
+	}
+}
+
+// Adding one member to an N-member ring should move roughly the share the
+// new member takes over (~1/(N+1) of primaries), nowhere near a reshuffle.
+func TestRingMovedShareOnGrowth(t *testing.T) {
+	from, err := NewRing(testMembers(4), 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := append(testMembers(4), Member{ID: "node-new", Addr: "127.0.0.1:5000"})
+	to, err := NewRing(grown, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := MovedShare(from, to, 1<<16)
+	// With R=2, a 5th member disturbs the owner set of at most ~2/5 of the
+	// keyspace; a modulo-style placement would disturb ~8/10.
+	if moved <= 0 || moved > 0.55 {
+		t.Fatalf("MovedShare = %.3f, want in (0, 0.55]", moved)
+	}
+	if same := MovedShare(from, from, 1<<14); same != 0 {
+		t.Fatalf("MovedShare(ring, itself) = %.3f, want 0", same)
+	}
+}

@@ -80,6 +80,12 @@ type Config struct {
 	// log every write is DurabilityNone; requesting a logged class per
 	// operation fails with kv.ErrNotSupported.
 	DisableWAL bool
+	// WALWriteThrough pushes every WAL append to the OS before it is
+	// acknowledged (no extra fsyncs — the buffered window shrinks from
+	// "process or machine crash" to "machine crash only"). Replica nodes
+	// in a cluster run with it on so a kill -9 of one process never loses
+	// a quorum-acked write.
+	WALWriteThrough bool
 	// Durability is the default durability class for writes that don't
 	// override it per operation. DurabilityDefault resolves to Buffered
 	// (log without fsync) — or None when the WAL is disabled. Sync makes

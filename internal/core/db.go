@@ -221,7 +221,10 @@ func (db *DB) newMemtable() (*memtable, error) {
 		return m, nil
 	}
 	m.walNum = db.store.NewFileNum()
-	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{Metrics: &db.walMetrics})
+	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{
+		Metrics:      &db.walMetrics,
+		WriteThrough: db.cfg.WALWriteThrough,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -38,13 +38,14 @@ type System string
 // instance behind an in-process flodbd server, every operation paying a
 // loopback round trip through internal/wire).
 const (
-	SysFloDB System = "FloDB"
-	SysShard System = "FloDB/4shards"
-	SysNet   System = "FloDB/net"
-	SysRocks System = "RocksDB"
-	SysCLSM  System = "RocksDB/cLSM"
-	SysHyper System = "HyperLevelDB"
-	SysLevel System = "LevelDB"
+	SysFloDB   System = "FloDB"
+	SysShard   System = "FloDB/4shards"
+	SysNet     System = "FloDB/net"
+	SysCluster System = "FloDB/cluster"
+	SysRocks   System = "RocksDB"
+	SysCLSM    System = "RocksDB/cLSM"
+	SysHyper   System = "HyperLevelDB"
+	SysLevel   System = "LevelDB"
 )
 
 // ShardCount is the shard fan-out SysShard runs with. Its memory budget
@@ -53,9 +54,10 @@ const (
 const ShardCount = 4
 
 // AllSystems lists the systems in legend order: the paper's five plus
-// the sharded sixth and the networked seventh, so every conformance
-// suite and figure sweeps them too.
-var AllSystems = []System{SysFloDB, SysShard, SysNet, SysRocks, SysCLSM, SysHyper, SysLevel}
+// the sharded sixth, the networked seventh, and the replicated eighth
+// (a 3-node ring at R=2, every operation a quorum fan-out), so every
+// conformance suite and figure sweeps them too.
+var AllSystems = []System{SysFloDB, SysShard, SysNet, SysCluster, SysRocks, SysCLSM, SysHyper, SysLevel}
 
 // Config scales an experiment run.
 type Config struct {
@@ -174,6 +176,8 @@ func openSystemMode(sys System, dir string, memBytes int64, lim *diskenv.Limiter
 		return openShard(dir, ShardCount, memBytes, lim, walOn)
 	case SysNet:
 		return openNet(dir, memBytes, lim, walOn)
+	case SysCluster:
+		return openCluster(dir, memBytes, lim, walOn)
 	}
 	cfg := baseline.Config{
 		Dir: dir, MemBytes: memBytes, DisableWAL: !walOn,

@@ -39,6 +39,10 @@ func TestEveryFigureRuns(t *testing.T) {
 		"scanstats":  ScanStats,
 		"shardbench": ShardBench,
 		"adaptive":   FigAdaptive,
+		// clusterbench is the slowest figure (three ring sizes, kill and
+		// heal segments) but it is the only tier-1 coverage of the full
+		// quorum plane under load, so it stays in the smoke set.
+		"clusterbench": ClusterBench,
 	}
 	for name, fn := range figs {
 		name, fn := name, fn

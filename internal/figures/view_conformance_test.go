@@ -45,6 +45,8 @@ func openSysWAL(t *testing.T, sys System, dir string) kv.Store {
 		s, err = openShard(dir, ShardCount, 1<<20, nil, true)
 	case SysNet:
 		s, err = openNet(dir, 1<<20, nil, true)
+	case SysCluster:
+		s, err = openCluster(dir, 1<<20, nil, true)
 	default:
 		cfg := baseline.Config{Dir: dir, MemBytes: 1 << 20, Storage: storageOpts(1 << 20)}
 		switch sys {

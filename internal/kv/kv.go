@@ -122,6 +122,13 @@ var ErrSnapshotReleased = errors.New("kv: snapshot released")
 // component).
 var ErrNotSupported = errors.New("kv: operation not supported")
 
+// ErrUnavailable is returned when a remote store cannot be reached: the
+// node is down, unreachable, or a quorum of replicas cannot be assembled.
+// It distinguishes "node down" (retry elsewhere, queue a hint, mark the
+// member unhealthy) from "bad request" (caller error, retrying is
+// pointless). Implementations wrap it, so test with errors.Is.
+var ErrUnavailable = errors.New("kv: node unavailable")
+
 // Iterator is a streaming cursor over a key range, yielding live pairs in
 // ascending key order. A fresh iterator is unpositioned; call First (or
 // Seek, or Next, which implies First) to position it. Key and Value are
@@ -217,6 +224,22 @@ type Stats struct {
 	ServerBytesIn      uint64
 	ServerBytesOut     uint64
 	ServerSlowRequests uint64
+
+	// Cluster coordination (internal/cluster; zero elsewhere).
+	// QuorumWrites acked at the full write quorum W of live replica
+	// responses; DegradedWrites acked below W because owners were down
+	// (the missed replicas hold hints). ReadRepairs counts stale or
+	// missing replica copies pushed forward by reads. HintsQueued /
+	// HintsReplayed / HintsPending describe the hinted-handoff log;
+	// NodesUp / NodesDown are the prober's current member view.
+	ClusterQuorumWrites   uint64
+	ClusterDegradedWrites uint64
+	ClusterReadRepairs    uint64
+	ClusterHintsQueued    uint64
+	ClusterHintsReplayed  uint64
+	ClusterHintsPending   uint64
+	ClusterNodesUp        uint64
+	ClusterNodesDown      uint64
 }
 
 // StatsProvider is implemented by stores that report Stats.

@@ -50,6 +50,20 @@ import (
 type Config struct {
 	// Store is the engine every connection shares. Required.
 	Store kv.Store
+	// Local is the replication plane: the store OpVPut/OpVApply/OpHealth
+	// target. It defaults to Store; a coordinator node (flodbd -cluster)
+	// splits them — Store is the cluster client ordinary requests fan out
+	// through, Local the node's own engine replicas write into.
+	Local kv.Store
+	// MaxFrame is the frame cap this server offers in the handshake; the
+	// connection runs under min(server offer, client offer). Default
+	// wire.MaxFrame.
+	MaxFrame uint64
+	// NodeID and RingEpoch identify this node to health probes. NodeID
+	// defaults to empty (callers may fall back to the address); a zero
+	// RingEpoch means "not ring-aware" and disables epoch checking.
+	NodeID    string
+	RingEpoch uint64
 	// MaxConns caps concurrent connections; further accepts are closed
 	// immediately (and counted in Info().ConnsRejected). Default 1024.
 	MaxConns int
@@ -95,7 +109,14 @@ type Server struct {
 
 	janitorStop chan struct{}
 	janitorOnce sync.Once
+
+	// vlocks stripes the versioned-write plane: OpVPut/OpVApply hold a
+	// key's stripe across their read-compare-write so two racing
+	// replica writes to one key serialize and newest-wins is exact.
+	vlocks [vStripes]sync.Mutex
 }
+
+const vStripes = 128
 
 // New builds a Server over cfg.Store.
 func New(cfg Config) *Server {
@@ -116,6 +137,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxChunkPairs <= 0 {
 		cfg.MaxChunkPairs = 4096
+	}
+	if cfg.Local == nil {
+		cfg.Local = cfg.Store
+	}
+	if cfg.MaxFrame == 0 {
+		cfg.MaxFrame = wire.MaxFrame
 	}
 	return &Server{
 		cfg:         cfg,
@@ -343,6 +370,10 @@ type serverConn struct {
 
 	connWG sync.WaitGroup // this connection's in-flight handlers
 
+	// maxFrame is the cap negotiated in the handshake (min of the two
+	// offers); reads and responses on this connection stay under it.
+	maxFrame uint64
+
 	// baseCtx outlives individual requests (iterators opened through one
 	// request are positioned by later ones); canceled when the conn dies.
 	baseCtx context.Context
@@ -440,9 +471,15 @@ func (c *serverConn) run() {
 		c.close()
 	}()
 	br := bufio.NewReader(c.nc)
+	if err := c.handshake(br); err != nil {
+		if err != io.EOF && !isClosedErr(err) {
+			c.srv.logf("server: %s: handshake: %v", c.nc.RemoteAddr(), err)
+		}
+		return
+	}
 	var buf []byte
 	for {
-		body, err := wire.ReadFrame(br, buf)
+		body, err := wire.ReadFrameLimit(br, buf, c.maxFrame)
 		if err != nil {
 			if err != io.EOF && !isClosedErr(err) {
 				c.srv.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
@@ -479,6 +516,40 @@ func (c *serverConn) run() {
 
 func isClosedErr(err error) bool {
 	return errors.Is(err, net.ErrClosed) || errors.Is(err, os.ErrDeadlineExceeded)
+}
+
+// handshakeTimeout bounds how long a fresh connection may sit silent (or
+// half-written) before its hello arrives — a mute peer must not pin a
+// connection slot forever.
+const handshakeTimeout = 10 * time.Second
+
+// handshake runs the server half of the hello exchange: read the client's
+// announcement, reply with ours, and fix the connection's negotiated
+// frame cap. A peer speaking a different protocol generation (or none)
+// still gets our hello — so IT can produce a typed version error — and is
+// then disconnected.
+func (c *serverConn) handshake(br *bufio.Reader) error {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	// Hello frames are tiny; a huge length here is a stray non-protocol
+	// peer, not a frame to buffer.
+	body, err := wire.ReadFrameLimit(br, nil, 1024)
+	reply := wire.AppendHello(nil, wire.LocalHello(c.srv.cfg.MaxFrame))
+	if err != nil {
+		return err
+	}
+	remote, herr := wire.ParseHello(body)
+	c.wmu.Lock()
+	_, werr := c.nc.Write(reply)
+	c.wmu.Unlock()
+	if herr != nil {
+		return herr
+	}
+	if werr != nil {
+		return werr
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	_, c.maxFrame = wire.Negotiate(wire.LocalHello(c.srv.cfg.MaxFrame), remote)
+	return nil
 }
 
 func (c *serverConn) handleCancel(payload []byte) {
@@ -530,6 +601,12 @@ func (c *serverConn) handle(req wire.Request) {
 	}()
 
 	payload, err := c.dispatch(ctx, &req)
+	if err == nil && c.maxFrame > 0 && uint64(len(payload))+24 > c.maxFrame {
+		// The negotiated cap binds the server too: a response the client
+		// would refuse to read must become an error, not a dead stream.
+		err = badRequestf("response of %d bytes exceeds negotiated frame cap %d (stream through an iterator)",
+			len(payload), c.maxFrame)
+	}
 	resp := wire.Response{ID: req.ID}
 	if err != nil {
 		var msg string
@@ -738,6 +815,44 @@ func (c *serverConn) dispatch(ctx context.Context, req *wire.Request) ([]byte, e
 		}
 		return json.Marshal(payload)
 
+	case wire.OpVPut:
+		if req.Handle != 0 {
+			return nil, badRequestf("write through a snapshot handle")
+		}
+		rec, _, err := wire.ReadVRecord(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		applied, err := c.srv.vput(ctx, rec, wopts)
+		if err != nil {
+			return nil, err
+		}
+		if applied {
+			return []byte{1}, nil
+		}
+		return []byte{0}, nil
+
+	case wire.OpVApply:
+		if req.Handle != 0 {
+			return nil, badRequestf("write through a snapshot handle")
+		}
+		recs, _, err := wire.ReadVRecords(req.Payload)
+		if err != nil {
+			return nil, err
+		}
+		applied, stale, err := c.srv.vapply(ctx, recs, wopts)
+		if err != nil {
+			return nil, err
+		}
+		out := binary.AppendUvarint(nil, uint64(applied))
+		return binary.AppendUvarint(out, uint64(stale)), nil
+
+	case wire.OpHealth:
+		return json.Marshal(wire.HealthInfo{
+			NodeID: c.srv.cfg.NodeID,
+			Epoch:  c.srv.cfg.RingEpoch,
+		})
+
 	case wire.OpCheckpoint:
 		if req.Handle != 0 {
 			return nil, badRequestf("checkpoint through a snapshot handle")
@@ -849,4 +964,98 @@ func (c *serverConn) handleIterNext(ctx context.Context, req *wire.Request) ([]b
 func uvarintLen(v uint64) int {
 	var b [binary.MaxVarintLen64]byte
 	return binary.PutUvarint(b[:], v)
+}
+
+// --- Versioned-write plane (cluster replication) -----------------------------
+
+// stripeOf maps a key to its version-lock stripe (FNV-1a 64).
+func stripeOf(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return int(h % vStripes)
+}
+
+// storedVersion reads the version of key's stored copy in the local
+// plane: 0 when absent, and 0 for a legacy unversioned value (which any
+// replicated write then supersedes).
+func (s *Server) storedVersion(ctx context.Context, key []byte) (uint64, error) {
+	cur, found, err := s.cfg.Local.Get(ctx, key)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, nil
+	}
+	ver, _, _, err := wire.ParseVValue(cur)
+	if err != nil {
+		return 0, nil
+	}
+	return ver, nil
+}
+
+// vput is the conditional newest-wins write: under the key's stripe lock,
+// rec lands only if its version exceeds the stored copy's. Tombstones
+// land as versioned records too (a stale replica must not resurrect the
+// value), to be filtered by the reading coordinator.
+func (s *Server) vput(ctx context.Context, rec wire.VRecord, wopts []kv.WriteOption) (bool, error) {
+	st := stripeOf(rec.Key)
+	s.vlocks[st].Lock()
+	defer s.vlocks[st].Unlock()
+	cur, err := s.storedVersion(ctx, rec.Key)
+	if err != nil {
+		return false, err
+	}
+	if rec.Version <= cur {
+		return false, nil
+	}
+	val := wire.AppendVValue(nil, rec.Version, rec.Tombstone, rec.Value)
+	return true, s.cfg.Local.Put(ctx, rec.Key, val, wopts...)
+}
+
+// vapply is the batched conditional write: all winning records land in
+// ONE engine batch (one WAL record, one group-committed fsync under
+// DurabilitySync), with every touched stripe held in ascending order so
+// concurrent vapplys cannot deadlock.
+func (s *Server) vapply(ctx context.Context, recs []wire.VRecord, wopts []kv.WriteOption) (applied, stale int, err error) {
+	if len(recs) == 0 {
+		return 0, 0, nil
+	}
+	var touched [vStripes]bool
+	for i := range recs {
+		touched[stripeOf(recs[i].Key)] = true
+	}
+	for i := 0; i < vStripes; i++ {
+		if touched[i] {
+			s.vlocks[i].Lock()
+			defer s.vlocks[i].Unlock()
+		}
+	}
+	b := kv.NewBatch()
+	// Later records in one batch supersede earlier ones for the same key
+	// at the engine level, which matches newest-wins as long as the batch
+	// is version-ordered per key — coordinators send them that way; a
+	// same-key pair out of order only costs an extra overwrite.
+	for i := range recs {
+		cur, verr := s.storedVersion(ctx, recs[i].Key)
+		if verr != nil {
+			return 0, 0, verr
+		}
+		if recs[i].Version <= cur {
+			stale++
+			continue
+		}
+		b.Put(recs[i].Key, wire.AppendVValue(nil, recs[i].Version, recs[i].Tombstone, recs[i].Value))
+		applied++
+	}
+	if applied == 0 {
+		return 0, stale, nil
+	}
+	return applied, stale, s.cfg.Local.Apply(ctx, b, wopts...)
 }

@@ -126,6 +126,8 @@ type Writer struct {
 	closed  bool
 	written int64  // bytes appended (logical end offset, incl. framing)
 	lastRec uint64 // commit index (Metrics.appends) of the last record
+	// writeThrough flushes the bufio on every Append (Options.WriteThrough).
+	writeThrough bool
 
 	// commitMu is the commit queue: holders are sync leaders, waiters are
 	// followers. synced is the durable offset; it is atomic so the
@@ -153,6 +155,13 @@ type Options struct {
 	// Metrics across a store's segments to track the store-wide
 	// acked-vs-durable boundary.
 	Metrics *Metrics
+	// WriteThrough makes Append push every record to the OS before
+	// acknowledging it (a bufio flush per record, still no fsync). With it
+	// on, a process kill — SIGKILL included — loses no acknowledged
+	// record to user-space staging: the buffered window shrinks to what a
+	// MACHINE crash can lose. Replicated deployments run their nodes this
+	// way so quorum-acked writes survive any single process death.
+	WriteThrough bool
 }
 
 // Create creates (truncating) a log file at path.
@@ -165,7 +174,12 @@ func Create(path string, opts Options) (*Writer, error) {
 	if bs <= 0 {
 		bs = 64 << 10
 	}
-	return &Writer{f: f, bw: bufio.NewWriterSize(f, bs), metrics: opts.Metrics}, nil
+	return &Writer{
+		f:            f,
+		bw:           bufio.NewWriterSize(f, bs),
+		metrics:      opts.Metrics,
+		writeThrough: opts.WriteThrough,
+	}, nil
 }
 
 // Append stages one record and returns the log offset it ends at — the
@@ -192,6 +206,11 @@ func (w *Writer) Append(rec []byte) (int64, error) {
 	}
 	if _, err := w.bw.Write(rec); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if w.writeThrough {
+		if err := w.bw.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: append flush: %w", err)
+		}
 	}
 	w.written += int64(headerSize + len(rec))
 	if w.metrics != nil {

@@ -69,6 +69,18 @@ const (
 	OpCheckpoint
 	OpCancel
 
+	// The replication plane (cluster mode). OpVPut and OpVApply are
+	// version-gated conditional writes: the payload carries VRecords and
+	// the server applies each only if its version exceeds the stored
+	// copy's, under per-key stripe locks — which makes replica writes,
+	// read-repair pushes, and hint replay idempotent and reorderable.
+	// OpHealth is the prober's heartbeat; its response carries the node's
+	// identity and ring epoch so peers from a different ring
+	// configuration are detected, not silently mixed.
+	OpVPut
+	OpVApply
+	OpHealth
+
 	// OpMax bounds the opcode space (for per-opcode counters).
 	OpMax
 )
@@ -106,6 +118,12 @@ func (op Op) String() string {
 		return "checkpoint"
 	case OpCancel:
 		return "cancel"
+	case OpVPut:
+		return "vput"
+	case OpVApply:
+		return "vapply"
+	case OpHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -132,6 +150,10 @@ const (
 	// StatusDeadline maps context.DeadlineExceeded (the wire deadline the
 	// client's context mapped onto, or the server's own enforcement).
 	StatusDeadline
+	// StatusUnavailable maps kv.ErrUnavailable: a coordinator could not
+	// reach enough replicas (cluster-proxy mode), as opposed to a caller
+	// error.
+	StatusUnavailable
 )
 
 // ErrBadFrame reports a structurally invalid frame or payload.
@@ -229,7 +251,14 @@ func ParseResponse(body []byte) (Response, error) {
 
 // ReadFrame reads one frame body from br, reusing buf when it is large
 // enough. It returns io.EOF only on a clean boundary (no partial frame).
+// It enforces the package-default MaxFrame; connections that negotiated a
+// different cap in the handshake use ReadFrameLimit.
 func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	return ReadFrameLimit(br, buf, MaxFrame)
+}
+
+// ReadFrameLimit is ReadFrame under a negotiated frame cap.
+func ReadFrameLimit(br *bufio.Reader, buf []byte, max uint64) ([]byte, error) {
 	size, err := binary.ReadUvarint(br)
 	if err != nil {
 		if err == io.EOF {
@@ -237,8 +266,8 @@ func ReadFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("wire: read frame length: %w", err)
 	}
-	if size > MaxFrame {
-		return nil, fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrBadFrame, size, MaxFrame)
+	if size > max {
+		return nil, fmt.Errorf("%w: frame of %d bytes exceeds max %d", ErrBadFrame, size, max)
 	}
 	if uint64(cap(buf)) < size {
 		buf = make([]byte, size)
@@ -358,6 +387,8 @@ func StatusOf(err error) (Status, string) {
 		return StatusNotSupported, err.Error()
 	case errors.Is(err, kv.ErrClosed):
 		return StatusClosed, err.Error()
+	case errors.Is(err, kv.ErrUnavailable):
+		return StatusUnavailable, err.Error()
 	case errors.Is(err, context.DeadlineExceeded):
 		return StatusDeadline, err.Error()
 	case errors.Is(err, context.Canceled):
@@ -383,6 +414,8 @@ func ErrOf(status Status, msg string) error {
 		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrSnapshotReleased)
 	case StatusNotSupported:
 		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrNotSupported)
+	case StatusUnavailable:
+		return fmt.Errorf("flodbd: %s: %w", msg, kv.ErrUnavailable)
 	case StatusCanceled:
 		return fmt.Errorf("flodbd: %s: %w", msg, context.Canceled)
 	case StatusDeadline:
@@ -417,4 +450,227 @@ type ServerInfo struct {
 type StatsPayload struct {
 	Store  kv.Stats   `json:"store"`
 	Server ServerInfo `json:"server"`
+}
+
+// --- Handshake ---------------------------------------------------------------
+
+// ProtocolVersion is the wire protocol generation this build speaks.
+// Peers exchange it in the first frame of every connection; a mismatch is
+// a typed rejection (ErrVersionMismatch), never a frame-decode failure
+// deep into the session.
+const ProtocolVersion = 1
+
+// Feature bits advertised in the handshake. The negotiated set is the
+// intersection; a coordinator refuses to treat a node as a replica unless
+// FeatureReplication survived the intersection.
+const (
+	// FeatureReplication: the peer serves OpVPut/OpVApply/OpHealth.
+	FeatureReplication uint64 = 1 << iota
+)
+
+// Features is the feature set this build implements.
+const Features = FeatureReplication
+
+// helloMagic opens a handshake frame, so a peer that speaks no handshake
+// at all (or is not flodbd) is detected immediately.
+var helloMagic = [4]byte{'f', 'l', 'o', 'D'}
+
+// ErrVersionMismatch reports a peer speaking a different protocol
+// generation (or no recognizable handshake at all). errors.Is-able.
+var ErrVersionMismatch = errors.New("wire: protocol version mismatch")
+
+// ErrEpochMismatch reports a replica that answered a health probe with a
+// different ring epoch: it belongs to a different cluster configuration
+// and must not serve this ring's keys. errors.Is-able.
+var ErrEpochMismatch = errors.New("wire: ring epoch mismatch")
+
+// Hello is one side's handshake announcement: the first frame each peer
+// sends on a fresh connection (client first, then the server's reply).
+// Both sides then operate under the NEGOTIATED parameters: the
+// intersection of feature sets and the smaller of the two frame caps.
+type Hello struct {
+	Version  uint8
+	Features uint64
+	// MaxFrame is the largest frame body this side is willing to read.
+	MaxFrame uint64
+}
+
+// AppendHello appends h as one complete frame (length prefix included).
+// Body: magic(4) | version(1) | uvarint(features) | uvarint(maxFrame).
+func AppendHello(dst []byte, h Hello) []byte {
+	body := make([]byte, 0, 4+1+2*binary.MaxVarintLen64)
+	body = append(body, helloMagic[:]...)
+	body = append(body, h.Version)
+	body = binary.AppendUvarint(body, h.Features)
+	body = binary.AppendUvarint(body, h.MaxFrame)
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// ParseHello decodes a handshake frame body. A missing magic or an alien
+// version yields ErrVersionMismatch (wrapped with detail) — the typed
+// signal that the peer cannot be spoken to, as opposed to a malformed
+// frame mid-session.
+func ParseHello(body []byte) (Hello, error) {
+	var h Hello
+	if len(body) < 5 || [4]byte(body[:4]) != helloMagic {
+		return h, fmt.Errorf("%w: peer sent no handshake", ErrVersionMismatch)
+	}
+	h.Version = body[4]
+	rest := body[5:]
+	f, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return h, fmt.Errorf("%w: features", ErrBadFrame)
+	}
+	rest = rest[n:]
+	mf, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return h, fmt.Errorf("%w: max frame", ErrBadFrame)
+	}
+	h.Features = f
+	h.MaxFrame = mf
+	if h.Version != ProtocolVersion {
+		return h, fmt.Errorf("%w: peer speaks v%d, this build speaks v%d",
+			ErrVersionMismatch, h.Version, ProtocolVersion)
+	}
+	if h.MaxFrame == 0 {
+		return h, fmt.Errorf("%w: zero frame cap", ErrBadFrame)
+	}
+	return h, nil
+}
+
+// LocalHello is the announcement this build sends, with maxFrame
+// defaulting to the package cap when 0.
+func LocalHello(maxFrame uint64) Hello {
+	if maxFrame == 0 {
+		maxFrame = MaxFrame
+	}
+	return Hello{Version: ProtocolVersion, Features: Features, MaxFrame: maxFrame}
+}
+
+// Negotiate combines the two announcements: shared features, smaller
+// frame cap.
+func Negotiate(local, remote Hello) (features, maxFrame uint64) {
+	features = local.Features & remote.Features
+	maxFrame = local.MaxFrame
+	if remote.MaxFrame < maxFrame {
+		maxFrame = remote.MaxFrame
+	}
+	return features, maxFrame
+}
+
+// --- Versioned records (replication plane) -----------------------------------
+
+// VRecord is one replicated mutation: a coordinator-assigned version, a
+// tombstone flag (deletes replicate as versioned tombstones so a stale
+// replica cannot resurrect the value), and the pair itself. Replicas
+// store the record only if its version exceeds the stored copy's —
+// newest-wins — which is what lets quorum writes, read-repair, and hint
+// replay all race without coordination.
+type VRecord struct {
+	Version   uint64
+	Tombstone bool
+	Key       []byte
+	Value     []byte
+}
+
+// AppendVRecord appends one record: kind(1) | uvarint(version) | key | value.
+func AppendVRecord(dst []byte, r VRecord) []byte {
+	kind := byte(0)
+	if r.Tombstone {
+		kind = 1
+	}
+	dst = append(dst, kind)
+	dst = binary.AppendUvarint(dst, r.Version)
+	dst = AppendBytes(dst, r.Key)
+	return AppendBytes(dst, r.Value)
+}
+
+// ReadVRecord consumes one AppendVRecord field. Key/Value alias p.
+func ReadVRecord(p []byte) (VRecord, []byte, error) {
+	var r VRecord
+	if len(p) < 1 || p[0] > 1 {
+		return r, nil, fmt.Errorf("%w: vrecord kind", ErrBadFrame)
+	}
+	r.Tombstone = p[0] == 1
+	v, n := binary.Uvarint(p[1:])
+	if n <= 0 {
+		return r, nil, fmt.Errorf("%w: vrecord version", ErrBadFrame)
+	}
+	r.Version = v
+	k, rest, err := ReadBytes(p[1+n:])
+	if err != nil {
+		return r, nil, err
+	}
+	val, rest, err := ReadBytes(rest)
+	if err != nil {
+		return r, nil, err
+	}
+	r.Key, r.Value = k, val
+	return r, rest, nil
+}
+
+// AppendVRecords appends a count-prefixed run of records (an OpVApply
+// payload).
+func AppendVRecords(dst []byte, recs []VRecord) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(recs)))
+	for i := range recs {
+		dst = AppendVRecord(dst, recs[i])
+	}
+	return dst
+}
+
+// ReadVRecords decodes an AppendVRecords run. Keys/values alias p.
+func ReadVRecords(p []byte) ([]VRecord, []byte, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("%w: vrecord count", ErrBadFrame)
+	}
+	p = p[n:]
+	recs := make([]VRecord, 0, minUint64(count, 4096))
+	for i := uint64(0); i < count; i++ {
+		r, rest, err := ReadVRecord(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		p = rest
+		recs = append(recs, r)
+	}
+	return recs, p, nil
+}
+
+// The value a replica STORES for a replicated key carries the version and
+// tombstone inline — uvarint(version) | kind(1) | payload — so a later
+// conditional write (or a reading coordinator) can compare versions with
+// nothing but a Get.
+
+// AppendVValue encodes a stored replica value.
+func AppendVValue(dst []byte, version uint64, tombstone bool, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, version)
+	kind := byte(0)
+	if tombstone {
+		kind = 1
+	}
+	dst = append(dst, kind)
+	return append(dst, payload...)
+}
+
+// ParseVValue decodes a stored replica value. payload aliases v.
+func ParseVValue(v []byte) (version uint64, tombstone bool, payload []byte, err error) {
+	ver, n := binary.Uvarint(v)
+	if n <= 0 || len(v) < n+1 || v[n] > 1 {
+		return 0, false, nil, fmt.Errorf("%w: stored replica value", ErrBadFrame)
+	}
+	return ver, v[n] == 1, v[n+1:], nil
+}
+
+// --- Health payload ----------------------------------------------------------
+
+// HealthInfo is the OpHealth response body (JSON, like stats: a cold
+// diagnostic path). Epoch is the ring-configuration hash the node was
+// started under (0 when the node is not ring-aware); the prober treats a
+// conflicting non-zero epoch as ErrEpochMismatch.
+type HealthInfo struct {
+	NodeID string `json:"node_id"`
+	Epoch  uint64 `json:"epoch"`
 }

@@ -27,6 +27,7 @@ type options struct {
 	drainThreads      int
 	restartThreshold  int
 	disableWAL        bool
+	walWriteThrough   bool
 	durability        Durability
 	shards            int
 
@@ -182,6 +183,17 @@ func WithShards(n int) Option {
 		}
 		o.shards = n
 	})
+}
+
+// WithWALWriteThrough makes the commit log hand every record to the OS
+// as it is appended instead of staging it in a user-space buffer. Acked
+// Buffered writes then survive a process kill (SIGKILL, panic); only a
+// machine crash can still lose the un-fsynced window. Replica nodes in
+// cluster mode run with this on — it is what makes a quorum ack mean
+// "survives kill -9 of a replica" — at the cost of a write() syscall
+// per append on the buffered path.
+func WithWALWriteThrough() Option {
+	return optionFunc(func(o *options) { o.walWriteThrough = true })
 }
 
 // WithoutWAL turns off commit logging: every write is DurabilityNone
