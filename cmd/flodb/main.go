@@ -268,6 +268,12 @@ func main() {
 			s.ScanRestarts, s.FallbackScans, s.Flushes, s.Compactions)
 		fmt.Printf("acked-seq=%d durable-seq=%d wal-syncs=%d wal-sync-requests=%d sync-barriers=%d\n",
 			s.AckedSeq, s.DurableSeq, s.WALSyncs, s.WALSyncRequests, s.SyncBarriers)
+		fmt.Printf("block-cache: hits=%d misses=%d (%s) evictions=%d resident=%dB\n",
+			s.BlockCacheHits, s.BlockCacheMisses,
+			hitRate(s.BlockCacheHits, s.BlockCacheMisses), s.BlockCacheEvictions, s.BlockCacheBytes)
+		fmt.Printf("table-cache: hits=%d misses=%d (%s)  bloom: checks=%d negatives=%d (%s filtered)\n",
+			s.TableCacheHits, s.TableCacheMisses, hitRate(s.TableCacheHits, s.TableCacheMisses),
+			s.BloomChecks, s.BloomMisses, hitRate(s.BloomMisses, s.BloomChecks-s.BloomMisses))
 		fmt.Printf("membuffer-fraction=%.3f resizes=%d sensor-put/s=%.0f sensor-get/s=%.0f sensor-scan/s=%.0f stall=%.1f%%\n",
 			s.MembufferFraction, s.MembufferResizes,
 			s.SensorPutRate, s.SensorGetRate, s.SensorScanRate, s.SensorStallPct)
@@ -289,6 +295,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flodb: unknown command %q\n", args[0])
 		os.Exit(2)
 	}
+}
+
+// hitRate formats hits/(hits+misses) as a percentage, "-" when no
+// traffic has happened yet (0/0 is indistinguishable from a cold cache,
+// not a 0% one).
+func hitRate(hits, misses uint64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
 }
 
 func statsOf(db kv.Store) kv.Stats {

@@ -80,6 +80,8 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file once accepting (for scripts and tests using -addr :0)")
 		mem        = fs.Int64("mem", 0, "memory component bytes (0 = default)")
 		shards     = fs.Int("shards", 0, "range-partition across n shards (0/1 = unsharded)")
+		blockCache = fs.Int64("block-cache", 0, "block cache bytes for the disk read path, split across shards (0 = default 32 MiB)")
+		tableCache = fs.Int("table-cache", 0, "max resident sstable readers (open fds) per shard (0 = default 256)")
 		adaptive   = fs.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4)")
 		durability = fs.String("durability", "", "default write durability: none|buffered|sync (default buffered)")
 		nodeID     = fs.String("node-id", "", "stable ring identity served in health probes (cluster node mode)")
@@ -138,6 +140,12 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 		}
 		if *adaptive {
 			opts = append(opts, flodb.WithAdaptiveMemory())
+		}
+		if *blockCache > 0 {
+			opts = append(opts, flodb.WithBlockCacheSize(*blockCache))
+		}
+		if *tableCache > 0 {
+			opts = append(opts, flodb.WithTableCacheCapacity(*tableCache))
 		}
 		if *writeThru {
 			opts = append(opts, flodb.WithWALWriteThrough())

@@ -187,6 +187,8 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		AdaptiveMaxFraction: o.adaptiveMax,
 		AdaptiveWindow:      o.adaptiveWindow,
 	}
+	cfg.Storage.BlockCacheBytes = o.blockCacheBytes
+	cfg.Storage.TableCacheCapacity = o.tableCacheCap
 	// A sharded root must never be shadowed by a fresh unsharded engine:
 	// detect the SHARDS manifest and adopt its count when the caller
 	// didn't pass WithShards. An explicit mismatching count (including
@@ -263,18 +265,22 @@ func (db *DB) Scan(ctx context.Context, low, high []byte) ([]Pair, error) {
 // the call, however many writes land afterwards, until the handle is
 // Closed.
 //
-// FloDB's memory component is single-versioned (in-place updates, §3.2),
-// so a durable read view cannot reference it: Snapshot materializes the
-// memory component — one forced drain-and-flush cycle, the same seal a
-// master scan performs plus the persist of §4.2 — and pins the resulting
-// immutable disk version at a sequence bound. Taking a snapshot therefore
-// costs a memtable flush; reads through it are pure sstable reads and
-// never restart. The handle pins sstables until Close, so holding
-// snapshots delays space reclamation, not writers.
+// Taking a snapshot is O(1) in the size of the memory component: the
+// call seals the Membuffer (the same generation switch a master scan
+// performs — the hash table's entries are unsequenced, so they must
+// reach the skiplist before a sequence bound can mean anything), draws
+// a sequence bound, and pins the live skiplist plus the current disk
+// version at that bound. No memtable flush happens. While the handle is
+// open, in-place skiplist overwrites keep a short per-key version chain
+// so the snapshot's reads resolve to the newest version at or below its
+// bound; the chains are pruned back to single versions as snapshots
+// close. The handle also pins sstables until Close, so holding
+// snapshots delays space reclamation and retains superseded values in
+// memory — it never blocks writers after the seal returns.
 //
-// On a sharded store the per-shard snapshots are pinned under a brief
+// On a sharded store the per-shard bounds are pinned under a brief
 // cross-shard write barrier, so the handle is one globally consistent
-// cut — at the cost of one forced flush per shard while writers wait.
+// cut.
 func (db *DB) Snapshot(ctx context.Context) (View, error) {
 	return db.inner.Snapshot(ctx)
 }

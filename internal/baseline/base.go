@@ -608,7 +608,7 @@ func (b *base) newSnapshotIter(ctx context.Context, mem, imm *memHandle, ver *st
 	if imm != nil {
 		its = append(its, imm.mem.NewIterator())
 	}
-	dit, err := b.store.NewVersionIterator(ver)
+	dit, pins, err := b.store.NewVersionIterator(ver)
 	if err != nil {
 		b.store.ReleaseVersion(ver)
 		return nil, err
@@ -618,6 +618,7 @@ func (b *base) newSnapshotIter(ctx context.Context, mem, imm *memHandle, ver *st
 	return storage.NewSnapshotIter(ctx, storage.NewMergingIterator(its...), storage.SnapshotIterOptions{
 		Low: low, High: high, MaxSeq: snap,
 		OnClose: func() {
+			pins()
 			store.ReleaseVersion(ver)
 			if onClose != nil {
 				onClose()
@@ -632,10 +633,10 @@ func (b *base) newSnapshotIter(ctx context.Context, mem, imm *memHandle, ver *st
 // multi-versioned memtables make this nearly free: the handle references
 // the captured memtable generation(s) — whose versions <= snap survive
 // arbitrarily many later writes — and pins the current disk version so
-// compaction cannot delete the files the bound still needs. This is the
-// paper's memory-for-stability trade (§3.2) paying off at the API layer:
-// where FloDB must materialize its single-versioned memory component to
-// disk, the baselines just hold on to what multi-versioning already kept.
+// compaction cannot delete the files the bound still needs. The
+// baselines simply hold on to what multi-versioning already kept;
+// FloDB's single-versioned memory component reaches the same O(1)
+// snapshot through seq-pinned version chains in its skiplist.
 func (b *base) newSnapshot(mem, imm *memHandle, snap uint64) *baseSnapshot {
 	b.stats.snapshots.Add(1)
 	return &baseSnapshot{b: b, mem: mem, imm: imm, snap: snap, ver: b.store.PinVersion()}
@@ -895,6 +896,14 @@ func (b *base) Stats() kv.Stats {
 	m := b.store.Metrics()
 	s.Flushes = m.Flushes
 	s.Compactions = m.Compactions
+	s.BlockCacheHits = m.BlockCacheHits
+	s.BlockCacheMisses = m.BlockCacheMisses
+	s.BlockCacheEvictions = m.BlockCacheEvictions
+	s.BlockCacheBytes = m.BlockCacheBytes
+	s.TableCacheHits = m.TableCacheHits
+	s.TableCacheMisses = m.TableCacheMisses
+	s.BloomChecks = m.BloomChecks
+	s.BloomMisses = m.BloomNegatives
 	return s
 }
 

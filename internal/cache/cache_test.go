@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestChargeAccounting: usage tracks inserts, evictions keep the cache
+// within capacity, and displaced/evicted entries run their deleter
+// exactly once.
+func TestChargeAccounting(t *testing.T) {
+	var deleted atomic.Int64
+	del := func(Key, any) { deleted.Add(1) }
+
+	c := NewWithShards(100, 1) // one stripe: deterministic LRU order
+	for i := uint64(0); i < 10; i++ {
+		h := c.Insert(Key{ID: i}, i, 10, del)
+		h.Release()
+	}
+	if st := c.Stats(); st.Bytes != 100 || st.Entries != 10 {
+		t.Fatalf("full cache: bytes=%d entries=%d, want 100/10", st.Bytes, st.Entries)
+	}
+
+	// One more 10-charge insert displaces exactly the coldest entry (ID 0).
+	c.Insert(Key{ID: 10}, nil, 10, del).Release()
+	if st := c.Stats(); st.Bytes != 100 || st.Entries != 10 || st.Evictions != 1 {
+		t.Fatalf("after insert: bytes=%d entries=%d evictions=%d, want 100/10/1", st.Bytes, st.Entries, st.Evictions)
+	}
+	if h := c.Get(Key{ID: 0}); h != nil {
+		t.Fatal("coldest entry survived eviction")
+	}
+	if deleted.Load() != 1 {
+		t.Fatalf("deleter ran %d times, want 1", deleted.Load())
+	}
+
+	// A Get promotes ID 1; the next eviction must take ID 2 instead.
+	c.Get(Key{ID: 1}).Release()
+	var displaced atomic.Int64
+	c.Insert(Key{ID: 11}, nil, 10, func(Key, any) { displaced.Add(1) }).Release()
+	if h := c.Get(Key{ID: 1}); h == nil {
+		t.Fatal("recently-used entry evicted")
+	} else {
+		h.Release()
+	}
+	if h := c.Get(Key{ID: 2}); h != nil {
+		t.Fatal("LRU order ignored: ID 2 should have been the eviction victim")
+	}
+
+	// Replacing a key keeps usage exact and deletes the old value once.
+	c.Insert(Key{ID: 11}, nil, 30, del).Release()
+	if displaced.Load() != 1 {
+		t.Fatalf("displaced entry's deleter ran %d times, want 1", displaced.Load())
+	}
+	if st := c.Stats(); st.Bytes > 100 {
+		t.Fatalf("over capacity after replacement: %d", st.Bytes)
+	}
+
+	c.Close()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("Close left entries=%d bytes=%d", st.Entries, st.Bytes)
+	}
+}
+
+// TestPinBlocksEviction: an entry with an unreleased handle must survive
+// any amount of insert pressure, and its deleter must not run until the
+// last pin drops — the property that keeps sstable file descriptors
+// open under live iterators.
+func TestPinBlocksEviction(t *testing.T) {
+	var deleted atomic.Int64
+	del := func(Key, any) { deleted.Add(1) }
+
+	c := NewWithShards(10, 1)
+	pinned := c.Insert(Key{ID: 1}, "keep", 10, del) // fills the cache, stays pinned
+
+	// Pressure: each insert is itself briefly pinned, then released.
+	for i := uint64(2); i < 50; i++ {
+		c.Insert(Key{ID: i}, nil, 10, nil).Release()
+	}
+	if h := c.Get(Key{ID: 1}); h == nil {
+		t.Fatal("pinned entry was evicted")
+	} else {
+		if h.Value().(string) != "keep" {
+			t.Fatal("pinned entry's value changed")
+		}
+		h.Release()
+	}
+	if deleted.Load() != 0 {
+		t.Fatal("pinned entry's deleter ran while pinned")
+	}
+
+	// Even ERASED entries outlive their pins: deletion waits for Release.
+	c.Erase(Key{ID: 1})
+	if deleted.Load() != 0 {
+		t.Fatal("erased-but-pinned entry deleted early")
+	}
+	if h := c.Get(Key{ID: 1}); h != nil {
+		t.Fatal("erased entry still visible")
+	}
+	pinned.Release()
+	if deleted.Load() != 1 {
+		t.Fatalf("deleter ran %d times after last release, want 1", deleted.Load())
+	}
+}
+
+// TestPinnedOverCapacity documents the transient-overshoot contract:
+// when every entry is pinned the shard exceeds its budget rather than
+// deleting in-use values, and returns to budget once pins drop.
+func TestPinnedOverCapacity(t *testing.T) {
+	c := NewWithShards(10, 1)
+	var hs []*Handle
+	for i := uint64(0); i < 5; i++ {
+		hs = append(hs, c.Insert(Key{ID: i}, nil, 10, nil))
+	}
+	if st := c.Stats(); st.Bytes != 50 || st.Entries != 5 {
+		t.Fatalf("pinned shard: bytes=%d entries=%d, want 50/5", st.Bytes, st.Entries)
+	}
+	for _, h := range hs {
+		h.Release()
+	}
+	// The next insert rebalances the shard back under capacity.
+	c.Insert(Key{ID: 99}, nil, 10, nil).Release()
+	if st := c.Stats(); st.Bytes > 10 {
+		t.Fatalf("shard did not return to budget: %d bytes", st.Bytes)
+	}
+}
+
+// TestConcurrentGetInsert hammers one small cache from many goroutines;
+// run under -race this is the striping/pinning torture test. Every
+// value is checked against its key so a torn entry or a premature
+// delete shows up as a mismatch.
+func TestConcurrentGetInsert(t *testing.T) {
+	c := New(256) // default stripes, tiny per-shard budget: constant eviction
+	const (
+		workers = 8
+		laps    = 2000
+		keys    = 64
+	)
+	var deletes atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			x := seed*0x9e3779b97f4a7c15 + 1
+			for i := 0; i < laps; i++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				k := Key{ID: x % keys, Offset: (x >> 8) % 4}
+				if h := c.Get(k); h != nil {
+					if h.Value().(Key) != k {
+						t.Errorf("entry %v holds value %v", k, h.Value())
+					}
+					h.Release()
+				} else {
+					h := c.Insert(k, k, int64(16+k.ID%16), func(_ Key, v any) {
+						deletes.Add(1)
+					})
+					if h.Value().(Key) != k {
+						t.Errorf("fresh insert %v reads back %v", k, h.Value())
+					}
+					h.Release()
+				}
+			}
+		}(uint64(w))
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Hits+st.Misses != workers*laps {
+		t.Fatalf("hits %d + misses %d != %d ops", st.Hits, st.Misses, workers*laps)
+	}
+	c.Close()
+	if got := c.Len(); got != 0 {
+		t.Fatalf("%d entries after Close", got)
+	}
+}

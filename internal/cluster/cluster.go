@@ -876,6 +876,14 @@ func (c *Client) Stats() kv.Stats {
 		st.DurableSeq += ns.DurableSeq
 		st.WALSyncs += ns.WALSyncs
 		st.WALSyncRequests += ns.WALSyncRequests
+		st.BlockCacheHits += ns.BlockCacheHits
+		st.BlockCacheMisses += ns.BlockCacheMisses
+		st.BlockCacheEvictions += ns.BlockCacheEvictions
+		st.BlockCacheBytes += ns.BlockCacheBytes
+		st.TableCacheHits += ns.TableCacheHits
+		st.TableCacheMisses += ns.TableCacheMisses
+		st.BloomChecks += ns.BloomChecks
+		st.BloomMisses += ns.BloomMisses
 		st.MembufferResizes += ns.MembufferResizes
 		st.ServerConnsOpen += ns.ServerConnsOpen
 		st.ServerConnsTotal += ns.ServerConnsTotal

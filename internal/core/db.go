@@ -98,10 +98,10 @@ type DB struct {
 	// drainMu serializes the switch+drain critical flows (persist seals
 	// and master scans).
 	drainMu sync.Mutex
-	// persistMu serializes whole persist cycles (the persisting thread's
-	// and Snapshot's forced ones) and covers Snapshot's flush→pin window,
-	// so a snapshot never pins a version into which a newer flush has
-	// already landed.
+	// persistMu serializes whole persist cycles (persistOnce and
+	// Checkpoint's forced flush), so two flushes never interleave their
+	// seal→write→install steps. Snapshot does not take it: pinning is a
+	// seal + seq bound under drainMu alone.
 	persistMu sync.Mutex
 	// fullDrain publishes an in-progress full drain so writers and
 	// drainers can help (Put's helpDrain, Algorithm 2 line 14).
@@ -109,6 +109,16 @@ type DB struct {
 
 	// scanState publishes the active scan for piggybacking (§4.4).
 	scanState atomic.Pointer[scanState]
+
+	// snapMu guards snapBounds, the refcounted set of active snapshot
+	// sequence bounds (snapshot handles and their iterators each hold a
+	// ref). retention publishes the sorted bound set to every memtable
+	// skiplist so in-place updates chain the versions those bounds still
+	// need; with no open snapshots the set is empty and updates stay
+	// destructive (§3.2's single-versioned memory component).
+	snapMu     sync.Mutex
+	snapBounds map[uint64]int
+	retention  skiplist.Retention
 
 	persistCh chan struct{}
 	// persistErr records the first background persist failure; surfaced
@@ -159,10 +169,11 @@ func Open(cfg Config) (*DB, error) {
 		return nil, err
 	}
 	db := &DB{
-		cfg:       cfg,
-		domain:    rcu.NewDomain(),
-		persistCh: make(chan struct{}, 1),
-		closing:   make(chan struct{}),
+		cfg:        cfg,
+		domain:     rcu.NewDomain(),
+		persistCh:  make(chan struct{}, 1),
+		closing:    make(chan struct{}),
+		snapBounds: make(map[uint64]int),
 	}
 	db.handles = &sync.Pool{New: func() any { return db.domain.Reader() }}
 
@@ -214,9 +225,42 @@ func Open(cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// registerBound adds (or re-references) an active snapshot bound and
+// republishes the retention set. Snapshot calls it while writers are
+// paused, so the first post-bound overwrite of any key is guaranteed to
+// observe the bound and chain the displaced version; iterator refs on an
+// already-registered bound need no pause.
+func (db *DB) registerBound(b uint64) {
+	db.snapMu.Lock()
+	db.snapBounds[b]++
+	db.publishBoundsLocked()
+	db.snapMu.Unlock()
+}
+
+// unregisterBound drops one reference; chains retained for a fully
+// released bound are pruned lazily by subsequent updates.
+func (db *DB) unregisterBound(b uint64) {
+	db.snapMu.Lock()
+	if db.snapBounds[b]--; db.snapBounds[b] <= 0 {
+		delete(db.snapBounds, b)
+	}
+	db.publishBoundsLocked()
+	db.snapMu.Unlock()
+}
+
+func (db *DB) publishBoundsLocked() {
+	bounds := make([]uint64, 0, len(db.snapBounds))
+	for b := range db.snapBounds {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	db.retention.Set(bounds)
+}
+
 // newMemtable allocates a fresh memtable with its WAL segment.
 func (db *DB) newMemtable() (*memtable, error) {
 	m := &memtable{list: skiplist.New()}
+	m.list.SetRetention(&db.retention)
 	if db.cfg.DisableWAL || db.store == nil {
 		return m, nil
 	}
@@ -463,6 +507,14 @@ func (db *DB) Stats() kv.Stats {
 		m := db.store.Metrics()
 		s.Flushes = m.Flushes
 		s.Compactions = m.Compactions
+		s.BlockCacheHits = m.BlockCacheHits
+		s.BlockCacheMisses = m.BlockCacheMisses
+		s.BlockCacheEvictions = m.BlockCacheEvictions
+		s.BlockCacheBytes = m.BlockCacheBytes
+		s.TableCacheHits = m.TableCacheHits
+		s.TableCacheMisses = m.TableCacheMisses
+		s.BloomChecks = m.BloomChecks
+		s.BloomMisses = m.BloomNegatives
 	}
 	return s
 }

@@ -85,3 +85,62 @@ func (a *memtableIter) Kind() keys.Kind {
 }
 
 var _ storage.InternalIterator = (*memtableIter)(nil)
+
+// boundListIter iterates a skiplist at a snapshot bound: each visited
+// node's version chain is resolved to the newest version with
+// Seq <= maxSeq, and nodes with no such version (created after the
+// bound) are skipped. This is what lets an O(1) snapshot iterate the
+// LIVE memtable while writers keep updating it in place — the retained
+// chain (skiplist.Retention) guarantees the resolved version survives
+// however many overwrites land after the bound.
+type boundListIter struct {
+	it     *skiplist.Iterator
+	maxSeq uint64
+	entry  *skiplist.Entry
+}
+
+func newBoundListIter(l *skiplist.List, maxSeq uint64) *boundListIter {
+	return &boundListIter{it: l.NewIterator(), maxSeq: maxSeq}
+}
+
+// settle resolves the current node at the bound, advancing past nodes
+// the bound cannot see.
+func (a *boundListIter) settle() {
+	for a.it.Valid() {
+		if e, ok := skiplist.ResolveAt(a.it.Entry(), a.maxSeq); ok {
+			a.entry = e
+			return
+		}
+		a.it.Next()
+	}
+	a.entry = nil
+}
+
+func (a *boundListIter) SeekToFirst()    { a.it.SeekToFirst(); a.settle() }
+func (a *boundListIter) Seek(key []byte) { a.it.Seek(key); a.settle() }
+func (a *boundListIter) Next() {
+	if !a.it.Valid() {
+		return
+	}
+	a.it.Next()
+	a.settle()
+}
+func (a *boundListIter) Valid() bool   { return a.entry != nil }
+func (a *boundListIter) Key() []byte   { return a.it.Key() }
+func (a *boundListIter) Seq() uint64   { return a.entry.Seq }
+func (a *boundListIter) Value() []byte { return a.entry.Value }
+func (a *boundListIter) Err() error    { return nil }
+func (a *boundListIter) CreateSeq() uint64 {
+	if a.entry.CreateSeq != 0 {
+		return a.entry.CreateSeq
+	}
+	return a.entry.Seq
+}
+func (a *boundListIter) Kind() keys.Kind {
+	if a.entry.Tombstone {
+		return keys.KindDelete
+	}
+	return keys.KindSet
+}
+
+var _ storage.InternalIterator = (*boundListIter)(nil)

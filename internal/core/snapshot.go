@@ -7,6 +7,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/skiplist"
 	"flodb/internal/storage"
 )
 
@@ -14,29 +15,34 @@ import (
 // kv.ErrSnapshotReleased.
 var ErrSnapshotReleased = fmt.Errorf("flodb: %w", kv.ErrSnapshotReleased)
 
-// Snapshot returns a read-only view pinned at the current state.
+// Snapshot returns a read-only view pinned at the current state, in O(1)
+// disk work: no memtable flush.
 //
-// Design note — why FloDB snapshots materialize the memory component
-// rather than pinning it: the paper's memory levels are deliberately
-// single-versioned. The Membuffer updates slots in place (§3.2) and the
-// Memtable overwrites skiplist entries in place, so a version that a
-// long-lived reader would need is destroyed by the very next write of the
-// same key. Algorithm 3's restart machinery papers over that window for
-// the duration of one scan, but a named snapshot has no bounded duration
-// to restart across. A repeatable-read handle therefore cannot depend on
-// the memory component at all: Snapshot runs one forced persist cycle —
-// the master-scan seal of Algorithm 3 lines 4–11 (drain the Membuffer
-// into the sealed Memtable), then a sequence point, then the Memtable
-// flush of §4.2 — which materializes the drained delta as an L0 table,
-// and pins the resulting immutable disk Version together with the
-// sequence bound. Reads are then served purely from pinned immutable
-// sstables, filtered at the bound; the multi-versioned baselines instead
-// pin their native (memtable, sequence) snapshot for the handle's
-// lifetime.
+// Design note — how a single-versioned memory component serves
+// repeatable reads. The paper's memory levels deliberately update in
+// place (§3.2): the Membuffer overwrites hash slots and the Memtable
+// swaps skiplist entries, so the version a long-lived reader needs is
+// destroyed by the very next write of the same key. Earlier revisions
+// therefore materialized every snapshot — a forced drain AND flush, so a
+// handle cost an L0 table and snap-read ran 6× behind the baselines.
 //
-// The cost asymmetry is the paper's trade-off surfacing in the API:
-// FloDB buys O(1) in-place writes by making point-in-time handles pay a
-// flush, where the baselines pay for every write so handles are free.
+// The flush was never load-bearing, only the seal was. Snapshot now
+// performs exactly the master-scan seal of Algorithm 3 lines 4–11 (swap
+// in a fresh Membuffer, RCU-wait, drain the old one into the live
+// Memtable — memory-to-memory, cheap) and then draws a sequence bound B
+// while writers are still paused: every pre-seal write has seq < B and
+// sits in the live Memtable, the sealed-but-unflushed Memtable, or
+// sstables; every later write draws seq > B. The bound is registered
+// with the skiplists' Retention before writers resume, which switches
+// in-place updates from destructive swaps to version chaining
+// (skiplist.Entry.PrevVersion) for exactly the versions active bounds
+// still need — at most one retained version per open snapshot per hot
+// key. Reads then resolve the live Memtable at B, fall through to the
+// sealed Memtable and the pinned disk Version (GetAt filters seq <= B),
+// and Close unregisters the bound so chains collapse back to single
+// versions on the next overwrite. The memory component stays
+// single-versioned whenever no snapshot is open; snapshots pay only for
+// the keys overwritten while they live.
 func (db *DB) Snapshot(ctx context.Context) (kv.View, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
@@ -52,29 +58,61 @@ func (db *DB) Snapshot(ctx context.Context) (kv.View, error) {
 	}
 	db.stats.snapshots.Add(1)
 
-	// persistMu held across cycle AND pin: no newer flush can land in
-	// between, so every entry in the pinned version has seq <= bound and
-	// the version holds exactly the state at the bound. (Compactions may
-	// still install versions concurrently, but they only rearrange that
-	// same <=bound data.)
-	db.persistMu.Lock()
-	bound, err := db.persistCycle()
-	if err != nil {
-		db.persistMu.Unlock()
-		db.setPersistErr(err)
-		return nil, err
+	db.drainMu.Lock()
+	db.pauseDraining.Store(true)
+	db.pauseWriters.Store(true)
+
+	old := db.gen.Load()
+	if old.mbf != nil {
+		// The Membuffer is unsequenced, so it cannot be bounded in place:
+		// seal and drain it into the live Memtable first (Algorithm 3's
+		// seal, no disk I/O).
+		db.gen.Store(&generation{mbf: db.newMembufferNow(), mtb: old.mtb})
+		old.mbf.Freeze()
+		db.immMbf.Store(old.mbf)
+		db.domain.Synchronize()
+		db.drainBufferInto(old.mbf, old.mtb, 0)
+		db.immMbf.Store(nil)
+	} else {
+		// Still wait the grace period: an in-flight writer may have drawn
+		// a sequence number below the bound without having inserted yet.
+		db.domain.Synchronize()
+	}
+
+	// Writers paused and drained: B cleanly separates past from future.
+	bound := db.seq.Add(1)
+	// Registered before writers resume, so the first post-B overwrite of
+	// any key already chains the displaced pre-B version.
+	db.registerBound(bound)
+
+	// Capture the sealed-but-unflushed Memtable BEFORE pinning the disk
+	// version. persistCycle's flush order (flush → install version →
+	// synchronize → clear immMtb) guarantees that if the load returns nil
+	// the data is already in the version we pin next; if it returns the
+	// memtable, the captured list plus the pinned version together cover
+	// everything (the merge dedups any overlap).
+	var imm *skiplist.List
+	if m := db.immMtb.Load(); m != nil && m != old.mtb {
+		imm = m.list
 	}
 	v := db.store.PinVersion()
-	db.persistMu.Unlock()
 
-	return &snapshot{db: db, seq: bound, ver: v}, nil
+	db.pauseWriters.Store(false)
+	db.pauseDraining.Store(false)
+	db.drainMu.Unlock()
+
+	return &snapshot{db: db, seq: bound, ver: v, live: old.mtb.list, imm: imm}, nil
 }
 
-// snapshot is a sequence-bounded read view over a pinned disk version.
+// snapshot is a sequence-bounded read view: the live memtable resolved
+// through version chains at the bound, the sealed memtable captured at
+// creation (if a flush was in flight), and a pinned disk version.
 type snapshot struct {
 	db     *DB
 	seq    uint64
 	ver    *storage.Version
+	live   *skiplist.List
+	imm    *skiplist.List // nil when no flush was in flight
 	closed atomic.Bool
 }
 
@@ -95,6 +133,20 @@ func (s *snapshot) check(ctx context.Context) error {
 func (s *snapshot) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if err := s.check(ctx); err != nil {
 		return nil, false, err
+	}
+	// Freshness order: live memtable (every entry there postdates the
+	// sealed one), then the sealed memtable, then disk. Each level serves
+	// the newest version <= bound or passes.
+	for _, l := range [...]*skiplist.List{s.live, s.imm} {
+		if l == nil {
+			continue
+		}
+		if e, ok := l.GetAt(key, s.seq); ok {
+			if e.Tombstone {
+				return nil, false, nil
+			}
+			return keys.Clone(e.Value), true, nil
+		}
 	}
 	v, _, kind, ok, err := s.db.store.GetAt(s.ver, key, s.seq)
 	if err != nil {
@@ -122,34 +174,55 @@ func (s *snapshot) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error
 }
 
 // NewIterator streams the snapshot's range. The iterator takes its own
-// pin on the version, so it stays valid even if the snapshot handle is
-// Closed mid-iteration.
+// pin on the version and its own reference on the sequence bound, so it
+// stays valid (and its versions stay retained) even if the snapshot
+// handle is Closed mid-iteration.
 func (s *snapshot) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator, error) {
-	if err := s.check(ctx); err != nil {
-		return nil, err
-	}
-	s.db.stats.iterators.Add(1)
-	s.db.store.AcquireVersion(s.ver)
-	m, err := s.db.store.NewVersionIterator(s.ver)
-	if err != nil {
-		s.db.store.ReleaseVersion(s.ver)
-		return nil, err
-	}
-	ver := s.ver
 	db := s.db
-	return storage.NewSnapshotIter(ctx, m, storage.SnapshotIterOptions{
-		Low: low, High: high, MaxSeq: s.seq,
-		OnClose: func() { db.store.ReleaseVersion(ver) },
+	// The bound reference is taken BEFORE the closed check: if it passed,
+	// the handle's own reference was still registered at that moment, so
+	// the bound's refcount never touches zero and no chain the iterator
+	// needs is pruned.
+	db.registerBound(s.seq)
+	if err := s.check(ctx); err != nil {
+		db.unregisterBound(s.seq)
+		return nil, err
+	}
+	db.stats.iterators.Add(1)
+
+	its := []storage.InternalIterator{newBoundListIter(s.live, s.seq)}
+	if s.imm != nil {
+		its = append(its, newBoundListIter(s.imm, s.seq))
+	}
+	db.store.AcquireVersion(s.ver)
+	m, pins, err := db.store.NewVersionIterator(s.ver)
+	if err != nil {
+		db.store.ReleaseVersion(s.ver)
+		db.unregisterBound(s.seq)
+		return nil, err
+	}
+	its = append(its, m)
+	ver, bound := s.ver, s.seq
+	return storage.NewSnapshotIter(ctx, storage.NewMergingIterator(its...), storage.SnapshotIterOptions{
+		Low: low, High: high, MaxSeq: bound,
+		OnClose: func() {
+			pins()
+			db.store.ReleaseVersion(ver)
+			db.unregisterBound(bound)
+		},
 	}), nil
 }
 
-// Close releases the snapshot's pinned version. Reads after Close return
-// ErrSnapshotReleased; iterators already created keep their own pin and
-// stay valid. Close is idempotent.
+// Close releases the snapshot's pinned version and retires its sequence
+// bound (retained version chains collapse on subsequent overwrites).
+// Reads after Close return ErrSnapshotReleased; iterators already
+// created hold their own pin and bound reference and stay valid. Close
+// is idempotent.
 func (s *snapshot) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.db.unregisterBound(s.seq)
 	s.db.store.ReleaseVersion(s.ver)
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -310,23 +311,34 @@ func TestAllSystemsCrashMidStreamPrefix(t *testing.T) {
 			// exercising the cross-segment prefix (seal-time flush).
 			s := openDurable(t, sys, dir, 128<<10)
 
-			ctx, cancel := context.WithTimeout(bg, 10*time.Second)
+			ctx, cancel := context.WithTimeout(bg, 30*time.Second)
 			defer cancel()
-			var issued int
+			var issuedN atomic.Int64
 			done := make(chan struct{})
 			go func() {
 				defer close(done)
 				for i := 0; ; i++ {
-					issued = i + 1
+					issuedN.Store(int64(i + 1))
 					if err := s.Put(ctx, keys.EncodeUint64(uint64(i)), keys.EncodeUint64(uint64(i))); err != nil {
-						issued = i // the failed write may or may not have landed; exclude it
+						issuedN.Store(int64(i)) // the failed write may or may not have landed; exclude it
 						return
 					}
 				}
 			}()
+			// Let the stream run, then make sure enough writes are actually
+			// in before pulling the plug: under -race the networked systems
+			// can take tens of milliseconds per quorum round-trip, so a
+			// fixed sleep alone crashes an empty store on slow machines.
 			time.Sleep(30 * time.Millisecond)
+			// >= 11, not 10: the counter is stored optimistically before
+			// each Put, and the crash fails the in-flight write, rolling
+			// the count back by one.
+			for limit := time.Now().Add(20 * time.Second); issuedN.Load() < 11 && time.Now().Before(limit); {
+				time.Sleep(5 * time.Millisecond)
+			}
 			crashStore(t, s)
 			<-done
+			issued := int(issuedN.Load())
 			if issued < 10 {
 				t.Fatalf("writer only issued %d writes before the crash", issued)
 			}

@@ -130,8 +130,23 @@ func storageOpts(memBytes int64) storage.Options {
 	if target < 256<<10 {
 		target = 256 << 10
 	}
-	return storage.Options{BaseLevelBytes: base, TargetFileSize: target}
+	o := storage.Options{BaseLevelBytes: base, TargetFileSize: target}
+	if tinyCachesForTest {
+		// A 1-byte block cache admits nothing (every block read is a
+		// miss) and 2 table handles force constant reader reopen/close
+		// churn — the cache-starvation configuration the tiny-cache
+		// conformance rerun drives the suites through.
+		o.BlockCacheBytes = 1
+		o.TableCacheCapacity = 2
+	}
+	return o
 }
+
+// tinyCachesForTest, when set, opens every store with a pathologically
+// small block cache (1 byte) and table cache (2 handles), so the
+// conformance suites exercise the miss/eviction/reopen paths instead of
+// the warm ones. Flipped by the tiny-cache conformance test.
+var tinyCachesForTest bool
 
 // openSystem builds one of the six stores. Benchmarks run with the WAL
 // disabled, like the paper's db_bench-style loaders (no fsync per write);

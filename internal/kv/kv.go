@@ -178,6 +178,22 @@ type Stats struct {
 	Flushes        uint64
 	Compactions    uint64
 
+	// Read-path caching (internal/cache; zero when the engine has no disk
+	// component). The block cache holds parsed sstable blocks keyed by
+	// (file, offset); the table cache holds open sstable readers (one fd
+	// each). BloomChecks counts bloom-filter consultations on the disk
+	// read path and BloomMisses the reads a filter proved absent —
+	// MissRate = BloomMisses/BloomChecks is the fraction of disk probes
+	// the filters short-circuited.
+	BlockCacheHits      uint64
+	BlockCacheMisses    uint64
+	BlockCacheEvictions uint64
+	BlockCacheBytes     int64
+	TableCacheHits      uint64
+	TableCacheMisses    uint64
+	BloomChecks         uint64
+	BloomMisses         uint64
+
 	// The acked-vs-durable boundary, in commit-log order. AckedSeq is the
 	// commit index of the last acknowledged logged record; DurableSeq is
 	// the highest commit index known crash-durable (fsync-covered, or in

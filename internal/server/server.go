@@ -14,8 +14,9 @@
 // Server-side state: snapshots and iterators live in a per-connection
 // lease table keyed by the handle the open call returned. A janitor
 // expires leases idle past Config.LeaseIdle — a client that vanished
-// without closing its handles must not pin sstables (or a FloDB
-// materialized snapshot) forever. Expired or closed handles answer
+// without closing its handles must not pin sstables (or the memory
+// version chains a FloDB snapshot bound retains) forever. Expired or
+// closed handles answer
 // StatusSnapshotReleased, which the client maps back onto
 // kv.ErrSnapshotReleased.
 //

@@ -230,6 +230,14 @@ func Open(cfg Config) (*Store, error) {
 		if cfg.Core.MemoryBytes > 0 {
 			sc.MemoryBytes = max(cfg.Core.MemoryBytes/int64(m.Shards), 1)
 		}
+		// The block-cache budget is the TOTAL, like MemoryBytes: each
+		// shard caches its own tables, so an even split keeps the
+		// process-wide footprint at the configured size. (Table-cache
+		// capacity is per shard — it bounds file descriptors, and each
+		// shard holds its own descriptors.)
+		if cfg.Core.Storage.BlockCacheBytes > 0 {
+			sc.Storage.BlockCacheBytes = max(cfg.Core.Storage.BlockCacheBytes/int64(m.Shards), 1)
+		}
 		db, err := core.Open(sc)
 		if err != nil {
 			for _, open := range s.shards {
@@ -618,11 +626,10 @@ func (s *Store) NewIterator(ctx context.Context, low, high []byte) (kv.Iterator,
 // Snapshot pins a globally consistent repeatable-read view: a brief
 // cross-shard write barrier blocks mutations while all N per-shard
 // snapshots are taken (concurrently), so the handle observes one cut of
-// the whole keyspace. Each per-shard snapshot is FloDB's materializing
-// kind — a forced drain-and-flush — so the barrier lasts N parallel
-// memtable flushes: milliseconds at bench scale, but writers stall for
-// all of it. The multi-versioned baselines pin snapshots for free; this
-// is the same cost asymmetry, scaled by fan-out.
+// the whole keyspace. Each per-shard snapshot is O(1) — a Membuffer
+// seal plus a pinned sequence bound, no flush — so the barrier lasts N
+// parallel generation switches: microseconds of writer stall, dominated
+// by the barrier itself rather than the snapshots.
 func (s *Store) Snapshot(ctx context.Context) (kv.View, error) {
 	if s.closed.Load() {
 		return nil, ErrClosed
@@ -736,6 +743,14 @@ func (s *Store) Stats() kv.Stats {
 		agg.DurableSeq += st.DurableSeq
 		agg.WALSyncs += st.WALSyncs
 		agg.WALSyncRequests += st.WALSyncRequests
+		agg.BlockCacheHits += st.BlockCacheHits
+		agg.BlockCacheMisses += st.BlockCacheMisses
+		agg.BlockCacheEvictions += st.BlockCacheEvictions
+		agg.BlockCacheBytes += st.BlockCacheBytes
+		agg.TableCacheHits += st.TableCacheHits
+		agg.TableCacheMisses += st.TableCacheMisses
+		agg.BloomChecks += st.BloomChecks
+		agg.BloomMisses += st.BloomMisses
 		// Adaptive sizing: resize epochs and sensor rates sum; the
 		// fraction averages (each shard holds an equal slice of the
 		// budget, so the mean is the budget-weighted live share).

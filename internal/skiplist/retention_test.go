@@ -1,0 +1,186 @@
+package skiplist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"flodb/internal/keys"
+)
+
+// chainLen walks a key's version chain and returns its length (the
+// current entry plus every retained predecessor).
+func chainLen(l *List, key []byte) int {
+	e, ok := l.Get(key)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for ; e != nil; e = e.PrevVersion() {
+		n++
+	}
+	return n
+}
+
+func TestRetentionOffDestroysOldVersions(t *testing.T) {
+	l := New()
+	// No Retention attached: in-place updates must stay single-versioned.
+	l.Insert([]byte("k"), entry("v1", 1))
+	l.Insert([]byte("k"), entry("v2", 2))
+	if n := chainLen(l, []byte("k")); n != 1 {
+		t.Fatalf("chain length without retention = %d, want 1", n)
+	}
+	// Attached but empty bounds: same thing.
+	var r Retention
+	l.SetRetention(&r)
+	l.Insert([]byte("k"), entry("v3", 3))
+	if n := chainLen(l, []byte("k")); n != 1 {
+		t.Fatalf("chain length with empty bounds = %d, want 1", n)
+	}
+}
+
+func TestGetAtResolvesPinnedVersion(t *testing.T) {
+	l := New()
+	var r Retention
+	l.SetRetention(&r)
+	l.Insert([]byte("k"), entry("v1", 1))
+
+	r.Set([]uint64{1}) // a snapshot pinned at seq 1
+	l.Insert([]byte("k"), entry("v2", 5))
+	r.Set([]uint64{1, 7}) // a second snapshot pinned at seq 7
+	l.Insert([]byte("k"), entry("v3", 9))
+
+	if e, ok := l.GetAt([]byte("k"), 1); !ok || string(e.Value) != "v1" || e.Seq != 1 {
+		t.Fatalf("GetAt(1) = %+v %v, want v1@1", e, ok)
+	}
+	if e, ok := l.GetAt([]byte("k"), 7); !ok || string(e.Value) != "v2" {
+		t.Fatalf("GetAt(7) = %+v %v, want v2 (newest <= 7)", e, ok)
+	}
+	if e, ok := l.Get([]byte("k")); !ok || string(e.Value) != "v3" {
+		t.Fatalf("live Get = %+v %v, want v3", e, ok)
+	}
+	// A bound older than every version misses.
+	if _, ok := l.GetAt([]byte("k"), 0); ok {
+		t.Fatal("GetAt(0) should miss: no version at or below the bound")
+	}
+	// A key never written misses at any bound.
+	if _, ok := l.GetAt([]byte("absent"), 9); ok {
+		t.Fatal("GetAt(absent) should miss")
+	}
+}
+
+func TestRetentionChainBoundedByBoundCount(t *testing.T) {
+	l := New()
+	var r Retention
+	l.SetRetention(&r)
+	l.Insert([]byte("k"), entry("v0", 10))
+	r.Set([]uint64{10, 20}) // two active snapshots
+
+	// Hammer one key with 100 overwrites: however hot, the chain must
+	// stay within bounds+1 entries (one per bound plus the live entry).
+	for i := uint64(0); i < 100; i++ {
+		l.Insert([]byte("k"), entry(fmt.Sprintf("v%d", i+1), 30+i))
+	}
+	if n := chainLen(l, []byte("k")); n > 3 {
+		t.Fatalf("chain length with 2 bounds = %d, want <= 3", n)
+	}
+	// Both pinned reads still resolve to the version their bound needs.
+	if e, ok := l.GetAt([]byte("k"), 10); !ok || string(e.Value) != "v0" {
+		t.Fatalf("GetAt(10) = %+v %v, want v0", e, ok)
+	}
+	if e, ok := l.GetAt([]byte("k"), 20); !ok || string(e.Value) != "v0" {
+		t.Fatalf("GetAt(20) = %+v %v, want v0 (newest <= 20)", e, ok)
+	}
+
+	// Dropping the bounds prunes on the next overwrite.
+	r.Set(nil)
+	l.Insert([]byte("k"), entry("final", 1000))
+	if n := chainLen(l, []byte("k")); n != 1 {
+		t.Fatalf("chain length after bounds dropped = %d, want 1", n)
+	}
+}
+
+func TestRetentionSharedVersionAcrossBounds(t *testing.T) {
+	l := New()
+	var r Retention
+	l.SetRetention(&r)
+	l.Insert([]byte("k"), entry("old", 5))
+	// Two bounds that both resolve to the same version must keep ONE
+	// copy, not two.
+	r.Set([]uint64{6, 8})
+	l.Insert([]byte("k"), entry("new", 9))
+	if n := chainLen(l, []byte("k")); n != 2 {
+		t.Fatalf("chain length = %d, want 2 (live + one shared pinned)", n)
+	}
+	for _, b := range []uint64{6, 8} {
+		if e, ok := l.GetAt([]byte("k"), b); !ok || string(e.Value) != "old" {
+			t.Fatalf("GetAt(%d) = %+v %v, want old", b, e, ok)
+		}
+	}
+}
+
+func TestRetentionCreateSeqSurvivesChaining(t *testing.T) {
+	l := New()
+	var r Retention
+	l.SetRetention(&r)
+	l.Insert([]byte("k"), entry("v1", 3))
+	r.Set([]uint64{3})
+	l.Insert([]byte("k"), entry("v2", 7))
+	e, ok := l.Get([]byte("k"))
+	if !ok || e.CreateSeq != 3 {
+		t.Fatalf("CreateSeq = %d, want 3 (first insert's seq)", e.CreateSeq)
+	}
+}
+
+func TestRetentionConcurrentOverwritesAndPinnedReads(t *testing.T) {
+	l := New()
+	var r Retention
+	l.SetRetention(&r)
+	const nKeys = 64
+	for i := 0; i < nKeys; i++ {
+		l.Insert(keys.EncodeUint64(uint64(i)), entry("base", 1))
+	}
+	r.Set([]uint64{1})
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers overwrite every key with monotonically larger seqs.
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			seq := uint64(100 + w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := 0; i < nKeys; i++ {
+					l.Insert(keys.EncodeUint64(uint64(i)), entry("hot", seq))
+					seq += 8
+				}
+			}
+		}(w)
+	}
+	// Readers at the pinned bound must always see the base version,
+	// whatever the writers are doing to the live entries.
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for round := 0; round < 200; round++ {
+				for i := 0; i < nKeys; i++ {
+					e, ok := l.GetAt(keys.EncodeUint64(uint64(i)), 1)
+					if !ok || string(e.Value) != "base" {
+						t.Errorf("pinned read saw %v ok=%v, want base", e, ok)
+						return
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -53,6 +53,80 @@ type Entry struct {
 	Seq       uint64
 	CreateSeq uint64
 	Tombstone bool
+
+	// prev links to the newest older version this list's Retention still
+	// needs (nil when no snapshot bound can observe one). It is atomic
+	// because pruning relinks chains concurrently with readers walking
+	// them.
+	prev atomic.Pointer[Entry]
+}
+
+// PrevVersion returns the next-older retained version, or nil.
+func (e *Entry) PrevVersion() *Entry { return e.prev.Load() }
+
+func (e *Entry) setPrev(p *Entry) { e.prev.Store(p) }
+
+// Retention publishes the set of active snapshot sequence bounds to a
+// list. While a bound B is active, an in-place update of a key whose
+// current entry has Seq <= B chains the displaced entry behind the new
+// one instead of destroying it, so a reader at bound B can still reach
+// the version it needs (GetAt). With no active bounds updates destroy
+// the old version exactly as before — the single-versioned memory
+// component of §3.2 — so the retention machinery costs nothing when no
+// snapshot is open.
+type Retention struct {
+	bounds atomic.Pointer[[]uint64]
+}
+
+// Set publishes the active bounds (they are copied; pass sorted
+// ascending). An empty set disables chaining.
+func (r *Retention) Set(bounds []uint64) {
+	cp := append([]uint64(nil), bounds...)
+	r.bounds.Store(&cp)
+}
+
+func (r *Retention) active() []uint64 {
+	p := r.bounds.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// retain builds the version chain hung beneath a new entry displacing
+// old: for each active bound B the newest version with Seq <= B is
+// kept, everything else is unlinked, and the chain is cut below the
+// deepest kept version — so a chain holds at most len(bounds)+1 entries
+// however hot the key. Concurrent readers are safe: relinks only bypass
+// versions no active bound stops at, a reader's target (the newest
+// version <= its bound, which is fixed once the bound is drawn) is
+// always in the kept set, and kept entries are linked consecutively, so
+// every downward walk reaches the target before passing below it.
+func retain(old *Entry, bounds []uint64) *Entry {
+	if len(bounds) == 0 {
+		return nil
+	}
+	var kept []*Entry
+	v := old
+	for i := len(bounds) - 1; i >= 0; i-- {
+		for v != nil && v.Seq > bounds[i] {
+			v = v.PrevVersion()
+		}
+		if v == nil {
+			break
+		}
+		if len(kept) == 0 || kept[len(kept)-1] != v {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	for i := 0; i < len(kept)-1; i++ {
+		kept[i].setPrev(kept[i+1])
+	}
+	kept[len(kept)-1].setPrev(nil)
+	return kept[0]
 }
 
 // KV pairs a key with its entry for MultiInsert batches.
@@ -84,7 +158,15 @@ type List struct {
 	updates atomic.Int64
 	// rngState seeds the lock-free splitmix64 height generator.
 	rngState atomic.Uint64
+	// ret, when non-nil, supplies the active snapshot bounds that make
+	// in-place updates chain displaced versions. Nil (the default) keeps
+	// the classic destructive swap with zero overhead.
+	ret *Retention
 }
+
+// SetRetention attaches the bound source consulted on in-place updates.
+// Call before the list is shared; lists without one never chain.
+func (l *List) SetRetention(r *Retention) { l.ret = r }
 
 // New returns an empty list ordered by bytes.Compare.
 func New() *List { return NewWithComparator(bytes.Compare) }
@@ -181,19 +263,30 @@ func (l *List) insertFrom(key []byte, e *Entry, preds, succs *[MaxHeight]*node) 
 	var nd *node // allocated lazily; reused across CAS retries
 	for {
 		if l.findFromPreds(key, preds, succs) {
-			// Existing key: in-place update (SWAP on the entry pointer).
-			// The creation seq is inherited so scans can tell overwrites
-			// of pre-snapshot values from post-snapshot inserts.
-			old := succs[0].entry.Load()
-			if old.CreateSeq != 0 {
-				e.CreateSeq = old.CreateSeq
-			} else {
-				e.CreateSeq = old.Seq
+			// Existing key: in-place update. The creation seq is inherited
+			// so scans can tell overwrites of pre-snapshot values from
+			// post-snapshot inserts. The swap is a CAS loop rather than a
+			// blind Swap: with retention active the displaced entry may
+			// need to be chained behind the new one, and a lost race must
+			// re-chain against the actual displaced entry or a concurrent
+			// writer's version would silently vanish from the chain.
+			nd := succs[0]
+			for {
+				old := nd.entry.Load()
+				if old.CreateSeq != 0 {
+					e.CreateSeq = old.CreateSeq
+				} else {
+					e.CreateSeq = old.Seq
+				}
+				if l.ret != nil {
+					e.setPrev(retain(old, l.ret.active()))
+				}
+				if nd.entry.CompareAndSwap(old, e) {
+					l.updates.Add(1)
+					l.bytes.Add(int64(len(e.Value)) - int64(len(old.Value)))
+					return false
+				}
 			}
-			old = succs[0].entry.Swap(e)
-			l.updates.Add(1)
-			l.bytes.Add(int64(len(e.Value)) - int64(len(old.Value)))
-			return false
 		}
 		if nd == nil {
 			if e.CreateSeq == 0 {
@@ -270,6 +363,30 @@ func (l *List) Get(key []byte) (*Entry, bool) {
 	n := l.seekGE(key)
 	if n != nil && l.cmp(n.key, key) == 0 {
 		return n.entry.Load(), true
+	}
+	return nil, false
+}
+
+// GetAt returns the newest version of key with Seq <= maxSeq, walking
+// the node's retained version chain. ok is false when the key is absent
+// or every retained version is newer than maxSeq (the key did not exist
+// in this list at the bound — the caller continues to older components).
+func (l *List) GetAt(key []byte, maxSeq uint64) (*Entry, bool) {
+	n := l.seekGE(key)
+	if n == nil || l.cmp(n.key, key) != 0 {
+		return nil, false
+	}
+	return ResolveAt(n.entry.Load(), maxSeq)
+}
+
+// ResolveAt walks e's version chain for the newest version with
+// Seq <= maxSeq. Iterators over bounded views use it on each visited
+// entry.
+func ResolveAt(e *Entry, maxSeq uint64) (*Entry, bool) {
+	for ; e != nil; e = e.PrevVersion() {
+		if e.Seq <= maxSeq {
+			return e, true
+		}
 	}
 	return nil, false
 }

@@ -5,9 +5,35 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 
+	"flodb/internal/cache"
 	"flodb/internal/keys"
 )
+
+// ReaderMetrics aggregates read-path counters across every Reader that
+// shares it (the store passes one instance to all its tables).
+// BloomChecks counts filter consultations; BloomNegatives the checks a
+// filter answered "definitely absent" — the lookups that skipped a
+// block read entirely. Their ratio is the filter's observed hit rate.
+type ReaderMetrics struct {
+	BloomChecks    atomic.Uint64
+	BloomNegatives atomic.Uint64
+}
+
+// ReaderOptions configure Open. The zero value reads without a cache —
+// every block access is a pread plus a parse.
+type ReaderOptions struct {
+	// BlockCache, when non-nil, holds parsed data blocks keyed by
+	// (CacheID, block offset) so repeat reads skip both the I/O and the
+	// offset-array parse. The cache is shared between readers; CacheID
+	// must be unique per table file for its lifetime (the store uses
+	// the table's file number, which is never reused).
+	BlockCache *cache.Cache
+	CacheID    uint64
+	// Metrics, when non-nil, receives bloom-filter counters.
+	Metrics *ReaderMetrics
+}
 
 // Reader serves point lookups and iteration over one table file. It is
 // safe for concurrent use: blocks are fetched with pread and no shared
@@ -20,11 +46,21 @@ type Reader struct {
 	count  uint64
 	minSeq uint64
 	maxSeq uint64
+
+	bcache  *cache.Cache
+	cacheID uint64
+	metrics *ReaderMetrics
 }
 
-// Open validates the footer, loads the index and filter, and returns a
-// reader.
+// Open validates the footer, loads the index and filter, and returns an
+// uncached reader (equivalent to OpenOptions with zero options).
 func Open(path string) (*Reader, error) {
+	return OpenOptions(path, ReaderOptions{})
+}
+
+// OpenOptions validates the footer, loads the index and filter, and
+// returns a reader wired to opts.
+func OpenOptions(path string, opts ReaderOptions) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sstable: open: %w", err)
@@ -48,7 +84,10 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, err
 	}
-	r := &Reader{f: f, size: st.Size(), count: ftr.count, minSeq: ftr.minSeq, maxSeq: ftr.maxSeq}
+	r := &Reader{
+		f: f, size: st.Size(), count: ftr.count, minSeq: ftr.minSeq, maxSeq: ftr.maxSeq,
+		bcache: opts.BlockCache, cacheID: opts.CacheID, metrics: opts.Metrics,
+	}
 
 	idxRaw, err := r.readAt(ftr.indexOff, ftr.indexLen)
 	if err != nil {
@@ -98,16 +137,57 @@ func (r *Reader) MayContain(key []byte) bool {
 	if r.bloom == nil {
 		return true
 	}
-	return r.bloom.mayContain(key)
+	if r.metrics != nil {
+		r.metrics.BloomChecks.Add(1)
+	}
+	if r.bloom.mayContain(key) {
+		return true
+	}
+	if r.metrics != nil {
+		r.metrics.BloomNegatives.Add(1)
+	}
+	return false
 }
 
-// decodedBlock is a parsed data block held while iterating it.
+// decodedBlock is a parsed data block. It is immutable after decode,
+// which is what makes sharing one copy between every concurrent reader
+// through the block cache safe.
 type decodedBlock struct {
 	payload []byte
 	offsets []uint32
 }
 
+// blockOverhead approximates the per-entry bookkeeping the cache charge
+// adds on top of the payload and offset-array bytes.
+const blockOverhead = 96
+
+// loadBlock returns the parsed block at e, consulting the shared block
+// cache first. The returned block is unpinned immediately: blocks are
+// immutable and garbage-collected, so a reader holding one keeps it
+// alive even if the cache evicts it meanwhile — pinning is only needed
+// for values with non-memory resources (the table cache's readers hold
+// file descriptors and DO pin; see internal/storage).
 func (r *Reader) loadBlock(e indexEntry) (*decodedBlock, error) {
+	if r.bcache == nil {
+		return r.readBlock(e)
+	}
+	k := cache.Key{ID: r.cacheID, Offset: e.off}
+	if h := r.bcache.Get(k); h != nil {
+		b := h.Value().(*decodedBlock)
+		h.Release()
+		return b, nil
+	}
+	b, err := r.readBlock(e)
+	if err != nil {
+		return nil, err
+	}
+	charge := int64(len(b.payload)) + 4*int64(len(b.offsets)) + blockOverhead
+	r.bcache.Insert(k, b, charge, nil).Release()
+	return b, nil
+}
+
+// readBlock fetches and parses the block at e from the file.
+func (r *Reader) readBlock(e indexEntry) (*decodedBlock, error) {
 	raw, err := r.readAt(e.off, e.length)
 	if err != nil {
 		return nil, err

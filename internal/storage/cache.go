@@ -1,99 +1,84 @@
 package storage
 
 import (
-	"sync"
-
+	"flodb/internal/cache"
 	"flodb/internal/sstable"
 )
 
-// tableCacheShards must be a power of two. Sharding removes the global
-// fd-cache lock the paper identified as a bottleneck (§4 footnote 2).
-const tableCacheShards = 16
+// DefaultTableCacheCapacity bounds the number of concurrently open
+// sstable readers when the caller does not choose one. Each cached
+// reader holds one file descriptor plus its parsed index and bloom
+// filter; 256 keeps the store far below the common 1024 soft fd rlimit
+// even with WAL, manifest, sockets and a few hundred goroutine stacks'
+// worth of incidental files on top, while still covering every table of
+// a ~1 GiB store without churn. See TestTableCacheFDBudget for the
+// reasoning spelled out as an executable check.
+const DefaultTableCacheCapacity = 256
 
-// tableCache maps file numbers to open sstable readers. Entries live until
-// Evict (called when a file becomes obsolete) or Close. There is no
-// capacity-based eviction: the store holds at most a few hundred open
-// tables at benchmark scale and the process file-descriptor budget
-// comfortably covers that; obsolete files are evicted eagerly.
+// tableCache maps file numbers to open sstable readers through a
+// capacity-bounded LRU. Lookups return a pinned handle: the reader's
+// file descriptor cannot be closed — by eviction under fd pressure or
+// by Evict when compaction obsoletes the file — until the handle is
+// released, so iterators mid-read on a just-compacted table keep
+// working. The old implementation here was an unbounded map that only
+// evicted obsolete files; a long-lived store with many small tables
+// could crawl past the process fd budget.
 type tableCache struct {
-	dir    string
-	shards [tableCacheShards]tableCacheShard
+	dir string
+	c   *cache.Cache
+
+	// opts is threaded into every reader this cache opens, wiring the
+	// store's shared block cache and bloom metrics into each table.
+	opts sstable.ReaderOptions
 }
 
-type tableCacheShard struct {
-	mu sync.RWMutex
-	m  map[uint64]*sstable.Reader
-}
-
-func newTableCache(dir string) *tableCache {
-	c := &tableCache{dir: dir}
-	for i := range c.shards {
-		c.shards[i].m = make(map[uint64]*sstable.Reader)
+func newTableCache(dir string, capacity int, opts sstable.ReaderOptions) *tableCache {
+	if capacity <= 0 {
+		capacity = DefaultTableCacheCapacity
 	}
-	return c
+	// Keep stripes <= capacity so the per-shard budget never rounds to
+	// zero (capacity is counted in whole handles, charge 1 each).
+	shards := cache.DefaultShards
+	for shards > capacity {
+		shards /= 2
+	}
+	return &tableCache{dir: dir, c: cache.NewWithShards(int64(capacity), shards), opts: opts}
 }
 
-func (c *tableCache) shard(num uint64) *tableCacheShard {
-	// Mix so consecutive file numbers spread across shards.
-	h := num * 0x9e3779b97f4a7c15
-	return &c.shards[h>>59&(tableCacheShards-1)]
-}
+func closeReader(_ cache.Key, v any) { v.(*sstable.Reader).Close() }
 
-// Get returns the reader for table num, opening it on first use.
-func (c *tableCache) Get(num uint64) (*sstable.Reader, error) {
-	s := c.shard(num)
-	s.mu.RLock()
-	r := s.m[num]
-	s.mu.RUnlock()
-	if r != nil {
-		return r, nil
+// Get returns a pinned reader for table num, opening it on first use.
+// The caller must Release the handle when done with the reader; the
+// reader stays valid (fd open) until then even if the entry is evicted
+// or erased meanwhile.
+func (c *tableCache) Get(num uint64) (*sstable.Reader, *cache.Handle, error) {
+	k := cache.Key{ID: num}
+	if h := c.c.Get(k); h != nil {
+		return h.Value().(*sstable.Reader), h, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if r := s.m[num]; r != nil { // raced with another opener
-		return r, nil
-	}
-	r, err := sstable.Open(TableFileName(c.dir, num))
+	o := c.opts
+	o.CacheID = num
+	r, err := sstable.OpenOptions(TableFileName(c.dir, num), o)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	s.m[num] = r
-	return r, nil
+	// Two opens can race on a miss; both insert and the loser's entry is
+	// displaced, closing its reader once the loser's handle is released.
+	// Rare (first touch of a table) and harmless.
+	h := c.c.Insert(k, r, 1, closeReader)
+	return r, h, nil
 }
 
-// Evict closes and forgets the reader for num, if cached.
-func (c *tableCache) Evict(num uint64) {
-	s := c.shard(num)
-	s.mu.Lock()
-	r := s.m[num]
-	delete(s.m, num)
-	s.mu.Unlock()
-	if r != nil {
-		r.Close()
-	}
-}
+// Evict forgets the reader for num, if cached. The close is deferred
+// past any outstanding pins.
+func (c *tableCache) Evict(num uint64) { c.c.Erase(cache.Key{ID: num}) }
 
-// Close releases every cached reader.
-func (c *tableCache) Close() {
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.Lock()
-		for num, r := range s.m {
-			r.Close()
-			delete(s.m, num)
-		}
-		s.mu.Unlock()
-	}
-}
+// Close releases every cached reader (pinned ones close when their
+// pins drain).
+func (c *tableCache) Close() { c.c.Close() }
 
 // Len reports the number of cached readers (diagnostics).
-func (c *tableCache) Len() int {
-	n := 0
-	for i := range c.shards {
-		s := &c.shards[i]
-		s.mu.RLock()
-		n += len(s.m)
-		s.mu.RUnlock()
-	}
-	return n
-}
+func (c *tableCache) Len() int { return c.c.Len() }
+
+// Stats exposes the underlying cache counters.
+func (c *tableCache) Stats() cache.Stats { return c.c.Stats() }

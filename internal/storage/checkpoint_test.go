@@ -192,13 +192,13 @@ func TestSnapshotIterFiltersAndCancels(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := s.PinVersion()
-	m, err := s.NewVersionIterator(v)
+	m, pins, err := s.NewVersionIterator(v)
 	if err != nil {
 		t.Fatal(err)
 	}
 	si := NewSnapshotIter(context.Background(), m, SnapshotIterOptions{
 		MaxSeq:  5,
-		OnClose: func() { s.ReleaseVersion(v) },
+		OnClose: func() { pins(); s.ReleaseVersion(v) },
 	})
 	defer si.Close()
 	var got []string
@@ -216,13 +216,13 @@ func TestSnapshotIterFiltersAndCancels(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	v2 := s.PinVersion()
-	m2, err := s.NewVersionIterator(v2)
+	m2, pins2, err := s.NewVersionIterator(v2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	si2 := NewSnapshotIter(ctx, m2, SnapshotIterOptions{
 		MaxSeq:  100,
-		OnClose: func() { s.ReleaseVersion(v2) },
+		OnClose: func() { pins2(); s.ReleaseVersion(v2) },
 	})
 	defer si2.Close()
 	if si2.First() {

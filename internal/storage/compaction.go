@@ -154,16 +154,28 @@ func (s *Store) runCompaction(c *compaction) error {
 		return true
 	}
 
+	// Input tables stay pinned in the table cache for the compaction's
+	// duration: eviction under fd pressure must not close a reader the
+	// merge is mid-read on.
 	var children []InternalIterator
+	var pins []func()
+	defer func() {
+		for _, f := range pins {
+			f()
+		}
+	}()
 	for _, f := range c.inputs {
-		r, err := s.cache.Get(f.Num)
+		r, h, err := s.cache.Get(f.Num)
 		if err != nil {
 			return err
 		}
+		pins = append(pins, h.Release)
 		children = append(children, NewTableIterator(r.NewIterator()))
 	}
 	if len(c.overlap) > 0 {
-		children = append(children, NewLevelIterator(s.cache, c.overlap))
+		li := NewLevelIterator(s.cache, c.overlap)
+		pins = append(pins, li.close)
+		children = append(children, li)
 	}
 	merged := NewMergingIterator(children...)
 

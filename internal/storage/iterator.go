@@ -3,6 +3,7 @@ package storage
 import (
 	"container/heap"
 
+	"flodb/internal/cache"
 	"flodb/internal/keys"
 	"flodb/internal/sstable"
 )
@@ -135,33 +136,51 @@ func (m *mergingIter) Next() {
 
 // levelIter iterates a sorted run of non-overlapping files (an L1+ level)
 // by chaining per-table iterators, opening each table lazily through the
-// cache.
+// cache. The current table's handle stays pinned (fd guaranteed open)
+// until the iterator moves to the next file; callers who abandon a level
+// iterator mid-run must close() it to drop the final pin.
 type levelIter struct {
 	cache *tableCache
 	files []*FileMeta // sorted by Smallest, non-overlapping
 
 	fileIdx int
 	cur     InternalIterator
+	curH    *cache.Handle
 	err     error
 }
 
 // NewLevelIterator returns an iterator over a non-overlapping file run.
-func NewLevelIterator(cache *tableCache, files []*FileMeta) InternalIterator {
+func NewLevelIterator(cache *tableCache, files []*FileMeta) *levelIter {
 	return &levelIter{cache: cache, files: files, fileIdx: -1}
 }
 
+// close releases the pin on the current table. The iterator becomes
+// invalid; it may be re-positioned with SeekToFirst/Seek.
+func (l *levelIter) close() {
+	if l.curH != nil {
+		l.curH.Release()
+		l.curH = nil
+	}
+	l.cur = nil
+}
+
 func (l *levelIter) openFile(i int) bool {
+	if l.curH != nil {
+		l.curH.Release()
+		l.curH = nil
+	}
 	if i >= len(l.files) {
 		l.cur = nil
 		return false
 	}
-	r, err := l.cache.Get(l.files[i].Num)
+	r, h, err := l.cache.Get(l.files[i].Num)
 	if err != nil {
 		l.err = err
 		l.cur = nil
 		return false
 	}
 	l.fileIdx = i
+	l.curH = h
 	l.cur = NewTableIterator(r.NewIterator())
 	return true
 }

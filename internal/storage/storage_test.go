@@ -504,17 +504,19 @@ func TestVersionInvariantsRandomized(t *testing.T) {
 
 func TestTableCacheSharing(t *testing.T) {
 	dir := t.TempDir()
-	c := newTableCache(dir)
+	c := newTableCache(dir, 0, sstable.ReaderOptions{})
 	defer c.Close()
 	w, _ := sstable.NewWriter(TableFileName(dir, 1), sstable.WriterOptions{})
 	w.Add([]byte("k"), 1, keys.KindSet, []byte("v"))
 	w.Finish()
 
-	r1, err := c.Get(1)
+	r1, h1, err := c.Get(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := c.Get(1)
+	defer h1.Release()
+	r2, h2, _ := c.Get(1)
+	h2.Release()
 	if r1 != r2 {
 		t.Fatal("cache should return the same reader")
 	}
@@ -525,7 +527,67 @@ func TestTableCacheSharing(t *testing.T) {
 	if c.Len() != 0 {
 		t.Fatal("evict did not remove entry")
 	}
-	if _, err := c.Get(99); err == nil {
+	if _, _, err := c.Get(99); err == nil {
 		t.Fatal("missing file should error")
 	}
+}
+
+// TestTableCacheFDBudget documents why the default capacity is what it
+// is: every cached reader holds exactly one file descriptor, so the
+// cache's capacity IS the store's steady-state fd budget for tables.
+// The common soft rlimit is 1024; DefaultTableCacheCapacity must leave
+// comfortable headroom for WAL segments, the manifest, sockets and
+// whatever else the embedding process has open. The LRU bound is what
+// turns "open tables" from O(total files ever created) — the old
+// unbounded map, a slow fd leak on long-lived stores with many small
+// tables — into a constant.
+func TestTableCacheFDBudget(t *testing.T) {
+	if DefaultTableCacheCapacity >= 1024/2 {
+		t.Fatalf("default table-cache capacity %d eats more than half a 1024 soft fd rlimit",
+			DefaultTableCacheCapacity)
+	}
+
+	// The bound is enforced: open far more tables than the capacity and
+	// check the resident count (== open fds held by the cache) stays at
+	// or below it once handles are released.
+	dir := t.TempDir()
+	const capacity = 4
+	c := newTableCache(dir, capacity, sstable.ReaderOptions{})
+	defer c.Close()
+	for i := uint64(1); i <= 32; i++ {
+		w, err := sstable.NewWriter(TableFileName(dir, i), sstable.WriterOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add([]byte{byte(i)}, i, keys.KindSet, []byte("v"))
+		if _, err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		_, h, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	if got := c.Len(); got > capacity {
+		t.Fatalf("table cache holds %d readers, capacity %d", got, capacity)
+	}
+
+	// A pinned reader survives eviction pressure and stays usable — the
+	// fd is not closed under a live iterator.
+	rPinned, hPinned, err := c.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(2); i <= 32; i++ {
+		_, h, err := c.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	if _, _, _, ok, err := rPinned.Get([]byte{1}); err != nil || !ok {
+		t.Fatalf("pinned reader unusable after churn: ok=%v err=%v", ok, err)
+	}
+	hPinned.Release()
 }

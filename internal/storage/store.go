@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flodb/internal/cache"
 	"flodb/internal/keys"
 	"flodb/internal/sstable"
 )
@@ -31,7 +32,19 @@ type Options struct {
 	// CompactionThreads sets the background compaction parallelism
 	// (default 1; the RocksDB-style baseline raises it, §2.2).
 	CompactionThreads int
+	// BlockCacheBytes bounds the shared cache of parsed sstable blocks.
+	// 0 selects DefaultBlockCacheBytes; negative disables block caching
+	// (every read hits the file).
+	BlockCacheBytes int64
+	// TableCacheCapacity bounds the number of concurrently open sstable
+	// readers (fd budget). 0 selects DefaultTableCacheCapacity.
+	TableCacheCapacity int
 }
+
+// DefaultBlockCacheBytes is the block-cache budget when the caller does
+// not choose one: large enough that the warm working set of a benchmark
+// store lives in memory, small next to the memory component itself.
+const DefaultBlockCacheBytes = 32 << 20
 
 func (o *Options) fillDefaults() {
 	if o.L0CompactionTrigger <= 0 {
@@ -64,6 +77,12 @@ type Store struct {
 	vs    *versionSet
 	cache *tableCache
 
+	// bcache is the shared block cache (nil when disabled); metrics
+	// aggregates bloom-filter counters across every reader the table
+	// cache opens.
+	bcache  *cache.Cache
+	metrics sstable.ReaderMetrics
+
 	// compacting marks input files of in-flight compactions; compactPtr
 	// implements LevelDB's round-robin pick within a level. Both guarded
 	// by vs.mu. cond (also on vs.mu) is broadcast whenever a compaction
@@ -87,21 +106,29 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: mkdir: %w", err)
 	}
-	cache := newTableCache(dir)
-	vs, err := openVersionSet(dir, cache)
-	if err != nil {
-		cache.Close()
-		return nil, err
-	}
 	s := &Store{
 		dir:        dir,
 		opts:       opts,
-		vs:         vs,
-		cache:      cache,
 		compacting: make(map[uint64]bool),
 		work:       make(chan struct{}, 1),
 		closing:    make(chan struct{}),
 	}
+	if opts.BlockCacheBytes >= 0 {
+		bytes := opts.BlockCacheBytes
+		if bytes == 0 {
+			bytes = DefaultBlockCacheBytes
+		}
+		s.bcache = cache.New(bytes)
+	}
+	tc := newTableCache(dir, opts.TableCacheCapacity,
+		sstable.ReaderOptions{BlockCache: s.bcache, Metrics: &s.metrics})
+	vs, err := openVersionSet(dir, tc)
+	if err != nil {
+		tc.Close()
+		return nil, err
+	}
+	s.vs = vs
+	s.cache = tc
 	s.cond = sync.NewCond(&s.vs.mu)
 	for i := 0; i < opts.CompactionThreads; i++ {
 		s.wg.Add(1)
@@ -219,12 +246,12 @@ func (s *Store) Get(key []byte) (value []byte, seq uint64, kind keys.Kind, ok bo
 // unpins the version, allowing obsolete files to be deleted).
 func (s *Store) NewIterator() (InternalIterator, func(), error) {
 	v := s.vs.refCurrent()
-	it, err := v.newIterator(s.cache)
+	it, pins, err := v.newIterator(s.cache)
 	if err != nil {
 		s.vs.releaseVersion(v)
 		return nil, nil, err
 	}
-	return it, func() { s.vs.releaseVersion(v) }, nil
+	return it, func() { pins(); s.vs.releaseVersion(v) }, nil
 }
 
 // PinVersion takes a reference on the current version and returns it.
@@ -250,9 +277,11 @@ func (s *Store) GetAt(v *Version, key []byte, maxSeq uint64) (value []byte, seq 
 	return v.getAt(s.cache, key, maxSeq)
 }
 
-// NewVersionIterator builds a merged iterator over the pinned version v.
-// The caller must keep v pinned for the iterator's lifetime.
-func (s *Store) NewVersionIterator(v *Version) (InternalIterator, error) {
+// NewVersionIterator builds a merged iterator over the pinned version v,
+// plus a release function dropping the iterator's table pins. The caller
+// must keep v pinned for the iterator's lifetime and call release when
+// done iterating.
+func (s *Store) NewVersionIterator(v *Version) (InternalIterator, func(), error) {
 	return v.newIterator(s.cache)
 }
 
@@ -343,15 +372,37 @@ type Metrics struct {
 	FilesPerLevel [NumLevels]int
 	BytesPerLevel [NumLevels]int64
 	CachedTables  int
+
+	// Read-path cache and bloom-filter counters.
+	BlockCacheHits      uint64
+	BlockCacheMisses    uint64
+	BlockCacheEvictions uint64
+	BlockCacheBytes     int64
+	TableCacheHits      uint64
+	TableCacheMisses    uint64
+	BloomChecks         uint64
+	BloomNegatives      uint64
 }
 
 // Metrics returns current counters.
 func (s *Store) Metrics() Metrics {
 	m := Metrics{
-		Flushes:      s.flushes.Load(),
-		Compactions:  s.compactions.Load(),
-		CachedTables: s.cache.Len(),
+		Flushes:        s.flushes.Load(),
+		Compactions:    s.compactions.Load(),
+		CachedTables:   s.cache.Len(),
+		BloomChecks:    s.metrics.BloomChecks.Load(),
+		BloomNegatives: s.metrics.BloomNegatives.Load(),
 	}
+	if s.bcache != nil {
+		bst := s.bcache.Stats()
+		m.BlockCacheHits = bst.Hits
+		m.BlockCacheMisses = bst.Misses
+		m.BlockCacheEvictions = bst.Evictions
+		m.BlockCacheBytes = bst.Bytes
+	}
+	tst := s.cache.Stats()
+	m.TableCacheHits = tst.Hits
+	m.TableCacheMisses = tst.Misses
 	s.vs.mu.Lock()
 	for l := 0; l < NumLevels; l++ {
 		m.FilesPerLevel[l] = s.vs.current.NumFiles(l)
@@ -375,6 +426,9 @@ func (s *Store) Close() error {
 	s.wg.Wait()
 	err := s.vs.close()
 	s.cache.Close()
+	if s.bcache != nil {
+		s.bcache.Close()
+	}
 	return err
 }
 

@@ -87,11 +87,12 @@ func (v *Version) getAt(cache *tableCache, key []byte, maxSeq uint64) (value []b
 		if !f.overlaps(key, key) {
 			continue
 		}
-		r, err := cache.Get(f.Num)
+		r, h, err := cache.Get(f.Num)
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
 		val, s, k, hit, err := r.Get(key)
+		h.Release()
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
@@ -113,11 +114,12 @@ func (v *Version) getAt(cache *tableCache, key []byte, maxSeq uint64) (value []b
 		if i == len(files) || keys.Compare(files[i].Smallest, key) > 0 {
 			continue
 		}
-		r, err := cache.Get(files[i].Num)
+		r, h, err := cache.Get(files[i].Num)
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
 		val, s, k, hit, err := r.Get(key)
+		h.Release()
 		if err != nil {
 			return nil, 0, 0, false, err
 		}
@@ -130,21 +132,34 @@ func (v *Version) getAt(cache *tableCache, key []byte, maxSeq uint64) (value []b
 
 // newIterator builds a merged iterator over every file in the version.
 // Child order encodes freshness: L0 files newest→oldest, then L1..Ln.
-func (v *Version) newIterator(cache *tableCache) (InternalIterator, error) {
+// The returned release function drops every table pin the iterator holds
+// (all L0 handles plus each level iterator's current file) and must be
+// called when iteration is abandoned or complete.
+func (v *Version) newIterator(cache *tableCache) (InternalIterator, func(), error) {
 	var children []InternalIterator
-	for _, f := range v.files[0] {
-		r, err := cache.Get(f.Num)
-		if err != nil {
-			return nil, err
+	var pins []func()
+	release := func() {
+		for _, f := range pins {
+			f()
 		}
+	}
+	for _, f := range v.files[0] {
+		r, h, err := cache.Get(f.Num)
+		if err != nil {
+			release()
+			return nil, nil, err
+		}
+		pins = append(pins, h.Release)
 		children = append(children, NewTableIterator(r.NewIterator()))
 	}
 	for l := 1; l < NumLevels; l++ {
 		if len(v.files[l]) > 0 {
-			children = append(children, NewLevelIterator(cache, v.files[l]))
+			li := NewLevelIterator(cache, v.files[l])
+			pins = append(pins, li.close)
+			children = append(children, li)
 		}
 	}
-	return NewMergingIterator(children...), nil
+	return NewMergingIterator(children...), release, nil
 }
 
 // overlappingFiles returns the files in level l intersecting [lo, hi]

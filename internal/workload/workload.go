@@ -101,10 +101,10 @@ var (
 	BatchRead = Mix{GetPct: 50, BatchPct: 50}
 	// SnapshotRead models sessions that pin a repeatable-read view amid a
 	// write-heavy stream: 2% of operations take a snapshot and read
-	// through it, the rest are live reads and inserts. The low snapshot
-	// rate keeps the mix honest for FloDB, where each snapshot
-	// materializes the memory component (a flush) — exactly the API cost
-	// asymmetry the apibench figure exists to expose.
+	// through it, the rest are live reads and inserts. Snapshots are
+	// O(1) everywhere now (FloDB seals and pins a seq bound instead of
+	// flushing), so the mix measures read-view traffic — the apibench
+	// snap-read column is the regression fence for that property.
 	SnapshotRead = Mix{GetPct: 48, InsertPct: 50, SnapPct: 2}
 	// DurableWrite models a commit-heavy ingest where every mutation must
 	// be crash-durable before it is acknowledged: a write-only stream with

@@ -36,6 +36,9 @@ type options struct {
 	adaptiveMax    float64
 	adaptiveWindow time.Duration
 
+	blockCacheBytes int64
+	tableCacheCap   int
+
 	// err records the first invalid option; Open surfaces it.
 	err error
 }
@@ -182,6 +185,40 @@ func WithShards(n int) Option {
 			return
 		}
 		o.shards = n
+	})
+}
+
+// WithBlockCacheSize sets the budget, in bytes, of the shared cache of
+// parsed sstable blocks on the disk read path (default 32 MiB). Repeat
+// reads of warm blocks skip both the I/O and the decode. On a sharded
+// store the budget is the TOTAL, split evenly across shards like
+// WithMemory. Non-positive sizes are rejected by Open; to measure the
+// uncached read path, use a 1-byte cache (nothing fits, every read
+// misses).
+func WithBlockCacheSize(bytes int64) Option {
+	return optionFunc(func(o *options) {
+		if bytes <= 0 {
+			o.fail(fmt.Errorf("flodb: WithBlockCacheSize(%d): size must be positive", bytes))
+			return
+		}
+		o.blockCacheBytes = bytes
+	})
+}
+
+// WithTableCacheCapacity bounds how many sstable readers (one open file
+// descriptor plus a parsed index and bloom filter each) the store keeps
+// resident, per shard (default 256). The LRU evicts cold readers;
+// readers in use by iterators or compactions are pinned and never closed
+// underneath their users. Raise it when the tree holds more tables than
+// the default and re-opens show up in TableCacheMisses; lower it under
+// tight fd limits. Non-positive capacities are rejected by Open.
+func WithTableCacheCapacity(n int) Option {
+	return optionFunc(func(o *options) {
+		if n <= 0 {
+			o.fail(fmt.Errorf("flodb: WithTableCacheCapacity(%d): capacity must be positive", n))
+			return
+		}
+		o.tableCacheCap = n
 	})
 }
 
