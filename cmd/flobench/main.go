@@ -65,6 +65,9 @@ var figureFuncs = map[string]func(figures.Config) (*harness.Table, error){
 	// Distribution tier: quorum throughput/latency vs ring node count,
 	// plus the kill-one-replica availability series.
 	"clusterbench": figures.ClusterBench,
+	// Telemetry overhead: the instrumented hot path (op histograms +
+	// event log) vs WithTelemetry(false), same engine and workloads.
+	"obsbench": figures.ObsBench,
 	// Ablations beyond the paper (DESIGN.md §4.5).
 	"ablate-split": figures.AblateSplit,
 	"ablate-drain": figures.AblateDrainThreads,

@@ -46,6 +46,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +57,8 @@ import (
 	"flodb/internal/cluster"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
+	"flodb/internal/wire"
 )
 
 func main() {
@@ -70,6 +73,7 @@ func main() {
 	durability := flag.String("durability", "", "write durability: none|buffered|sync (local: store default; remote: per-op class)")
 	shards := flag.Int("shards", 0, "range-partition across n shards (0/1 = unsharded; fixed at creation; local only)")
 	adaptive := flag.Bool("adaptive", false, "workload-adaptive Membuffer/Memtable split (§4.4; local only)")
+	jsonOut := flag.Bool("json", false, "stats: print the full machine-readable payload (counters + op latency quantiles) instead of text")
 	flag.Parse()
 	if (*dir == "" && *remote == "" && *seeds == "") || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: flodb {-db <dir> | -remote <addr> | -cluster <seeds>} [-shards n] [-adaptive] [-durability none|buffered|sync] {put k v | get k | del k | scan lo hi | batch ops... | sync | checkpoint dir | fill n | stats}")
@@ -260,6 +264,27 @@ func main() {
 		}
 		fmt.Printf("filled %d keys\n", n)
 	case "stats":
+		if *jsonOut {
+			// The JSON form IS the wire stats schema: remote mode prints
+			// the OpStats payload verbatim, local mode fills the same
+			// struct from the engine, so tooling parses one shape.
+			payload := wire.StatsPayload{Store: statsOf(db)}
+			if cl, ok := db.(*client.Client); ok {
+				p, err := cl.StatsPayload(ctx)
+				if err != nil {
+					fail(err)
+				}
+				payload = p
+			} else if ts, ok := db.(obs.SnapshotProvider); ok {
+				payload.Ops = obs.OpQuantiles(ts.TelemetrySnapshot())
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(payload); err != nil {
+				fail(err)
+			}
+			return
+		}
 		s := statsOf(db)
 		fmt.Printf("puts=%d gets=%d deletes=%d scans=%d iterators=%d batches=%d (%d ops) snapshots=%d checkpoints=%d\n",
 			s.Puts, s.Gets, s.Deletes, s.Scans, s.Iterators, s.Batches, s.BatchOps, s.Snapshots, s.Checkpoints)

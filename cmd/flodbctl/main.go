@@ -4,6 +4,7 @@
 //
 //	flodbctl -members n1=h1:4380,n2=h2:4380,n3=h3:4380 status
 //	flodbctl -members ... stats
+//	flodbctl -members ... top
 //	flodbctl -members ... rebalance add n4=h4:4380
 //	flodbctl -members ... rebalance remove n2
 //
@@ -11,7 +12,11 @@
 // reporting reachability, the identity and ring epoch each node serves,
 // and the exact primary key-share the ring assigns it. stats fetches
 // per-node engine counters — the skew view: a hot member shows it here
-// first. rebalance previews a membership change WITHOUT performing it:
+// first. top fetches each node's telemetry snapshot and renders per-op
+// latency quantiles (p50/p90/p99/p999) plus the newest structured
+// events — where "node n2 is slow" becomes "n2's p99 put is 40× its
+// p50 and it logged wal-stall events". rebalance previews a membership
+// change WITHOUT performing it:
 // the fraction of the keyspace whose owner set would change (the data
 // that would have to move), against the ~share/N a consistent-hash ring
 // promises.
@@ -32,6 +37,8 @@ import (
 	"flodb/internal/client"
 	"flodb/internal/cluster"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
+	"flodb/internal/wire"
 )
 
 func main() {
@@ -46,9 +53,10 @@ func run(args []string, out, errw io.Writer) int {
 		replication = fs.Int("replication", 2, "replicas per key R (must match the coordinators')")
 		vnodes      = fs.Int("vnodes", cluster.DefaultVnodes, "virtual nodes per member (must match the coordinators')")
 		timeout     = fs.Duration("timeout", 2*time.Second, "per-node probe timeout")
+		nEvents     = fs.Int("events", 8, "top: recent structured events shown per node")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: flodbctl -members <seeds> [-replication r] [-vnodes v] {status | stats | rebalance add <[id=]addr> | rebalance remove <id>}")
+		fmt.Fprintln(errw, "usage: flodbctl -members <seeds> [-replication r] [-vnodes v] {status | stats | top | rebalance add <[id=]addr> | rebalance remove <id>}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +82,8 @@ func run(args []string, out, errw io.Writer) int {
 		return status(out, ring, *timeout)
 	case "stats":
 		return nodeStats(out, ring, *timeout)
+	case "top":
+		return top(out, ring, *timeout, *nEvents)
 	case "rebalance":
 		return rebalance(out, errw, fs.Args()[1:], members, ring, *vnodes, *replication)
 	default:
@@ -150,6 +160,100 @@ func nodeStats(out io.Writer, ring *cluster.Ring, timeout time.Duration) int {
 		return 1
 	}
 	return 0
+}
+
+// top renders each member's telemetry snapshot: per-op latency
+// quantiles and the newest structured events.
+func top(out io.Writer, ring *cluster.Ring, timeout time.Duration, nEvents int) int {
+	bad := 0
+	for i, m := range ring.Members() {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		cl, err := client.Dial(m.Addr, client.WithConns(1), client.WithDialTimeout(timeout))
+		if err != nil {
+			fmt.Fprintf(out, "%s (%s): unreachable: %v\n", m.ID, m.Addr, err)
+			bad++
+			continue
+		}
+		var tp wire.TelemetryPayload
+		func() {
+			defer cl.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			tp, err = cl.Telemetry(ctx, nEvents)
+		}()
+		if err != nil {
+			fmt.Fprintf(out, "%s (%s): telemetry: %v\n", m.ID, m.Addr, err)
+			bad++
+			continue
+		}
+		node := tp.Node
+		if node == "" {
+			node = m.ID
+		}
+		fmt.Fprintf(out, "%s (%s)\n", node, m.Addr)
+		ops := make([]string, 0, len(tp.Ops))
+		for op, q := range tp.Ops {
+			if q.Count > 0 {
+				ops = append(ops, op)
+			}
+		}
+		// Busiest ops first — this is a "what is this node doing" view.
+		sort.Slice(ops, func(a, b int) bool {
+			qa, qb := tp.Ops[ops[a]], tp.Ops[ops[b]]
+			if qa.Count != qb.Count {
+				return qa.Count > qb.Count
+			}
+			return ops[a] < ops[b]
+		})
+		if len(ops) == 0 {
+			fmt.Fprintf(out, "  no recorded operations (idle node, or telemetry disabled)\n")
+		} else {
+			fmt.Fprintf(out, "  %-10s %10s %10s %10s %10s %10s\n", "OP", "COUNT", "MEAN", "P50", "P99", "P999")
+			for _, op := range ops {
+				q := tp.Ops[op]
+				fmt.Fprintf(out, "  %-10s %10d %10s %10s %10s %10s\n", op, q.Count,
+					fmtNanos(int64(q.Mean)), fmtNanos(q.P50), fmtNanos(q.P99), fmtNanos(q.P999))
+			}
+		}
+		for _, e := range tp.Events {
+			fmt.Fprintf(out, "  %s %-14s %s\n", e.Time.Format("15:04:05.000"), e.Type, eventLine(e))
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// fmtNanos renders a nanosecond latency human-first (1.234ms, 56.7µs).
+func fmtNanos(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// eventLine renders an event's payload fields compactly, skipping the
+// zero-valued ones.
+func eventLine(e obs.Event) string {
+	s := ""
+	if e.Dur > 0 {
+		s += fmt.Sprintf("dur=%v ", e.Dur.Round(time.Microsecond))
+	}
+	if e.Bytes > 0 {
+		s += fmt.Sprintf("bytes=%d ", e.Bytes)
+	}
+	if e.Keys > 0 {
+		s += fmt.Sprintf("keys=%d ", e.Keys)
+	}
+	return s + e.Detail
 }
 
 func rebalance(out, errw io.Writer, args []string, members []cluster.Member, from *cluster.Ring, vnodes, replication int) int {

@@ -48,6 +48,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -57,7 +58,9 @@ import (
 	"flodb"
 	"flodb/internal/cluster"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/server"
+	"flodb/internal/wire"
 )
 
 func main() {
@@ -94,6 +97,8 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 		maxInFl    = fs.Int("max-inflight", 0, "max in-flight requests per connection (0 = default 128)")
 		leaseIdle  = fs.Duration("lease-idle", 0, "idle snapshot/iterator lease expiry (0 = default 5m)")
 		slow       = fs.Duration("slow", 0, "slow-request accounting threshold (0 = default 1s)")
+		debugAddr  = fs.String("debug-addr", "", "serve /metrics, /events, /statsz and /debug/pprof on this HTTP address (empty = disabled)")
+		debugFile  = fs.String("debug-addr-file", "", "write the bound debug address to this file (for scripts using -debug-addr 127.0.0.1:0)")
 		drainTO    = fs.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		verbose    = fs.Bool("v", false, "log per-connection diagnostics")
 	)
@@ -164,6 +169,24 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 		db = ldb
 	}
 
+	// The daemon is where the store's and the server's telemetry meet:
+	// one merged snapshot feeds /metrics, /statsz, and OpTelemetry, so
+	// every surface agrees on what the process is doing.
+	var srv *server.Server
+	snapshot := func() obs.Snapshot {
+		snaps := []obs.Snapshot{srv.TelemetrySnapshot()}
+		if ts, ok := db.(obs.SnapshotProvider); ok {
+			snaps = append(snaps, ts.TelemetrySnapshot())
+		}
+		return obs.Merge(snaps...)
+	}
+	events := func(n int) []obs.Event {
+		if ts, ok := db.(obs.EventProvider); ok {
+			return ts.TelemetryEvents(n)
+		}
+		return nil
+	}
+
 	cfg := server.Config{
 		Store:       db,
 		NodeID:      *nodeID,
@@ -171,11 +194,52 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 		MaxInFlight: *maxInFl,
 		LeaseIdle:   *leaseIdle,
 		SlowRequest: *slow,
+		Telemetry: func(maxEvents int) wire.TelemetryPayload {
+			s := snapshot()
+			return wire.TelemetryPayload{
+				Node:    *nodeID,
+				Ops:     obs.OpQuantiles(s),
+				Metrics: s.Metrics,
+				Events:  events(maxEvents),
+			}
+		},
 	}
 	if *verbose {
 		cfg.Logf = logger.Printf
 	}
-	srv := server.New(cfg)
+	srv = server.New(cfg)
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		statsz := func() any {
+			payload := wire.StatsPayload{Server: srv.Info()}
+			if sp, ok := db.(kv.StatsProvider); ok {
+				payload.Store = sp.Stats()
+			}
+			payload.Ops = obs.OpQuantiles(snapshot())
+			return payload
+		}
+		debugSrv = &http.Server{Handler: obs.DebugMux(obs.DebugOptions{
+			Snapshot: snapshot,
+			Events:   events,
+			Statsz:   statsz,
+		})}
+		go debugSrv.Serve(dl)
+		logger.Printf("debug telemetry on http://%s/metrics", dl.Addr())
+		if *debugFile != "" {
+			if err := writeAddrFile(*debugFile, dl.Addr().String()); err != nil {
+				debugSrv.Close()
+				db.Close()
+				return err
+			}
+		}
+		defer debugSrv.Close()
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -184,13 +248,7 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 	}
 	logger.Printf("serving %s on %s", *dir, l.Addr())
 	if *addrFile != "" {
-		// Write-then-rename so a watcher never reads a half-written file.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(l.Addr().String()), 0o644); err != nil {
-			db.Close()
-			return err
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		if err := writeAddrFile(*addrFile, l.Addr().String()); err != nil {
 			db.Close()
 			return err
 		}
@@ -243,4 +301,14 @@ func run(args []string, logw io.Writer, notify func(addr string)) error {
 	}
 	logger.Printf("drained and closed")
 	return nil
+}
+
+// writeAddrFile publishes a bound address write-then-rename, so a
+// watcher never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

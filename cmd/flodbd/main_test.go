@@ -2,8 +2,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"testing"
@@ -12,6 +16,8 @@ import (
 	"flodb"
 	"flodb/internal/client"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
+	"flodb/internal/wire"
 )
 
 // TestSigtermDrainPreservesAckedWrites runs the daemon in-process,
@@ -90,5 +96,319 @@ func TestSigtermDrainPreservesAckedWrites(t *testing.T) {
 		if _, found, err := db.Get(ctx, []byte(key)); err != nil || !found {
 			t.Fatalf("acked Buffered write %q lost across SIGTERM drain: found=%v err=%v", key, found, err)
 		}
+	}
+}
+
+// TestDebugTelemetryEndpoint runs the daemon in-process with
+// -debug-addr, drives traffic, and scrapes the full /debug surface: the
+// /metrics exposition must parse strictly and carry both the engine's
+// and the server's metric families, /statsz must be valid JSON with op
+// quantiles, /events valid JSON, and OpTelemetry over the wire must
+// agree with the HTTP view. CI runs this against every PR — a metric
+// family disappearing or the exposition going malformed fails here.
+func TestDebugTelemetryEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	debugFile := filepath.Join(dir, "debug-addr")
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(
+			[]string{"-db", filepath.Join(dir, "db"), "-addr", "127.0.0.1:0",
+				"-node-id", "n1", "-debug-addr", "127.0.0.1:0", "-debug-addr-file", debugFile},
+			io.Discard,
+			func(addr string) { addrCh <- addr },
+		)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	defer func() {
+		syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		select {
+		case <-runErr:
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not exit after SIGTERM")
+		}
+	}()
+
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k-%03d", i)
+		if err := cl.Put(ctx, []byte(key), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get(ctx, []byte(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	blob, err := os.ReadFile(debugFile)
+	if err != nil {
+		t.Fatalf("debug addr file: %v", err)
+	}
+	debugURL := "http://" + string(blob)
+
+	resp, err := http.Get(debugURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics exposition does not parse: %v", err)
+	}
+	for _, want := range []string{
+		"flodb_puts_total",
+		"flodb_gets_total",
+		"flodb_op_latency_seconds",
+		"flodb_wal_syncs_total",
+		"flodb_memtable_bytes",
+		"flodbd_requests_total",
+		"flodbd_request_seconds",
+		"flodbd_conns_open",
+	} {
+		if _, ok := fams[want]; !ok {
+			t.Errorf("/metrics is missing family %q", want)
+		}
+	}
+
+	resp, err = http.Get(debugURL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statsz wire.StatsPayload
+	err = json.NewDecoder(resp.Body).Decode(&statsz)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/statsz is not a StatsPayload: %v", err)
+	}
+	if statsz.Store.Puts != 50 {
+		t.Errorf("/statsz store.Puts = %d, want 50", statsz.Store.Puts)
+	}
+	if q, ok := statsz.Ops["put"]; !ok || q.Count != 50 {
+		t.Errorf("/statsz ops[put] = %+v, want count 50", q)
+	}
+
+	resp, err = http.Get(debugURL + "/events?last=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	err = json.NewDecoder(resp.Body).Decode(&events)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/events is not an event array: %v", err)
+	}
+
+	tp, err := cl.Telemetry(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Node != "n1" {
+		t.Errorf("telemetry node = %q, want n1", tp.Node)
+	}
+	if q, ok := tp.Ops["put"]; !ok || q.Count != 50 {
+		t.Errorf("telemetry ops[put] = %+v, want count 50", q)
+	}
+	if len(tp.Metrics) == 0 {
+		t.Error("telemetry payload carries no metrics")
+	}
+}
+
+// TestTelemetryChurnUnderLoad is the nightly race-detector workload for
+// the observability plane: writers storm the store (small memory
+// component, so seals/flushes/events fire constantly) while scrapers
+// hammer /metrics (strict-parsing every exposition), /events, /statsz,
+// a pprof profile endpoint, and the OpTelemetry RPC. Everything the
+// telemetry path touches — histogram atomics, the event ring, registry
+// snapshots, the merged daemon view — races against the hot path here.
+func TestTelemetryChurnUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry churn runs in the nightly full-duration suite")
+	}
+	dir := t.TempDir()
+	debugFile := filepath.Join(dir, "debug-addr")
+	addrCh := make(chan string, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(
+			// 256 KiB memory: constant seal/flush churn. Durability none:
+			// writers must outrun the membuffer even under -race, and the
+			// WAL wait would cap them at group-commit speed.
+			[]string{"-db", filepath.Join(dir, "db"), "-addr", "127.0.0.1:0",
+				"-mem", "262144", "-durability", "none",
+				"-debug-addr", "127.0.0.1:0", "-debug-addr-file", debugFile},
+			io.Discard,
+			func(addr string) { addrCh <- addr },
+		)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never started listening")
+	}
+	defer func() {
+		syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		select {
+		case <-runErr:
+		case <-time.After(30 * time.Second):
+			t.Error("daemon did not exit after SIGTERM")
+		}
+	}()
+	blob := []byte(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for len(blob) == 0 && time.Now().Before(deadline) {
+		blob, _ = os.ReadFile(debugFile)
+		if len(blob) == 0 {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if len(blob) == 0 {
+		t.Fatal("debug addr file never appeared")
+	}
+	debugURL := "http://" + string(blob)
+
+	cl, err := client.Dial(addr, client.WithConns(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	const storm = 3 * time.Second
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapeErr, opErr error
+	var mu sync.Mutex
+	record := func(dst *error, err error) {
+		mu.Lock()
+		if *dst == nil && err != nil {
+			*dst = err
+		}
+		mu.Unlock()
+	}
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// 8 KiB values: even when -race stretches each round trip to
+			// tens of milliseconds, a handful of puts fills the membuffer
+			// slice of the 256 KiB budget, so seal/flush events keep
+			// firing for the scrapers to race against.
+			val := make([]byte, 8192)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				key := fmt.Sprintf("w%d-%06d", w, i%5000)
+				if err := cl.Put(ctx, []byte(key), val); err != nil {
+					record(&opErr, err)
+					return
+				}
+				if i%7 == 0 {
+					if _, _, err := cl.Get(ctx, []byte(key)); err != nil {
+						record(&opErr, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(debugURL + "/metrics")
+				if err != nil {
+					record(&scrapeErr, err)
+					return
+				}
+				_, perr := obs.ParsePrometheus(resp.Body)
+				resp.Body.Close()
+				if perr != nil {
+					record(&scrapeErr, fmt.Errorf("mid-storm exposition: %w", perr))
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, path := range []string{"/events?last=64", "/statsz"} {
+				resp, err := http.Get(debugURL + path)
+				if err != nil {
+					record(&scrapeErr, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if _, err := cl.Telemetry(ctx, 32); err != nil {
+				record(&scrapeErr, fmt.Errorf("OpTelemetry mid-storm: %w", err))
+				return
+			}
+		}
+	}()
+
+	// One pprof heap profile mid-storm: the profile endpoints share the
+	// mux and must not wedge the scrape path.
+	time.Sleep(storm / 2)
+	resp, err := http.Get(debugURL + "/debug/pprof/heap?debug=1")
+	if err != nil {
+		t.Errorf("pprof fetch: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	time.Sleep(storm / 2)
+	close(stop)
+	wg.Wait()
+	if opErr != nil {
+		t.Fatalf("write storm failed: %v", opErr)
+	}
+	if scrapeErr != nil {
+		t.Fatalf("telemetry scrape failed: %v", scrapeErr)
+	}
+
+	// The storm must have produced events (seals at 256 KiB are
+	// guaranteed) and a put histogram covering every acked write.
+	evs, err := cl.Telemetry(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs.Events) == 0 {
+		t.Errorf("no structured events after a seal-heavy write storm (%d puts recorded)", evs.Ops["put"].Count)
+	}
+	if evs.Ops["put"].Count == 0 {
+		t.Error("no put latencies recorded after the storm")
 	}
 }

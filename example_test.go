@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 
 	"flodb"
+	"flodb/internal/obs"
 )
 
 // Example demonstrates the core public API: open, write, read, scan,
@@ -345,4 +346,45 @@ func ExampleDB_blockCache() {
 	// Output:
 	// block cache ok: true
 	// table cache ok: true
+}
+
+// ExampleDB_metrics shows the observability surface: every operation is
+// recorded in per-op latency histograms and the counter registry, and
+// TelemetrySnapshot freezes the whole thing — the same snapshot flodbd
+// serves at /metrics. WithTelemetry(false) drops the histograms and the
+// event log (counters stay on) for hot paths that begrudge the clock
+// reads.
+func ExampleDB_metrics() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-metrics")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 10; i++ {
+		if err := db.Put(bg, []byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, _, err := db.Get(bg, []byte("k03")); err != nil {
+		log.Fatal(err)
+	}
+
+	snap := db.TelemetrySnapshot()
+	ops := obs.OpQuantiles(snap) // p50/p90/p99/p999 per op, keyed "put", "get", ...
+	fmt.Println("put count:", ops["put"].Count)
+	fmt.Println("get count:", ops["get"].Count)
+	fmt.Println("put p99 recorded:", ops["put"].P99 > 0)
+	for _, m := range snap.Metrics {
+		if m.Name == "flodb_puts_total" {
+			fmt.Println("flodb_puts_total:", m.Value)
+		}
+	}
+	// Output:
+	// put count: 10
+	// get count: 1
+	// put p99 recorded: true
+	// flodb_puts_total: 10
 }

@@ -95,6 +95,7 @@ import (
 	"flodb/internal/core"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/shard"
 )
 
@@ -186,6 +187,7 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		AdaptiveMinFraction: o.adaptiveMin,
 		AdaptiveMaxFraction: o.adaptiveMax,
 		AdaptiveWindow:      o.adaptiveWindow,
+		DisableTelemetry:    o.disableTelemetry,
 	}
 	cfg.Storage.BlockCacheBytes = o.blockCacheBytes
 	cfg.Storage.TableCacheCapacity = o.tableCacheCap
@@ -322,6 +324,33 @@ func (db *DB) ShardStats() []Stats {
 		return s.PerShard()
 	}
 	return nil
+}
+
+// telemetryProvider is implemented by both engines (core.DB directly,
+// shard.Store by merging its shards).
+type telemetryProvider interface {
+	TelemetrySnapshot() obs.Snapshot
+	TelemetryEvents(n int) []obs.Event
+}
+
+// TelemetrySnapshot freezes the store's metrics registry: every Stats
+// counter under its canonical flodb_* name, the WAL/cache/storage
+// views, and — unless telemetry was disabled with WithTelemetry(false)
+// — per-op latency histograms and event counts. On a sharded store the
+// shards merge: counters sum, histograms merge bucket-wise. The result
+// renders to Prometheus text with WritePrometheus; flodbd serves it at
+// /metrics.
+func (db *DB) TelemetrySnapshot() obs.Snapshot {
+	return db.inner.(telemetryProvider).TelemetrySnapshot()
+}
+
+// TelemetryEvents returns up to n recent structured lifecycle events
+// (flushes, compactions, generation seals, WAL rotations and stalls,
+// snapshot pins, resize epochs; n <= 0 returns everything retained),
+// oldest first. On a sharded store the shards' timelines interleave by
+// timestamp. It returns nil when telemetry is disabled.
+func (db *DB) TelemetryEvents(n int) []obs.Event {
+	return db.inner.(telemetryProvider).TelemetryEvents(n)
 }
 
 var (

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/wire"
 )
 
@@ -369,6 +370,17 @@ func (c *conn) call(ctx context.Context, req *wire.Request) (wire.Response, erro
 	if err := ctx.Err(); err != nil {
 		return wire.Response{}, err
 	}
+	if req.TraceID == 0 {
+		// The coordinator edge: reuse the context's trace when one is
+		// already flowing (a server fanning this request out to
+		// replicas re-stamps its inbound ID), otherwise mint one so
+		// every slow-request line downstream is correlatable.
+		if id := obs.Trace(ctx); id != 0 {
+			req.TraceID = id
+		} else {
+			req.TraceID = obs.NewTraceID()
+		}
+	}
 	if dl, ok := ctx.Deadline(); ok {
 		remain := time.Until(dl)
 		if remain <= 0 {
@@ -582,16 +594,28 @@ func (cl *Client) Stats() kv.Stats {
 	return st
 }
 
-// FullStats returns the store stats plus the server's per-opcode
-// breakdown.
-func (cl *Client) FullStats(ctx context.Context) (kv.Stats, wire.ServerInfo, error) {
+// StatsPayload fetches the raw OpStats response: store counters, server
+// info, and (when the node runs with telemetry) per-op latency
+// quantiles. `flodb stats -json` prints it verbatim, so the local and
+// remote JSON stats surfaces share one schema.
+func (cl *Client) StatsPayload(ctx context.Context) (wire.StatsPayload, error) {
 	resp, err := cl.call(ctx, &wire.Request{Op: wire.OpStats})
 	if err != nil {
-		return kv.Stats{}, wire.ServerInfo{}, err
+		return wire.StatsPayload{}, err
 	}
 	var payload wire.StatsPayload
 	if err := json.Unmarshal(resp.Payload, &payload); err != nil {
-		return kv.Stats{}, wire.ServerInfo{}, fmt.Errorf("client: stats payload: %w", err)
+		return wire.StatsPayload{}, fmt.Errorf("client: stats payload: %w", err)
+	}
+	return payload, nil
+}
+
+// FullStats returns the store stats plus the server's per-opcode
+// breakdown.
+func (cl *Client) FullStats(ctx context.Context) (kv.Stats, wire.ServerInfo, error) {
+	payload, err := cl.StatsPayload(ctx)
+	if err != nil {
+		return kv.Stats{}, wire.ServerInfo{}, err
 	}
 	st := payload.Store
 	st.ServerConnsOpen = payload.Server.ConnsOpen
@@ -602,6 +626,26 @@ func (cl *Client) FullStats(ctx context.Context) (kv.Stats, wire.ServerInfo, err
 	st.ServerBytesOut = payload.Server.BytesOut
 	st.ServerSlowRequests = payload.Server.SlowRequests
 	return st, payload.Server, nil
+}
+
+// Telemetry fetches the node's observability snapshot: per-op latency
+// quantiles, the merged metric registry, and up to maxEvents recent
+// structured events (0 = the server's default). flodbctl top renders
+// it; kv.ErrNotSupported when the server has no telemetry provider.
+func (cl *Client) Telemetry(ctx context.Context, maxEvents int) (wire.TelemetryPayload, error) {
+	var body []byte
+	if maxEvents > 0 {
+		body = binary.AppendUvarint(nil, uint64(maxEvents))
+	}
+	resp, err := cl.call(ctx, &wire.Request{Op: wire.OpTelemetry, Payload: body})
+	if err != nil {
+		return wire.TelemetryPayload{}, err
+	}
+	var payload wire.TelemetryPayload
+	if err := json.Unmarshal(resp.Payload, &payload); err != nil {
+		return wire.TelemetryPayload{}, fmt.Errorf("client: telemetry payload: %w", err)
+	}
+	return payload, nil
 }
 
 // --- Shared view plumbing ----------------------------------------------------

@@ -14,6 +14,7 @@ import (
 	"flodb/internal/client"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/wire"
 )
 
@@ -163,6 +164,9 @@ type Client struct {
 	ring *Ring
 	// nodes is indexed like ring.Members().
 	nodes []*node
+	// events records ring transitions (member up/down, epoch exclusions)
+	// and hint-replay completions for flodbctl top and /events.
+	events *obs.EventLog
 
 	ver    atomic.Uint64
 	closed atomic.Bool
@@ -195,7 +199,10 @@ func Open(cfg Config) (*Client, error) {
 	if err := os.MkdirAll(cfg.HintDir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: hint dir: %w", err)
 	}
-	c := &Client{cfg: cfg, ring: ring, stopProbe: make(chan struct{})}
+	c := &Client{cfg: cfg, ring: ring, stopProbe: make(chan struct{}), events: obs.NewEventLog(0)}
+	c.events.Emit(obs.Event{Type: obs.EventRingEpoch,
+		Detail: fmt.Sprintf("ring epoch %#x over %d members (R=%d W=%d Rq=%d)",
+			ring.Epoch(), len(ring.Members()), cfg.Replication, cfg.WriteQuorum, cfg.ReadQuorum)})
 	// Versions are coordinator-assigned and must outrank every version a
 	// previous coordinator incarnation assigned: seed from the clock,
 	// count up from there.
@@ -250,6 +257,15 @@ func (c *Client) logf(format string, args ...any) {
 	if c.cfg.Logf != nil {
 		c.cfg.Logf(format, args...)
 	}
+}
+
+// nodeDown records an up→down transition on the operator log and the
+// event ring. Callers invoke it exactly on the transition (noteFailure
+// returned true), never per failed request.
+func (c *Client) nodeDown(n *node, reason string, err error) {
+	c.logf("cluster: node %s marked down (%s): %v", n.member.ID, reason, err)
+	c.events.Emit(obs.Event{Type: obs.EventRingDown,
+		Detail: fmt.Sprintf("%s (%s): %s: %v", n.member.ID, n.member.Addr, reason, err)})
 }
 
 // Ring exposes the routing table (flodbctl, tests).
@@ -367,7 +383,7 @@ func (c *Client) vputNode(ctx context.Context, n *node, rec wire.VRecord, opts [
 	_, err = cl.VPut(ctx, rec, opts...)
 	if err != nil && errors.Is(err, kv.ErrUnavailable) {
 		if n.noteFailure(c.cfg.ProbeFailK) {
-			c.logf("cluster: node %s marked down (write path): %v", n.member.ID, err)
+			c.nodeDown(n, "write path", err)
 		}
 	}
 	return err
@@ -426,7 +442,7 @@ func (c *Client) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption)
 				_, _, err = cl.VApply(ctx, sub, opts...)
 				if err != nil && errors.Is(err, kv.ErrUnavailable) {
 					if c.nodes[oi].noteFailure(c.cfg.ProbeFailK) {
-						c.logf("cluster: node %s marked down (write path): %v", c.nodes[oi].member.ID, err)
+						c.nodeDown(c.nodes[oi], "write path", err)
 					}
 				}
 				return err
@@ -528,7 +544,7 @@ func (c *Client) readOwners(ctx context.Context, owners []int, key []byte) ([]re
 			raw, found, err := cl.Get(ctx, key)
 			if err != nil {
 				if errors.Is(err, kv.ErrUnavailable) && n.noteFailure(c.cfg.ProbeFailK) {
-					c.logf("cluster: node %s marked down (read path): %v", n.member.ID, err)
+					c.nodeDown(n, "read path", err)
 				}
 				rc.err = err
 				results <- rc

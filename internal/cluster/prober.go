@@ -8,6 +8,7 @@ import (
 
 	"flodb/internal/client"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/wire"
 )
 
@@ -60,8 +61,7 @@ func (c *Client) probe(n *node) {
 	cancel()
 	if err != nil {
 		if n.noteFailure(c.cfg.ProbeFailK) {
-			c.logf("cluster: node %s (%s) marked down after %d failed probes: %v",
-				n.member.ID, n.member.Addr, c.cfg.ProbeFailK, err)
+			c.nodeDown(n, fmt.Sprintf("%d failed probes", c.cfg.ProbeFailK), err)
 		}
 		return
 	}
@@ -70,11 +70,15 @@ func (c *Client) probe(n *node) {
 		// WRONG (different ring config, or another node answering on the
 		// member's address). Routing writes to it would split the keyspace.
 		c.logf("cluster: node %s excluded: %v", n.member.ID, err)
+		c.events.Emit(obs.Event{Type: obs.EventRingEpoch,
+			Detail: fmt.Sprintf("%s excluded: %v", n.member.ID, err)})
 		n.markDown()
 		return
 	}
 	if n.markUp() {
 		c.logf("cluster: node %s (%s) marked up", n.member.ID, n.member.Addr)
+		c.events.Emit(obs.Event{Type: obs.EventRingUp,
+			Detail: fmt.Sprintf("%s (%s)", n.member.ID, n.member.Addr)})
 	}
 	if n.hints.pending() > 0 {
 		c.kickReplay(n)
@@ -130,8 +134,14 @@ const replayChunk = 256
 // log. Records are grouped into runs of equal durability class so the
 // original write options survive the detour. On error the remaining
 // backlog stays queued for the next probe tick.
-func (c *Client) replayHints(ctx context.Context, n *node) (int, error) {
-	total := 0
+func (c *Client) replayHints(ctx context.Context, n *node) (total int, err error) {
+	start := time.Now()
+	defer func() {
+		if total > 0 {
+			c.events.Emit(obs.Event{Type: obs.EventHintReplay, Dur: time.Since(start),
+				Keys: int64(total), Detail: n.member.ID})
+		}
+	}()
 	for {
 		if c.closed.Load() && total > 0 {
 			// During Close's final drain closed is already set; one pass

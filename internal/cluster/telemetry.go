@@ -1,0 +1,45 @@
+package cluster
+
+import "flodb/internal/obs"
+
+// TelemetrySnapshot exposes the coordinator's observability state as a
+// metric snapshot: per-type event totals (ring transitions, hint
+// replays) plus coordinator-level counter views. Member engines are NOT
+// scraped here — each member exposes its own /metrics; merging them
+// remotely is flodbctl's job, not the coordinator's hot path.
+func (c *Client) TelemetrySnapshot() obs.Snapshot {
+	s := obs.Snapshot{Metrics: obs.EventCountMetrics(c.events)}
+	add := func(name, help string, v uint64) {
+		s.Metrics = append(s.Metrics, obs.Metric{
+			Name: name, Help: help, Kind: obs.KindCounter, Value: int64(v),
+		})
+	}
+	add("flodb_cluster_quorum_writes_total", "Writes acked by a full write quorum.", c.nQuorumWrites.Load())
+	add("flodb_cluster_degraded_writes_total", "Writes acked below quorum (hinted).", c.nDegradedWrites.Load())
+	add("flodb_cluster_read_repairs_total", "Stale replicas rewritten on read.", c.nReadRepairs.Load())
+	add("flodb_cluster_hints_queued_total", "Hinted-handoff records queued.", c.nHintsQueued.Load())
+	add("flodb_cluster_hints_replayed_total", "Hinted-handoff records replayed.", c.nHintsReplayed.Load())
+	up, down := 0, 0
+	for _, n := range c.nodes {
+		if n.isDown() {
+			down++
+		} else {
+			up++
+		}
+	}
+	s.Metrics = append(s.Metrics,
+		obs.Metric{Name: "flodb_cluster_hints_pending", Help: "Hinted-handoff records awaiting replay.",
+			Kind: obs.KindGauge, Value: int64(c.HintsPending())},
+		obs.Metric{Name: "flodb_cluster_nodes_up", Help: "Members currently considered live.",
+			Kind: obs.KindGauge, Value: int64(up)},
+		obs.Metric{Name: "flodb_cluster_nodes_down", Help: "Members currently considered down.",
+			Kind: obs.KindGauge, Value: int64(down)},
+	)
+	return s
+}
+
+// TelemetryEvents returns the most recent n coordinator events (all
+// buffered when n <= 0): ring up/down, epoch exclusions, hint replays.
+func (c *Client) TelemetryEvents(n int) []obs.Event {
+	return c.events.Recent(n)
+}

@@ -8,6 +8,7 @@ import (
 
 	"flodb/internal/kv"
 	"flodb/internal/membuffer"
+	"flodb/internal/obs"
 )
 
 // Adaptive memory-component sizing (§4.4).
@@ -180,6 +181,11 @@ func (db *DB) resizeEpoch(frac float64) {
 		db.drainMu.Unlock()
 		return
 	}
+	oldFrac := db.membufferFraction()
+	var start time.Time
+	if db.tel != nil {
+		start = time.Now()
+	}
 	// Publish the fraction first so the new buffer and every target
 	// computation after the switch agree on the new split.
 	db.mbfFrac.Store(math.Float64bits(frac))
@@ -197,6 +203,12 @@ func (db *DB) resizeEpoch(frac float64) {
 	db.drainMu.Unlock()
 
 	db.stats.resizes.Add(1)
+	if t := db.tel; t != nil {
+		t.events.Emit(obs.Event{
+			Type: obs.EventResize, Dur: time.Since(start),
+			Detail: fmt.Sprintf("membuffer fraction %.3f -> %.3f", oldFrac, frac),
+		})
+	}
 	// A shrink of the Membuffer grows the Memtable's share and vice
 	// versa; if the new target is already exceeded, wake the persister.
 	if db.gen.Load().mtb.approxBytes() >= db.memtableTarget() {

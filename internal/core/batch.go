@@ -91,9 +91,18 @@ func (db *DB) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) er
 		break
 	}
 	if !stallStart.IsZero() {
-		db.stats.stallNanos.Add(uint64(time.Since(stallStart)))
+		stall := time.Since(stallStart)
+		db.stats.stallNanos.Add(uint64(stall))
+		if t := db.tel; t != nil {
+			t.stallLat.Observe(stall)
+		}
 	}
 
+	var applyStart time.Time
+	if t := db.tel; t != nil {
+		applyStart = time.Now()
+		defer func() { t.batchLat.Observe(time.Since(applyStart)) }()
+	}
 	syncW, syncOff, err := db.applyLocked(b, d)
 	if err != nil {
 		return err

@@ -102,6 +102,13 @@ type Config struct {
 	// FlushFault injects errors into the persist path (tests).
 	FlushFault *diskenv.FaultPoint
 
+	// DisableTelemetry turns off the optional half of the observability
+	// layer: per-op latency histograms and the structured event log
+	// (every time.Now() on the hot paths). The stat counters stay on —
+	// they are single atomic adds and kv.Stats depends on them. The
+	// obsbench figure measures the delta this flag removes.
+	DisableTelemetry bool
+
 	// Storage configures the disk component.
 	Storage storage.Options
 }

@@ -48,6 +48,7 @@ import (
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 	"flodb/internal/membuffer"
+	"flodb/internal/obs"
 	"flodb/internal/rcu"
 	"flodb/internal/skiplist"
 	"flodb/internal/storage"
@@ -137,20 +138,30 @@ type DB struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
+	// reg is the metrics registry (internal/obs) every stat counter
+	// lives in; tel is the optional histogram/event half, nil when
+	// Config.DisableTelemetry (see telemetry.go).
+	reg   *obs.Registry
+	tel   *telemetry
 	stats statCounters
 }
 
+// statCounters are the DB's operation counters. Each field is a counter
+// REGISTERED in db.reg (initObs wires them), so kv.Stats and the
+// /metrics exposition read the same atomics — the Stats struct is a
+// view over the registry, not a second set of counts. Recording is
+// still a single atomic add.
 type statCounters struct {
-	puts, gets, deletes, scans    atomic.Uint64
-	batches, batchOps, iterators  atomic.Uint64
-	snapshots, checkpoints        atomic.Uint64
-	scanRestarts, fallbackScans   atomic.Uint64
-	membufferHits, memtableWrites atomic.Uint64
-	drainedEntries, drainBatches  atomic.Uint64
-	persists                      atomic.Uint64
-	masterScans, piggybackScans   atomic.Uint64
-	helpDrains                    atomic.Uint64
-	syncBarriers                  atomic.Uint64
+	puts, gets, deletes, scans    *obs.Counter
+	batches, batchOps, iterators  *obs.Counter
+	snapshots, checkpoints        *obs.Counter
+	scanRestarts, fallbackScans   *obs.Counter
+	membufferHits, memtableWrites *obs.Counter
+	drainedEntries, drainBatches  *obs.Counter
+	persists                      *obs.Counter
+	masterScans, piggybackScans   *obs.Counter
+	helpDrains                    *obs.Counter
+	syncBarriers                  *obs.Counter
 	// resizes counts completed Membuffer resize epochs; stallNanos
 	// accumulates time WRITERS (Put/Delete/Apply) spent stalled on
 	// drains and memory-component backpressure — the sensor's
@@ -158,9 +169,9 @@ type statCounters struct {
 	// inPlaceHits counts Membuffer updates that overwrote a resident
 	// key in place (no new drain debt) — the sensor's working-set-fits
 	// signal.
-	resizes     atomic.Uint64
-	stallNanos  atomic.Uint64
-	inPlaceHits atomic.Uint64
+	resizes     *obs.Counter
+	stallNanos  *obs.Counter
+	inPlaceHits *obs.Counter
 }
 
 // Open creates or opens a FloDB store.
@@ -176,9 +187,14 @@ func Open(cfg Config) (*DB, error) {
 		snapBounds: make(map[uint64]int),
 	}
 	db.handles = &sync.Pool{New: func() any { return db.domain.Reader() }}
+	// The registry must exist before the first counter increment or
+	// event emission — i.e. before recovery and the background loops.
+	db.initObs()
 
 	if !cfg.DropPersist {
-		store, err := storage.Open(cfg.Dir, cfg.Storage)
+		scfg := cfg.Storage
+		scfg.Events = db.eventLog()
+		store, err := storage.Open(cfg.Dir, scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -268,6 +284,7 @@ func (db *DB) newMemtable() (*memtable, error) {
 	w, err := wal.Create(storage.WALFileName(db.cfg.Dir, m.walNum), wal.Options{
 		Metrics:      &db.walMetrics,
 		WriteThrough: db.cfg.WALWriteThrough,
+		Events:       db.eventLog(),
 	})
 	if err != nil {
 		return nil, err

@@ -37,6 +37,16 @@ func (db *DB) putHandle(h *rcu.Handle) {
 // order and return the first occurrence — the levels are checked in the
 // direction of data flow, so the first hit is the freshest.
 func (db *DB) Get(ctx context.Context, key []byte) ([]byte, bool, error) {
+	if t := db.tel; t != nil {
+		start := time.Now()
+		v, ok, err := db.get(ctx, key)
+		t.getLat.Observe(time.Since(start))
+		return v, ok, err
+	}
+	return db.get(ctx, key)
+}
+
+func (db *DB) get(ctx context.Context, key []byte) ([]byte, bool, error) {
 	if db.closed.Load() {
 		return nil, false, ErrClosed
 	}
@@ -100,6 +110,12 @@ func (db *DB) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption
 	if err != nil {
 		return err
 	}
+	if t := db.tel; t != nil {
+		start := time.Now()
+		err := db.update(ctx, keys.Clone(key), keys.Clone(value), false, d)
+		t.putLat.Observe(time.Since(start))
+		return err
+	}
 	return db.update(ctx, keys.Clone(key), keys.Clone(value), false, d)
 }
 
@@ -109,6 +125,12 @@ func (db *DB) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) er
 	db.stats.deletes.Add(1)
 	d, err := db.resolveDurability(opts)
 	if err != nil {
+		return err
+	}
+	if t := db.tel; t != nil {
+		start := time.Now()
+		err := db.update(ctx, keys.Clone(key), tombstoneMarker, true, d)
+		t.deleteLat.Observe(time.Since(start))
 		return err
 	}
 	return db.update(ctx, keys.Clone(key), tombstoneMarker, true, d)
@@ -301,7 +323,11 @@ func (db *DB) update(ctx context.Context, key, value []byte, tombstone bool, d k
 		h.Exit()
 		db.stats.memtableWrites.Add(1)
 		if !stallStart.IsZero() {
-			db.stats.stallNanos.Add(uint64(time.Since(stallStart)))
+			stall := time.Since(stallStart)
+			db.stats.stallNanos.Add(uint64(stall))
+			if t := db.tel; t != nil {
+				t.stallLat.Observe(stall)
+			}
 		}
 		if g.mtb.approxBytes() >= db.memtableTarget() {
 			db.signalPersist()

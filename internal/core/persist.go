@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"os"
+	"time"
 
+	"flodb/internal/obs"
 	"flodb/internal/storage"
 )
 
@@ -70,6 +73,11 @@ func (db *DB) persistOnce() error {
 func (db *DB) persistCycle() (seqBound uint64, err error) {
 	db.drainMu.Lock()
 
+	var sealStart time.Time
+	var sealBytes int64
+	if db.tel != nil {
+		sealStart = time.Now()
+	}
 	old := db.gen.Load()
 	next, err := db.newMemtable()
 	if err != nil {
@@ -118,6 +126,13 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 	seqBound = db.seq.Add(1)
 	db.pauseWriters.Store(false)
 	db.pauseDraining.Store(false)
+	if t := db.tel; t != nil {
+		sealBytes = old.mtb.approxBytes()
+		t.events.Emit(obs.Event{
+			Type: obs.EventSeal, Dur: time.Since(sealStart),
+			Bytes: sealBytes, Detail: "generation switch + drain",
+		})
+	}
 	db.drainMu.Unlock()
 	if sealErr != nil {
 		return 0, sealErr
@@ -162,6 +177,12 @@ func (db *DB) persistCycle() (seqBound uint64, err error) {
 	}
 	if !db.cfg.DisableWAL {
 		os.Remove(storage.WALFileName(db.cfg.Dir, old.mtb.walNum))
+		if t := db.tel; t != nil {
+			t.events.Emit(obs.Event{
+				Type: obs.EventWALRotate, Bytes: sealBytes,
+				Detail: fmt.Sprintf("segment %d -> %d", old.mtb.walNum, next.walNum),
+			})
+		}
 	}
 	return seqBound, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
@@ -38,10 +39,18 @@ func (db *DB) Scan(ctx context.Context, low, high []byte) ([]kv.Pair, error) {
 		return nil, err
 	}
 	db.stats.scans.Add(1)
+	var start time.Time
+	t := db.tel
+	if t != nil {
+		start = time.Now()
+	}
 	it := db.newIter(ctx, low, high, 0) // unbounded chunk: one snapshot
 	defer it.Close()
 	if !it.fill(low, false) {
 		return nil, it.err
+	}
+	if t != nil {
+		t.scanLat.Observe(time.Since(start))
 	}
 	return it.buf, nil
 }

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/skiplist"
 	"flodb/internal/storage"
 )
@@ -57,6 +59,10 @@ func (db *DB) Snapshot(ctx context.Context) (kv.View, error) {
 		return nil, err
 	}
 	db.stats.snapshots.Add(1)
+	var start time.Time
+	if db.tel != nil {
+		start = time.Now()
+	}
 
 	db.drainMu.Lock()
 	db.pauseDraining.Store(true)
@@ -101,6 +107,11 @@ func (db *DB) Snapshot(ctx context.Context) (kv.View, error) {
 	db.pauseDraining.Store(false)
 	db.drainMu.Unlock()
 
+	if t := db.tel; t != nil {
+		d := time.Since(start)
+		t.snapLat.Observe(d)
+		t.events.Emit(obs.Event{Type: obs.EventSnapshotPin, Dur: d, Detail: fmt.Sprintf("seq bound %d", bound)})
+	}
 	return &snapshot{db: db, seq: bound, ver: v, live: old.mtb.list, imm: imm}, nil
 }
 
@@ -224,5 +235,8 @@ func (s *snapshot) Close() error {
 	}
 	s.db.unregisterBound(s.seq)
 	s.db.store.ReleaseVersion(s.ver)
+	if t := s.db.tel; t != nil {
+		t.events.Emit(obs.Event{Type: obs.EventSnapshotUnpin, Detail: fmt.Sprintf("seq bound %d", s.seq)})
+	}
 	return nil
 }

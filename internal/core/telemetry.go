@@ -1,0 +1,158 @@
+package core
+
+import (
+	"flodb/internal/obs"
+	"flodb/internal/storage"
+)
+
+// telemetry is the optional half of the observability layer: latency
+// histograms and the structured event log. It is nil when
+// Config.DisableTelemetry is set, and every hot path guards its
+// time.Now() calls behind that nil check — the counters (which are
+// plain atomic adds) stay on unconditionally, so kv.Stats is always
+// complete.
+type telemetry struct {
+	events *obs.EventLog
+
+	putLat    *obs.Histogram
+	getLat    *obs.Histogram
+	deleteLat *obs.Histogram
+	scanLat   *obs.Histogram
+	batchLat  *obs.Histogram
+	snapLat   *obs.Histogram
+	// stallLat distributes the per-op writer stall time whose total
+	// already feeds stats.stallNanos — the histogram is what makes a few
+	// 100ms stalls distinguishable from many 1ms ones.
+	stallLat *obs.Histogram
+}
+
+// initObs builds the DB's metrics registry. Every statCounters field IS
+// a registered counter — kv.Stats reads the same atomics /metrics
+// exports, so nothing double-counts — and the layers that keep their
+// own atomics (wal.Metrics, storage.Metrics, the caches) get
+// CounterFunc/GaugeFunc views computed at scrape time. Histograms and
+// the event log are only created when telemetry is enabled.
+func (db *DB) initObs() {
+	reg := obs.NewRegistry()
+	db.reg = reg
+	s := &db.stats
+	s.puts = reg.Counter("flodb_puts_total", "Put operations.")
+	s.gets = reg.Counter("flodb_gets_total", "Get operations.")
+	s.deletes = reg.Counter("flodb_deletes_total", "Delete operations.")
+	s.scans = reg.Counter("flodb_scans_total", "Scan operations.")
+	s.batches = reg.Counter("flodb_batches_total", "Atomic batches applied.")
+	s.batchOps = reg.Counter("flodb_batch_ops_total", "Operations inside applied batches.")
+	s.iterators = reg.Counter("flodb_iterators_total", "Iterators opened.")
+	s.snapshots = reg.Counter("flodb_snapshots_total", "Snapshots taken.")
+	s.checkpoints = reg.Counter("flodb_checkpoints_total", "Checkpoints taken.")
+	s.scanRestarts = reg.Counter("flodb_scan_restarts_total", "Scan chunks restarted by a generation switch.")
+	s.fallbackScans = reg.Counter("flodb_fallback_scans_total", "Scans that fell back to blocking writers (Algorithm 3).")
+	s.membufferHits = reg.Counter("flodb_membuffer_hits_total", "Writes absorbed by the Membuffer fast path.")
+	s.memtableWrites = reg.Counter("flodb_memtable_writes_total", "Writes that took the direct-to-Memtable path.")
+	s.drainedEntries = reg.Counter("flodb_drained_entries_total", "Entries drained Membuffer->Memtable.")
+	s.drainBatches = reg.Counter("flodb_drain_batches_total", "Drain multi-insert batches.")
+	s.persists = reg.Counter("flodb_persists_total", "Seal->drain->flush persist cycles.")
+	s.masterScans = reg.Counter("flodb_master_scans_total", "Master scans (sealed a Membuffer generation).")
+	s.piggybackScans = reg.Counter("flodb_piggyback_scans_total", "Scans piggybacked on a master's sequence point.")
+	s.helpDrains = reg.Counter("flodb_help_drains_total", "Writer visits to the help-drain path.")
+	s.syncBarriers = reg.Counter("flodb_sync_barriers_total", "Explicit Sync durability barriers.")
+	s.resizes = reg.Counter("flodb_membuffer_resizes_total", "Adaptive Membuffer resize epochs (4.4).")
+	s.stallNanos = reg.Counter("flodb_write_stall_nanoseconds_total", "Writer time stalled on drains and memory backpressure.")
+	s.inPlaceHits = reg.Counter("flodb_inplace_hits_total", "Membuffer updates that overwrote a resident key in place.")
+
+	// Views over the WAL's own metrics: the acked-vs-durable boundary.
+	reg.CounterFunc("flodb_wal_appends_total", "WAL records appended (acked commit index).",
+		func() uint64 { return db.walMetrics.Snapshot().Appends })
+	reg.CounterFunc("flodb_wal_durable_total", "Highest WAL commit index known crash-durable.",
+		func() uint64 { return db.walMetrics.Snapshot().Durable })
+	reg.CounterFunc("flodb_wal_syncs_total", "fsyncs issued by the group-commit queue.",
+		func() uint64 { return db.walMetrics.Snapshot().Syncs })
+	reg.CounterFunc("flodb_wal_sync_requests_total", "Durability requests served by the commit queue.",
+		func() uint64 { return db.walMetrics.Snapshot().SyncRequests })
+
+	// Views over the disk component and its caches.
+	storeMetric := func(f func(m *storageMetrics) uint64) func() uint64 {
+		return func() uint64 {
+			if db.store == nil {
+				return 0
+			}
+			m := db.store.Metrics()
+			return f(&m)
+		}
+	}
+	reg.CounterFunc("flodb_flushes_total", "Memtable flushes to L0.", storeMetric(func(m *storageMetrics) uint64 { return m.Flushes }))
+	reg.CounterFunc("flodb_compactions_total", "Background compactions completed.", storeMetric(func(m *storageMetrics) uint64 { return m.Compactions }))
+	reg.CounterFunc("flodb_block_cache_hits_total", "Block cache hits.", storeMetric(func(m *storageMetrics) uint64 { return m.BlockCacheHits }))
+	reg.CounterFunc("flodb_block_cache_misses_total", "Block cache misses.", storeMetric(func(m *storageMetrics) uint64 { return m.BlockCacheMisses }))
+	reg.CounterFunc("flodb_block_cache_evictions_total", "Block cache evictions.", storeMetric(func(m *storageMetrics) uint64 { return m.BlockCacheEvictions }))
+	reg.CounterFunc("flodb_table_cache_hits_total", "Table-handle cache hits.", storeMetric(func(m *storageMetrics) uint64 { return m.TableCacheHits }))
+	reg.CounterFunc("flodb_table_cache_misses_total", "Table-handle cache misses.", storeMetric(func(m *storageMetrics) uint64 { return m.TableCacheMisses }))
+	reg.CounterFunc("flodb_bloom_checks_total", "Bloom filter checks.", storeMetric(func(m *storageMetrics) uint64 { return m.BloomChecks }))
+	reg.CounterFunc("flodb_bloom_negatives_total", "Bloom filter negatives (table reads skipped).", storeMetric(func(m *storageMetrics) uint64 { return m.BloomNegatives }))
+	reg.GaugeFunc("flodb_block_cache_bytes", "Bytes resident in the block cache.", func() int64 {
+		if db.store == nil {
+			return 0
+		}
+		return db.store.Metrics().BlockCacheBytes
+	})
+
+	// Live memory-component geometry.
+	reg.GaugeFunc("flodb_memtable_bytes", "Approximate live Memtable bytes.", func() int64 {
+		if g := db.gen.Load(); g != nil {
+			return g.mtb.approxBytes()
+		}
+		return 0
+	})
+	reg.GaugeFunc("flodb_membuffer_fraction_ppm", "Live Membuffer share of MemoryBytes, parts per million.", func() int64 {
+		return int64(db.membufferFraction() * 1e6)
+	})
+
+	if db.cfg.DisableTelemetry {
+		return
+	}
+	t := &telemetry{events: obs.NewEventLog(0)}
+	opHist := func(op string) *obs.Histogram {
+		return reg.Histogram(`flodb_op_latency_seconds{op="`+op+`"}`, "Operation latency by op.")
+	}
+	t.putLat = opHist("put")
+	t.getLat = opHist("get")
+	t.deleteLat = opHist("delete")
+	t.scanLat = opHist("scan")
+	t.batchLat = opHist("batch")
+	t.snapLat = opHist("snapshot")
+	t.stallLat = reg.Histogram("flodb_write_stall_seconds", "Per-op writer stall time on drains and backpressure.")
+	db.tel = t
+}
+
+// storageMetrics aliases the disk component's metrics struct for the
+// view closures above.
+type storageMetrics = storage.Metrics
+
+// eventLog returns the structured event log, nil when telemetry is
+// disabled — the value threaded into storage and WAL options (both
+// treat nil as "drop events for free").
+func (db *DB) eventLog() *obs.EventLog {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.events
+}
+
+// TelemetrySnapshot freezes the metrics registry plus per-type event
+// counts — the /metrics source, mergeable across shards.
+func (db *DB) TelemetrySnapshot() obs.Snapshot {
+	s := db.reg.Snapshot()
+	if db.tel != nil {
+		s.Metrics = append(s.Metrics, obs.EventCountMetrics(db.tel.events)...)
+	}
+	return s
+}
+
+// TelemetryEvents returns up to n recent structured events (n <= 0:
+// all retained); nil when telemetry is disabled.
+func (db *DB) TelemetryEvents(n int) []obs.Event {
+	if db.tel == nil {
+		return nil
+	}
+	return db.tel.events.Recent(n)
+}

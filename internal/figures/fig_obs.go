@@ -1,0 +1,78 @@
+package figures
+
+import (
+	"fmt"
+
+	"flodb/internal/core"
+	"flodb/internal/harness"
+	"flodb/internal/workload"
+)
+
+// ObsBench measures what telemetry costs on the hot path: the same
+// FloDB engine, same workloads, with the op histograms and event log on
+// (the default) and off (Config.DisableTelemetry). Instrumentation is
+// two atomic adds and one clock read per operation, so the rows should
+// sit within a few percent of each other — the micro-figure is the
+// regression guard that keeps it that way. Counters stay on in both
+// rows (kv.Stats is load-bearing, not optional), so the delta isolates
+// exactly what WithTelemetry(false) buys.
+func ObsBench(c Config) (*harness.Table, error) {
+	c.Defaults()
+	threads := c.Threads[len(c.Threads)/2]
+	cols := []string{"write Mops/s", "read Mops/s", "mixed Mops/s"}
+	rows := []string{"FloDB instrumented", "FloDB telemetry off"}
+	tbl := harness.NewTable("Telemetry overhead: op histograms + event log on vs off",
+		fmt.Sprintf("workload (%d threads)", threads), "Mops/s", cols, rows)
+
+	mixes := []struct {
+		mix  workload.Mix
+		fill bool
+	}{
+		{mix: workload.WriteOnly},
+		{mix: workload.ReadOnly, fill: true},
+		{mix: workload.Balanced, fill: true},
+	}
+	for ri, disable := range []bool{false, true} {
+		for ci, m := range mixes {
+			dir, err := c.cellDir(fmt.Sprintf("obs-%d-%d", ri, ci))
+			if err != nil {
+				return nil, err
+			}
+			cfg := core.Config{
+				Dir:              dir,
+				MemoryBytes:      c.MemBytes,
+				DisableWAL:       true,
+				DisableTelemetry: disable,
+				PersistLimiter:   c.limiter(),
+				Storage:          storageOpts(c.MemBytes),
+			}
+			store, err := core.Open(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if m.fill {
+				if err := initHalf(store, c.Keys, false); err != nil {
+					store.Close()
+					return nil, err
+				}
+			}
+			res := harness.Run(store, harness.RunOptions{
+				Mix:      m.mix,
+				Threads:  threads,
+				Duration: c.Duration,
+				Keys:     c.Keys,
+			})
+			if err := store.Close(); err != nil {
+				return nil, err
+			}
+			if res.Errors > 0 {
+				return nil, fmt.Errorf("obsbench: %s %s: %d errors", rows[ri], cols[ci], res.Errors)
+			}
+			tbl.Set(ri, ci, res.MopsPerSec())
+			c.logf("obsbench %s %s -> %.3f", rows[ri], cols[ci], res.MopsPerSec())
+		}
+	}
+	tbl.AddNote("both rows keep kv.Stats counters; the delta is the histogram Observe (clock read + 2 atomic adds) and rare event emission")
+	tbl.AddNote("regression guard: instrumented should stay within ~3%% of telemetry-off on every column")
+	return tbl, nil
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). Histograms are emitted with cumulative `le`
+// buckets in SECONDS at power-of-two nanosecond bounds — the internal
+// log-linear resolution is coarsened 4:1 so a scrape carries ~30 buckets
+// per series instead of ~250, which is still finer than a stock
+// prometheus client default. Counter families whose name embeds labels
+// (`fam{op="put"}`) emit HELP/TYPE once per family.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lastFam := ""
+	for _, m := range s.sortedByFamily() {
+		fam, labels := family(m.Name)
+		if fam != lastFam {
+			if m.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", fam, strings.ReplaceAll(m.Help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", fam, m.Kind)
+			lastFam = fam
+		}
+		switch m.Kind {
+		case KindHistogram:
+			writeHistProm(bw, fam, labels, m.Hist)
+		default:
+			fmt.Fprintf(bw, "%s %d\n", m.Name, m.Value)
+		}
+	}
+	return bw.Flush()
+}
+
+// promBounds returns the coarsened cumulative bucket bounds (ns) used in
+// the exposition: every power of two from 256ns through ~17s.
+func promBounds() []int64 {
+	var out []int64
+	for exp := 8; exp <= 34; exp++ {
+		out = append(out, int64(1)<<uint(exp))
+	}
+	return out
+}
+
+func writeHistProm(w io.Writer, fam, labels string, h *HistSnapshot) {
+	withLe := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf(`%s_bucket{le="%s"}`, fam, le)
+		}
+		return fmt.Sprintf(`%s_bucket{%s,le="%s"}`, fam, labels, le)
+	}
+	suffix := func(sfx string) string {
+		if labels == "" {
+			return fam + sfx
+		}
+		return fam + sfx + "{" + labels + "}"
+	}
+	var cum uint64
+	bi := 0
+	counts := []BucketCount(nil)
+	if h != nil {
+		counts = h.Counts
+	}
+	for _, bound := range promBounds() {
+		for bi < len(counts) && BucketLow(counts[bi].Bucket) < bound {
+			cum += counts[bi].Count
+			bi++
+		}
+		// le bounds are seconds per Prometheus convention.
+		fmt.Fprintf(w, "%s %d\n", withLe(strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)), cum)
+	}
+	var total uint64
+	var sum int64
+	if h != nil {
+		total, sum = h.Count, h.Sum
+	}
+	fmt.Fprintf(w, "%s %d\n", withLe("+Inf"), total)
+	fmt.Fprintf(w, "%s %s\n", suffix("_sum"), strconv.FormatFloat(float64(sum)/1e9, 'g', -1, 64))
+	fmt.Fprintf(w, "%s %d\n", suffix("_count"), total)
+}
+
+// PromFamily is one parsed metric family from a text exposition.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples int
+}
+
+// ParsePrometheus is a strict-enough parser for the subset of the text
+// format WritePrometheus emits; CI uses it to fail the build when a
+// scrape stops parsing or a registered metric disappears. It validates
+// that every sample line has a parseable float value, that histogram
+// families carry a +Inf bucket with _sum and _count, and that
+// cumulative bucket counts are monotonic.
+func ParsePrometheus(r io.Reader) (map[string]*PromFamily, error) {
+	fams := make(map[string]*PromFamily)
+	types := make(map[string]string)
+	lastLe := make(map[string]float64) // series (without le) → last cumulative count
+	inf := make(map[string]bool)       // histogram fam → saw +Inf
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		// name{labels} value  — labels may contain spaces inside quotes,
+		// but ours never do; split on the last space.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value separator in %q", lineNo, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, valStr, err)
+		}
+		if math.IsNaN(val) {
+			return nil, fmt.Errorf("obs: line %d: NaN value", lineNo)
+		}
+		name := series
+		var labels string
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("obs: line %d: unterminated labels in %q", lineNo, series)
+			}
+			name, labels = series[:i], series[i+1:len(series)-1]
+		}
+		fam := name
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if t := strings.TrimSuffix(name, sfx); t != name && types[t] == "histogram" {
+				fam = t
+			}
+		}
+		if _, ok := types[fam]; !ok {
+			return nil, fmt.Errorf("obs: line %d: sample %q has no # TYPE line", lineNo, series)
+		}
+		if strings.HasSuffix(name, "_bucket") && types[fam] == "histogram" {
+			le := ""
+			rest := labels
+			for _, kv := range strings.Split(rest, ",") {
+				if v, ok := strings.CutPrefix(kv, `le="`); ok {
+					le = strings.TrimSuffix(v, `"`)
+				}
+			}
+			if le == "" {
+				return nil, fmt.Errorf("obs: line %d: histogram bucket without le label", lineNo)
+			}
+			key := fam + "{" + strings.ReplaceAll(labels, `le="`+le+`"`, "") + "}"
+			if prev, ok := lastLe[key]; ok && val < prev {
+				return nil, fmt.Errorf("obs: line %d: non-monotonic cumulative bucket (%v < %v)", lineNo, val, prev)
+			}
+			lastLe[key] = val
+			if le == "+Inf" {
+				inf[fam] = true
+			}
+		}
+		f := fams[fam]
+		if f == nil {
+			f = &PromFamily{Name: fam, Type: types[fam]}
+			fams[fam] = f
+		}
+		f.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, t := range types {
+		if t == "histogram" {
+			if f, ok := fams[fam]; ok && f.Samples > 0 && !inf[fam] {
+				return nil, fmt.Errorf("obs: histogram %s has no +Inf bucket", fam)
+			}
+		}
+	}
+	return fams, nil
+}
+
+// FamilyNames returns the sorted family names of a parse result, for
+// "every registered metric is present" assertions.
+func FamilyNames(fams map[string]*PromFamily) []string {
+	out := make([]string, 0, len(fams))
+	for n := range fams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

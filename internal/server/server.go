@@ -43,6 +43,7 @@ import (
 
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/wire"
 )
 
@@ -83,6 +84,11 @@ type Config struct {
 	MaxChunkPairs int
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Telemetry, when set, answers OpTelemetry with the node's
+	// observability snapshot (store + server merged — the daemon wires
+	// it up because only it sees both). Nil answers
+	// kv.ErrNotSupported.
+	Telemetry func(maxEvents int) wire.TelemetryPayload
 }
 
 // Server serves one kv.Store over the wire protocol.
@@ -107,6 +113,13 @@ type Server struct {
 	slowRequests  atomic.Uint64
 	leasesExpired atomic.Uint64
 	requestsByOp  [wire.OpMax]atomic.Uint64
+
+	// reg carries the service tier's own metrics — request latency
+	// histograms per opcode plus views over the connection counters —
+	// kept separate from the store's registry so the daemon can merge
+	// the two snapshots without name collisions.
+	reg   *obs.Registry
+	opLat [wire.OpMax]*obs.Histogram
 
 	janitorStop chan struct{}
 	janitorOnce sync.Once
@@ -145,12 +158,53 @@ func New(cfg Config) *Server {
 	if cfg.MaxFrame == 0 {
 		cfg.MaxFrame = wire.MaxFrame
 	}
-	return &Server{
+	s := &Server{
 		cfg:         cfg,
 		listeners:   map[net.Listener]struct{}{},
 		conns:       map[*serverConn]struct{}{},
 		janitorStop: make(chan struct{}),
 	}
+	s.initObs()
+	return s
+}
+
+// initObs builds the service tier's metric registry: one latency
+// histogram per opcode and scrape-time views over the connection
+// counters Info() already reports.
+func (s *Server) initObs() {
+	reg := obs.NewRegistry()
+	s.reg = reg
+	for op := wire.Op(1); op < wire.OpMax; op++ {
+		s.opLat[op] = reg.Histogram(
+			`flodbd_request_seconds{op="`+op.String()+`"}`,
+			"Wire request wall time by opcode, decode to response write.")
+		op := op
+		reg.CounterFunc(`flodbd_requests_total{op="`+op.String()+`"}`,
+			"Wire requests received, by opcode.",
+			func() uint64 { return s.requestsByOp[op].Load() })
+	}
+	reg.GaugeFunc("flodbd_conns_open", "Connections currently open.",
+		func() int64 { return maxInt64(s.connsOpen.Load(), 0) })
+	reg.CounterFunc("flodbd_conns_total", "Connections ever accepted.",
+		func() uint64 { return s.connsTotal.Load() })
+	reg.CounterFunc("flodbd_conns_rejected_total", "Connections refused at the MaxConns cap.",
+		func() uint64 { return s.connsRejected.Load() })
+	reg.GaugeFunc("flodbd_requests_in_flight", "Requests currently executing.",
+		func() int64 { return maxInt64(s.inFlight.Load(), 0) })
+	reg.CounterFunc("flodbd_bytes_in_total", "Request bytes read off the wire.",
+		func() uint64 { return s.bytesIn.Load() })
+	reg.CounterFunc("flodbd_bytes_out_total", "Response bytes written to the wire.",
+		func() uint64 { return s.bytesOut.Load() })
+	reg.CounterFunc("flodbd_slow_requests_total", "Requests slower than Config.SlowRequest.",
+		func() uint64 { return s.slowRequests.Load() })
+	reg.CounterFunc("flodbd_leases_expired_total", "Snapshot/iterator leases expired by the janitor.",
+		func() uint64 { return s.leasesExpired.Load() })
+}
+
+// TelemetrySnapshot freezes the service tier's registry — merge it with
+// the store's snapshot for the full /metrics view.
+func (s *Server) TelemetrySnapshot() obs.Snapshot {
+	return s.reg.Snapshot()
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -570,8 +624,19 @@ func (c *serverConn) handleCancel(payload []byte) {
 func (c *serverConn) handle(req wire.Request) {
 	start := time.Now()
 	defer func() {
-		if d := time.Since(start); d >= c.srv.cfg.SlowRequest {
+		d := time.Since(start)
+		c.srv.opLat[req.Op].Observe(d)
+		if d >= c.srv.cfg.SlowRequest {
 			c.srv.slowRequests.Add(1)
+			// The slow-request line carries everything needed to chase
+			// the outlier across tiers: the decoded op, the key size
+			// (value sizes dominate frame length, key length is the
+			// routing input), the durability class (a Sync fsync wait
+			// is the usual innocent explanation), and the trace ID the
+			// coordinator stamped.
+			c.srv.logf("server: %s: slow request: op=%s dur=%v key=%dB durability=%v trace=%s",
+				c.nc.RemoteAddr(), req.Op, d.Round(time.Microsecond),
+				requestKeyLen(&req), req.Durability, obs.TraceString(req.TraceID))
 		}
 		c.srv.inFlight.Add(-1)
 		c.connWG.Done()
@@ -585,6 +650,12 @@ func (c *serverConn) handle(req wire.Request) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutNanos))
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
+	}
+	if req.TraceID != 0 {
+		// Propagate the coordinator's trace: when this node fans the
+		// request out again (cluster-proxy mode), the client tier stamps
+		// the same ID onto the replica requests.
+		ctx = obs.WithTrace(ctx, req.TraceID)
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -814,6 +885,9 @@ func (c *serverConn) dispatch(ctx context.Context, req *wire.Request) ([]byte, e
 		if sp, ok := store.(kv.StatsProvider); ok {
 			payload.Store = sp.Stats()
 		}
+		if tp, ok := store.(interface{ TelemetrySnapshot() obs.Snapshot }); ok {
+			payload.Ops = obs.OpQuantiles(tp.TelemetrySnapshot())
+		}
 		return json.Marshal(payload)
 
 	case wire.OpVPut:
@@ -853,6 +927,20 @@ func (c *serverConn) dispatch(ctx context.Context, req *wire.Request) ([]byte, e
 			NodeID: c.srv.cfg.NodeID,
 			Epoch:  c.srv.cfg.RingEpoch,
 		})
+
+	case wire.OpTelemetry:
+		if c.srv.cfg.Telemetry == nil {
+			return nil, fmt.Errorf("server: no telemetry provider: %w", kv.ErrNotSupported)
+		}
+		maxEvents := 0
+		if len(req.Payload) > 0 {
+			n, l := binary.Uvarint(req.Payload)
+			if l <= 0 {
+				return nil, badRequestf("telemetry event count")
+			}
+			maxEvents = int(n)
+		}
+		return json.Marshal(c.srv.cfg.Telemetry(maxEvents))
 
 	case wire.OpCheckpoint:
 		if req.Handle != 0 {
@@ -965,6 +1053,25 @@ func (c *serverConn) handleIterNext(ctx context.Context, req *wire.Request) ([]b
 func uvarintLen(v uint64) int {
 	var b [binary.MaxVarintLen64]byte
 	return binary.PutUvarint(b[:], v)
+}
+
+// requestKeyLen extracts the key length from ops whose payload leads
+// with (or is) a key — the slow-request log's size hint. 0 for ops with
+// no single key.
+func requestKeyLen(req *wire.Request) int {
+	switch req.Op {
+	case wire.OpGet, wire.OpDelete:
+		return len(req.Payload)
+	case wire.OpPut:
+		if k, _, err := wire.ReadBytes(req.Payload); err == nil {
+			return len(k)
+		}
+	case wire.OpVPut:
+		if rec, _, err := wire.ReadVRecord(req.Payload); err == nil {
+			return len(rec.Key)
+		}
+	}
+	return 0
 }
 
 // --- Versioned-write plane (cluster replication) -----------------------------

@@ -66,6 +66,7 @@ import (
 	"flodb/internal/core"
 	"flodb/internal/keys"
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 	"flodb/internal/storage"
 )
 
@@ -169,6 +170,12 @@ type Store struct {
 	snapshots, checkpoints atomic.Uint64
 	batches, batchOps      atomic.Uint64
 	syncBarriers           atomic.Uint64
+
+	// events records store-level lifecycle moments (cross-shard
+	// fan-outs); per-shard events live in each core.DB's log and the
+	// telemetry accessors merge the timelines. Nil when the per-shard
+	// template disables telemetry.
+	events *obs.EventLog
 }
 
 // Open creates or reopens a sharded store in cfg.Dir.
@@ -223,6 +230,9 @@ func Open(cfg Config) (*Store, error) {
 		dir:        cfg.Dir,
 		boundaries: boundaries,
 		hashed:     m.Routing == routingHash,
+	}
+	if !cfg.Core.DisableTelemetry {
+		s.events = obs.NewEventLog(0)
 	}
 	for i := 0; i < m.Shards; i++ {
 		sc := cfg.Core
@@ -515,6 +525,16 @@ func (s *Store) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) 
 			sub.Put(ops[i].Key, ops[i].Value)
 		}
 	}
+	touched := 0
+	for _, sub := range subs {
+		if sub != nil {
+			touched++
+		}
+	}
+	s.events.Emit(obs.Event{
+		Type: obs.EventShardFanout, Keys: int64(b.Len()),
+		Detail: fmt.Sprintf("batch split across %d/%d shards", touched, len(s.shards)),
+	})
 	return s.fanout(func(i int, db *core.DB) error {
 		if subs[i] == nil {
 			return nil

@@ -1,0 +1,39 @@
+package shard
+
+import "flodb/internal/obs"
+
+// TelemetrySnapshot merges every shard's metrics into one view:
+// counters and gauges sum, histograms merge bucket-wise, so the
+// store-wide p99 is computed over the union of the shards' samples
+// rather than averaged. Store-level event counts (shard fan-outs) ride
+// along.
+func (s *Store) TelemetrySnapshot() obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(s.shards))
+	for i, db := range s.shards {
+		snaps[i] = db.TelemetrySnapshot()
+	}
+	merged := obs.Merge(snaps...)
+	if s.events != nil {
+		merged.Metrics = append(merged.Metrics, obs.EventCountMetrics(s.events)...)
+	}
+	return merged
+}
+
+// TelemetryEvents interleaves the shards' event logs plus the store's
+// own fan-out events into one timeline, newest n (n <= 0: everything
+// retained). Nil when telemetry is disabled.
+func (s *Store) TelemetryEvents(n int) []obs.Event {
+	logs := make([][]obs.Event, 0, len(s.shards)+1)
+	for _, db := range s.shards {
+		if evs := db.TelemetryEvents(0); evs != nil {
+			logs = append(logs, evs)
+		}
+	}
+	if s.events != nil {
+		logs = append(logs, s.events.Recent(0))
+	}
+	if len(logs) == 0 {
+		return nil
+	}
+	return obs.MergeEvents(n, logs...)
+}

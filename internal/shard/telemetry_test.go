@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"flodb/internal/core"
+	"flodb/internal/obs"
+)
+
+// TestTelemetryMergesAcrossShards drives traffic that spreads over
+// every shard and checks the store-level snapshot is the bucket-wise
+// merge: one flodb_op_latency_seconds{op="put"} histogram whose count
+// is the TOTAL across shards, and summed counters — not one family per
+// shard, not the first shard's view.
+func TestTelemetryMergesAcrossShards(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 4, Core: core.Config{
+		MemoryBytes: 1 << 20, DisableWAL: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	const n = 400
+	for i := 0; i < n; i++ {
+		// Keys chosen uniformly over the byte space hit all 4 ranges.
+		key := []byte{byte(i * 255 / n), byte(i), byte(i >> 8)}
+		if err := s.Put(ctx, key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := s.PerShard()
+	touched := 0
+	for _, st := range per {
+		if st.Puts > 0 {
+			touched++
+		}
+	}
+	if touched < 2 {
+		t.Fatalf("workload only touched %d shards; the merge test needs >= 2", touched)
+	}
+
+	snap := s.TelemetrySnapshot()
+	hists, putsTotal := 0, int64(0)
+	var putQ obs.Quantiles
+	for _, m := range snap.Metrics {
+		switch m.Name {
+		case `flodb_op_latency_seconds{op="put"}`:
+			hists++
+			putQ = obs.QuantilesOf(m.Hist)
+		case "flodb_puts_total":
+			putsTotal += m.Value
+		}
+	}
+	if hists != 1 {
+		t.Fatalf("merged snapshot has %d put-latency histograms, want exactly 1", hists)
+	}
+	if putQ.Count != n {
+		t.Errorf("merged put histogram count = %d, want %d (sum over shards)", putQ.Count, n)
+	}
+	if putsTotal != n {
+		t.Errorf("merged flodb_puts_total = %d, want %d", putsTotal, n)
+	}
+	if putQ.P50 <= 0 || putQ.P999 < putQ.P50 {
+		t.Errorf("merged quantiles not ordered: %+v", putQ)
+	}
+
+	if ops := obs.OpQuantiles(snap); ops["put"].Count != n {
+		t.Errorf("OpQuantiles over merged snapshot = %+v, want put count %d", ops["put"], n)
+	}
+}
+
+// TestTelemetryEventsMergeOrdered checks the store-level event view:
+// per-shard seal/flush events interleave into one timeline with
+// non-decreasing timestamps.
+func TestTelemetryEventsMergeOrdered(t *testing.T) {
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 2, Core: core.Config{
+		MemoryBytes: 64 << 10, DisableWAL: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	for i := 0; i < 2000; i++ {
+		lo := []byte(fmt.Sprintf("a%05d", i))
+		hi := []byte(fmt.Sprintf("z%05d", i))
+		if err := s.Put(ctx, lo, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put(ctx, hi, make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := s.TelemetryEvents(0)
+	if len(evs) == 0 {
+		t.Fatal("no events after forcing seals on both shards")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Fatalf("merged events out of order at %d: %v after %v", i, evs[i].Time, evs[i-1].Time)
+		}
+	}
+}

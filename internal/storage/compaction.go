@@ -3,8 +3,10 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"flodb/internal/keys"
+	"flodb/internal/obs"
 	"flodb/internal/sstable"
 )
 
@@ -125,6 +127,10 @@ func keyRange(files []*FileMeta) (lo, hi []byte) {
 // nothing deeper. It unmarks c's inputs on every exit path and wakes
 // WaitForCompactions waiters.
 func (s *Store) runCompaction(c *compaction) error {
+	var start time.Time
+	if s.events != nil {
+		start = time.Now()
+	}
 	defer func() {
 		s.vs.mu.Lock()
 		for _, f := range c.allInputs() {
@@ -275,7 +281,35 @@ func (s *Store) runCompaction(c *compaction) error {
 	}
 	s.vs.deleteTables(obsolete)
 	s.compactions.Add(1)
+	if s.events != nil {
+		var inBytes, outBytes, outKeys int64
+		for _, f := range c.allInputs() {
+			inBytes += f.Size
+		}
+		for i := range outputs {
+			outBytes += outputs[i].Size
+			outKeys += int64(outputs[i].Count)
+		}
+		s.events.Emit(obs.Event{
+			Type: obs.EventCompaction, Dur: time.Since(start),
+			Bytes: outBytes, Keys: outKeys,
+			Detail: fmt.Sprintf("L%d->L%d, %d in -> %d out files, %s in", c.level, outLevel, len(c.allInputs()), len(outputs), fmtByteSize(inBytes)),
+		})
+		s.noteCachePressure()
+	}
 	return nil
+}
+
+// fmtByteSize renders a byte count for event detail strings.
+func fmtByteSize(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }
 
 func removeTable(dir string, num uint64) {

@@ -6,9 +6,11 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flodb/internal/cache"
 	"flodb/internal/keys"
+	"flodb/internal/obs"
 	"flodb/internal/sstable"
 )
 
@@ -39,6 +41,9 @@ type Options struct {
 	// TableCacheCapacity bounds the number of concurrently open sstable
 	// readers (fd budget). 0 selects DefaultTableCacheCapacity.
 	TableCacheCapacity int
+	// Events, when non-nil, receives structured flush/compaction/
+	// cache-pressure events (a nil log drops them for free).
+	Events *obs.EventLog
 }
 
 // DefaultBlockCacheBytes is the block-cache budget when the caller does
@@ -98,6 +103,13 @@ type Store struct {
 	flushes     atomic.Uint64
 	compactions atomic.Uint64
 	closed      atomic.Bool
+
+	// events receives flush/compaction/cache-pressure events (may be
+	// nil); evictMark is the block-cache eviction count at the last
+	// cache-pressure event, so pressure is reported once per burst
+	// rather than once per eviction.
+	events    *obs.EventLog
+	evictMark atomic.Uint64
 }
 
 // Open opens (or creates) a store rooted at dir.
@@ -112,6 +124,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		compacting: make(map[uint64]bool),
 		work:       make(chan struct{}, 1),
 		closing:    make(chan struct{}),
+		events:     opts.Events,
 	}
 	if opts.BlockCacheBytes >= 0 {
 		bytes := opts.BlockCacheBytes
@@ -184,6 +197,10 @@ func (s *Store) tableOpts() sstable.WriterOptions {
 // pointer. The sorted bottom layer makes this "little more than a direct
 // copy of the component to disk" (§2.3).
 func (s *Store) Flush(it InternalIterator, newLogNum, lastSeq uint64) (*FileMeta, error) {
+	var start time.Time
+	if s.events != nil {
+		start = time.Now()
+	}
 	s.vs.mu.Lock()
 	num := s.vs.newFileNumLocked()
 	s.vs.mu.Unlock()
@@ -230,8 +247,41 @@ func (s *Store) Flush(it InternalIterator, newLogNum, lastSeq uint64) (*FileMeta
 	}
 	s.vs.deleteTables(obsolete)
 	s.flushes.Add(1)
+	if s.events != nil && fm != nil {
+		s.events.Emit(obs.Event{
+			Type: obs.EventFlush, Dur: time.Since(start),
+			Bytes: fm.Size, Keys: int64(fm.Count),
+			Detail: fmt.Sprintf("table %d", fm.Num),
+		})
+		s.noteCachePressure()
+	}
 	s.MaybeScheduleCompaction()
 	return fm, nil
+}
+
+// cachePressureBurst is the block-cache eviction delta that counts as a
+// pressure burst worth one event.
+const cachePressureBurst = 1024
+
+// noteCachePressure emits one cache-pressure event per burst of block-
+// cache evictions, sampled at flush/compaction boundaries (the moments
+// that churn the cache) instead of per-eviction.
+func (s *Store) noteCachePressure() {
+	if s.events == nil || s.bcache == nil {
+		return
+	}
+	st := s.bcache.Stats()
+	mark := s.evictMark.Load()
+	if st.Evictions-mark < cachePressureBurst {
+		return
+	}
+	if s.evictMark.CompareAndSwap(mark, st.Evictions) {
+		s.events.Emit(obs.Event{
+			Type: obs.EventCachePressure, Bytes: st.Bytes,
+			Keys:   int64(st.Evictions - mark),
+			Detail: fmt.Sprintf("%d evictions since last burst", st.Evictions-mark),
+		})
+	}
 }
 
 // Get returns the newest version of key on disk.

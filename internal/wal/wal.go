@@ -35,6 +35,9 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"flodb/internal/obs"
 )
 
 var (
@@ -141,11 +144,22 @@ type Writer struct {
 
 	metrics *Metrics
 
+	// events receives group-commit stall events (may be nil);
+	// stallThreshold is the commit-queue wait above which one is emitted.
+	events         *obs.EventLog
+	stallThreshold time.Duration
+
 	// fsyncGate, when non-nil, runs inside the leader's commit (after the
 	// flush, before the fsync). Tests use it to hold a leader in the
 	// barrier and observe followers coalescing behind it.
 	fsyncGate func()
 }
+
+// DefaultStallThreshold is the group-commit wait above which a wal-stall
+// event is emitted when Options.Events is set: long enough that healthy
+// fsyncs (hundreds of µs on SSDs) stay quiet, short enough that a
+// contended barrier shows up.
+const DefaultStallThreshold = 10 * time.Millisecond
 
 // Options configure a Writer.
 type Options struct {
@@ -162,6 +176,12 @@ type Options struct {
 	// MACHINE crash can lose. Replicated deployments run their nodes this
 	// way so quorum-acked writes survive any single process death.
 	WriteThrough bool
+	// Events, when non-nil, receives a wal-stall event whenever a
+	// committer waits longer than StallThreshold in the group-commit
+	// queue (leader fsync time included).
+	Events *obs.EventLog
+	// StallThreshold overrides DefaultStallThreshold (0 selects it).
+	StallThreshold time.Duration
 }
 
 // Create creates (truncating) a log file at path.
@@ -174,11 +194,17 @@ func Create(path string, opts Options) (*Writer, error) {
 	if bs <= 0 {
 		bs = 64 << 10
 	}
+	st := opts.StallThreshold
+	if st <= 0 {
+		st = DefaultStallThreshold
+	}
 	return &Writer{
-		f:            f,
-		bw:           bufio.NewWriterSize(f, bs),
-		metrics:      opts.Metrics,
-		writeThrough: opts.WriteThrough,
+		f:              f,
+		bw:             bufio.NewWriterSize(f, bs),
+		metrics:        opts.Metrics,
+		writeThrough:   opts.WriteThrough,
+		events:         opts.Events,
+		stallThreshold: st,
 	}, nil
 }
 
@@ -231,6 +257,10 @@ func (w *Writer) SyncTo(off int64) error {
 	if w.synced.Load() >= off {
 		return nil
 	}
+	var queuedAt time.Time
+	if w.events != nil {
+		queuedAt = time.Now()
+	}
 	w.commitMu.Lock()
 	defer w.commitMu.Unlock()
 	if err := w.loadSyncErr(); err != nil {
@@ -240,6 +270,7 @@ func (w *Writer) SyncTo(off int64) error {
 	// AFTER our Append (we held off until it left the barrier), so its
 	// fsync covered our record.
 	if w.synced.Load() >= off {
+		w.noteStall(queuedAt, "follower")
 		return nil
 	}
 	// Leader path: flush the staging buffer under mu (memory-speed),
@@ -273,7 +304,21 @@ func (w *Writer) SyncTo(off int64) error {
 		w.metrics.syncs.Add(1)
 		w.metrics.advanceDurable(targetRec)
 	}
+	w.noteStall(queuedAt, "leader")
 	return nil
+}
+
+// noteStall emits a wal-stall event when a committer's time in the
+// group-commit queue (from enqueue to durable, fsync included) exceeds
+// the threshold — the signature of a slow disk barrier or a long convoy
+// behind one.
+func (w *Writer) noteStall(queuedAt time.Time, role string) {
+	if w.events == nil || queuedAt.IsZero() {
+		return
+	}
+	if d := time.Since(queuedAt); d >= w.stallThreshold {
+		w.events.Emit(obs.Event{Type: obs.EventWALStall, Dur: d, Detail: role})
+	}
 }
 
 // Flush pushes the staging buffer to the OS (no disk barrier): appended

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"flodb/internal/kv"
+	"flodb/internal/obs"
 )
 
 // MaxFrame bounds one frame's body: oversized frames are a protocol
@@ -80,6 +81,12 @@ const (
 	OpVPut
 	OpVApply
 	OpHealth
+
+	// OpTelemetry returns the node's observability snapshot — per-op
+	// latency quantiles, the merged metric registry, recent structured
+	// events — as a TelemetryPayload. A cold diagnostic path like
+	// OpStats; flodbctl top renders it.
+	OpTelemetry
 
 	// OpMax bounds the opcode space (for per-opcode counters).
 	OpMax
@@ -124,6 +131,8 @@ func (op Op) String() string {
 		return "vapply"
 	case OpHealth:
 		return "health"
+	case OpTelemetry:
+		return "telemetry"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
@@ -166,7 +175,12 @@ type Request struct {
 	Durability   kv.Durability
 	TimeoutNanos uint64
 	Handle       uint64
-	Payload      []byte
+	// TraceID correlates this request across tiers: the client stamps
+	// the coordinator's trace (obs.EnsureTrace), the coordinator's
+	// replica fan-out re-sends the same ID, and every slow-request log
+	// line on every node carries it. 0 means untraced.
+	TraceID uint64
+	Payload []byte
 }
 
 // Response is one decoded response frame.
@@ -178,7 +192,7 @@ type Response struct {
 
 // AppendRequest appends r as one complete frame (length prefix included).
 func AppendRequest(dst []byte, r *Request) []byte {
-	var body [2*binary.MaxVarintLen64 + 2 + binary.MaxVarintLen64]byte
+	var body [4*binary.MaxVarintLen64 + 2]byte
 	n := binary.PutUvarint(body[:], r.ID)
 	body[n] = byte(r.Op)
 	n++
@@ -186,6 +200,7 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	n++
 	n += binary.PutUvarint(body[n:], r.TimeoutNanos)
 	n += binary.PutUvarint(body[n:], r.Handle)
+	n += binary.PutUvarint(body[n:], r.TraceID)
 	dst = binary.AppendUvarint(dst, uint64(n+len(r.Payload)))
 	dst = append(dst, body[:n]...)
 	return append(dst, r.Payload...)
@@ -218,8 +233,14 @@ func ParseRequest(body []byte) (Request, error) {
 	if n <= 0 {
 		return r, fmt.Errorf("%w: handle", ErrBadFrame)
 	}
+	rest = rest[n:]
+	tid, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, fmt.Errorf("%w: trace id", ErrBadFrame)
+	}
 	r.TimeoutNanos = to
 	r.Handle = h
+	r.TraceID = tid
 	r.Payload = rest[n:]
 	return r, nil
 }
@@ -446,10 +467,24 @@ type ServerInfo struct {
 	LeasesExpired uint64            `json:"leases_expired"`
 }
 
-// StatsPayload is the OpStats response body (JSON).
+// StatsPayload is the OpStats response body (JSON). Ops carries the
+// store's per-op latency quantiles when telemetry is on — the same
+// extraction `flodb stats -json` prints locally, so the two surfaces
+// share one schema.
 type StatsPayload struct {
-	Store  kv.Stats   `json:"store"`
-	Server ServerInfo `json:"server"`
+	Store  kv.Stats                 `json:"store"`
+	Server ServerInfo               `json:"server"`
+	Ops    map[string]obs.Quantiles `json:"ops,omitempty"`
+}
+
+// TelemetryPayload is the OpTelemetry response body (JSON): the node's
+// merged metric registry frozen at request time, the per-op latency
+// quantiles extracted from it, and the newest structured events.
+type TelemetryPayload struct {
+	Node    string                   `json:"node,omitempty"`
+	Ops     map[string]obs.Quantiles `json:"ops,omitempty"`
+	Metrics []obs.Metric             `json:"metrics,omitempty"`
+	Events  []obs.Event              `json:"events,omitempty"`
 }
 
 // --- Handshake ---------------------------------------------------------------
@@ -457,8 +492,9 @@ type StatsPayload struct {
 // ProtocolVersion is the wire protocol generation this build speaks.
 // Peers exchange it in the first frame of every connection; a mismatch is
 // a typed rejection (ErrVersionMismatch), never a frame-decode failure
-// deep into the session.
-const ProtocolVersion = 1
+// deep into the session. v2 added the request trace-id header field and
+// OpTelemetry.
+const ProtocolVersion = 2
 
 // Feature bits advertised in the handshake. The negotiated set is the
 // intersection; a coordinator refuses to treat a node as a replica unless

@@ -1,11 +1,13 @@
 package flodb_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"flodb"
+	"flodb/internal/obs"
 )
 
 // TestOpenRejectsBadOptions: out-of-range option values fail Open with an
@@ -161,5 +163,43 @@ func TestWithShardsRejectsBadCounts(t *testing.T) {
 	defer db.Close()
 	if db.Shards() != 1 {
 		t.Fatalf("Shards() = %d", db.Shards())
+	}
+}
+
+// TestWithTelemetryOff checks the gate: histograms and events vanish,
+// counters stay (kv.Stats is load-bearing), and re-enabling is just the
+// default.
+func TestWithTelemetryOff(t *testing.T) {
+	ctx := context.Background()
+	db, err := flodb.Open(t.TempDir(), flodb.WithTelemetry(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 20; i++ {
+		if err := db.Put(ctx, []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ops := obs.OpQuantiles(db.TelemetrySnapshot()); ops != nil {
+		t.Fatalf("telemetry off still records op quantiles: %v", ops)
+	}
+	if evs := db.TelemetryEvents(0); len(evs) != 0 {
+		t.Fatalf("telemetry off still emits events: %v", evs)
+	}
+	if st := db.Stats(); st.Puts != 20 {
+		t.Fatalf("counters must survive WithTelemetry(false): Puts = %d", st.Puts)
+	}
+
+	on, err := flodb.Open(t.TempDir(), flodb.WithTelemetry(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	if err := on.Put(ctx, []byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if ops := obs.OpQuantiles(on.TelemetrySnapshot()); ops["put"].Count != 1 {
+		t.Fatalf("telemetry on records nothing: %v", ops)
 	}
 }
