@@ -313,6 +313,43 @@ func ExampleDB_shards() {
 	// shards: 4
 }
 
+// ExampleDB_adaptiveSharding opens a store whose shard layout is the
+// rebalance controller's to change: within [min, max] the controller
+// splits a shard that persistently carries more than its fair share of
+// traffic (at the median of its recently written keys) and merges
+// persistently cold neighbors. Every rewrite bumps the topology epoch;
+// ShardTopology is the versioned view a routing cache compares against,
+// and Stats counts the splits and merges as they happen.
+func ExampleDB_adaptiveSharding() {
+	dir := filepath.Join(os.TempDir(), "flodb-example-adaptive-shards")
+	os.RemoveAll(dir)
+	db, err := flodb.Open(dir, flodb.WithShardPolicy(flodb.Adaptive(2, 8)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	for i := 0; i < 256; i++ {
+		if err := db.Put(bg, []byte(fmt.Sprintf("user%04d", i)), []byte("v")); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	topo := db.ShardTopology()
+	fmt.Println("routing:", topo.Routing)
+	fmt.Println("opened at min shards:", topo.Shards)
+	fmt.Println("epoch starts at:", topo.Epoch)
+	// A reopen adopts whatever layout the controller left behind — the
+	// SHARDS manifest, not the policy's minimum, is authoritative.
+	st := db.Stats()
+	fmt.Println("splits+merges so far:", st.ShardSplits+st.ShardMerges)
+	// Output:
+	// routing: range
+	// opened at min shards: 2
+	// epoch starts at: 1
+	// splits+merges so far: 0
+}
+
 // ExampleDB_blockCache sizes the two read-path caches: the block cache
 // (parsed sstable blocks, byte-budgeted, total across shards) and the
 // table cache (open sstable readers — one fd plus a parsed index and

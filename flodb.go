@@ -192,21 +192,36 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	cfg.Storage.BlockCacheBytes = o.blockCacheBytes
 	cfg.Storage.TableCacheCapacity = o.tableCacheCap
 	// A sharded root must never be shadowed by a fresh unsharded engine:
-	// detect the SHARDS manifest and adopt its count when the caller
-	// didn't pass WithShards. An explicit mismatching count (including
-	// WithShards(1) on a sharded root) is rejected by shard.Open.
+	// detect the SHARDS manifest and adopt its layout when the caller
+	// didn't pass a shard policy. An explicit mismatching Static count
+	// (including Static(1) on a sharded root) is rejected by shard.Open.
 	detected, err := shard.DetectShards(dir)
 	if err != nil {
 		return nil, err
 	}
-	n := o.shards
-	if n == 0 {
+	p := o.policy
+	n := p.shards
+	if n == 0 && !p.dynamic {
 		n = detected
 	}
-	if n > 1 || detected > 0 {
+	if n > 1 || detected > 0 || p.dynamic {
 		// Sharded engine: cfg becomes the per-shard template (shard.Open
 		// assigns the subdirectories and splits the memory budget).
-		inner, err := shard.Open(shard.Config{Dir: dir, Shards: n, Core: cfg})
+		scfg := shard.Config{Dir: dir, Shards: n, Core: cfg}
+		if p.hashed {
+			scfg.Splitter = shard.HashSplitter{}
+		}
+		if p.dynamic {
+			// Fresh stores start at MinShards (Shards stays 0 so a reopen
+			// adopts whatever layout the last run's splits left behind).
+			scfg.Shards = 0
+			scfg.Dynamic = shard.Dynamic{
+				Enabled:   true,
+				MinShards: p.minShards,
+				MaxShards: p.maxShards,
+			}
+		}
+		inner, err := shard.Open(scfg)
 		if err != nil {
 			return nil, err
 		}
@@ -306,13 +321,42 @@ func (db *DB) Close() error { return db.inner.Close() }
 // counters aggregate across shards (ShardStats has the breakdown).
 func (db *DB) Stats() Stats { return db.inner.(kv.StatsProvider).Stats() }
 
-// Shards returns the number of shards the store was opened with: 1 for
-// the default unsharded engine.
+// Shards returns the store's LIVE shard count: 1 for the default
+// unsharded engine. Under an Adaptive policy the count can change
+// between calls; ShardTopology returns the epoch that versions it.
 func (db *DB) Shards() int {
 	if s, ok := db.inner.(*shard.Store); ok {
 		return s.Count()
 	}
 	return 1
+}
+
+// Topology is the store's shard layout, versioned by Epoch: Shards
+// engines, routed by Routing ("range" or "hash"), with Boundaries
+// holding the Shards-1 ascending range cut keys (nil under hash
+// routing). The epoch bumps on every Adaptive split or merge, so a
+// caller that cached routing decisions compares epochs to detect a
+// layout change.
+type Topology = shard.Topology
+
+// ErrDynamicHashRouting is returned by Open when an Adaptive policy
+// meets hash routing — a hash-routed shard spans the whole keyspace,
+// leaving no boundary to split.
+var ErrDynamicHashRouting = shard.ErrDynamicHashRouting
+
+// FutureManifestError is returned by Open when the store's SHARDS
+// manifest was written by a newer binary than this one. Detect it with
+// errors.As to tell an upgrade problem from corruption.
+type FutureManifestError = shard.FutureManifestError
+
+// ShardTopology returns a snapshot of the live shard layout. An
+// unsharded store reports the trivial topology: one shard, epoch 1.
+// The boundary keys are copies; the caller may retain them.
+func (db *DB) ShardTopology() Topology {
+	if s, ok := db.inner.(*shard.Store); ok {
+		return s.Topology()
+	}
+	return Topology{Epoch: 1, Shards: 1, Routing: "range"}
 }
 
 // ShardStats returns each shard's own counters, indexed by shard, when

@@ -18,6 +18,18 @@ type drainTask struct {
 	dst *memtable
 }
 
+// drainLowWater is the Membuffer occupancy below which the background
+// drainers drop from full speed to a trickle (one partition batch per
+// drainTrickle). Above it they trim round-robin at full speed, keeping
+// enough slack that bucket-full rejections stay rare; below it every
+// entry left resident is a chance for the next update to land in
+// place, so eviction slows to just enough to keep an idle buffer
+// converging toward the skiplist.
+const (
+	drainLowWater = 0.5
+	drainTrickle  = time.Millisecond
+)
+
 // drainLoop is a background draining thread (§4.2): a continuously ongoing
 // process keeping Membuffer occupancy low, so writes complete in the fast
 // level. Each round claims up to DrainBatch entries from one partition —
@@ -57,6 +69,13 @@ func (db *DB) drainLoop() {
 			time.Sleep(50 * time.Microsecond)
 			continue
 		}
+		// Low-water gate: draining exists to keep the Membuffer from
+		// rejecting writers into the slow path, not to empty it — a
+		// resident working set absorbing updates in place, with no drain
+		// debt at all, is the buffer's whole win (§4.4) and the signal
+		// the adaptive controller sizes it by. Below the mark, throttle
+		// to a trickle instead of sweeping the buffer clean.
+		trickle := g.mbf.Occupancy() < drainLowWater
 		h.Enter()
 		g = db.gen.Load()
 		if g.mbf == nil {
@@ -85,6 +104,9 @@ func (db *DB) drainLoop() {
 			if g.mtb.approxBytes() >= db.memtableTarget() {
 				db.signalPersist()
 			}
+		}
+		if trickle {
+			time.Sleep(drainTrickle)
 		}
 	}
 }

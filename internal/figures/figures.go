@@ -13,10 +13,12 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"flodb/internal/baseline"
@@ -224,7 +226,70 @@ func openShard(dir string, shards int, memBytes int64, lim *diskenv.Limiter, wal
 		Storage:        storageOpts(perShard),
 	}
 	applyAdaptiveForTest(&cfg)
-	return shard.Open(shard.Config{Dir: dir, Shards: shards, Core: cfg})
+	sc := shard.Config{Dir: dir, Shards: shards, Core: cfg}
+	if dynamicShardForTest {
+		// Dynamic adoption also makes reopen-after-crash paths work: the
+		// manifest's post-churn shard count wins over the static hint.
+		sc.Dynamic = shard.Dynamic{Enabled: true, MinShards: 1, MaxShards: shards * 2}
+	}
+	st, err := shard.Open(sc)
+	if err != nil {
+		return nil, err
+	}
+	if dynamicShardForTest {
+		return &epochChurner{Store: st}, nil
+	}
+	return st, nil
+}
+
+// dynamicShardForTest, when set, opens every sharded engine with the
+// rebalance controller ON and wraps it in an epochChurner, so the view
+// and durability conformance suites run over a store whose topology is
+// guaranteed to change epochs mid-suite. Flipped by the epoch-change
+// conformance rerun.
+var dynamicShardForTest bool
+
+// epochChurner forces deterministic topology churn into whatever
+// workload runs over it: the 64th mutation performs a split and the
+// 192nd a merge, synchronously on the mutating goroutine — every
+// conformance assertion that follows runs against a store that crossed
+// at least one epoch boundary. Churn failures surface through the op
+// that triggered them, so the suites report them instead of silently
+// losing the forced epoch change.
+type epochChurner struct {
+	*shard.Store
+	ops atomic.Uint64
+}
+
+func (c *epochChurner) churn() error {
+	switch c.ops.Add(1) {
+	case 64:
+		return c.Store.Split(0)
+	case 192:
+		return c.Store.Merge(0)
+	}
+	return nil
+}
+
+func (c *epochChurner) Put(ctx context.Context, key, value []byte, opts ...kv.WriteOption) error {
+	if err := c.churn(); err != nil {
+		return fmt.Errorf("figures: forced epoch churn: %w", err)
+	}
+	return c.Store.Put(ctx, key, value, opts...)
+}
+
+func (c *epochChurner) Delete(ctx context.Context, key []byte, opts ...kv.WriteOption) error {
+	if err := c.churn(); err != nil {
+		return fmt.Errorf("figures: forced epoch churn: %w", err)
+	}
+	return c.Store.Delete(ctx, key, opts...)
+}
+
+func (c *epochChurner) Apply(ctx context.Context, b *kv.Batch, opts ...kv.WriteOption) error {
+	if err := c.churn(); err != nil {
+		return fmt.Errorf("figures: forced epoch churn: %w", err)
+	}
+	return c.Store.Apply(ctx, b, opts...)
 }
 
 // cellDir allocates a fresh store directory.

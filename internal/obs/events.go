@@ -20,6 +20,9 @@ const (
 	EventSnapshotPin   = "snapshot-pin"   // O(1) snapshot sealed + seq bound pinned
 	EventSnapshotUnpin = "snapshot-unpin" // snapshot closed, version chains may collapse
 	EventShardFanout   = "shard-fanout"   // cross-shard batch/scan fan-out
+	EventShardSplit    = "shard-split"    // hot shard split at a sampled key (epoch bump)
+	EventShardMerge    = "shard-merge"    // cold neighbor shards merged (epoch bump)
+	EventShardQueue    = "shard-queue"    // committer queue depth crossed a high-water mark
 	EventRingUp        = "ring-up"        // cluster member became reachable
 	EventRingDown      = "ring-down"      // cluster member lost
 	EventRingEpoch     = "ring-epoch"     // ring config epoch observed/changed

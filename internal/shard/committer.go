@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+	"flodb/internal/obs"
+)
+
+// maxGroupOps caps how many queued operations one committer batch
+// coalesces. Big enough to amortize the per-commit costs (drainMu, RCU
+// section, WAL record framing, fsync) across a burst, small enough to
+// bound the latency the first op in a drained run waits on the last.
+const maxGroupOps = 128
+
+// queueEventFloor is the smallest drained run worth an EventShardQueue
+// entry; below it the queue is just absorbing scheduling jitter.
+const queueEventFloor = 32
+
+// start launches the engine's committer goroutine: the backstop
+// consumer of its op queue. Commits are flat-combined — a producer that
+// finds commitMu free drains and commits inline (including its own op),
+// which on an idle shard costs zero context switches; the goroutine
+// takes over only when producers are arriving faster than one of them
+// can retire the queue. It parks on the doorbell when the queue is
+// empty and exits — closing drained — when the queue is retired by a
+// split, merge or store close.
+//
+// The fence ordering producers and rebalancers rely on: drained is
+// closed only after the goroutine observed the closed queue while
+// holding commitMu, so every commit that drained ops before the close
+// (inline or not) has fully completed, and no later TryLock holder can
+// find ops to commit.
+func (e *engine) start(s *Store) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			e.commitMu.Lock()
+			ops, closed := e.queue.drain()
+			if closed {
+				e.commitMu.Unlock()
+				close(e.drained)
+				return
+			}
+			if ops == nil {
+				e.commitMu.Unlock()
+				<-e.wake
+				continue
+			}
+			e.commitRun(s, ops)
+			e.commitMu.Unlock()
+		}
+	}()
+}
+
+// combine is the producer-side half of flat combining, called after a
+// successful push: if no commit is in flight, drain and commit the
+// queue ourselves — our own op rides along — instead of paying two
+// scheduler hops to hand it to the committer goroutine. One drain is
+// enough before unlocking: our drain emptied the stack, so the next
+// push observes wasEmpty and rings the doorbell (or combines itself).
+// If the lock is held, the holder will retire any op already pushed;
+// wasEmpty pushes still ring the doorbell to cover the holder having
+// drained just before our push landed.
+func (e *engine) combine(s *Store, wasEmpty bool) {
+	if e.commitMu.TryLock() {
+		// A closed queue drains (nil, true): the fence that closed it
+		// re-routes the remaining ops itself, so there is nothing to do.
+		if ops, _ := e.queue.drain(); ops != nil {
+			e.commitRun(s, ops)
+		}
+		e.commitMu.Unlock()
+		return
+	}
+	if wasEmpty {
+		e.ringDoorbell()
+	}
+}
+
+// commitRun commits one drained run: consecutive ops of the same
+// durability class coalesce into one CommitBatch call, so a burst of N
+// queued writes pays the engine's per-commit costs once per group
+// instead of once per op — the committer-side analogue of the paper's
+// multi-insert drain (§4.2).
+func (e *engine) commitRun(s *Store, ops *writeOp) {
+	n := 0
+	for op := ops; op != nil; op = op.next {
+		n++
+	}
+	if n >= queueEventFloor && n >= 2*e.queueHighWater {
+		e.queueHighWater = n
+		s.events.Emit(obs.Event{
+			Type: obs.EventShardQueue, Keys: int64(n),
+			Detail: fmt.Sprintf("%s committer drained %d queued writes", e.dir, n),
+		})
+	}
+	for ops != nil {
+		ops = e.commitGroup(s, ops)
+	}
+}
+
+// commitGroup commits the longest same-durability prefix of ops as one
+// batch and returns the first op it did not consume. Ops whose context
+// died in the queue complete with their context error without touching
+// the engine.
+func (e *engine) commitGroup(s *Store, ops *writeOp) *writeOp {
+	// A run of one routed op — the uncontended flat-combined case — skips
+	// the batch arena and takes the engine's Membuffer-first single-op
+	// path, so an idle shard pays what a direct Put would.
+	if op := ops; op.next == nil && op.batch == nil {
+		if err := op.ctx.Err(); err != nil {
+			e.complete(op, err)
+			return nil
+		}
+		e.sample(op.key)
+		s.snapMu.RLock()
+		err := e.db.CommitOne(context.Background(), op.key, op.value, op.kind == keys.KindDelete, op.d)
+		s.snapMu.RUnlock()
+		e.complete(op, err)
+		return nil
+	}
+	var (
+		b          *kv.Batch
+		d          kv.Durability
+		puts, dels uint64
+		count      int
+	)
+	group := e.scratch[:0]
+	op := ops
+	for op != nil {
+		if err := op.ctx.Err(); err != nil {
+			next := op.next
+			e.complete(op, err)
+			op = next
+			continue
+		}
+		if b == nil {
+			b = kv.NewBatch()
+			d = op.d
+		} else if op.d != d || count >= maxGroupOps {
+			break
+		}
+		if op.batch != nil {
+			// An Apply sub-batch: its ops append contiguously, so the
+			// sub-batch stays intact inside the merged WAL record and its
+			// per-shard all-or-nothing recovery guarantee holds.
+			for _, o := range op.batch.Ops() {
+				if o.Kind == keys.KindDelete {
+					b.Delete(o.Key)
+				} else {
+					b.Put(o.Key, o.Value)
+				}
+			}
+			count += op.batch.Len()
+		} else {
+			if op.kind == keys.KindDelete {
+				b.Delete(op.key)
+			} else {
+				b.Put(op.key, op.value)
+			}
+			e.sample(op.key)
+			count++
+		}
+		puts += op.puts
+		dels += op.dels
+		group = append(group, op)
+		op = op.next
+	}
+	e.scratch = group[:0]
+	if len(group) == 0 {
+		return op
+	}
+	// snapMu held shared across the commit is the snapshot barrier: an op
+	// is acked only after its commit completed under the read lock, so a
+	// Snapshot's exclusive hold observes every acked write — the same
+	// cross-shard cut the synchronous writers used to guarantee.
+	s.snapMu.RLock()
+	err := e.db.CommitBatch(context.Background(), b, d, puts, dels)
+	s.snapMu.RUnlock()
+	for _, g := range group {
+		e.complete(g, err)
+	}
+	return op
+}
+
+// complete acks one op: the queue stops counting it and its producer
+// unblocks. The producer owns recycling (it still has to read done).
+func (e *engine) complete(op *writeOp, err error) {
+	e.queue.depth.Add(-1)
+	op.done <- err
+}

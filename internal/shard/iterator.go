@@ -1,58 +1,219 @@
 package shard
 
 import (
+	"sync"
+
 	"flodb/internal/keys"
 	"flodb/internal/kv"
 )
 
-// mergedIter k-way-merges per-shard iterators into one ascending cursor.
-// Routing guarantees the sources hold pairwise-disjoint key sets, so the
-// merge never has to break ties; under range routing the sources are
-// additionally ordered end-to-end and the merge degenerates into a
-// concatenation for free (at any moment only one source is the minimum).
+// The merged iterator runs each shard's cursor in its own PRODUCER
+// goroutine: producers walk their sub-iterators and stream chunks of
+// cloned pairs through bounded channels to the consuming merge, so an
+// N-shard scan reads N shards' blocks, caches and skiplists in
+// parallel while the consumer only compares heads. Routing guarantees
+// the sources hold pairwise-disjoint key sets, so the merge never
+// breaks ties; under range routing the sources are ordered end-to-end
+// and at any moment only one producer's head is the minimum.
 //
-// Error contract: the first error any source reports (a context cancel,
-// a read failure) invalidates the whole merge — positioning calls return
-// false and Err surfaces it.
-type mergedIter struct {
-	subs  []kv.Iterator
-	valid []bool // subs[i] is positioned on a live pair
-	cur   int    // index of the current minimum, -1 when unpositioned/done
+// Repositioning (First/Seek) is generation-numbered: the consumer bumps
+// the generation and commands every producer, then discards any chunk
+// tagged with a stale generation — a producer mid-stream when the
+// command lands abandons its run without any lock.
+//
+// Error contract: the first error any source reports (a context
+// cancel, a read failure) invalidates the whole merge — positioning
+// calls return false and Err surfaces it.
+
+// iterChunkSize bounds a chunk: big enough to amortize channel hops,
+// small enough to keep repositioning cheap and memory bounded
+// (sources × chunkCap × chunkSize pairs in flight at worst).
+const (
+	iterChunkSize = 32
+	iterChunkCap  = 2
+)
+
+type iterChunk struct {
+	gen   int
+	pairs []kv.Pair // cloned: valid beyond the producer's next advance
+	eof   bool      // source exhausted (or failed) for this generation
 	err   error
-	done  bool // exhausted or failed: positioning calls short-circuit
+}
+
+type iterCmd struct {
+	gen  int
+	seek []byte // nil means First
+}
+
+// iterSource is one shard's producer endpoints.
+type iterSource struct {
+	cmds chan iterCmd   // consumer -> producer, cap 1
+	out  chan iterChunk // producer -> consumer, cap iterChunkCap
+}
+
+// produce owns sub for the iterator's lifetime: it waits for a
+// positioning command, then streams chunks for that generation until
+// eof, a newer command, or stop. It holds sub.Close — the consumer
+// never touches sub directly.
+func produce(sub kv.Iterator, src *iterSource, stop <-chan struct{}) {
+	defer sub.Close()
+	var cmd iterCmd
+	var have bool
+	for {
+		if !have {
+			select {
+			case <-stop:
+				return
+			case cmd = <-src.cmds:
+			}
+		}
+		have = false
+		var ok bool
+		if cmd.seek == nil {
+			ok = sub.First()
+		} else {
+			ok = sub.Seek(cmd.seek)
+		}
+		for {
+			ch := iterChunk{gen: cmd.gen}
+			for ok && len(ch.pairs) < iterChunkSize {
+				ch.pairs = append(ch.pairs, kv.Pair{
+					Key:   keys.Clone(sub.Key()),
+					Value: keys.Clone(sub.Value()),
+				})
+				ok = sub.Next()
+			}
+			if !ok {
+				ch.eof = true
+				ch.err = sub.Err()
+			}
+			select {
+			case src.out <- ch:
+			case <-stop:
+				return
+			case cmd = <-src.cmds:
+				// Superseded mid-stream: drop this chunk, reposition.
+				have = true
+			}
+			if have || ch.eof {
+				break
+			}
+		}
+	}
+}
+
+// mergedIter is the consumer: it holds each source's current chunk and
+// merges their heads.
+type mergedIter struct {
+	sources []*iterSource
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	release func() // engine/topology pins; runs after every producer exits
+
+	gen    int
+	bufs   [][]kv.Pair // sources' remaining pairs of the current generation
+	eof    []bool      // source finished its current generation
+	err    error
+	cur    int // source holding the current minimum; -1 when unpositioned
+	curKV  kv.Pair
+	done   bool
+	closed bool
 }
 
 var _ kv.Iterator = (*mergedIter)(nil)
 
-func newMergedIter(subs []kv.Iterator) *mergedIter {
-	return &mergedIter{subs: subs, valid: make([]bool, len(subs)), cur: -1}
-}
-
-// position records the outcome of a positioning call on source i,
-// capturing a source error as the merge's error.
-func (m *mergedIter) position(i int, ok bool) {
-	m.valid[i] = ok
-	if !ok {
-		if err := m.subs[i].Err(); err != nil && m.err == nil {
-			m.err = err
-		}
+// newMergedIter merges subs (pairwise-disjoint key sets) into one
+// ascending cursor, spawning one producer per source. release, if
+// non-nil, runs at Close after the producers have let go of their
+// sub-iterators. A single source skips the machinery entirely.
+func newMergedIter(subs []kv.Iterator, release func()) kv.Iterator {
+	if len(subs) == 1 {
+		return &singleIter{Iterator: subs[0], release: release}
 	}
+	m := &mergedIter{
+		stop:    make(chan struct{}),
+		release: release,
+		bufs:    make([][]kv.Pair, len(subs)),
+		eof:     make([]bool, len(subs)),
+		cur:     -1,
+	}
+	for _, sub := range subs {
+		src := &iterSource{
+			cmds: make(chan iterCmd, 1),
+			out:  make(chan iterChunk, iterChunkCap),
+		}
+		m.sources = append(m.sources, src)
+		m.wg.Add(1)
+		go func(sub kv.Iterator, src *iterSource) {
+			defer m.wg.Done()
+			produce(sub, src, m.stop)
+		}(sub, src)
+	}
+	return m
 }
 
-// pickMin scans the live sources for the smallest key. Linear in shard
-// count, which is small; a heap would only pay past dozens of shards.
-func (m *mergedIter) pickMin() bool {
-	if m.err != nil {
-		m.cur = -1
-		m.done = true
+// reposition broadcasts a new-generation command and primes every
+// source's first chunk.
+func (m *mergedIter) reposition(seek []byte) bool {
+	if m.closed {
 		return false
 	}
+	m.gen++
+	m.err = nil
+	m.done = false
+	for i, src := range m.sources {
+		m.bufs[i] = nil
+		m.eof[i] = false
+		// Drain any stale chunk so the producer isn't blocked sending one
+		// while we wait to hand it the command.
+		for {
+			select {
+			case <-src.out:
+				continue
+			default:
+			}
+			break
+		}
+		src.cmds <- iterCmd{gen: m.gen, seek: seek}
+	}
+	for i := range m.sources {
+		if !m.fill(i) {
+			m.done = true
+			m.cur = -1
+			return false
+		}
+	}
+	return m.pickMin()
+}
+
+// fill ensures source i has either pairs buffered or a final eof for
+// the current generation. Returns false on a source error.
+func (m *mergedIter) fill(i int) bool {
+	for len(m.bufs[i]) == 0 && !m.eof[i] {
+		ch := <-m.sources[i].out
+		if ch.gen != m.gen {
+			continue // stale generation: discard
+		}
+		m.bufs[i] = ch.pairs
+		if ch.eof {
+			m.eof[i] = true
+			if ch.err != nil && m.err == nil {
+				m.err = ch.err
+			}
+		}
+	}
+	return m.err == nil
+}
+
+// pickMin selects the smallest head among the sources. Linear in shard
+// count, which is small; a heap would only pay past dozens of shards.
+func (m *mergedIter) pickMin() bool {
 	m.cur = -1
-	for i := range m.subs {
-		if !m.valid[i] {
+	for i := range m.sources {
+		if len(m.bufs[i]) == 0 {
 			continue
 		}
-		if m.cur < 0 || keys.Compare(m.subs[i].Key(), m.subs[m.cur].Key()) < 0 {
+		if m.cur < 0 || keys.Compare(m.bufs[i][0].Key, m.bufs[m.cur][0].Key) < 0 {
 			m.cur = i
 		}
 	}
@@ -60,75 +221,104 @@ func (m *mergedIter) pickMin() bool {
 		m.done = true
 		return false
 	}
-	m.done = false
+	m.curKV = m.bufs[m.cur][0]
 	return true
 }
 
-// First positions every source at its first pair and yields the global
-// minimum.
-func (m *mergedIter) First() bool {
-	if m.err != nil {
-		return false
-	}
-	for i, it := range m.subs {
-		m.position(i, it.First())
-	}
-	return m.pickMin()
-}
+// First positions at the global minimum.
+func (m *mergedIter) First() bool { return m.reposition(nil) }
 
-// Seek positions at the first pair with key >= the given key.
+// Seek positions at the first pair with key >= the given key (forward
+// or backward from the current position).
 func (m *mergedIter) Seek(key []byte) bool {
-	if m.err != nil {
+	if m.closed {
 		return false
 	}
-	for i, it := range m.subs {
-		m.position(i, it.Seek(key))
-	}
-	return m.pickMin()
+	return m.reposition(keys.Clone(key))
 }
 
-// Next advances past the current pair; on an unpositioned iterator it is
-// First.
+// Next advances past the current pair; on an unpositioned iterator it
+// is First.
 func (m *mergedIter) Next() bool {
-	if m.err != nil || m.done {
+	if m.closed || m.done || m.err != nil {
 		return false
 	}
 	if m.cur < 0 {
 		return m.First()
 	}
-	m.position(m.cur, m.subs[m.cur].Next())
+	m.bufs[m.cur] = m.bufs[m.cur][1:]
+	if !m.fill(m.cur) {
+		m.done = true
+		m.cur = -1
+		return false
+	}
 	return m.pickMin()
 }
 
 // Key returns the current key (valid after a positioning call returned
-// true, until the next one).
+// true, until Close — chunks are cloned, so no aliasing with the
+// engines).
 func (m *mergedIter) Key() []byte {
 	if m.cur < 0 {
 		return nil
 	}
-	return m.subs[m.cur].Key()
+	return m.curKV.Key
 }
 
-// Value returns the current value under the same aliasing rule as Key.
+// Value returns the current value under the same rule as Key.
 func (m *mergedIter) Value() []byte {
 	if m.cur < 0 {
 		return nil
 	}
-	return m.subs[m.cur].Value()
+	return m.curKV.Value
 }
 
 // Err returns the first error any source encountered.
 func (m *mergedIter) Err() error { return m.err }
 
-// Close releases every source. Idempotent; returns the first close error.
+// Close stops the producers, closes every source iterator and drops
+// the engine pins. Idempotent.
 func (m *mergedIter) Close() error {
-	var firstErr error
-	for _, it := range m.subs {
-		if err := it.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	close(m.stop)
+	// Unstick producers blocked sending a chunk.
+	for _, src := range m.sources {
+		for {
+			select {
+			case <-src.out:
+				continue
+			default:
+			}
+			break
 		}
+	}
+	m.wg.Wait()
+	if m.release != nil {
+		m.release()
 	}
 	m.cur = -1
 	m.done = true
-	return firstErr
+	return nil
+}
+
+// singleIter wraps the one-source case: no producer goroutine, just the
+// engine pin release on Close.
+type singleIter struct {
+	kv.Iterator
+	release func()
+	closed  bool
+}
+
+func (it *singleIter) Close() error {
+	err := it.Iterator.Close()
+	if !it.closed {
+		it.closed = true
+		if it.release != nil {
+			it.release()
+		}
+	}
+	return err
 }

@@ -1,0 +1,330 @@
+package shard
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flodb/internal/keys"
+	"flodb/internal/storage"
+)
+
+// The SHARDS manifest is the store root's layout record and the commit
+// point of every topology change: a split or merge builds its child
+// shard directories first, flushes them, and only then renames a new
+// manifest over the old one — so a crash at any instant leaves either
+// the old epoch or the new one fully intact, never a mix.
+//
+// Version history:
+//
+//	v1 — static layout: shard count, routing, boundary list; shard i is
+//	     implicitly dir "shard-%03d". Read-compatible forever.
+//	v2 — dynamic topology: an EPOCH that bumps on every split/merge, an
+//	     explicit per-shard directory name (children of a split get
+//	     fresh directories, so a crash mid-rewrite never confuses old
+//	     and new data), each shard's inclusive lower bound, and the
+//	     next directory index to allocate.
+//
+// A manifest whose version is newer than this binary understands fails
+// Open with FutureManifestError — adopting v1 semantics for an unknown
+// layout could route keys to the wrong shard and silently shadow data.
+const (
+	manifestName       = "SHARDS"
+	manifestVersionV1  = 1
+	manifestVersion    = 2
+	manifestDirPattern = "shard-"
+
+	routingRange = "range"
+	routingHash  = "hash"
+)
+
+// FutureManifestError reports a SHARDS manifest written by a newer
+// binary than the one opening it.
+type FutureManifestError struct {
+	Dir       string // store root holding the manifest
+	Version   int    // version the manifest records
+	Supported int    // newest version this binary understands
+}
+
+func (e *FutureManifestError) Error() string {
+	return fmt.Sprintf("shard: %s/%s is manifest version %d, newer than the supported %d: the store was written by a newer binary (upgrade this one; downgrading the store is not supported)",
+		e.Dir, manifestName, e.Version, e.Supported)
+}
+
+// manifestShard is one shard's entry in a v2 manifest.
+type manifestShard struct {
+	// Dir is the shard's directory name under the store root.
+	Dir string `json:"dir"`
+	// Low is the shard's inclusive lower boundary key in hex; absent on
+	// the first shard (whose range is open below) and under hash routing.
+	Low string `json:"low,omitempty"`
+}
+
+// manifest is the JSON layout record at the store root. The v1 fields
+// (Shards count, flat Boundaries) and the v2 fields (Epoch, per-shard
+// entries, NextDir) coexist in the struct; version selects which are
+// authoritative.
+type manifest struct {
+	Version int    `json:"version"`
+	Routing string `json:"routing"`
+
+	// v1 fields.
+	Shards     int      `json:"shards,omitempty"`
+	Boundaries []string `json:"boundaries,omitempty"` // hex, len Shards-1
+
+	// v2 fields.
+	Epoch     uint64          `json:"epoch,omitempty"`
+	ShardDirs []manifestShard `json:"shard_dirs,omitempty"`
+	NextDir   int             `json:"next_dir,omitempty"`
+}
+
+// layout is a decoded, validated manifest: what Open actually consumes.
+type layout struct {
+	epoch      uint64
+	hashed     bool
+	dirs       []string
+	boundaries [][]byte // len(dirs)-1; nil iff hashed
+	nextDir    int
+}
+
+func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// decode validates the manifest and normalizes both versions into one
+// layout. v1 manifests get epoch 1 and the implicit shard-%03d dirs.
+func (m *manifest) decode(dir string) (*layout, error) {
+	if m.Routing != routingRange && m.Routing != routingHash {
+		return nil, fmt.Errorf("shard: %s records unknown routing %q", manifestName, m.Routing)
+	}
+	l := &layout{hashed: m.Routing == routingHash}
+	switch m.Version {
+	case manifestVersionV1:
+		if m.Shards < 1 {
+			return nil, fmt.Errorf("shard: %s records %d shards", manifestName, m.Shards)
+		}
+		l.epoch = 1
+		l.nextDir = m.Shards
+		for i := 0; i < m.Shards; i++ {
+			l.dirs = append(l.dirs, shardDirName(i))
+		}
+		if !l.hashed {
+			if len(m.Boundaries) != m.Shards-1 {
+				return nil, fmt.Errorf("shard: %s holds %d boundaries for %d shards", manifestName, len(m.Boundaries), m.Shards)
+			}
+			for _, h := range m.Boundaries {
+				b, err := hex.DecodeString(h)
+				if err != nil {
+					return nil, fmt.Errorf("shard: %s: bad boundary %q: %w", manifestName, h, err)
+				}
+				l.boundaries = append(l.boundaries, b)
+			}
+		}
+	case manifestVersion:
+		if len(m.ShardDirs) < 1 {
+			return nil, fmt.Errorf("shard: %s records no shards", manifestName)
+		}
+		if m.Epoch < 1 {
+			return nil, fmt.Errorf("shard: %s records epoch %d; want >= 1", manifestName, m.Epoch)
+		}
+		l.epoch = m.Epoch
+		l.nextDir = m.NextDir
+		for i, e := range m.ShardDirs {
+			if e.Dir == "" || e.Dir != filepath.Base(e.Dir) || !strings.HasPrefix(e.Dir, manifestDirPattern) {
+				return nil, fmt.Errorf("shard: %s entry %d has bad dir %q", manifestName, i, e.Dir)
+			}
+			l.dirs = append(l.dirs, e.Dir)
+			switch {
+			case i == 0 || l.hashed:
+				if e.Low != "" {
+					return nil, fmt.Errorf("shard: %s entry %d has unexpected lower bound", manifestName, i)
+				}
+			default:
+				b, err := hex.DecodeString(e.Low)
+				if err != nil || len(b) == 0 {
+					return nil, fmt.Errorf("shard: %s entry %d has bad lower bound %q", manifestName, i, e.Low)
+				}
+				l.boundaries = append(l.boundaries, b)
+			}
+		}
+	default:
+		return nil, &FutureManifestError{Dir: dir, Version: m.Version, Supported: manifestVersion}
+	}
+	for i := 1; i < len(l.boundaries); i++ {
+		if keys.Compare(l.boundaries[i-1], l.boundaries[i]) >= 0 {
+			return nil, fmt.Errorf("shard: %s boundaries not strictly ascending at %d", manifestName, i)
+		}
+	}
+	return l, nil
+}
+
+// encode renders the layout as a v2 manifest record.
+func (l *layout) encode() *manifest {
+	m := &manifest{Version: manifestVersion, Epoch: l.epoch, NextDir: l.nextDir, Routing: routingRange}
+	if l.hashed {
+		m.Routing = routingHash
+	}
+	for i, d := range l.dirs {
+		e := manifestShard{Dir: d}
+		if i > 0 && !l.hashed {
+			e.Low = hex.EncodeToString(l.boundaries[i-1])
+		}
+		m.ShardDirs = append(m.ShardDirs, e)
+	}
+	return m
+}
+
+// loadLayout returns the decoded layout, or nil when dir holds no
+// manifest. Version errors (including FutureManifestError) surface here.
+func loadLayout(dir string) (*layout, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: parse %s: %w", manifestName, err)
+	}
+	return m.decode(dir)
+}
+
+// buildLayout resolves the splitter into a fresh store's layout.
+func buildLayout(cfg Config) (*layout, error) {
+	split := cfg.Splitter
+	if split == nil {
+		split = UniformSplitter{}
+	}
+	l := &layout{epoch: 1, nextDir: cfg.Shards}
+	for i := 0; i < cfg.Shards; i++ {
+		l.dirs = append(l.dirs, shardDirName(i))
+	}
+	if cfg.Shards == 1 {
+		return l, nil
+	}
+	bs := split.Boundaries(cfg.Shards)
+	if bs == nil {
+		l.hashed = true
+		return l, nil
+	}
+	if len(bs) != cfg.Shards-1 {
+		return nil, fmt.Errorf("shard: splitter returned %d boundaries for %d shards; want %d", len(bs), cfg.Shards, cfg.Shards-1)
+	}
+	for i, b := range bs {
+		if i > 0 && keys.Compare(bs[i-1], b) >= 0 {
+			return nil, fmt.Errorf("shard: splitter boundaries not strictly ascending at %d", i)
+		}
+		l.boundaries = append(l.boundaries, b)
+	}
+	return l, nil
+}
+
+// writeLayout persists the layout atomically: temp file, fsync, rename,
+// directory fsync. The rename is the commit point of store creation,
+// checkpoints AND topology rewrites, so it must itself be durable —
+// without the directory sync a power loss could leave fsynced shard data
+// behind a stale (or absent) root record.
+func writeLayout(dir string, l *layout) error {
+	data, err := json.Marshal(l.encode())
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return storage.SyncDir(dir)
+}
+
+// removeOrphanDirs deletes shard-* subdirectories the manifest does not
+// reference — the debris of a rewrite that crashed before (children) or
+// after (retired parents) its manifest rename. Run at Open, before any
+// engine starts, so a half-built child can never be mistaken for data.
+func removeOrphanDirs(dir string, l *layout) error {
+	live := make(map[string]bool, len(l.dirs))
+	for _, d := range l.dirs {
+		live[d] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == manifestName+".tmp" {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !e.IsDir() || !strings.HasPrefix(name, manifestDirPattern) || live[name] {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("shard: removing orphan %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// DetectShards reports the shard count recorded in dir's SHARDS
+// manifest, or 0 when dir is not a sharded store root. Callers that
+// default to an unsharded engine use it to adopt (or refuse to shadow)
+// an existing sharded layout.
+func DetectShards(dir string) (int, error) {
+	l, err := loadLayout(dir)
+	if err != nil || l == nil {
+		return 0, err
+	}
+	return len(l.dirs), nil
+}
+
+// ShardInfo describes one shard directory as the manifest records it:
+// the directory name under the store root and the shard's inclusive
+// lower boundary (nil on the first shard, whose range is open below,
+// and on every shard under hash routing).
+type ShardInfo struct {
+	Dir string
+	Low []byte
+}
+
+// Inspect reads dir's SHARDS manifest without opening the store —
+// the operator's view (`flodbctl shards`) of a directory that may
+// belong to a running process. It returns the recorded topology and
+// the per-shard directory entries in shard order, or a zero Topology
+// and nil infos when dir holds no manifest (an unsharded store).
+// Version errors, including FutureManifestError, surface unchanged.
+func Inspect(dir string) (Topology, []ShardInfo, error) {
+	l, err := loadLayout(dir)
+	if err != nil || l == nil {
+		return Topology{}, nil, err
+	}
+	topo := Topology{Epoch: l.epoch, Shards: len(l.dirs), Routing: routingRange}
+	if l.hashed {
+		topo.Routing = routingHash
+	}
+	infos := make([]ShardInfo, len(l.dirs))
+	for i, d := range l.dirs {
+		infos[i].Dir = d
+		if i > 0 && !l.hashed {
+			infos[i].Low = keys.Clone(l.boundaries[i-1])
+			topo.Boundaries = append(topo.Boundaries, keys.Clone(l.boundaries[i-1]))
+		}
+	}
+	return topo, infos, nil
+}

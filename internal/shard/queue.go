@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"flodb/internal/keys"
+	"flodb/internal/kv"
+)
+
+// writeOp is one routed mutation parked on a shard's commit queue: a
+// single Put/Delete (key/value/kind) or a pre-split sub-batch (batch).
+// The committer owns it from a successful push until it sends on done;
+// the slices alias the caller's buffers, which is safe because the
+// caller blocks on done until the committer has copied them into the
+// engine (kv.Batch arena-clones on append).
+type writeOp struct {
+	ctx   context.Context
+	key   []byte
+	value []byte
+	kind  keys.Kind
+	batch *kv.Batch     // non-nil for Apply sub-batches; kind/key/value unused
+	d     kv.Durability // resolved at enqueue; groups the drain into runs
+	puts  uint64        // stat attribution for the engine
+	dels  uint64
+
+	done chan error // buffered(1); exactly one send per op
+	next *writeOp   // intrusive queue link
+}
+
+// opPool recycles writeOps and their done channels across operations.
+var opPool = sync.Pool{
+	New: func() any { return &writeOp{done: make(chan error, 1)} },
+}
+
+func getOp() *writeOp { return opPool.Get().(*writeOp) }
+
+func putOp(op *writeOp) {
+	op.ctx = nil
+	op.key, op.value, op.batch = nil, nil, nil
+	op.puts, op.dels = 0, 0
+	op.next = nil
+	opPool.Put(op)
+}
+
+// queueClosed is the sentinel installed as the stack head when a queue
+// is retired: pushes that lose the race to a topology rewrite fail and
+// re-route through the new topology instead of vanishing into a queue
+// nobody drains.
+var queueClosed = &writeOp{}
+
+// opQueue is a lock-free multi-producer single-consumer queue: a
+// Treiber stack of writeOps. Producers push with one CAS; the committer
+// takes the whole stack with one swap and reverses it, restoring arrival
+// order. depth tracks enqueued-but-uncommitted ops for Stats and the
+// queue-depth telemetry.
+type opQueue struct {
+	head  atomic.Pointer[writeOp]
+	depth atomic.Int64
+}
+
+// push enqueues op. It returns (wasEmpty, ok): ok is false when the
+// queue is closed (the shard was retired by a split/merge — re-route),
+// wasEmpty tells the producer to ring the committer's doorbell.
+func (q *opQueue) push(op *writeOp) (wasEmpty, ok bool) {
+	for {
+		h := q.head.Load()
+		if h == queueClosed {
+			return false, false
+		}
+		op.next = h
+		if q.head.CompareAndSwap(h, op) {
+			q.depth.Add(1)
+			return h == nil, true
+		}
+	}
+}
+
+// drain takes every queued op in arrival order. closed reports that the
+// queue has been retired; once closed, drain always returns (nil, true)
+// and the committer exits. depth is NOT decremented here — ops stay
+// counted until the committer completes them (completeOp).
+func (q *opQueue) drain() (ops *writeOp, closed bool) {
+	for {
+		h := q.head.Load()
+		if h == queueClosed {
+			return nil, true
+		}
+		if h == nil {
+			return nil, false
+		}
+		if q.head.CompareAndSwap(h, nil) {
+			return reverseOps(h), false
+		}
+	}
+}
+
+// close retires the queue: it atomically installs the closed sentinel
+// and returns whatever was still queued, in arrival order, for the
+// caller to re-route. After close, every push fails.
+func (q *opQueue) close() *writeOp {
+	for {
+		h := q.head.Load()
+		if h == queueClosed {
+			return nil
+		}
+		if q.head.CompareAndSwap(h, queueClosed) {
+			return reverseOps(h)
+		}
+	}
+}
+
+// reverseOps flips a LIFO stack segment into FIFO arrival order.
+func reverseOps(h *writeOp) *writeOp {
+	var out *writeOp
+	for h != nil {
+		next := h.next
+		h.next = out
+		out = h
+		h = next
+	}
+	return out
+}

@@ -1,0 +1,331 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flodb/internal/kv"
+)
+
+// TestSplitMergeUnderWriteStorm is the dynamic-topology model test: a
+// pinned cross-shard snapshot must stay repeatable while forced splits
+// and merges churn the topology under a concurrent write storm, every
+// acked write must survive the churn, and each rewrite must bump the
+// epoch exactly once. Run with -race: the fence/swap protocol is
+// mostly interesting for what it must NOT share with producers.
+func TestSplitMergeUnderWriteStorm(t *testing.T) {
+	s := openN(t, t.TempDir(), 2, true)
+	defer s.Close()
+	const keyspace = 1 << 11
+
+	// Preload so the snapshot has something to pin, value = key so every
+	// observable state is self-consistent per key.
+	for i := uint64(0); i < keyspace; i++ {
+		k := spreadKey(i)
+		if err := s.Put(bg, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Close()
+	first, err := snap.Scan(bg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != keyspace {
+		t.Fatalf("pinned snapshot holds %d pairs, want %d", len(first), keyspace)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for ctx.Err() == nil {
+				k := spreadKey(uint64(rng.Intn(keyspace)))
+				if err := s.Put(ctx, k, k); err != nil && ctx.Err() == nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Churn: split twice, re-check the pinned snapshot between rewrites,
+	// then merge back down. Epochs must advance one per rewrite.
+	wantEpoch := s.Topology().Epoch
+	for _, step := range []struct {
+		op   func(int) error
+		name string
+		idx  int
+	}{
+		{s.Split, "split", 0},
+		{s.Split, "split", 1},
+		{s.Merge, "merge", 0},
+		{s.Merge, "merge", 0},
+	} {
+		if err := step.op(step.idx); err != nil {
+			cancel()
+			wg.Wait()
+			t.Fatalf("%s(%d): %v", step.name, step.idx, err)
+		}
+		wantEpoch++
+		topo := s.Topology()
+		if topo.Epoch != wantEpoch {
+			t.Fatalf("after %s: epoch %d, want %d", step.name, topo.Epoch, wantEpoch)
+		}
+		if len(topo.Boundaries) != topo.Shards-1 {
+			t.Fatalf("after %s: %d boundaries for %d shards", step.name, len(topo.Boundaries), topo.Shards)
+		}
+		again, err := snap.Scan(bg, nil, nil)
+		if err != nil {
+			t.Fatalf("snapshot scan across %s: %v", step.name, err)
+		}
+		if len(again) != len(first) {
+			t.Fatalf("snapshot drifted across %s: %d -> %d pairs", step.name, len(first), len(again))
+		}
+		for i := range again {
+			if !bytes.Equal(again[i].Key, first[i].Key) || !bytes.Equal(again[i].Value, first[i].Value) {
+				t.Fatalf("snapshot drifted across %s at %d", step.name, i)
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if got := s.Topology().Shards; got != 2 {
+		t.Fatalf("shards after churn = %d, want 2", got)
+	}
+
+	// Every acked write (the storm only overwrites preloaded keys, and
+	// every preloaded Put was acked) must have survived the rewrites.
+	for i := uint64(0); i < keyspace; i++ {
+		k := spreadKey(i)
+		v, ok, err := s.Get(bg, k)
+		if err != nil || !ok || !bytes.Equal(v, k) {
+			t.Fatalf("key %d lost across topology churn (ok=%v err=%v)", i, ok, err)
+		}
+	}
+}
+
+// TestCrashMidSplitRecovery kills the store between the children's
+// flush and the manifest rename — before the commit point — and
+// reopens: the old epoch must serve, every acked write must be
+// present, and the half-built child directories must be swept.
+func TestCrashMidSplitRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openN(t, dir, 2, true)
+	const n = 512
+	for i := uint64(0); i < n; i++ {
+		k := spreadKey(i)
+		if err := s.Put(bg, k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A sync barrier makes every write above durably acked: the crash is
+	// then REQUIRED to lose nothing, not merely permitted to keep it.
+	if err := s.Sync(bg); err != nil {
+		t.Fatal(err)
+	}
+
+	injected := errors.New("injected crash before manifest rename")
+	s.testHookPreManifest = func() error { return injected }
+	if err := s.Split(0); !errors.Is(err, injected) {
+		t.Fatalf("Split with crash hook: %v, want injected error", err)
+	}
+	// The store abandoned itself mid-rewrite: all handles are dead.
+	if err := s.Put(bg, spreadKey(0), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on crashed store: %v, want ErrClosed", err)
+	}
+
+	// Reopen with no shape hints: the manifest is authoritative.
+	re, err := Open(Config{Dir: dir, Core: tinyCore(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	topo := re.Topology()
+	if topo.Epoch != 1 || topo.Shards != 2 {
+		t.Fatalf("reopened topology epoch=%d shards=%d, want the pre-split 1/2", topo.Epoch, topo.Shards)
+	}
+	for i := uint64(0); i < n; i++ {
+		k := spreadKey(i)
+		v, ok, err := re.Get(bg, k)
+		if err != nil || !ok || !bytes.Equal(v, k) {
+			t.Fatalf("acked key %d lost across crash mid-split (ok=%v err=%v)", i, ok, err)
+		}
+	}
+	// The children the aborted split flushed are orphans; reopen sweeps
+	// them so they can never shadow a later rewrite's directories.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shardDirs []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			shardDirs = append(shardDirs, e.Name())
+		}
+	}
+	if len(shardDirs) != 2 {
+		t.Fatalf("orphan children not swept: %v", shardDirs)
+	}
+	// And the recovered store can still split.
+	if err := re.Split(0); err != nil {
+		t.Fatalf("split after crash recovery: %v", err)
+	}
+	if got := re.Topology(); got.Epoch != 2 || got.Shards != 3 {
+		t.Fatalf("post-recovery split: epoch=%d shards=%d, want 2/3", got.Epoch, got.Shards)
+	}
+}
+
+// TestCommitterPerKeyFIFO checks the pipeline's ordering contract: all
+// writes to one key, issued in order by one producer, apply in that
+// order — across group commits, durability-class run boundaries, and
+// shard fences — so the last acked value is the one a reader sees.
+// Concurrent readers additionally assert monotonicity: a key's visible
+// version never goes backward. Run with -race.
+func TestCommitterPerKeyFIFO(t *testing.T) {
+	s := openN(t, t.TempDir(), 4, true)
+	defer s.Close()
+	const (
+		nKeys   = 16
+		nWrites = 400
+	)
+
+	val := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, v)
+		return b
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	var wg sync.WaitGroup
+	var storming atomic.Bool
+	storming.Store(true)
+
+	// One reader per key polls Get and asserts the visible version never
+	// regresses — the observable face of per-key FIFO.
+	for k := 0; k < nKeys; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			key := spreadKey(uint64(k))
+			var last uint64
+			for storming.Load() && ctx.Err() == nil {
+				v, ok, err := s.Get(ctx, key)
+				if err != nil || !ok {
+					continue
+				}
+				got := binary.BigEndian.Uint64(v)
+				if got < last {
+					t.Errorf("key %d went backward: %d after %d", k, got, last)
+					return
+				}
+				last = got
+			}
+		}(k)
+	}
+
+	// One writer per key issues versions 1..nWrites in order, mixing
+	// durability classes so the committer has to split runs — the spot
+	// where a buggy regroup would reorder.
+	var werr atomic.Value
+	var writers sync.WaitGroup
+	for k := 0; k < nKeys; k++ {
+		writers.Add(1)
+		go func(k int) {
+			defer writers.Done()
+			key := spreadKey(uint64(k))
+			for v := uint64(1); v <= nWrites; v++ {
+				var opts []kv.WriteOption
+				if v%3 == 0 {
+					opts = append(opts, kv.WithDurability(kv.DurabilityNone))
+				}
+				if err := s.Put(ctx, key, val(v), opts...); err != nil {
+					werr.Store(fmt.Errorf("key %d v%d: %w", k, v, err))
+					return
+				}
+			}
+		}(k)
+	}
+	writers.Wait()
+	storming.Store(false)
+	cancel()
+	wg.Wait()
+	if err, _ := werr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// The last write wins for every key — nothing was reordered past it.
+	for k := 0; k < nKeys; k++ {
+		v, ok, err := s.Get(bg, spreadKey(uint64(k)))
+		if err != nil || !ok {
+			t.Fatalf("key %d: ok=%v err=%v", k, ok, err)
+		}
+		if got := binary.BigEndian.Uint64(v); got != nWrites {
+			t.Fatalf("key %d final version %d, want %d", k, got, nWrites)
+		}
+	}
+}
+
+// TestSensorSplitsAtTwoShards pins the n=2 degenerate case of the hot
+// threshold: SplitFactor×fair is 1.0 at two shards, which no share can
+// exceed, so without the controller's cap a fully skewed two-shard
+// store would never split no matter how lopsided the traffic. This
+// drives every write into one shard through the live sensor (no forced
+// Split) and requires the controller itself to cross an epoch.
+func TestSensorSplitsAtTwoShards(t *testing.T) {
+	cfg := tinyCore(false)
+	s, err := Open(Config{Dir: t.TempDir(), Shards: 2, Core: cfg, Dynamic: Dynamic{
+		Enabled:      true,
+		MinShards:    2,
+		MaxShards:    4,
+		Interval:     10 * time.Millisecond,
+		MinWindowOps: 64,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Everything lands in the top shard: 100% share, the maximum skew
+	// the sensor can ever observe.
+	val := make([]byte, 32)
+	deadline := time.Now().Add(30 * time.Second)
+	for i := uint64(0); ; i++ {
+		k := []byte(fmt.Sprintf("\xf0hot-%06d", i%512))
+		if err := s.Put(bg, k, val); err != nil {
+			t.Fatal(err)
+		}
+		if st := s.Stats(); st.ShardSplits >= 1 {
+			if got := s.Count(); got < 3 {
+				t.Fatalf("split reported but Count() = %d", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no sensor-driven split after 30s at n=2: stats=%+v", s.Stats())
+		}
+	}
+}

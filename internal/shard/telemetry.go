@@ -1,31 +1,80 @@
 package shard
 
-import "flodb/internal/obs"
+import (
+	"fmt"
+
+	"flodb/internal/obs"
+)
 
 // TelemetrySnapshot merges every shard's metrics into one view:
 // counters and gauges sum, histograms merge bucket-wise, so the
 // store-wide p99 is computed over the union of the shards' samples
-// rather than averaged. Store-level event counts (shard fan-outs) ride
-// along.
+// rather than averaged. Store-level event counts and the topology
+// gauges (epoch, split/merge totals, per-shard queue depth and
+// hotness) ride along — they are what `flodbctl shards` renders for a
+// remote store.
 func (s *Store) TelemetrySnapshot() obs.Snapshot {
-	snaps := make([]obs.Snapshot, len(s.shards))
-	for i, db := range s.shards {
-		snaps[i] = db.TelemetrySnapshot()
+	t, release, err := s.pinTable()
+	if err != nil {
+		return obs.Snapshot{}
+	}
+	defer release()
+	snaps := make([]obs.Snapshot, len(t.engines))
+	for i, e := range t.engines {
+		snaps[i] = e.db.TelemetrySnapshot()
 	}
 	merged := obs.Merge(snaps...)
 	if s.events != nil {
 		merged.Metrics = append(merged.Metrics, obs.EventCountMetrics(s.events)...)
 	}
+	merged.Metrics = append(merged.Metrics,
+		obs.Metric{
+			Name: "flodb_shards", Help: "Live shard count.",
+			Kind: obs.KindGauge, Value: int64(len(t.engines)),
+		},
+		obs.Metric{
+			Name: "flodb_shard_epoch", Help: "Topology epoch (bumps on every split or merge).",
+			Kind: obs.KindGauge, Value: int64(t.epoch),
+		},
+		obs.Metric{
+			Name: "flodb_shard_splits_total", Help: "Shard splits performed by this process.",
+			Kind: obs.KindCounter, Value: int64(s.splits.Load()),
+		},
+		obs.Metric{
+			Name: "flodb_shard_merges_total", Help: "Shard merges performed by this process.",
+			Kind: obs.KindCounter, Value: int64(s.merges.Load()),
+		},
+	)
+	for _, e := range t.engines {
+		merged.Metrics = append(merged.Metrics,
+			obs.Metric{
+				Name: fmt.Sprintf("flodb_shard_queue_depth{shard=%q}", e.dir),
+				Help: "Writes enqueued on the shard's commit pipeline, not yet acked.",
+				Kind: obs.KindGauge, Value: max(e.queue.depth.Load(), 0),
+			},
+			obs.Metric{
+				Name: fmt.Sprintf("flodb_shard_hotness_ppm{shard=%q}", e.dir),
+				Help: "The shard's share of the last sensor window's ops, in parts per million.",
+				Kind: obs.KindGauge, Value: int64(e.loadHotShare() * 1e6),
+			},
+		)
+	}
 	return merged
 }
 
 // TelemetryEvents interleaves the shards' event logs plus the store's
-// own fan-out events into one timeline, newest n (n <= 0: everything
-// retained). Nil when telemetry is disabled.
+// own lifecycle events (fan-outs, splits, merges, queue spikes) into
+// one timeline, newest n (n <= 0: everything retained). Nil when
+// telemetry is disabled.
 func (s *Store) TelemetryEvents(n int) []obs.Event {
-	logs := make([][]obs.Event, 0, len(s.shards)+1)
-	for _, db := range s.shards {
-		if evs := db.TelemetryEvents(0); evs != nil {
+	t, release, err := s.pinTable()
+	if err != nil {
+		return nil
+	}
+	defer release()
+	logs := make([][]obs.Event, 0, len(t.engines)+1)
+	for _, e := range t.engines {
+		if evs := e.db.TelemetryEvents(0); evs != nil {
 			logs = append(logs, evs)
 		}
 	}

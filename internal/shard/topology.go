@@ -1,0 +1,276 @@
+package shard
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flodb/internal/core"
+	"flodb/internal/keys"
+)
+
+// Topology is the store's live shard layout, versioned by epoch. The
+// epoch starts at 1 when the store is created and bumps on every split
+// or merge; readers that cache routing decisions (clients, operators'
+// dashboards) compare epochs to detect a layout change. Boundaries are
+// the n-1 strictly ascending keys cutting the keyspace: shard 0 owns
+// keys below Boundaries[0], shard i owns [Boundaries[i-1],
+// Boundaries[i]), the last shard owns everything from Boundaries[n-2]
+// up. Under hash routing Boundaries is nil — the layout never changes,
+// so the epoch stays at 1 for life.
+type Topology struct {
+	Epoch      uint64
+	Shards     int
+	Routing    string // "range" or "hash"
+	Boundaries [][]byte
+}
+
+// Topology returns a snapshot of the current shard layout. The boundary
+// keys are copies — the caller may retain them across epoch changes.
+func (s *Store) Topology() Topology {
+	t := s.topo.Load()
+	out := Topology{Epoch: t.epoch, Shards: len(t.engines), Routing: routingRange}
+	if t.hashed {
+		out.Routing = routingHash
+		return out
+	}
+	for _, b := range t.boundaries {
+		out.Boundaries = append(out.Boundaries, keys.Clone(b))
+	}
+	return out
+}
+
+// table is one immutable topology version: the engines and the routing
+// that selects among them. The store swaps whole tables atomically, so
+// every reader sees a consistent (epoch, boundaries, engines) triple;
+// superseded tables stay readable through the refs their snapshots and
+// iterators hold.
+type table struct {
+	epoch      uint64
+	boundaries [][]byte // len(engines)-1; nil iff hashed
+	hashed     bool
+	engines    []*engine
+	nextDir    int
+
+	// changed is closed when this table is superseded — producers whose
+	// push lost the race to a topology rewrite wait on it instead of
+	// spinning against a closed queue.
+	changed chan struct{}
+}
+
+// shardFor returns the index of the engine that owns key.
+func (t *table) shardFor(key []byte) int {
+	if t.hashed {
+		var sum uint64 = 14695981039346656037
+		for _, c := range key {
+			sum ^= uint64(c)
+			sum *= 1099511628211
+		}
+		sum ^= sum >> 33
+		return int(sum % uint64(len(t.engines)))
+	}
+	// First boundary strictly above key names the owning shard; keys at
+	// or past the last boundary fall through to the final shard.
+	return sort.Search(len(t.boundaries), func(i int) bool {
+		return keys.Compare(key, t.boundaries[i]) < 0
+	})
+}
+
+// shardRange returns the [lo, hi] engine indices a key range overlaps.
+// Only meaningful for range routing; hash routing spans every shard.
+func (t *table) shardRange(low, high []byte) (int, int) {
+	if t.hashed {
+		return 0, len(t.engines) - 1
+	}
+	lo := 0
+	if low != nil {
+		lo = t.shardFor(low)
+	}
+	hi := len(t.engines) - 1
+	if high != nil {
+		// high is exclusive; shardFor(high) may point one shard past the
+		// last key actually in range, which then contributes nothing.
+		hi = t.shardFor(high)
+	}
+	if hi < lo {
+		// Inverted bounds: collapse to one shard, whose own bounds check
+		// yields the empty result a single engine returns.
+		hi = lo
+	}
+	return lo, hi
+}
+
+// bounds returns engine i's [low, high) ownership range; nil means open.
+func (t *table) bounds(i int) (low, high []byte) {
+	if t.hashed {
+		return nil, nil
+	}
+	if i > 0 {
+		low = t.boundaries[i-1]
+	}
+	if i < len(t.boundaries) {
+		high = t.boundaries[i]
+	}
+	return low, high
+}
+
+// layout renders the table back into its on-disk record.
+func (t *table) layout() *layout {
+	l := &layout{epoch: t.epoch, hashed: t.hashed, nextDir: t.nextDir}
+	for _, e := range t.engines {
+		l.dirs = append(l.dirs, e.dir)
+	}
+	l.boundaries = t.boundaries
+	return l
+}
+
+// sampleEvery controls the committer's split-key reservoir: every Nth
+// routed write contributes its key (cloned) to a small ring the
+// rebalancer consults for a median split point.
+const (
+	sampleEvery = 8
+	sampleCap   = 64
+)
+
+// engine is one shard: a core.DB plus its commit pipeline and lifecycle
+// state. Engines are refcounted — the owning table holds one ref, and
+// every snapshot, iterator and in-flight read acquires another — so a
+// split/merge can retire an engine while pinned readers keep its old
+// epoch readable; the last release closes the DB and (for retired
+// engines) deletes the directory.
+type engine struct {
+	db   *core.DB
+	dir  string // directory name under the store root
+	root string // store root (for retirement cleanup)
+
+	queue   opQueue
+	wake    chan struct{} // doorbell, cap 1
+	drained chan struct{} // closed by the committer when it observes retirement
+
+	// commitMu serializes commits against the shard's engine: exactly
+	// one goroutine — the dedicated committer or a producer committing
+	// inline (flat combining) — drains the queue and applies groups at
+	// a time. Producers only ever TryLock it; the committer goroutine
+	// blocks on it, so a fence observing it free through the
+	// committer's drain knows no commit is in flight.
+	commitMu sync.Mutex
+
+	refs    atomic.Int64
+	retired atomic.Bool  // retirement removes the directory on last release
+	crashed *atomic.Bool // the store's crash flag: finalize abandons instead of closing
+
+	// Split-key reservoir, maintained by the committer (writes only).
+	sampleMu  sync.Mutex
+	samples   [][]byte
+	sampleIdx int
+	sampleN   uint64
+
+	// hotShare is the rebalance sensor's last-window share of store
+	// traffic for this shard, as math.Float64bits.
+	hotShare atomic.Uint64
+	// prevOps is the sensor's previous cumulative op reading.
+	prevOps uint64
+
+	// queueHighWater is the largest drained run seen, for the
+	// shard-queue telemetry event (emitted on power-of-two crossings).
+	queueHighWater int
+
+	// scratch is the committer's reusable group buffer (committer-only).
+	scratch []*writeOp
+}
+
+// acquire takes a reference if the engine is still live (refs > 0).
+// It fails only when the caller raced a retirement with a stale table.
+func (e *engine) acquire() bool {
+	for {
+		r := e.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// release drops a reference, finalizing on the last one.
+func (e *engine) release() error {
+	if e.refs.Add(-1) != 0 {
+		return nil
+	}
+	return e.finalize()
+}
+
+// finalize closes the engine's DB — or abandons it crash-style when the
+// store was crashed for testing — and removes a retired engine's
+// directory. Retired directories hold data the manifest no longer
+// references (a split parent, merge sources), so deleting them is
+// reclamation, not loss; if the removal is skipped by a crash, Open's
+// orphan sweep finishes the job.
+func (e *engine) finalize() error {
+	var err error
+	if e.crashed != nil && e.crashed.Load() {
+		e.db.CrashForTesting()
+	} else {
+		err = e.db.Close()
+	}
+	if e.retired.Load() {
+		if rmErr := os.RemoveAll(filepath.Join(e.root, e.dir)); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// sample records a routed write key into the split reservoir (cloned —
+// the caller's buffer outlives only the op).
+func (e *engine) sample(key []byte) {
+	e.sampleN++
+	if e.sampleN%sampleEvery != 0 {
+		return
+	}
+	k := keys.Clone(key)
+	e.sampleMu.Lock()
+	if len(e.samples) < sampleCap {
+		e.samples = append(e.samples, k)
+	} else {
+		e.samples[e.sampleIdx] = k
+		e.sampleIdx = (e.sampleIdx + 1) % sampleCap
+	}
+	e.sampleMu.Unlock()
+}
+
+// sampledSplitKey returns the median of the sampled write keys — the
+// rebalancer's split point — or nil when too few writes have been seen
+// to call a median honest.
+func (e *engine) sampledSplitKey() []byte {
+	e.sampleMu.Lock()
+	defer e.sampleMu.Unlock()
+	if len(e.samples) < 8 {
+		return nil
+	}
+	sorted := make([][]byte, len(e.samples))
+	copy(sorted, e.samples)
+	sort.Slice(sorted, func(i, j int) bool { return keys.Compare(sorted[i], sorted[j]) < 0 })
+	return keys.Clone(sorted[len(sorted)/2])
+}
+
+func (e *engine) loadHotShare() float64 {
+	return math.Float64frombits(e.hotShare.Load())
+}
+
+func (e *engine) storeHotShare(v float64) {
+	e.hotShare.Store(math.Float64bits(v))
+}
+
+// ringDoorbell wakes the committer if it is parked. The channel has
+// capacity 1: a pending wake already covers this push.
+func (e *engine) ringDoorbell() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}

@@ -29,7 +29,8 @@ type options struct {
 	disableWAL        bool
 	walWriteThrough   bool
 	durability        Durability
-	shards            int
+	policy            ShardPolicy
+	policySet         bool
 	disableTelemetry  bool
 
 	adaptive       bool
@@ -165,27 +166,95 @@ func WithRestartThreshold(n int) Option {
 	})
 }
 
-// WithShards range-partitions the store across n independent FloDB
-// instances, each with its own directory (dir/shard-NNN), WAL, memory
-// component and compactor, behind the same DB surface. Writers, drains,
-// flushes and group-commit fsyncs proceed per shard, so write throughput
-// scales with n on multi-core machines. The memory budget (WithMemory)
-// is the TOTAL, split evenly across shards.
+// A ShardPolicy describes how a store is partitioned across independent
+// FloDB engines: how many shards it starts with, how keys route to them,
+// and whether the layout may change at runtime. Construct one with
+// Static, HashSharded or Adaptive and pass it to WithShardPolicy.
+type ShardPolicy struct {
+	shards    int
+	hashed    bool
+	dynamic   bool
+	minShards int
+	maxShards int
+	err       error
+}
+
+// Static partitions the keyspace into n fixed, uniform ranges — one
+// engine each, with its own directory (dir/shard-NNN), WAL, memory
+// component and compactor, behind the same DB surface. The count and
+// boundaries are recorded in the SHARDS manifest at creation and never
+// change; reopening with a different Static count is an error, while
+// reopening with no shard option adopts whatever the manifest records.
+// Static(1) is the default unsharded store.
+func Static(n int) ShardPolicy {
+	p := ShardPolicy{shards: n}
+	if n < 1 {
+		p.err = fmt.Errorf("flodb: Static(%d): shard count must be >= 1", n)
+	}
+	return p
+}
+
+// HashSharded routes each key to one of n shards by hash instead of by
+// range. Point operations spread evenly whatever the key distribution,
+// at a price: every shard spans the whole keyspace, so range scans and
+// iterators touch all n shards and re-sort, and the layout can never be
+// split or merged — Adaptive over a hash-sharded store fails with
+// ErrDynamicHashRouting.
+func HashSharded(n int) ShardPolicy {
+	p := ShardPolicy{shards: n, hashed: true}
+	if n < 1 {
+		p.err = fmt.Errorf("flodb: HashSharded(%d): shard count must be >= 1", n)
+	}
+	return p
+}
+
+// Adaptive starts the store at min range-partitioned shards and lets a
+// per-shard workload sensor drive the layout at runtime: a shard drawing
+// an outsized share of the traffic is split at its observed median key
+// (up to max shards), and adjacent cold shards merge back (down to min).
+// Every change bumps the topology epoch (DB.ShardTopology), commits
+// crash-safely through the SHARDS manifest, and leaves open snapshots
+// and iterators reading their pinned epoch. Reopening an Adaptive store
+// adopts however many shards the last run left behind.
+func Adaptive(min, max int) ShardPolicy {
+	p := ShardPolicy{dynamic: true, minShards: min, maxShards: max}
+	if min < 1 || max < min {
+		p.err = fmt.Errorf("flodb: Adaptive(%d, %d): want 1 <= min <= max", min, max)
+	}
+	return p
+}
+
+// WithShardPolicy sets how the store is partitioned: Static(n) for a
+// fixed uniform range split, HashSharded(n) for hash routing, or
+// Adaptive(min, max) for sensor-driven dynamic splitting and merging.
+// The memory budget (WithMemory) and block cache (WithBlockCacheSize)
+// are TOTALS, split evenly across however many shards are live.
 //
-// n is fixed at creation: it is recorded in a SHARDS manifest at the
-// store root, and reopening with a different count is an error.
-// Reopening WITHOUT WithShards adopts the recorded layout, so plain
-// Open(dir) on a sharded store just works. WithShards(1) is the default
-// unsharded store. See the README's sharding section for the
-// cross-shard semantics (per-shard batch atomicity, the snapshot write
-// barrier, checkpoint layout).
+// See the README's sharding section for the cross-shard semantics
+// (per-shard batch atomicity, the snapshot write barrier, checkpoint
+// layout, topology epochs).
+func WithShardPolicy(p ShardPolicy) Option {
+	return optionFunc(func(o *options) {
+		if p.err != nil {
+			o.fail(p.err)
+			return
+		}
+		o.policy = p
+		o.policySet = true
+	})
+}
+
+// WithShards is shorthand for WithShardPolicy(Static(n)): a fixed
+// uniform range split across n engines. WithShards(1) is the default
+// unsharded store.
 func WithShards(n int) Option {
 	return optionFunc(func(o *options) {
 		if n < 1 {
 			o.fail(fmt.Errorf("flodb: WithShards(%d): count must be >= 1", n))
 			return
 		}
-		o.shards = n
+		o.policy = Static(n)
+		o.policySet = true
 	})
 }
 

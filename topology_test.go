@@ -1,0 +1,186 @@
+package flodb_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flodb"
+	"flodb/internal/keys"
+	"flodb/internal/shard"
+)
+
+// These tests pin the redesigned topology surface: shard policies set
+// at Open, the versioned Topology readable through ShardTopology, the
+// typed rejection errors, and the epoch/split counters in Stats.
+
+func spread(i uint64) []byte { return keys.EncodeUint64(i * 0x9e3779b97f4a7c15) }
+
+func TestShardPolicyStatic(t *testing.T) {
+	db, err := flodb.Open(t.TempDir(), flodb.WithShardPolicy(flodb.Static(4)), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	topo := db.ShardTopology()
+	if topo.Epoch != 1 || topo.Shards != 4 || topo.Routing != "range" {
+		t.Fatalf("Static(4) topology = %+v", topo)
+	}
+	if len(topo.Boundaries) != 3 {
+		t.Fatalf("Static(4) has %d boundaries, want 3", len(topo.Boundaries))
+	}
+}
+
+func TestShardPolicyHashRouting(t *testing.T) {
+	db, err := flodb.Open(t.TempDir(), flodb.WithShardPolicy(flodb.HashSharded(3)), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	topo := db.ShardTopology()
+	if topo.Routing != "hash" || topo.Shards != 3 || topo.Boundaries != nil {
+		t.Fatalf("HashSharded(3) topology = %+v", topo)
+	}
+}
+
+func TestShardPolicyAdaptiveOpensAtMin(t *testing.T) {
+	dir := t.TempDir()
+	db, err := flodb.Open(dir, flodb.WithShardPolicy(flodb.Adaptive(2, 6)), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Shards(); got != 2 {
+		t.Fatalf("Adaptive(2, 6) opened at %d shards, want MinShards=2", got)
+	}
+	if err := db.Put(bg, spread(1), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen adopts whatever layout the last run left, not MinShards.
+	r, err := flodb.Open(dir, flodb.WithShardPolicy(flodb.Adaptive(2, 6)), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if v, ok, err := r.Get(bg, spread(1)); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("adaptive reopen lost data: %q %v %v", v, ok, err)
+	}
+}
+
+func TestAdaptiveOnHashedStoreFails(t *testing.T) {
+	dir := t.TempDir()
+	db, err := flodb.Open(dir, flodb.WithShardPolicy(flodb.HashSharded(2)), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Hash routing has no boundaries to move, so dynamic splitting can
+	// never apply to it: the combination is a typed, errors.Is-able no.
+	_, err = flodb.Open(dir, flodb.WithShardPolicy(flodb.Adaptive(2, 4)))
+	if !errors.Is(err, flodb.ErrDynamicHashRouting) {
+		t.Fatalf("Adaptive over hashed store: %v, want ErrDynamicHashRouting", err)
+	}
+}
+
+func TestBadShardPoliciesRejectedAtOpen(t *testing.T) {
+	for _, p := range []flodb.ShardPolicy{
+		flodb.Static(0),
+		flodb.HashSharded(-1),
+		flodb.Adaptive(0, 4),
+		flodb.Adaptive(4, 2),
+	} {
+		if _, err := flodb.Open(t.TempDir(), flodb.WithShardPolicy(p)); err == nil {
+			t.Fatalf("policy %+v accepted", p)
+		}
+	}
+}
+
+func TestFutureManifestRejected(t *testing.T) {
+	dir := t.TempDir()
+	// A manifest stamped by a "newer binary": version 99.
+	record := []byte(`{"version": 99, "routing": "range", "epoch": 7, "shard_dirs": [{"dir": "shard-000"}]}` + "\n")
+	if err := os.WriteFile(filepath.Join(dir, "SHARDS"), record, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := flodb.Open(dir)
+	var fme *flodb.FutureManifestError
+	if !errors.As(err, &fme) {
+		t.Fatalf("open on future manifest: %v, want FutureManifestError", err)
+	}
+	if fme.Version != 99 || fme.Dir != dir {
+		t.Fatalf("FutureManifestError fields = %+v", fme)
+	}
+}
+
+// TestShardTopologyTracksEpoch splits a store's hot shard between two
+// public opens: the epoch change committed to the SHARDS manifest must
+// surface through ShardTopology and the Stats counters on the reopened
+// store.
+func TestShardTopologyTracksEpoch(t *testing.T) {
+	dir := t.TempDir()
+	db, err := flodb.Open(dir, flodb.WithShards(2), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 256; i++ {
+		if err := db.Put(bg, spread(i), spread(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force one split through the engine-level API, as the adaptive
+	// controller would.
+	s, err := shard.Open(shard.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Split(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := flodb.Open(dir, flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	topo := r.ShardTopology()
+	if topo.Epoch != 2 || topo.Shards != 3 {
+		t.Fatalf("post-split topology = epoch %d, %d shards; want 2, 3", topo.Epoch, topo.Shards)
+	}
+	if len(topo.Boundaries) != 2 {
+		t.Fatalf("post-split boundaries = %d, want 2", len(topo.Boundaries))
+	}
+	if st := r.Stats(); st.ShardEpoch != 2 {
+		t.Fatalf("Stats().ShardEpoch = %d, want 2", st.ShardEpoch)
+	}
+	for i := uint64(0); i < 256; i++ {
+		if _, ok, err := r.Get(bg, spread(i)); err != nil || !ok {
+			t.Fatalf("key %d lost across split (ok=%v err=%v)", i, ok, err)
+		}
+	}
+}
+
+// TestUnshardedTopology pins the degenerate contract: a single-engine
+// store still answers ShardTopology with a coherent one-shard view.
+func TestUnshardedTopology(t *testing.T) {
+	db, err := flodb.Open(t.TempDir(), flodb.WithMemory(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	topo := db.ShardTopology()
+	if topo.Epoch != 1 || topo.Shards != 1 || topo.Routing != "range" || topo.Boundaries != nil {
+		t.Fatalf("unsharded topology = %+v", topo)
+	}
+}
